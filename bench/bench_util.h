@@ -1,0 +1,29 @@
+// Shared helpers for the figure/table reproduction binaries: a uniform
+// "paper vs measured" line format so EXPERIMENTS.md can be assembled from
+// bench output directly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace jsoncdn::bench {
+
+inline void print_header(const std::string& experiment,
+                         const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", experiment.c_str(), description.c_str());
+  std::printf("==============================================================\n");
+}
+
+// One comparison row: the paper's reported value vs this reproduction.
+inline void compare(const std::string& metric, double paper, double measured,
+                    const std::string& unit = "") {
+  std::printf("  %-42s paper: %8.3f%s   measured: %8.3f%s\n", metric.c_str(),
+              paper, unit.c_str(), measured, unit.c_str());
+}
+
+inline void note(const std::string& text) {
+  std::printf("  %s\n", text.c_str());
+}
+
+}  // namespace jsoncdn::bench

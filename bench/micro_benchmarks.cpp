@@ -1,0 +1,166 @@
+// Google-benchmark microbenchmarks for the hot paths: FFT/ACF (periodicity
+// inner loop), ngram training/prediction, edge cache operations, UA
+// classification, URL parsing/clustering, and log (de)serialization.
+#include <benchmark/benchmark.h>
+
+#include "cdn/cache.h"
+#include "core/ngram.h"
+#include "core/periodicity.h"
+#include "core/url_cluster.h"
+#include "http/device_db.h"
+#include "http/url.h"
+#include "logs/csv.h"
+#include "stats/autocorrelation.h"
+#include "stats/fft.h"
+#include "stats/rng.h"
+
+namespace {
+
+using namespace jsoncdn;
+
+std::vector<double> random_signal(std::size_t n) {
+  stats::Rng rng(n);
+  std::vector<double> out(n);
+  for (auto& v : out) v = rng.uniform(0.0, 2.0);
+  return out;
+}
+
+void BM_FftReal(benchmark::State& state) {
+  const auto signal = random_signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::fft_real(signal));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_FftReal)->RangeMultiplier(4)->Range(256, 16384)->Complexity();
+
+void BM_SpectralAnalysis(benchmark::State& state) {
+  const auto signal = random_signal(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        stats::spectral_analysis(signal, signal.size() / 3));
+  }
+}
+BENCHMARK(BM_SpectralAnalysis)->RangeMultiplier(4)->Range(256, 16384);
+
+void BM_DetectPeriodicFlow(benchmark::State& state) {
+  stats::Rng rng(7);
+  std::vector<double> times;
+  for (int i = 0; i < 40; ++i)
+    times.push_back(60.0 * i + rng.normal(0.0, 0.4));
+  core::PeriodicityDetector detector({});
+  for (auto _ : state) {
+    stats::Rng prng(11);
+    benchmark::DoNotOptimize(detector.detect(times, prng));
+  }
+}
+BENCHMARK(BM_DetectPeriodicFlow);
+
+void BM_DetectPoissonFlowEarlyExit(benchmark::State& state) {
+  stats::Rng rng(8);
+  std::vector<double> times;
+  double t = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    t += rng.exponential(1.0 / 60.0);
+    times.push_back(t);
+  }
+  core::PeriodicityDetector detector({});
+  for (auto _ : state) {
+    stats::Rng prng(12);
+    benchmark::DoNotOptimize(detector.detect(times, prng));
+  }
+}
+BENCHMARK(BM_DetectPoissonFlowEarlyExit);
+
+void BM_NgramObserve(benchmark::State& state) {
+  std::vector<std::string> tokens;
+  for (int i = 0; i < 64; ++i)
+    tokens.push_back("https://h/api/v1/x/" + std::to_string(i % 12));
+  for (auto _ : state) {
+    core::NgramModel model(2);
+    model.observe_sequence(tokens);
+    benchmark::DoNotOptimize(model.observed_transitions());
+  }
+}
+BENCHMARK(BM_NgramObserve);
+
+void BM_NgramPredictTop10(benchmark::State& state) {
+  core::NgramModel model(2);
+  stats::Rng rng(5);
+  std::vector<std::string> tokens;
+  for (int i = 0; i < 5000; ++i) {
+    tokens.push_back("https://h/api/v1/x/" +
+                     std::to_string(rng.uniform_int(0, 50)));
+  }
+  model.observe_sequence(tokens);
+  const std::vector<std::string> history = {tokens[100], tokens[101]};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.predict(history, 10));
+  }
+}
+BENCHMARK(BM_NgramPredictTop10);
+
+void BM_CacheInsertLookup(benchmark::State& state) {
+  cdn::LruCache cache(64ULL * 1024 * 1024);
+  stats::Rng rng(3);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 4096; ++i)
+    keys.push_back("https://h/obj/" + std::to_string(i));
+  std::size_t i = 0;
+  double now = 0.0;
+  for (auto _ : state) {
+    now += 0.001;
+    const auto& key = keys[i++ & 4095];
+    if (!cache.lookup(key, now)) cache.insert(key, 20'000, 600.0, now);
+  }
+}
+BENCHMARK(BM_CacheInsertLookup);
+
+void BM_ClassifyDevice(benchmark::State& state) {
+  constexpr std::string_view kUa =
+      "Mozilla/5.0 (Linux; Android 9; SM-G960F) AppleWebKit/537.36 (KHTML, "
+      "like Gecko) Chrome/76.0.3809.132 Mobile Safari/537.36";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(http::classify_device(kUa));
+  }
+}
+BENCHMARK(BM_ClassifyDevice);
+
+void BM_ParseUrl(benchmark::State& state) {
+  constexpr std::string_view kUrl =
+      "https://api.news-003.example/api/v1/article/18234?page=2&session="
+      "a8f3bc2d91e04571";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(http::parse_url(kUrl));
+  }
+}
+BENCHMARK(BM_ParseUrl);
+
+void BM_ClusterUrl(benchmark::State& state) {
+  constexpr std::string_view kUrl =
+      "https://api.news-003.example/api/v1/article/18234?page=2&session="
+      "a8f3bc2d91e04571";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::cluster_url(kUrl));
+  }
+}
+BENCHMARK(BM_ClusterUrl);
+
+void BM_LogLineRoundTrip(benchmark::State& state) {
+  logs::LogRecord record;
+  record.timestamp = 1234.567;
+  record.client_id = "deadbeefdeadbeef";
+  record.user_agent = "NewsReader/5.2.1 (iPhone; iOS 12.4.1; Scale/3.00)";
+  record.url = "https://api.news-003.example/api/v1/article/18234";
+  record.domain = "api.news-003.example";
+  record.content_type = "application/json; charset=utf-8";
+  record.response_bytes = 2048;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(logs::from_line(logs::to_line(record)));
+  }
+}
+BENCHMARK(BM_LogLineRoundTrip);
+
+}  // namespace
+
+BENCHMARK_MAIN();

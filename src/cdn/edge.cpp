@@ -1,0 +1,153 @@
+#include "cdn/edge.h"
+
+namespace jsoncdn::cdn {
+
+EdgeServer::EdgeServer(std::uint32_t id, const Origin& origin,
+                       const logs::Anonymizer& anonymizer,
+                       const EdgeParams& params)
+    : id_(id),
+      origin_(origin),
+      anonymizer_(anonymizer),
+      params_(params),
+      cache_(params.cache_capacity_bytes) {}
+
+logs::LogRecord EdgeServer::handle(const workload::RequestEvent& event,
+                                   PrefetchPolicy* policy) {
+  const double now = event.time;
+
+  logs::LogRecord record;
+  record.timestamp = now;
+  record.client_id = anonymizer_.pseudonym(event.client_address);
+  record.user_agent = event.user_agent;
+  record.method = event.method;
+  record.url = event.url;
+  record.request_bytes = event.request_bytes;
+  record.edge_id = id_;
+
+  // Metadata first; the origin is only contacted on the paths that really
+  // reach it (miss, revalidation, uncacheable tunnel, 404).
+  const auto* object = origin_.describe(event.url);
+  if (object == nullptr) {
+    // Unknown object: tunneled to origin, answered 404.
+    const auto origin_result = origin_.fetch(event.url);
+    record.status = 404;
+    record.cache_status = logs::CacheStatus::kNotCacheable;
+    record.content_type = "text/plain";
+    record.response_bytes = 0;
+    metrics_.record(/*cacheable=*/false, /*hit=*/false, 0,
+                    params_.client_rtt_seconds + origin_result.latency_seconds);
+    return record;
+  }
+
+  record.domain = object->domain;
+  record.content_type = object->content_type;
+  record.status = 200;
+  record.response_bytes = object->body_bytes;
+
+  const double transfer =
+      static_cast<double>(object->body_bytes) /
+      params_.edge_bandwidth_bytes_per_s;
+  const bool upload = http::is_upload(event.method);
+  const bool cacheable = object->cacheable && !upload;
+
+  // A fresh pushed copy in the client's buffer answers the request locally:
+  // no edge round trip at all. Logged as a HIT — the bytes were served from
+  // CDN-controlled storage.
+  if (params_.enable_push && cacheable && !upload) {
+    const auto push_key = record.client_key() + '\x1f' + event.url;
+    if (const auto it = pushed_.find(push_key); it != pushed_.end()) {
+      const bool fresh = it->second > now;
+      pushed_.erase(it);
+      if (fresh) {
+        record.cache_status = logs::CacheStatus::kHit;
+        metrics_.record(cacheable, /*hit=*/true, object->body_bytes,
+                        /*latency=*/0.001);
+        metrics_.mark_push_used();
+        maybe_prefetch(record, policy, now);
+        return record;
+      }
+    }
+  }
+
+  double latency = params_.client_rtt_seconds + transfer;
+  bool hit = false;
+  if (!cacheable) {
+    // Tunneled to customer infrastructure, exactly as the paper describes
+    // for the >55% uncacheable JSON share.
+    const auto origin_result = origin_.fetch(event.url);
+    record.cache_status = logs::CacheStatus::kNotCacheable;
+    latency += origin_result.latency_seconds;
+  } else if (const bool stale_available =
+                 params_.enable_revalidation &&
+                 cache_.peek_stale(event.url, now).has_value();
+             cache_.lookup(event.url, now).has_value()) {
+    // Note peek_stale runs before lookup: lookup erases expired entries.
+    hit = true;
+    record.cache_status = logs::CacheStatus::kHit;
+    if (const auto it = pending_prefetches_.find(event.url);
+        it != pending_prefetches_.end()) {
+      metrics_.mark_prefetch_useful();
+      pending_prefetches_.erase(it);
+    }
+  } else if (stale_available) {
+    // Stale copy on disk: a 304 revalidation refreshes it without
+    // re-transferring the body.
+    const auto origin_result = origin_.revalidate(event.url);
+    hit = true;
+    record.cache_status = logs::CacheStatus::kRefreshHit;
+    latency += origin_result.latency_seconds;
+    cache_.insert(event.url, object->body_bytes, object->ttl_seconds, now);
+    metrics_.mark_refresh_hit();
+  } else {
+    const auto origin_result = origin_.fetch(event.url);
+    record.cache_status = logs::CacheStatus::kMiss;
+    latency += origin_result.latency_seconds;
+    cache_.insert(event.url, object->body_bytes, object->ttl_seconds, now);
+    pending_prefetches_.erase(event.url);
+  }
+
+  metrics_.record(cacheable, hit, object->body_bytes, latency);
+  maybe_prefetch(record, policy, now);
+  return record;
+}
+
+void EdgeServer::maybe_prefetch(const logs::LogRecord& served,
+                                PrefetchPolicy* policy, double now) {
+  if (policy == nullptr) return;
+  auto candidates = policy->candidates(served);
+  std::size_t issued = 0;
+  std::size_t pushed = 0;
+  for (const auto& url : candidates) {
+    if (issued >= params_.max_prefetches_per_request) break;
+    const workload::ObjectSpec* object = nullptr;
+    if (!cache_.contains(url, now)) {
+      const auto result = origin_.fetch(url);
+      if (result.object == nullptr || !result.object->cacheable) continue;
+      object = result.object;
+      cache_.insert(url, object->body_bytes, object->ttl_seconds, now);
+      pending_prefetches_.insert(url);
+      metrics_.record_prefetch(object->body_bytes);
+      ++issued;
+    }
+    // Push the speculative response to this client as well: the copy rides
+    // the open connection and is valid for a short window.
+    if (params_.enable_push && pushed < params_.max_pushes_per_request) {
+      const auto bytes =
+          object != nullptr ? object->body_bytes : cache_.lookup(url, now)
+                                  .value_or(0);
+      if (bytes > 0) {
+        pushed_[served.client_key() + '\x1f' + url] =
+            now + params_.push_validity_seconds;
+        metrics_.record_push(bytes);
+        ++pushed;
+      }
+    }
+  }
+  // Bound push-table memory: drop expired entries opportunistically once it
+  // grows large.
+  if (pushed_.size() > 200'000) {
+    std::erase_if(pushed_, [now](const auto& kv) { return kv.second <= now; });
+  }
+}
+
+}  // namespace jsoncdn::cdn

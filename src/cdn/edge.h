@@ -1,0 +1,83 @@
+// Edge server: the component whose request logs the paper analyzes. Each
+// incoming request is resolved against the customer's cacheability config
+// and the edge cache, fetched from origin when needed, logged, and measured.
+// An optional prefetch policy (implemented in core/prefetch on top of the
+// ngram model) is consulted after every served request.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "cdn/cache.h"
+#include "cdn/metrics.h"
+#include "cdn/origin.h"
+#include "logs/anonymizer.h"
+#include "logs/record.h"
+#include "workload/sessions.h"
+
+namespace jsoncdn::cdn {
+
+// Interface the edge consults after serving a request. Implementations
+// return URLs to warm into the cache.
+class PrefetchPolicy {
+ public:
+  virtual ~PrefetchPolicy() = default;
+  [[nodiscard]] virtual std::vector<std::string> candidates(
+      const logs::LogRecord& served) = 0;
+};
+
+struct EdgeParams {
+  std::uint64_t cache_capacity_bytes = 512ULL * 1024 * 1024;
+  double client_rtt_seconds = 0.020;       // client <-> edge
+  double edge_bandwidth_bytes_per_s = 10e6;
+  std::size_t max_prefetches_per_request = 3;
+  // HTTP Server Push (the other delivery mechanism Section 5.2 proposes):
+  // besides warming the edge cache, speculatively send predicted responses
+  // to the requesting client. A later request covered by a fresh pushed
+  // copy is answered from the client's buffer — no edge round trip.
+  bool enable_push = false;
+  double push_validity_seconds = 30.0;
+  std::size_t max_pushes_per_request = 2;
+  // Conditional revalidation: when a cached copy is merely stale, ask the
+  // origin to validate it (If-None-Match -> 304) instead of re-transferring
+  // the body. Cheaper than a full miss; logged as REFRESH.
+  bool enable_revalidation = false;
+};
+
+class EdgeServer {
+ public:
+  EdgeServer(std::uint32_t id, const Origin& origin,
+             const logs::Anonymizer& anonymizer, const EdgeParams& params);
+
+  // Serves one request at its event time and returns the log record.
+  // `policy` may be nullptr (no prefetching).
+  [[nodiscard]] logs::LogRecord handle(const workload::RequestEvent& event,
+                                       PrefetchPolicy* policy = nullptr);
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] const DeliveryMetrics& metrics() const noexcept {
+    return metrics_;
+  }
+  [[nodiscard]] const LruCache& cache() const noexcept { return cache_; }
+
+ private:
+  void maybe_prefetch(const logs::LogRecord& served, PrefetchPolicy* policy,
+                      double now);
+
+  std::uint32_t id_;
+  const Origin& origin_;
+  const logs::Anonymizer& anonymizer_;
+  EdgeParams params_;
+  LruCache cache_;
+  DeliveryMetrics metrics_;
+  // URLs currently in cache because of a prefetch, not yet used.
+  std::unordered_set<std::string> pending_prefetches_;
+  // (client_key \x1f url) -> push expiry time.
+  std::unordered_map<std::string, double> pushed_;
+};
+
+}  // namespace jsoncdn::cdn

@@ -1,0 +1,86 @@
+#include "cdn/metrics.h"
+
+namespace jsoncdn::cdn {
+
+void DeliveryMetrics::record(bool cacheable, bool hit, std::uint64_t bytes,
+                             double latency_seconds) {
+  ++requests_;
+  bytes_ += bytes;
+  latencies_.push_back(latency_seconds);
+  if (!cacheable) {
+    ++uncacheable_;
+  } else if (hit) {
+    ++hits_;
+  } else {
+    ++misses_;
+  }
+}
+
+void DeliveryMetrics::record_prefetch(std::uint64_t bytes) {
+  ++prefetches_;
+  prefetch_bytes_ += bytes;
+}
+
+void DeliveryMetrics::mark_prefetch_useful() { ++useful_prefetches_; }
+
+void DeliveryMetrics::record_push(std::uint64_t bytes) {
+  ++pushes_;
+  push_bytes_ += bytes;
+}
+
+void DeliveryMetrics::mark_push_used() { ++pushes_used_; }
+
+void DeliveryMetrics::mark_refresh_hit() { ++refresh_hits_; }
+
+double DeliveryMetrics::push_waste() const noexcept {
+  return pushes_ == 0 ? 0.0
+                      : 1.0 - static_cast<double>(pushes_used_) /
+                                  static_cast<double>(pushes_);
+}
+
+double DeliveryMetrics::cacheable_hit_ratio() const noexcept {
+  const auto cacheable = hits_ + misses_;
+  return cacheable == 0 ? 0.0 : static_cast<double>(hits_) /
+                                    static_cast<double>(cacheable);
+}
+
+double DeliveryMetrics::overall_hit_ratio() const noexcept {
+  return requests_ == 0 ? 0.0 : static_cast<double>(hits_) /
+                                    static_cast<double>(requests_);
+}
+
+double DeliveryMetrics::origin_share() const noexcept {
+  const auto origin = misses_ + uncacheable_;
+  return requests_ == 0 ? 0.0 : static_cast<double>(origin) /
+                                    static_cast<double>(requests_);
+}
+
+double DeliveryMetrics::prefetch_waste() const noexcept {
+  return prefetches_ == 0
+             ? 0.0
+             : 1.0 - static_cast<double>(useful_prefetches_) /
+                         static_cast<double>(prefetches_);
+}
+
+stats::Summary DeliveryMetrics::latency_summary() const {
+  return stats::summarize(latencies_);
+}
+
+void DeliveryMetrics::merge(const DeliveryMetrics& other) {
+  requests_ += other.requests_;
+  hits_ += other.hits_;
+  misses_ += other.misses_;
+  uncacheable_ += other.uncacheable_;
+  bytes_ += other.bytes_;
+  prefetches_ += other.prefetches_;
+  prefetch_bytes_ += other.prefetch_bytes_;
+  useful_prefetches_ += other.useful_prefetches_;
+  pushes_ += other.pushes_;
+  push_bytes_ += other.push_bytes_;
+  pushes_used_ += other.pushes_used_;
+  refresh_hits_ += other.refresh_hits_;
+  latencies_.insert(latencies_.end(), other.latencies_.begin(),
+                    other.latencies_.end());
+}
+
+}  // namespace jsoncdn::cdn

@@ -1,0 +1,92 @@
+// Delivery metrics aggregated by the edge network: cache outcomes, byte
+// volumes, origin offload, and client-perceived latency. These quantify the
+// optimizations the paper proposes (prefetching -> hit ratio; machine-traffic
+// deprioritization -> human latency).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace jsoncdn::cdn {
+
+class DeliveryMetrics {
+ public:
+  void record(bool cacheable, bool hit, std::uint64_t bytes,
+              double latency_seconds);
+  void record_prefetch(std::uint64_t bytes);
+  // Called when a previously prefetched object gets its first hit.
+  void mark_prefetch_useful();
+  // Server-push accounting: a speculative response sent to a client, and a
+  // later request answered from the client-side pushed copy.
+  void record_push(std::uint64_t bytes);
+  void mark_push_used();
+  // A stale cache entry served after a 304 revalidation (counted as a hit
+  // by record(); this tracks how many of those hits were refreshes).
+  void mark_refresh_hit();
+
+  [[nodiscard]] std::uint64_t requests() const noexcept { return requests_; }
+  [[nodiscard]] std::uint64_t hits() const noexcept { return hits_; }
+  [[nodiscard]] std::uint64_t misses() const noexcept { return misses_; }
+  [[nodiscard]] std::uint64_t uncacheable() const noexcept {
+    return uncacheable_;
+  }
+  [[nodiscard]] std::uint64_t bytes_served() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t prefetches_issued() const noexcept {
+    return prefetches_;
+  }
+  [[nodiscard]] std::uint64_t prefetch_bytes() const noexcept {
+    return prefetch_bytes_;
+  }
+  [[nodiscard]] std::uint64_t useful_prefetches() const noexcept {
+    return useful_prefetches_;
+  }
+  [[nodiscard]] std::uint64_t pushes_sent() const noexcept { return pushes_; }
+  [[nodiscard]] std::uint64_t push_bytes() const noexcept {
+    return push_bytes_;
+  }
+  [[nodiscard]] std::uint64_t pushes_used() const noexcept {
+    return pushes_used_;
+  }
+  [[nodiscard]] std::uint64_t refresh_hits() const noexcept {
+    return refresh_hits_;
+  }
+  // Wasted-push ratio (sent but never consumed before expiry).
+  [[nodiscard]] double push_waste() const noexcept;
+
+  // Hit ratio over cacheable traffic only.
+  [[nodiscard]] double cacheable_hit_ratio() const noexcept;
+  // Hit ratio over everything (uncacheable counts as a non-hit) — the number
+  // a CDN operator reports as edge offload.
+  [[nodiscard]] double overall_hit_ratio() const noexcept;
+  // Share of requests that had to touch the origin.
+  [[nodiscard]] double origin_share() const noexcept;
+  // Wasted-prefetch ratio (fetched but never used before expiry).
+  [[nodiscard]] double prefetch_waste() const noexcept;
+
+  [[nodiscard]] stats::Summary latency_summary() const;
+  [[nodiscard]] const std::vector<double>& latencies() const noexcept {
+    return latencies_;
+  }
+
+  // Merges another metrics object (for summing per-edge metrics).
+  void merge(const DeliveryMetrics& other);
+
+ private:
+  std::uint64_t requests_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t uncacheable_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t prefetches_ = 0;
+  std::uint64_t prefetch_bytes_ = 0;
+  std::uint64_t useful_prefetches_ = 0;
+  std::uint64_t pushes_ = 0;
+  std::uint64_t push_bytes_ = 0;
+  std::uint64_t pushes_used_ = 0;
+  std::uint64_t refresh_hits_ = 0;
+  std::vector<double> latencies_;
+};
+
+}  // namespace jsoncdn::cdn

@@ -1,0 +1,45 @@
+#include "cdn/network.h"
+
+#include <stdexcept>
+
+#include "stats/hash.h"
+
+namespace jsoncdn::cdn {
+
+CdnNetwork::CdnNetwork(const workload::ObjectCatalog& catalog,
+                       const NetworkParams& params)
+    : origin_(catalog, params.origin),
+      anonymizer_(params.anonymization_salt) {
+  if (params.edge_count == 0)
+    throw std::invalid_argument("CdnNetwork: edge_count == 0");
+  edges_.reserve(params.edge_count);
+  for (std::size_t i = 0; i < params.edge_count; ++i) {
+    edges_.emplace_back(static_cast<std::uint32_t>(i), origin_, anonymizer_,
+                        params.edge);
+  }
+}
+
+std::size_t CdnNetwork::edge_for(std::string_view client_address) const {
+  return stats::fnv1a64(client_address) % edges_.size();
+}
+
+logs::Dataset CdnNetwork::run(
+    const std::vector<workload::RequestEvent>& events,
+    PrefetchPolicy* policy) {
+  logs::Dataset dataset;
+  dataset.reserve(events.size());
+  for (const auto& event : events) {
+    auto& edge = edges_[edge_for(event.client_address)];
+    dataset.add(edge.handle(event, policy));
+  }
+  dataset.sort_by_time();
+  return dataset;
+}
+
+DeliveryMetrics CdnNetwork::total_metrics() const {
+  DeliveryMetrics total;
+  for (const auto& edge : edges_) total.merge(edge.metrics());
+  return total;
+}
+
+}  // namespace jsoncdn::cdn

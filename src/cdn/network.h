@@ -1,0 +1,57 @@
+// Multi-edge CDN network: maps clients to edge servers (sticky, hash-based —
+// a stand-in for geographic request routing) and turns a workload event
+// stream into the edge-log Dataset the analysis layer consumes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cdn/edge.h"
+#include "cdn/origin.h"
+#include "logs/anonymizer.h"
+#include "logs/dataset.h"
+#include "workload/catalog.h"
+#include "workload/sessions.h"
+
+namespace jsoncdn::cdn {
+
+struct NetworkParams {
+  std::size_t edge_count = 3;  // the paper's long-term capture used three
+                               // vantage points
+  EdgeParams edge;
+  OriginParams origin;
+  std::uint64_t anonymization_salt = 0x6a736f6e63646eULL;  // "jsoncdn"
+};
+
+class CdnNetwork {
+ public:
+  CdnNetwork(const workload::ObjectCatalog& catalog,
+             const NetworkParams& params);
+
+  // Routes every event to its edge, in order, collecting the logs.
+  // `policy` is shared by all edges (may be nullptr).
+  [[nodiscard]] logs::Dataset run(
+      const std::vector<workload::RequestEvent>& events,
+      PrefetchPolicy* policy = nullptr);
+
+  // Aggregate metrics across all edges.
+  [[nodiscard]] DeliveryMetrics total_metrics() const;
+  [[nodiscard]] const std::vector<EdgeServer>& edges() const noexcept {
+    return edges_;
+  }
+  [[nodiscard]] const Origin& origin() const noexcept { return origin_; }
+  [[nodiscard]] const logs::Anonymizer& anonymizer() const noexcept {
+    return anonymizer_;
+  }
+
+  // Sticky client -> edge mapping.
+  [[nodiscard]] std::size_t edge_for(std::string_view client_address) const;
+
+ private:
+  Origin origin_;
+  logs::Anonymizer anonymizer_;
+  std::vector<EdgeServer> edges_;
+};
+
+}  // namespace jsoncdn::cdn

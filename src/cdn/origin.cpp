@@ -1,0 +1,39 @@
+#include "cdn/origin.h"
+
+#include <stdexcept>
+
+namespace jsoncdn::cdn {
+
+Origin::Origin(const workload::ObjectCatalog& catalog,
+               const OriginParams& params)
+    : catalog_(catalog), params_(params) {
+  if (params.bandwidth_bytes_per_s <= 0.0)
+    throw std::invalid_argument("Origin: bandwidth <= 0");
+  if (params.rtt_seconds < 0.0 || params.processing_seconds < 0.0)
+    throw std::invalid_argument("Origin: negative latency");
+}
+
+OriginResult Origin::fetch(std::string_view url) const {
+  ++fetches_;
+  OriginResult out;
+  out.object = catalog_.find(url);
+  out.latency_seconds = params_.rtt_seconds + params_.processing_seconds;
+  if (out.object != nullptr) {
+    out.bytes = out.object->body_bytes;
+    out.latency_seconds +=
+        static_cast<double>(out.bytes) / params_.bandwidth_bytes_per_s;
+    bytes_ += out.bytes;
+  }
+  return out;
+}
+
+OriginResult Origin::revalidate(std::string_view url) const {
+  ++fetches_;
+  OriginResult out;
+  out.object = catalog_.find(url);
+  out.latency_seconds = params_.rtt_seconds + params_.processing_seconds;
+  // 304: headers only, no body bytes served.
+  return out;
+}
+
+}  // namespace jsoncdn::cdn

@@ -1,0 +1,59 @@
+// Origin (CDN customer infrastructure) model. Uncacheable requests and cache
+// misses "propagate from the edge server through the CDN to origin content
+// servers" (§4); the origin resolves object specs and charges a latency that
+// the delivery metrics expose, so caching/prefetching improvements are
+// visible end to end.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "workload/catalog.h"
+
+namespace jsoncdn::cdn {
+
+struct OriginResult {
+  const workload::ObjectSpec* object = nullptr;  // nullptr => 404
+  double latency_seconds = 0.0;
+  std::uint64_t bytes = 0;
+};
+
+struct OriginParams {
+  double rtt_seconds = 0.080;            // edge <-> origin round trip
+  double bandwidth_bytes_per_s = 5e6;    // transfer rate for the body
+  double processing_seconds = 0.005;     // request handling at origin
+};
+
+class Origin {
+ public:
+  Origin(const workload::ObjectCatalog& catalog, const OriginParams& params);
+
+  // Resolves `url`; 404s still cost a round trip.
+  [[nodiscard]] OriginResult fetch(std::string_view url) const;
+
+  // Metadata lookup only — what the edge already knows about an object it
+  // holds (or once held). No request is made; no cost is charged.
+  [[nodiscard]] const workload::ObjectSpec* describe(
+      std::string_view url) const {
+    return catalog_.find(url);
+  }
+
+  // Conditional request (If-None-Match): validates the cached copy without
+  // transferring the body. Objects in this simulator are immutable, so a
+  // revalidation of an existing object always answers 304 — the cost is one
+  // round trip plus processing, no transfer.
+  [[nodiscard]] OriginResult revalidate(std::string_view url) const;
+
+  [[nodiscard]] std::uint64_t fetch_count() const noexcept { return fetches_; }
+  [[nodiscard]] std::uint64_t bytes_served() const noexcept { return bytes_; }
+  [[nodiscard]] const OriginParams& params() const noexcept { return params_; }
+
+ private:
+  const workload::ObjectCatalog& catalog_;
+  OriginParams params_;
+  mutable std::uint64_t fetches_ = 0;
+  mutable std::uint64_t bytes_ = 0;
+};
+
+}  // namespace jsoncdn::cdn

@@ -1,0 +1,112 @@
+#include "cdn/prioritizer.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace jsoncdn::cdn {
+
+ScheduleResult simulate_schedule(std::vector<SchedulerJob> jobs,
+                                 SchedulingPolicy policy,
+                                 std::size_t servers) {
+  if (servers == 0)
+    throw std::invalid_argument("simulate_schedule: servers == 0");
+  for (const auto& j : jobs) {
+    if (j.service < 0.0)
+      throw std::invalid_argument("simulate_schedule: negative service time");
+  }
+  std::stable_sort(jobs.begin(), jobs.end(),
+                   [](const SchedulerJob& a, const SchedulerJob& b) {
+                     return a.arrival < b.arrival;
+                   });
+
+  std::priority_queue<double, std::vector<double>, std::greater<>> busy;
+  std::size_t free_servers = servers;
+  std::deque<std::size_t> human_q;
+  std::deque<std::size_t> machine_q;
+  std::vector<double> human_wait, human_sojourn;
+  std::vector<double> machine_wait, machine_sojourn;
+
+  std::size_t next_arrival = 0;
+  double clock = 0.0;
+
+  auto dispatch = [&](std::size_t j) {
+    const double wait = clock - jobs[j].arrival;
+    const double sojourn = wait + jobs[j].service;
+    if (jobs[j].machine) {
+      machine_wait.push_back(wait);
+      machine_sojourn.push_back(sojourn);
+    } else {
+      human_wait.push_back(wait);
+      human_sojourn.push_back(sojourn);
+    }
+    busy.push(clock + jobs[j].service);
+    --free_servers;
+  };
+
+  auto pick_next = [&]() -> std::size_t {
+    if (policy == SchedulingPolicy::kHumanPriority) {
+      if (!human_q.empty()) {
+        const auto j = human_q.front();
+        human_q.pop_front();
+        return j;
+      }
+      const auto j = machine_q.front();
+      machine_q.pop_front();
+      return j;
+    }
+    // FIFO across classes: both queues are arrival-ordered, so compare
+    // fronts by index (indices follow arrival order after the sort).
+    if (machine_q.empty() ||
+        (!human_q.empty() && human_q.front() < machine_q.front())) {
+      const auto j = human_q.front();
+      human_q.pop_front();
+      return j;
+    }
+    const auto j = machine_q.front();
+    machine_q.pop_front();
+    return j;
+  };
+
+  const std::size_t total = jobs.size();
+  std::size_t dispatched = 0;
+  while (dispatched < total) {
+    // Admit every arrival at or before the clock.
+    while (next_arrival < total && jobs[next_arrival].arrival <= clock) {
+      (jobs[next_arrival].machine ? machine_q : human_q)
+          .push_back(next_arrival);
+      ++next_arrival;
+    }
+    if (free_servers > 0 && (!human_q.empty() || !machine_q.empty())) {
+      dispatch(pick_next());
+      ++dispatched;
+      continue;
+    }
+    // Nothing dispatchable: advance to the next event.
+    const double next_arr = next_arrival < total
+                                ? jobs[next_arrival].arrival
+                                : std::numeric_limits<double>::infinity();
+    const double next_done =
+        busy.empty() ? std::numeric_limits<double>::infinity() : busy.top();
+    const double next_event = std::min(next_arr, next_done);
+    if (next_event == std::numeric_limits<double>::infinity()) break;
+    clock = std::max(clock, next_event);
+    while (!busy.empty() && busy.top() <= clock) {
+      busy.pop();
+      ++free_servers;
+    }
+  }
+
+  ScheduleResult out;
+  out.human.count = human_wait.size();
+  out.human.waiting = stats::summarize(human_wait);
+  out.human.sojourn = stats::summarize(human_sojourn);
+  out.machine.count = machine_wait.size();
+  out.machine.waiting = stats::summarize(machine_wait);
+  out.machine.sojourn = stats::summarize(machine_sojourn);
+  return out;
+}
+
+}  // namespace jsoncdn::cdn

@@ -1,0 +1,43 @@
+// Request scheduler for the paper's proposed optimization: "CDN operators
+// [can] deprioritize machine-to-machine traffic since a human is not waiting
+// for the response" (§5.1). Models an edge's request-processing pipeline as
+// a multi-server non-preemptive queue with two classes (human, machine) and
+// compares FIFO against strict human-priority scheduling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace jsoncdn::cdn {
+
+struct SchedulerJob {
+  double arrival = 0.0;   // seconds
+  double service = 0.0;   // processing time, seconds
+  bool machine = false;   // machine-to-machine traffic?
+};
+
+struct ClassQueueStats {
+  std::size_t count = 0;
+  stats::Summary waiting;   // queueing delay
+  stats::Summary sojourn;   // waiting + service
+};
+
+struct ScheduleResult {
+  ClassQueueStats human;
+  ClassQueueStats machine;
+};
+
+enum class SchedulingPolicy {
+  kFifo,           // arrival order, class-blind
+  kHumanPriority,  // human-class jobs always dispatched first
+};
+
+// Simulates `servers` parallel workers over the job list. Non-preemptive:
+// a running job finishes before the next dispatch decision. Deterministic.
+[[nodiscard]] ScheduleResult simulate_schedule(std::vector<SchedulerJob> jobs,
+                                               SchedulingPolicy policy,
+                                               std::size_t servers = 1);
+
+}  // namespace jsoncdn::cdn

@@ -1,0 +1,77 @@
+#include "core/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/timeseries.h"
+
+namespace jsoncdn::core {
+
+SequenceAnomaly score_sequence(const NgramModel& model,
+                               std::span<const std::string> tokens,
+                               std::size_t k, double max_surprisal_bits,
+                               double novel_surprisal_bits) {
+  if (k == 0) throw std::invalid_argument("score_sequence: k == 0");
+  SequenceAnomaly out;
+  if (tokens.size() < 2) return out;
+  double surprisal_sum = 0.0;
+  for (std::size_t i = 1; i < tokens.size(); ++i) {
+    const std::size_t ctx = std::min(model.max_context(), i);
+    const std::span<const std::string> history(&tokens[i - ctx], ctx);
+    const auto predictions = model.predict(history, k);
+    ++out.transitions;
+    double score = 0.0;
+    for (const auto& p : predictions) {
+      if (p.token == tokens[i]) {
+        score = p.score;
+        break;
+      }
+    }
+    if (score <= 0.0) {
+      ++out.unpredicted;
+      if (model.knows(tokens[i])) {
+        surprisal_sum += max_surprisal_bits;
+      } else {
+        ++out.novel;
+        surprisal_sum += novel_surprisal_bits;
+      }
+    } else {
+      surprisal_sum +=
+          std::min(max_surprisal_bits, -std::log2(std::min(1.0, score)));
+    }
+  }
+  out.unpredicted_share =
+      static_cast<double>(out.unpredicted) /
+      static_cast<double>(out.transitions);
+  out.mean_surprisal = surprisal_sum / static_cast<double>(out.transitions);
+  return out;
+}
+
+PeriodAnomaly check_period(std::span<const double> times,
+                           double expected_period,
+                           double relative_tolerance) {
+  if (expected_period <= 0.0)
+    throw std::invalid_argument("check_period: expected_period <= 0");
+  if (relative_tolerance <= 0.0)
+    throw std::invalid_argument("check_period: tolerance <= 0");
+  PeriodAnomaly out;
+  const auto gaps = stats::interarrival_gaps(times);
+  out.gaps = gaps.size();
+  for (const double g : gaps) {
+    // A gap of ~m periods (missed ticks) is not deviant; compare against
+    // the nearest multiple of the expected period.
+    const double m = std::max(1.0, std::round(g / expected_period));
+    if (std::abs(g - m * expected_period) >
+        relative_tolerance * expected_period) {
+      ++out.deviant_gaps;
+    }
+  }
+  if (out.gaps > 0) {
+    out.deviant_share =
+        static_cast<double>(out.deviant_gaps) / static_cast<double>(out.gaps);
+  }
+  return out;
+}
+
+}  // namespace jsoncdn::core

@@ -1,0 +1,44 @@
+// Anomaly detection on JSON traffic — both directions the paper sketches:
+// "detect when a highly unlikely object is requested" (ngram-based, §5.2)
+// and "when an object is requested at a different period than it is
+// intended" (period-based, §5.1).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/ngram.h"
+
+namespace jsoncdn::core {
+
+struct SequenceAnomaly {
+  std::size_t transitions = 0;
+  std::size_t unpredicted = 0;     // actual next not in the model's top-k
+  std::size_t novel = 0;           // actual next never seen in training
+  double unpredicted_share = 0.0;
+  double mean_surprisal = 0.0;     // mean -log2(score of actual next)
+};
+
+// Scores one client's token sequence against a trained model. An in-
+// vocabulary token missing from every top-k prediction is an order
+// violation, charged `max_surprisal_bits`; a token the model has never seen
+// is merely novel (cold objects appear all the time on a CDN), charged the
+// lower `novel_surprisal_bits`.
+[[nodiscard]] SequenceAnomaly score_sequence(
+    const NgramModel& model, std::span<const std::string> tokens,
+    std::size_t k = 10, double max_surprisal_bits = 20.0,
+    double novel_surprisal_bits = 12.0);
+
+struct PeriodAnomaly {
+  std::size_t gaps = 0;
+  std::size_t deviant_gaps = 0;  // |gap - period| > tolerance * period
+  double deviant_share = 0.0;
+};
+
+// Checks observed request times of a flow against its expected period.
+[[nodiscard]] PeriodAnomaly check_period(std::span<const double> times,
+                                         double expected_period,
+                                         double relative_tolerance = 0.25);
+
+}  // namespace jsoncdn::core

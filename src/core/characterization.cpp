@@ -1,0 +1,231 @@
+#include "core/characterization.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace jsoncdn::core {
+
+namespace {
+
+constexpr std::size_t device_index(http::DeviceType d) noexcept {
+  return static_cast<std::size_t>(d);
+}
+
+}  // namespace
+
+double SourceBreakdown::device_share(http::DeviceType d) const noexcept {
+  return total_requests == 0
+             ? 0.0
+             : static_cast<double>(requests_by_device[device_index(d)]) /
+                   static_cast<double>(total_requests);
+}
+
+double SourceBreakdown::ua_string_share(http::DeviceType d) const noexcept {
+  return total_ua_strings == 0
+             ? 0.0
+             : static_cast<double>(ua_strings_by_device[device_index(d)]) /
+                   static_cast<double>(total_ua_strings);
+}
+
+double SourceBreakdown::browser_share() const noexcept {
+  return total_requests == 0 ? 0.0
+                             : static_cast<double>(browser_requests) /
+                                   static_cast<double>(total_requests);
+}
+
+double SourceBreakdown::non_browser_share() const noexcept {
+  return total_requests == 0 ? 0.0 : 1.0 - browser_share();
+}
+
+double SourceBreakdown::mobile_browser_share() const noexcept {
+  return total_requests == 0 ? 0.0
+                             : static_cast<double>(mobile_browser_requests) /
+                                   static_cast<double>(total_requests);
+}
+
+SourceBreakdown characterize_source(const logs::Dataset& ds) {
+  SourceBreakdown out;
+  // Distinct UA strings per device type; classification cached per string
+  // since datasets repeat UAs millions of times.
+  std::unordered_map<std::string, http::DeviceClassification> ua_cache;
+  for (const auto& record : ds.records()) {
+    const auto [it, inserted] =
+        ua_cache.try_emplace(record.user_agent, http::DeviceClassification{});
+    if (inserted) it->second = http::classify_device(record.user_agent);
+    const auto& cls = it->second;
+
+    ++out.total_requests;
+    ++out.requests_by_device[device_index(cls.device)];
+    if (cls.is_browser()) {
+      ++out.browser_requests;
+      if (cls.device == http::DeviceType::kMobile)
+        ++out.mobile_browser_requests;
+    }
+    if (record.user_agent.empty()) ++out.missing_ua_requests;
+  }
+  for (const auto& [ua, cls] : ua_cache) {
+    if (ua.empty()) continue;  // a missing header is not a UA string
+    ++out.total_ua_strings;
+    ++out.ua_strings_by_device[device_index(cls.device)];
+  }
+  return out;
+}
+
+double MethodMix::get_share() const noexcept {
+  return total == 0 ? 0.0
+                    : static_cast<double>(get) / static_cast<double>(total);
+}
+
+double MethodMix::post_share_of_non_get() const noexcept {
+  const auto non_get = total - get;
+  return non_get == 0 ? 0.0
+                      : static_cast<double>(post) /
+                            static_cast<double>(non_get);
+}
+
+double MethodMix::upload_share() const noexcept {
+  // In this log schema the upload methods are POST and the residual "other"
+  // bucket's PUT/PATCH; downloads are GET/HEAD.
+  return total == 0 ? 0.0
+                    : static_cast<double>(post) / static_cast<double>(total);
+}
+
+MethodMix characterize_methods(const logs::Dataset& ds) {
+  MethodMix out;
+  for (const auto& record : ds.records()) {
+    ++out.total;
+    switch (record.method) {
+      case http::Method::kGet: ++out.get; break;
+      case http::Method::kPost: ++out.post; break;
+      default: ++out.other; break;
+    }
+  }
+  return out;
+}
+
+double CacheabilityStats::uncacheable_share() const noexcept {
+  const auto total = cacheable + uncacheable;
+  return total == 0 ? 0.0
+                    : static_cast<double>(uncacheable) /
+                          static_cast<double>(total);
+}
+
+double CacheabilityStats::hit_share() const noexcept {
+  const auto total = cacheable + uncacheable;
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits) / static_cast<double>(total);
+}
+
+CacheabilityStats characterize_cacheability(const logs::Dataset& ds) {
+  CacheabilityStats out;
+  for (const auto& record : ds.records()) {
+    if (record.cache_status == logs::CacheStatus::kNotCacheable) {
+      ++out.uncacheable;
+    } else {
+      ++out.cacheable;
+      if (record.cache_status == logs::CacheStatus::kHit) ++out.hits;
+    }
+  }
+  return out;
+}
+
+double SizeComparison::p50_ratio() const noexcept {
+  return html.p50 == 0.0 ? 0.0 : json.p50 / html.p50;
+}
+
+double SizeComparison::p75_ratio() const noexcept {
+  return html.p75 == 0.0 ? 0.0 : json.p75 / html.p75;
+}
+
+SizeComparison compare_sizes(const logs::Dataset& ds) {
+  std::vector<double> json_sizes;
+  std::vector<double> html_sizes;
+  for (const auto& record : ds.records()) {
+    const auto content = http::classify_content(record.content_type);
+    if (content == http::ContentClass::kJson) {
+      json_sizes.push_back(static_cast<double>(record.response_bytes));
+    } else if (content == http::ContentClass::kHtml) {
+      html_sizes.push_back(static_cast<double>(record.response_bytes));
+    }
+  }
+  SizeComparison out;
+  out.json = stats::summarize(json_sizes);
+  out.html = stats::summarize(html_sizes);
+  return out;
+}
+
+std::vector<DomainCacheability> domain_cacheability(
+    const logs::Dataset& ds, const IndustryLookup& industry_of) {
+  if (!industry_of)
+    throw std::invalid_argument("domain_cacheability: null industry lookup");
+  struct Acc {
+    std::uint64_t requests = 0;
+    std::uint64_t cacheable = 0;
+  };
+  std::map<std::string, Acc> by_domain;  // ordered => deterministic output
+  for (const auto& record : ds.records()) {
+    // Cacheability is a property of *served content*: uploads are inherently
+    // uncacheable and would push every domain off the heatmap's right edge,
+    // so the Fig. 4 view considers download traffic only.
+    if (!http::is_download(record.method)) continue;
+    auto& acc = by_domain[record.domain];
+    ++acc.requests;
+    if (record.cache_status != logs::CacheStatus::kNotCacheable)
+      ++acc.cacheable;
+  }
+  std::vector<DomainCacheability> out;
+  out.reserve(by_domain.size());
+  for (const auto& [domain, acc] : by_domain) {
+    DomainCacheability dc;
+    dc.domain = domain;
+    dc.category = industry_of(domain);
+    dc.requests = acc.requests;
+    dc.cacheable_share = acc.requests == 0
+                             ? 0.0
+                             : static_cast<double>(acc.cacheable) /
+                                   static_cast<double>(acc.requests);
+    out.push_back(std::move(dc));
+  }
+  return out;
+}
+
+CacheabilityHeatmap cacheability_heatmap(
+    const std::vector<DomainCacheability>& domains, std::size_t bins) {
+  if (bins < 2)
+    throw std::invalid_argument("cacheability_heatmap: bins < 2");
+  CacheabilityHeatmap out;
+  out.bins = bins;
+
+  std::map<std::string, std::vector<double>> shares_by_category;
+  std::size_t never = 0;
+  std::size_t always = 0;
+  for (const auto& d : domains) {
+    shares_by_category[d.category].push_back(d.cacheable_share);
+    if (d.cacheable_share <= 0.0) ++never;
+    if (d.cacheable_share >= 1.0) ++always;
+  }
+  if (!domains.empty()) {
+    out.never_cache_domain_share =
+        static_cast<double>(never) / static_cast<double>(domains.size());
+    out.always_cache_domain_share =
+        static_cast<double>(always) / static_cast<double>(domains.size());
+  }
+
+  for (const auto& [category, shares] : shares_by_category) {
+    out.categories.push_back(category);
+    std::vector<double> row(bins, 0.0);
+    for (double s : shares) {
+      auto bin = static_cast<std::size_t>(s * static_cast<double>(bins));
+      if (bin >= bins) bin = bins - 1;  // s == 1.0 lands in the last bin
+      row[bin] += 1.0;
+    }
+    for (double& cell : row) cell /= static_cast<double>(shares.size());
+    out.density.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace jsoncdn::core

@@ -1,0 +1,113 @@
+// §4 aggregations: everything the paper reports when "Characterizing JSON
+// Traffic" — the Fig. 3 device breakdown, browser vs non-browser shares,
+// GET/POST request mix, response cacheability, the JSON-vs-HTML size
+// comparison, and the Fig. 4 per-industry domain cacheability heatmap.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/taxonomy.h"
+#include "logs/dataset.h"
+#include "stats/descriptive.h"
+
+namespace jsoncdn::core {
+
+// ---- Traffic source (Fig. 3) -------------------------------------------
+
+struct SourceBreakdown {
+  // Request counts per device type, and over distinct UA strings.
+  std::array<std::uint64_t, 4> requests_by_device{};   // index = DeviceType
+  std::array<std::uint64_t, 4> ua_strings_by_device{};
+  std::uint64_t total_requests = 0;
+  std::uint64_t total_ua_strings = 0;
+  std::uint64_t browser_requests = 0;
+  std::uint64_t mobile_browser_requests = 0;
+  std::uint64_t missing_ua_requests = 0;
+
+  [[nodiscard]] double device_share(http::DeviceType d) const noexcept;
+  [[nodiscard]] double ua_string_share(http::DeviceType d) const noexcept;
+  [[nodiscard]] double browser_share() const noexcept;
+  [[nodiscard]] double non_browser_share() const noexcept;
+  [[nodiscard]] double mobile_browser_share() const noexcept;
+};
+
+[[nodiscard]] SourceBreakdown characterize_source(const logs::Dataset& ds);
+
+// ---- Request type ---------------------------------------------------------
+
+struct MethodMix {
+  std::uint64_t get = 0;
+  std::uint64_t post = 0;
+  std::uint64_t other = 0;
+  std::uint64_t total = 0;
+
+  [[nodiscard]] double get_share() const noexcept;
+  // "96% of the remaining requests are POST": POST share of non-GET.
+  [[nodiscard]] double post_share_of_non_get() const noexcept;
+  [[nodiscard]] double upload_share() const noexcept;  // POST+PUT+PATCH
+};
+
+[[nodiscard]] MethodMix characterize_methods(const logs::Dataset& ds);
+
+// ---- Response type --------------------------------------------------------
+
+struct CacheabilityStats {
+  std::uint64_t cacheable = 0;    // config allows caching (HIT or MISS)
+  std::uint64_t uncacheable = 0;  // NOCACHE
+  std::uint64_t hits = 0;
+
+  [[nodiscard]] double uncacheable_share() const noexcept;
+  [[nodiscard]] double hit_share() const noexcept;
+};
+
+[[nodiscard]] CacheabilityStats characterize_cacheability(
+    const logs::Dataset& ds);
+
+// JSON vs HTML response sizes over an (unfiltered) dataset.
+struct SizeComparison {
+  stats::Summary json;
+  stats::Summary html;
+  // json_pXX / html_pXX; the paper reports JSON 24% / 87% smaller at the
+  // median / 75th percentile, i.e. ratios ~0.76 / ~0.13.
+  [[nodiscard]] double p50_ratio() const noexcept;
+  [[nodiscard]] double p75_ratio() const noexcept;
+};
+
+[[nodiscard]] SizeComparison compare_sizes(const logs::Dataset& ds);
+
+// ---- Domain cacheability heatmap (Fig. 4) -------------------------------
+
+// The industry label comes from an external categorization service in the
+// paper; callers supply the lookup (tests/benches use the workload catalog's
+// ground truth as that service).
+using IndustryLookup = std::function<std::string(std::string_view domain)>;
+
+struct DomainCacheability {
+  std::string domain;
+  std::string category;
+  std::uint64_t requests = 0;
+  double cacheable_share = 0.0;  // share of the domain's requests cacheable
+};
+
+[[nodiscard]] std::vector<DomainCacheability> domain_cacheability(
+    const logs::Dataset& ds, const IndustryLookup& industry_of);
+
+struct CacheabilityHeatmap {
+  std::vector<std::string> categories;      // row labels
+  std::size_t bins = 10;                    // columns over [0, 1]
+  // density[row][col]: share of the category's domains whose cacheable
+  // share falls in that bin. Bin 0 contains exactly-0 ("never cache"),
+  // the last bin contains exactly-1 ("always cache").
+  std::vector<std::vector<double>> density;
+  double never_cache_domain_share = 0.0;    // across all domains
+  double always_cache_domain_share = 0.0;
+};
+
+[[nodiscard]] CacheabilityHeatmap cacheability_heatmap(
+    const std::vector<DomainCacheability>& domains, std::size_t bins = 10);
+
+}  // namespace jsoncdn::core

@@ -1,0 +1,204 @@
+#include "core/ngram.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/url_cluster.h"
+#include "stats/hash.h"
+
+namespace jsoncdn::core {
+
+namespace {
+
+constexpr double kBackoffDiscount = 0.4;  // standard stupid-backoff alpha
+
+}  // namespace
+
+NgramModel::NgramModel(std::size_t max_context) : max_context_(max_context) {
+  if (max_context == 0)
+    throw std::invalid_argument("NgramModel: max_context must be >= 1");
+  tables_.resize(max_context);
+}
+
+NgramModel::TokenId NgramModel::intern(std::string_view token) {
+  const auto it = vocab_.find(std::string(token));
+  if (it != vocab_.end()) return it->second;
+  const auto id = static_cast<TokenId>(token_names_.size());
+  token_names_.emplace_back(token);
+  vocab_.emplace(token_names_.back(), id);
+  return id;
+}
+
+std::string NgramModel::context_key(std::span<const TokenId> context) const {
+  std::string key;
+  key.reserve(context.size() * sizeof(TokenId));
+  for (const TokenId id : context) {
+    key.append(reinterpret_cast<const char*>(&id), sizeof(TokenId));
+  }
+  return key;
+}
+
+void NgramModel::observe_sequence(std::span<const std::string> tokens) {
+  if (tokens.size() < 2) return;
+  std::vector<TokenId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) ids.push_back(intern(t));
+
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (i > 0) ++transitions_;
+    ++unigrams_[ids[i]];
+    // Transitions into position i from contexts of length 1..max_context_.
+    for (std::size_t len = 1; len <= max_context_ && len <= i; ++len) {
+      const std::span<const TokenId> context(&ids[i - len], len);
+      ++tables_[len - 1][context_key(context)][ids[i]];
+    }
+  }
+}
+
+std::vector<NgramModel::Prediction> NgramModel::predict(
+    std::span<const std::string> history, std::size_t k) const {
+  std::vector<Prediction> out;
+  if (k == 0) return out;
+
+  // Resolve the history to ids; unseen tokens break any context containing
+  // them, which backoff handles naturally.
+  std::vector<TokenId> ids;
+  ids.reserve(history.size());
+  bool tail_known = true;
+  for (const auto& t : history) {
+    const auto it = vocab_.find(t);
+    if (it == vocab_.end()) {
+      ids.clear();  // everything before an unknown token is unusable
+      tail_known = false;
+      continue;
+    }
+    ids.push_back(it->second);
+    tail_known = true;
+  }
+  (void)tail_known;
+
+  std::unordered_set<TokenId> chosen;
+  double level_scale = 1.0;
+  const std::size_t longest = std::min(max_context_, ids.size());
+  for (std::size_t len = longest; len > 0 && out.size() < k; --len) {
+    const std::span<const TokenId> context(&ids[ids.size() - len], len);
+    const auto& table = tables_[len - 1];
+    const auto it = table.find(context_key(context));
+    if (it != table.end()) {
+      // Rank continuations of this context by count.
+      std::vector<std::pair<TokenId, std::uint32_t>> ranked(
+          it->second.begin(), it->second.end());
+      std::sort(ranked.begin(), ranked.end(), [&](const auto& a, const auto& b) {
+        if (a.second != b.second) return a.second > b.second;
+        return token_names_[a.first] < token_names_[b.first];  // determinism
+      });
+      double total = 0.0;
+      for (const auto& [id, count] : ranked) total += count;
+      for (const auto& [id, count] : ranked) {
+        if (out.size() >= k) break;
+        if (!chosen.insert(id).second) continue;
+        out.push_back(
+            {token_names_[id], level_scale * static_cast<double>(count) / total});
+      }
+      level_scale *= kBackoffDiscount;
+    }
+  }
+  if (out.size() < k && !unigrams_.empty()) {
+    // Final backoff: global popularity prior.
+    std::vector<std::pair<TokenId, std::uint32_t>> ranked(unigrams_.begin(),
+                                                          unigrams_.end());
+    std::sort(ranked.begin(), ranked.end(), [&](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return token_names_[a.first] < token_names_[b.first];
+    });
+    double total = 0.0;
+    for (const auto& [id, count] : ranked) total += count;
+    for (const auto& [id, count] : ranked) {
+      if (out.size() >= k) break;
+      if (!chosen.insert(id).second) continue;
+      out.push_back(
+          {token_names_[id], level_scale * static_cast<double>(count) / total});
+    }
+  }
+  return out;
+}
+
+NgramAccuracy evaluate_ngram(const logs::Dataset& ds,
+                             const NgramEvalConfig& config) {
+  if (config.train_fraction <= 0.0 || config.train_fraction >= 1.0)
+    throw std::invalid_argument("evaluate_ngram: train_fraction outside (0,1)");
+  if (config.context_len == 0)
+    throw std::invalid_argument("evaluate_ngram: context_len == 0");
+
+  NgramAccuracy result;
+  result.context_len = config.context_len;
+  result.clustered = config.clustered;
+
+  const auto flows = logs::extract_client_flows(ds, config.min_flow_requests);
+  const auto& records = ds.records();
+
+  auto tokens_of = [&](const logs::ClientFlow& flow) {
+    std::vector<std::string> tokens;
+    tokens.reserve(flow.record_indices.size());
+    for (const auto idx : flow.record_indices) {
+      const auto& url = records[idx].url;
+      tokens.push_back(config.clustered ? cluster_url(url) : url);
+    }
+    return tokens;
+  };
+
+  // Client-level split: hash of the client key + seed decides the side, so
+  // the split is stable under dataset reordering.
+  auto is_train = [&](const std::string& client) {
+    const auto h = stats::fnv1a64(client, stats::fnv1a64_mix(config.seed));
+    return static_cast<double>(h % 1'000'000) / 1e6 < config.train_fraction;
+  };
+
+  NgramModel model(config.context_len);
+  std::vector<const logs::ClientFlow*> test_flows;
+  for (const auto& flow : flows) {
+    if (is_train(flow.client)) {
+      ++result.train_clients;
+      const auto tokens = tokens_of(flow);
+      model.observe_sequence(tokens);
+    } else {
+      ++result.test_clients;
+      test_flows.push_back(&flow);
+    }
+  }
+
+  std::map<std::size_t, std::size_t> hits;
+  for (const auto k : config.ks) hits[k] = 0;
+  const std::size_t max_k =
+      *std::max_element(config.ks.begin(), config.ks.end());
+
+  for (const auto* flow : test_flows) {
+    const auto tokens = tokens_of(*flow);
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const std::size_t ctx = std::min(config.context_len, i);
+      const std::span<const std::string> history(&tokens[i - ctx], ctx);
+      const auto predictions = model.predict(history, max_k);
+      ++result.predictions;
+      for (const auto k : config.ks) {
+        const auto limit = std::min(k, predictions.size());
+        for (std::size_t p = 0; p < limit; ++p) {
+          if (predictions[p].token == tokens[i]) {
+            ++hits[k];
+            break;
+          }
+        }
+      }
+    }
+  }
+  for (const auto k : config.ks) {
+    result.accuracy_at[k] =
+        result.predictions == 0
+            ? 0.0
+            : static_cast<double>(hits[k]) /
+                  static_cast<double>(result.predictions);
+  }
+  return result;
+}
+
+}  // namespace jsoncdn::core

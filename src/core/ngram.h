@@ -1,0 +1,97 @@
+// Backoff ngram request-prediction model (§5.2). The model learns transition
+// counts from length-(1..N) contexts of previously requested tokens (raw or
+// clustered URLs) to the next token. Prediction backs off: the longest
+// observed context suffix is used first; shorter contexts (down to the
+// unigram popularity prior) fill remaining top-K slots with a per-level
+// discount — "stupid backoff" scoring, which preserves ranking, the only
+// thing accuracy@K depends on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "logs/dataset.h"
+#include "stats/rng.h"
+
+namespace jsoncdn::core {
+
+class NgramModel {
+ public:
+  // max_context: longest history used (the paper's "N"). N=1 is a bigram
+  // model: predict from the single most recent request.
+  explicit NgramModel(std::size_t max_context);
+
+  // Adds all context->next transitions of one client request sequence.
+  void observe_sequence(std::span<const std::string> tokens);
+
+  struct Prediction {
+    std::string token;
+    double score = 0.0;  // backoff-discounted relative frequency
+  };
+
+  // Top-k next-token predictions for a history (most recent token last).
+  [[nodiscard]] std::vector<Prediction> predict(
+      std::span<const std::string> history, std::size_t k) const;
+
+  [[nodiscard]] std::size_t vocabulary_size() const noexcept {
+    return vocab_.size();
+  }
+  // True if the token was ever observed during training.
+  [[nodiscard]] bool knows(std::string_view token) const {
+    return vocab_.contains(std::string(token));
+  }
+  [[nodiscard]] std::size_t max_context() const noexcept {
+    return max_context_;
+  }
+  [[nodiscard]] std::uint64_t observed_transitions() const noexcept {
+    return transitions_;
+  }
+
+ private:
+  using TokenId = std::uint32_t;
+  using CountMap = std::unordered_map<TokenId, std::uint32_t>;
+
+  TokenId intern(std::string_view token);
+  [[nodiscard]] std::string context_key(std::span<const TokenId> context) const;
+
+  std::size_t max_context_;
+  std::unordered_map<std::string, TokenId> vocab_;
+  std::vector<std::string> token_names_;
+  // One table per context length; contexts serialized to byte-string keys.
+  std::vector<std::unordered_map<std::string, CountMap>> tables_;
+  CountMap unigrams_;
+  std::uint64_t transitions_ = 0;
+};
+
+// ---- Table 3 evaluation ---------------------------------------------------
+
+struct NgramEvalConfig {
+  std::size_t context_len = 1;           // the paper's N
+  std::vector<std::size_t> ks = {1, 5, 10};
+  double train_fraction = 0.8;           // split by unique clients (paper)
+  bool clustered = false;                // raw URLs vs clustered URLs
+  std::size_t min_flow_requests = 2;
+  std::uint64_t seed = 17;
+};
+
+struct NgramAccuracy {
+  std::size_t context_len = 1;
+  bool clustered = false;
+  std::size_t train_clients = 0;
+  std::size_t test_clients = 0;
+  std::size_t predictions = 0;
+  std::map<std::size_t, double> accuracy_at;  // k -> accuracy
+};
+
+// Trains on train_fraction of clients and scores accuracy@K on the rest,
+// exactly the paper's protocol (client-level split, per-client request
+// flows, URL features; clustered variant applies cluster_url()).
+[[nodiscard]] NgramAccuracy evaluate_ngram(const logs::Dataset& ds,
+                                           const NgramEvalConfig& config);
+
+}  // namespace jsoncdn::core

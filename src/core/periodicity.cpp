@@ -1,0 +1,326 @@
+#include "core/periodicity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "http/method.h"
+#include "stats/autocorrelation.h"
+#include "stats/fft.h"
+#include "stats/hash.h"
+#include "stats/timeseries.h"
+
+namespace jsoncdn::core {
+
+namespace {
+
+// Max ACF value over peak lags >= 1 (0 when no peaks).
+double max_acf_peak(const std::vector<double>& acf) {
+  double best = 0.0;
+  for (const auto lag : stats::acf_peaks(acf)) best = std::max(best, acf[lag]);
+  return best;
+}
+
+double max_power(const std::vector<double>& power) {
+  double best = 0.0;
+  for (const double p : power) best = std::max(best, p);
+  return best;
+}
+
+}  // namespace
+
+PeriodicityDetector::PeriodicityDetector(const DetectorParams& params)
+    : params_(params) {
+  if (params.sample_interval <= 0.0)
+    throw std::invalid_argument("PeriodicityDetector: sample_interval <= 0");
+  if (params.permutations < 2)
+    throw std::invalid_argument("PeriodicityDetector: permutations < 2");
+  if (params.max_signal_samples < 16)
+    throw std::invalid_argument("PeriodicityDetector: max_signal_samples < 16");
+  if (params.period_match_tolerance <= 0.0 ||
+      params.period_match_tolerance >= 1.0)
+    throw std::invalid_argument(
+        "PeriodicityDetector: tolerance outside (0,1)");
+  if (params.samples_per_event < 4)
+    throw std::invalid_argument("PeriodicityDetector: samples_per_event < 4");
+  if (params.min_cycles < 2.0)
+    throw std::invalid_argument("PeriodicityDetector: min_cycles < 2");
+}
+
+bool PeriodicityDetector::periods_match(double a, double b) const noexcept {
+  if (a <= 0.0 || b <= 0.0) return false;
+  const double ref = std::max(a, b);
+  return std::abs(a - b) / ref <= params_.period_match_tolerance;
+}
+
+namespace {
+
+// Shared per-flow analysis: binning, fused spectral pass, permutation
+// thresholds, and the list of significant (frequency, ACF-peak) matches.
+struct FlowAnalysis {
+  bool usable = false;          // flow long/dense enough to test
+  bool significant = false;     // passed the permutation thresholds
+  double dt = 0.0;
+  double acf_threshold = 0.0;
+  double power_threshold = 0.0;
+  struct Match {
+    std::size_t lag;
+    double value;   // ACF at the lag
+    double power;   // periodogram power of the licensing frequency
+  };
+  std::vector<Match> matches;   // deduplicated by lag
+};
+
+}  // namespace
+
+// Out-of-line so detect() and detect_all() share one implementation.
+static FlowAnalysis analyze_flow(const DetectorParams& params,
+                                 const PeriodicityDetector& detector,
+                                 std::span<const double> times,
+                                 stats::Rng& rng) {
+  FlowAnalysis out;
+  if (times.size() < params.min_requests) return out;
+  const double t0 = times.front();
+  const double t1 = times.back();
+  const double span = t1 - t0;
+  if (span <= params.sample_interval * 4.0) return out;
+
+  // Effective bin width: the paper's 1 s, widened when the flow spans so
+  // long that the signal would exceed the sample cap — or the density cap:
+  // n events never need more than samples_per_event * n bins.
+  const std::size_t sample_cap = std::min(
+      params.max_signal_samples,
+      std::max<std::size_t>(256, stats::next_pow2(params.samples_per_event *
+                                                  times.size())));
+  const double dt = std::max(params.sample_interval,
+                             span / static_cast<double>(sample_cap));
+  out.dt = dt;
+
+  const auto signal = stats::bin_events(times, t0, t1 + dt, dt);
+  // A period must repeat min_cycles times within the span to be trusted, so
+  // lags beyond span/min_cycles are not considered.
+  const auto max_lag = static_cast<std::size_t>(
+      std::floor(span / params.min_cycles / dt));
+  if (max_lag < 2) return out;
+  out.usable = true;
+
+  // One fused FFT pass yields both the ACF and the periodogram.
+  const auto spec = stats::spectral_analysis(signal, max_lag);
+  const auto& acf = spec.acf;
+
+  // --- Permutation null model (steps 2-3) --------------------------------
+  // Shuffling the binned signal preserves the count distribution (hence the
+  // rate) while destroying all temporal structure — the null model of
+  // Vlachos et al. Note gap-shuffling would NOT work: a clean periodic flow
+  // has near-constant gaps, so any gap order reproduces the same periodic
+  // signal and the flow would refute its own significance.
+  //
+  // Early termination (exact): detection requires the observed maxima to
+  // exceed the "(x-1)th largest" null maxima — the second largest when
+  // sorted ascending. As soon as two null maxima exceed an observed
+  // maximum, that threshold is unreachable and the flow is aperiodic; no
+  // further permutations can change the outcome. Aperiodic flows (the vast
+  // majority) therefore cost only a handful of FFTs.
+  const double observed_acf_max = max_acf_peak(acf);
+  const double observed_power_max = max_power(spec.pgram_power);
+  std::vector<double> null_acf_max;
+  std::vector<double> null_power_max;
+  null_acf_max.reserve(params.permutations);
+  null_power_max.reserve(params.permutations);
+  std::size_t acf_exceed = 0;
+  std::size_t power_exceed = 0;
+  std::vector<double> shuffled = signal;
+  for (std::size_t p = 0; p < params.permutations; ++p) {
+    std::shuffle(shuffled.begin(), shuffled.end(), rng.engine());
+    const auto nspec = stats::spectral_analysis(shuffled, max_lag);
+    const double a = max_acf_peak(nspec.acf);
+    const double w = max_power(nspec.pgram_power);
+    null_acf_max.push_back(a);
+    null_power_max.push_back(w);
+    if (a >= observed_acf_max) ++acf_exceed;
+    if (w >= observed_power_max) ++power_exceed;
+    if (acf_exceed >= 2 || power_exceed >= 2) return out;  // cannot pass
+  }
+  // "(x-1)th largest" == second largest when sorted ascending: index x-2.
+  std::sort(null_acf_max.begin(), null_acf_max.end());
+  std::sort(null_power_max.begin(), null_power_max.end());
+  out.acf_threshold = null_acf_max[params.permutations - 2];
+  out.power_threshold = null_power_max[params.permutations - 2];
+  out.significant = true;
+
+  // --- Line up periodogram hints with ACF peaks (step 4) -----------------
+  const auto peaks = stats::acf_peaks(acf);
+  std::vector<std::size_t> candidates;
+  for (std::size_t k = 0; k < spec.pgram_power.size(); ++k) {
+    if (spec.pgram_power[k] > out.power_threshold) candidates.push_back(k);
+  }
+
+  // A significant spectral line at frequency f licenses periods near any
+  // multiple m/f of the corresponding period: in multi-client aggregates the
+  // harmonics of the true period routinely carry more (and sometimes the
+  // only significant) spectral power, while the fundamental shows up as the
+  // dominant ACF peak at a multiple of the harmonic's period.
+  const double max_period = span / params.min_cycles;
+  std::unordered_map<std::size_t, double> power_of_lag;
+  for (const auto k : candidates) {
+    const double base_period = spec.pgram_period_samples(k) * dt;
+    if (base_period < 2.0 * dt) continue;
+    for (double period = base_period; period <= max_period;
+         period += base_period) {
+      for (const auto lag : peaks) {
+        const double lag_period = static_cast<double>(lag) * dt;
+        if (!detector.periods_match(lag_period, period)) continue;
+        if (acf[lag] <= out.acf_threshold) continue;
+        auto [it, inserted] =
+            power_of_lag.try_emplace(lag, spec.pgram_power[k]);
+        if (!inserted) it->second = std::max(it->second, spec.pgram_power[k]);
+      }
+    }
+  }
+  out.matches.reserve(power_of_lag.size());
+  for (const auto& [lag, power] : power_of_lag) {
+    out.matches.push_back({lag, acf[lag], power});
+  }
+  std::sort(out.matches.begin(), out.matches.end(),
+            [](const FlowAnalysis::Match& a, const FlowAnalysis::Match& b) {
+              return a.value > b.value;
+            });
+  return out;
+}
+
+PeriodDetection PeriodicityDetector::detect(std::span<const double> times,
+                                            stats::Rng& rng) const {
+  const auto all = detect_all(times, rng, 1);
+  if (!all.empty()) return all.front();
+  PeriodDetection out;
+  return out;
+}
+
+std::vector<PeriodDetection> PeriodicityDetector::detect_all(
+    std::span<const double> times, stats::Rng& rng,
+    std::size_t max_periods) const {
+  std::vector<PeriodDetection> out;
+  const auto analysis = analyze_flow(params_, *this, times, rng);
+  if (analysis.matches.empty()) return out;
+
+  // The true period and its multiples all carry near-equal ACF peaks; a
+  // fundamental is the smallest matched lag whose peak is comparable
+  // (>= 0.5x) to the strongest remaining peak. Binning can split a
+  // fundamental's peak across two adjacent lags (a non-integer period in
+  // samples costs up to half the peak), while spurious aggregate cross-term
+  // peaks sit far below half of a genuine period's peak. Each accepted
+  // fundamental absorbs its near-multiples so a second *distinct* period —
+  // not a harmonic family member — can surface next.
+  std::vector<FlowAnalysis::Match> remaining = analysis.matches;
+  while (!remaining.empty() && out.size() < max_periods) {
+    const double vmax = remaining.front().value;
+    const FlowAnalysis::Match* best = nullptr;
+    for (const auto& m : remaining) {
+      if (m.value < 0.5 * vmax) continue;
+      if (best == nullptr || m.lag < best->lag) best = &m;
+    }
+    PeriodDetection det;
+    det.periodic = true;
+    det.period_seconds = static_cast<double>(best->lag) * analysis.dt;
+    det.acf_peak_value = best->value;
+    det.periodogram_power = best->power;
+    det.acf_threshold = analysis.acf_threshold;
+    det.power_threshold = analysis.power_threshold;
+    const double accepted = det.period_seconds;
+    out.push_back(det);
+
+    // Drop this period and everything that is a near-multiple of it.
+    std::erase_if(remaining, [&](const FlowAnalysis::Match& m) {
+      const double period = static_cast<double>(m.lag) * analysis.dt;
+      const double ratio = period / accepted;
+      const double nearest = std::max(1.0, std::round(ratio));
+      return std::abs(ratio - nearest) / nearest <=
+             params_.period_match_tolerance;
+    });
+  }
+  return out;
+}
+
+PeriodicityReport analyze_periodicity(const logs::Dataset& ds,
+                                      const PeriodicityConfig& config) {
+  PeriodicityDetector detector(config.detector);
+  const auto flows = logs::extract_object_flows(ds, config.flow_filter);
+  const stats::Rng root(config.seed);
+
+  PeriodicityReport report;
+  report.total_requests = ds.size();
+
+  std::uint64_t periodic_uncacheable_weight = 0;
+  std::uint64_t periodic_upload_weight = 0;
+
+  for (const auto& flow : flows) {
+    ObjectPeriodicity obj;
+    obj.url = flow.url;
+    obj.total_requests = flow.total_requests;
+    obj.uncacheable_share = flow.uncacheable_share;
+    obj.upload_share = flow.upload_share;
+
+    // Independent, order-insensitive randomness per flow.
+    stats::Rng obj_rng = root.fork(stats::fnv1a64(flow.url));
+    const auto obj_detection = detector.detect(flow.times, obj_rng);
+    obj.object_periodic = obj_detection.periodic;
+    obj.object_period_seconds = obj_detection.period_seconds;
+
+    for (const auto& cof : flow.clients) {
+      ClientPeriodRecord rec;
+      rec.client = cof.client;
+      rec.requests = cof.times.size();
+      stats::Rng client_rng =
+          root.fork(stats::fnv1a64(cof.client, stats::fnv1a64(flow.url)));
+      const auto detection = detector.detect(cof.times, client_rng);
+      rec.periodic = detection.periodic;
+      rec.period_seconds = detection.period_seconds;
+      rec.matches_object =
+          obj.object_periodic && detection.periodic &&
+          detector.periods_match(detection.period_seconds,
+                                 obj.object_period_seconds);
+      if (rec.matches_object) {
+        ++obj.periodic_client_count;
+        obj.periodic_requests += rec.requests;
+      }
+      obj.clients.push_back(std::move(rec));
+    }
+    if (!obj.clients.empty()) {
+      obj.periodic_client_share =
+          static_cast<double>(obj.periodic_client_count) /
+          static_cast<double>(obj.clients.size());
+    }
+
+    if (obj.object_periodic) {
+      report.object_periods.push_back(obj.object_period_seconds);
+      if (!obj.clients.empty())
+        report.periodic_client_shares.push_back(obj.periodic_client_share);
+    }
+    report.periodic_requests += obj.periodic_requests;
+    periodic_uncacheable_weight += static_cast<std::uint64_t>(
+        std::llround(obj.uncacheable_share *
+                     static_cast<double>(obj.periodic_requests)));
+    periodic_upload_weight += static_cast<std::uint64_t>(
+        std::llround(obj.upload_share *
+                     static_cast<double>(obj.periodic_requests)));
+    report.objects.push_back(std::move(obj));
+  }
+
+  if (report.total_requests > 0) {
+    report.periodic_request_share =
+        static_cast<double>(report.periodic_requests) /
+        static_cast<double>(report.total_requests);
+  }
+  if (report.periodic_requests > 0) {
+    report.periodic_uncacheable_share =
+        static_cast<double>(periodic_uncacheable_weight) /
+        static_cast<double>(report.periodic_requests);
+    report.periodic_upload_share =
+        static_cast<double>(periodic_upload_weight) /
+        static_cast<double>(report.periodic_requests);
+  }
+  return report;
+}
+
+}  // namespace jsoncdn::core

@@ -1,0 +1,137 @@
+// §5.1 periodicity detection, extending Vlachos et al. (SDM'05) exactly as
+// the paper describes:
+//
+//   (1) compute the autocorrelation (time domain) and Fourier periodogram
+//       (frequency domain) of each flow's 1-second-binned request signal;
+//   (2) randomly permute the flow's inter-arrival gaps x times, recording the
+//       max autocorrelation peak and max periodogram power per permutation;
+//   (3) take the (x-1)-th largest of those maxima as significance thresholds
+//       (x = 100 => ~p = 0.01);
+//   (4) line up significant periodogram frequencies with significant
+//       autocorrelation peaks; the matched, ACF-refined period is the flow
+//       period — or no period at all, after noise thresholding.
+//
+// A client-object flow is labelled periodic iff both it and its object flow
+// have a detected period and the two match. The detector returns at most one
+// period per flow (multi-period analysis is future work in the paper too).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "logs/dataset.h"
+#include "stats/rng.h"
+
+namespace jsoncdn::core {
+
+struct DetectorParams {
+  double sample_interval = 1.0;   // paper: 1 s (network jitter floor)
+  std::size_t permutations = 100; // paper: x = 100
+  // Long flows are re-binned so the signal stays <= this many samples; the
+  // effective interval never drops below sample_interval. Pure optimization:
+  // periods of interest (>= 30 s) stay far above the Nyquist limit.
+  std::size_t max_signal_samples = 8192;
+  // Signal length also scales with flow density: a flow of n events is
+  // binned into at most samples_per_event * n bins. For a periodic flow the
+  // period then spans ~samples_per_event bins — ample resolution — while
+  // sparse flows avoid FFTs over mostly-zero signals.
+  std::size_t samples_per_event = 16;
+  // Relative tolerance when matching an ACF peak to a periodogram frequency
+  // (and an object period to a client period).
+  double period_match_tolerance = 0.15;
+  // A period must fit this many times into the observation span to count.
+  double min_cycles = 3.0;
+  std::size_t min_requests = 4;   // below this, no detection attempt
+};
+
+struct PeriodDetection {
+  bool periodic = false;
+  double period_seconds = 0.0;
+  double acf_peak_value = 0.0;    // ACF at the detected period lag
+  double periodogram_power = 0.0;
+  double acf_threshold = 0.0;     // permutation-derived
+  double power_threshold = 0.0;
+};
+
+class PeriodicityDetector {
+ public:
+  explicit PeriodicityDetector(const DetectorParams& params);
+
+  // Detects the most significant period of an ascending timestamp sequence.
+  // `rng` drives the permutation null model only.
+  [[nodiscard]] PeriodDetection detect(std::span<const double> times,
+                                       stats::Rng& rng) const;
+
+  // Multi-period extension (the paper's future work: "we assume a flow only
+  // contains one significant period and leave multi-period analysis for
+  // future work"). Returns every distinct significant period, strongest ACF
+  // peak first; periods that are near-multiples of an already-accepted
+  // period are folded into it rather than reported again. detect() is
+  // equivalent to detect_all(...).front() when non-empty.
+  [[nodiscard]] std::vector<PeriodDetection> detect_all(
+      std::span<const double> times, stats::Rng& rng,
+      std::size_t max_periods = 4) const;
+
+  [[nodiscard]] const DetectorParams& params() const noexcept {
+    return params_;
+  }
+
+  // True when a and b agree within the configured relative tolerance.
+  [[nodiscard]] bool periods_match(double a, double b) const noexcept;
+
+ private:
+  DetectorParams params_;
+};
+
+// ---- Dataset-level analysis ----------------------------------------------
+
+struct ClientPeriodRecord {
+  std::string client;
+  bool periodic = false;          // client flow has a period at all
+  double period_seconds = 0.0;
+  std::size_t requests = 0;
+  bool matches_object = false;    // period agrees with the object period
+};
+
+struct ObjectPeriodicity {
+  std::string url;
+  bool object_periodic = false;
+  double object_period_seconds = 0.0;
+  std::size_t total_requests = 0;
+  std::vector<ClientPeriodRecord> clients;  // analyzed client flows
+  std::size_t periodic_client_count = 0;    // matching clients
+  double periodic_client_share = 0.0;       // of analyzed clients (Fig. 6)
+  std::size_t periodic_requests = 0;        // requests in matching flows
+  double uncacheable_share = 0.0;           // over the whole object flow
+  double upload_share = 0.0;
+};
+
+struct PeriodicityConfig {
+  DetectorParams detector;
+  logs::FlowFilter flow_filter;   // paper: >=10 requests, >=10 clients
+  std::uint64_t seed = 0x9e110d;  // permutation-test randomness
+};
+
+struct PeriodicityReport {
+  std::vector<ObjectPeriodicity> objects;
+  std::size_t total_requests = 0;      // across the input dataset
+  std::size_t periodic_requests = 0;   // in matching client flows
+  double periodic_request_share = 0.0; // the paper's 6.3%
+  double periodic_uncacheable_share = 0.0;  // the paper's 56.2%
+  double periodic_upload_share = 0.0;       // the paper's 78%
+  // Detected object periods (Fig. 5 histogram input), one per periodic
+  // object.
+  std::vector<double> object_periods;
+  // Periodic-client share per periodic object (Fig. 6 CDF input).
+  std::vector<double> periodic_client_shares;
+};
+
+// Runs the full §5.1 pipeline over a dataset (callers pass the JSON-filtered
+// dataset to match the paper).
+[[nodiscard]] PeriodicityReport analyze_periodicity(
+    const logs::Dataset& ds, const PeriodicityConfig& config);
+
+}  // namespace jsoncdn::core

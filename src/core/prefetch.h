@@ -1,0 +1,71 @@
+// Ngram-driven prefetching — the optimization §5.2 motivates: "a JSON
+// request prediction system can be used by CDNs to perform prefetching for
+// cacheable requests". The prefetcher keeps a short per-client history at
+// the edge, asks the trained ngram model for likely next URLs, and warms the
+// cache with the confident ones. Raw URLs are used (a clustered URL is not
+// fetchable); GET-only, cacheable-only filtering happens in the edge server.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cdn/edge.h"
+#include "core/ngram.h"
+#include "core/timing.h"
+
+namespace jsoncdn::core {
+
+struct PrefetcherParams {
+  std::size_t top_k = 3;             // candidates per request
+  double min_score = 0.05;           // confidence floor
+  std::size_t history_length = 4;    // per-client context kept at the edge
+  std::size_t max_tracked_clients = 100'000;  // memory bound
+  // Interarrival horizon (only used when a timing model is attached): skip
+  // candidates expected later than this — they would age out of the cache
+  // before use. 0 disables the upper bound.
+  double max_expected_gap_seconds = 600.0;
+  // Skip candidates expected sooner than this — the origin fetch cannot
+  // complete before the client asks anyway.
+  double min_expected_gap_seconds = 0.0;
+};
+
+class NgramPrefetcher final : public cdn::PrefetchPolicy {
+ public:
+  // The model is owned by value: a trained model is moved in once and the
+  // prefetcher is then self-contained at the edge.
+  NgramPrefetcher(NgramModel model, const PrefetcherParams& params);
+
+  // Attaches an interarrival model (§5.2 future work): candidates are then
+  // filtered by their expected gap against the configured horizon.
+  void set_timing_model(InterarrivalModel timing);
+
+  [[nodiscard]] std::vector<std::string> candidates(
+      const logs::LogRecord& served) override;
+
+  [[nodiscard]] const NgramModel& model() const noexcept { return model_; }
+  [[nodiscard]] std::uint64_t suggestions_made() const noexcept {
+    return suggestions_;
+  }
+  [[nodiscard]] std::uint64_t timing_filtered() const noexcept {
+    return timing_filtered_;
+  }
+
+ private:
+  NgramModel model_;
+  PrefetcherParams params_;
+  std::optional<InterarrivalModel> timing_;
+  std::unordered_map<std::string, std::deque<std::string>> history_;
+  std::uint64_t suggestions_ = 0;
+  std::uint64_t timing_filtered_ = 0;
+};
+
+// Convenience: train a raw-URL ngram model from a (typically historical)
+// dataset, one observation sequence per client flow.
+[[nodiscard]] NgramModel train_prefetch_model(const logs::Dataset& ds,
+                                              std::size_t context_len = 1,
+                                              std::size_t min_flow_requests = 2);
+
+}  // namespace jsoncdn::core

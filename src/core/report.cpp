@@ -1,0 +1,204 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "stats/descriptive.h"
+
+namespace jsoncdn::core {
+
+namespace {
+
+std::string pct(double v) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(1) << v * 100.0 << "%";
+  return out.str();
+}
+
+std::string period_label(double seconds) {
+  std::ostringstream out;
+  if (seconds >= 60.0 && std::fmod(seconds, 60.0) < 1e-9) {
+    out << static_cast<int>(seconds / 60.0) << "m";
+  } else {
+    out << static_cast<int>(std::lround(seconds)) << "s";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+std::string render_growth(const std::vector<workload::QuarterStats>& series) {
+  std::ostringstream out;
+  out << "Figure 1: Ratio of JSON to HTML requests on the CDN\n";
+  std::vector<std::pair<std::string, double>> rows;
+  rows.reserve(series.size());
+  for (const auto& q : series) rows.emplace_back(q.label, q.json_html_ratio);
+  out << stats::ascii_bar_chart(rows);
+  if (!series.empty()) {
+    out << "  mean JSON bytes: " << std::fixed << std::setprecision(0)
+        << series.front().mean_json_bytes << " (start) -> "
+        << series.back().mean_json_bytes << " (end), change "
+        << pct(series.back().mean_json_bytes /
+                   std::max(1.0, series.front().mean_json_bytes) -
+               1.0)
+        << "\n";
+  }
+  return out.str();
+}
+
+std::string render_source(const SourceBreakdown& source) {
+  std::ostringstream out;
+  out << "Figure 3: Categorization by device type (share of JSON requests)\n";
+  std::vector<std::pair<std::string, double>> rows = {
+      {"mobile", source.device_share(http::DeviceType::kMobile)},
+      {"embedded", source.device_share(http::DeviceType::kEmbedded)},
+      {"desktop", source.device_share(http::DeviceType::kDesktop)},
+      {"unknown", source.device_share(http::DeviceType::kUnknown)},
+  };
+  out << stats::ascii_bar_chart(rows);
+  out << "  UA-string distribution: mobile "
+      << pct(source.ua_string_share(http::DeviceType::kMobile)) << ", embedded "
+      << pct(source.ua_string_share(http::DeviceType::kEmbedded))
+      << ", desktop " << pct(source.ua_string_share(http::DeviceType::kDesktop))
+      << ", unknown " << pct(source.ua_string_share(http::DeviceType::kUnknown))
+      << "\n";
+  out << "  non-browser traffic: " << pct(source.non_browser_share())
+      << "   mobile-browser traffic: " << pct(source.mobile_browser_share())
+      << "\n";
+  return out.str();
+}
+
+std::string render_headline(const MethodMix& methods,
+                            const CacheabilityStats& cache,
+                            const SizeComparison& sizes) {
+  std::ostringstream out;
+  out << "Section 4 headline statistics (JSON traffic)\n"
+      << "  GET share:                 " << pct(methods.get_share()) << "\n"
+      << "  POST share of non-GET:     " << pct(methods.post_share_of_non_get())
+      << "\n"
+      << "  uncacheable share:         " << pct(cache.uncacheable_share())
+      << "\n"
+      << "  edge hit share:            " << pct(cache.hit_share()) << "\n"
+      << "  JSON p50 / HTML p50:       " << std::fixed << std::setprecision(2)
+      << sizes.p50_ratio() << "  (JSON " << pct(1.0 - sizes.p50_ratio())
+      << " smaller)\n"
+      << "  JSON p75 / HTML p75:       " << sizes.p75_ratio() << "  (JSON "
+      << pct(1.0 - sizes.p75_ratio()) << " smaller)\n";
+  return out.str();
+}
+
+std::string render_heatmap(const CacheabilityHeatmap& heatmap) {
+  static constexpr const char* kShades[] = {" ", ".", ":", "-", "=",
+                                            "+", "*", "#", "%", "@"};
+  std::ostringstream out;
+  out << "Figure 4: Heatmap of domain cacheability by category\n";
+  out << "  (rows: industry; cols: cacheable share 0.0 -> 1.0; darker = more "
+         "domains)\n";
+  std::size_t label_width = 0;
+  for (const auto& c : heatmap.categories)
+    label_width = std::max(label_width, c.size());
+  for (std::size_t r = 0; r < heatmap.categories.size(); ++r) {
+    out << "  " << std::left << std::setw(static_cast<int>(label_width + 2))
+        << heatmap.categories[r] << "|";
+    for (const double cell : heatmap.density[r]) {
+      auto shade = static_cast<std::size_t>(cell * 9.999);
+      shade = std::min<std::size_t>(shade, 9);
+      out << kShades[shade];
+    }
+    out << "|\n";
+  }
+  out << "  never-cache domains: " << pct(heatmap.never_cache_domain_share)
+      << "   always-cache domains: " << pct(heatmap.always_cache_domain_share)
+      << "\n";
+  return out.str();
+}
+
+std::string render_period_histogram(const std::vector<double>& periods) {
+  std::ostringstream out;
+  out << "Figure 5: Histogram of JSON object periods (" << periods.size()
+      << " periodic objects)\n";
+  // Count per canonical label with +/-15% capture windows; everything else
+  // lands in "other".
+  static constexpr double kSpikes[] = {30, 45, 60, 75, 120, 180,
+                                       300, 600, 900, 1800};
+  std::vector<std::pair<std::string, double>> rows;
+  std::size_t other = 0;
+  std::vector<std::size_t> counts(std::size(kSpikes), 0);
+  for (const double p : periods) {
+    bool placed = false;
+    for (std::size_t s = 0; s < std::size(kSpikes); ++s) {
+      if (std::abs(p - kSpikes[s]) / kSpikes[s] <= 0.15) {
+        ++counts[s];
+        placed = true;
+        break;
+      }
+    }
+    if (!placed) ++other;
+  }
+  for (std::size_t s = 0; s < std::size(kSpikes); ++s) {
+    rows.emplace_back(period_label(kSpikes[s]),
+                      static_cast<double>(counts[s]));
+  }
+  rows.emplace_back("other", static_cast<double>(other));
+  out << stats::ascii_bar_chart(rows);
+  return out.str();
+}
+
+std::string render_periodic_client_cdf(const std::vector<double>& shares) {
+  std::ostringstream out;
+  out << "Figure 6: CDF of the percent of periodic clients across objects\n";
+  if (shares.empty()) {
+    out << "  (no periodic objects)\n";
+    return out.str();
+  }
+  stats::EmpiricalCdf cdf{std::vector<double>(shares)};
+  std::vector<std::pair<std::string, double>> rows;
+  for (const double x : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}) {
+    rows.emplace_back("<=" + pct(x), cdf.at(x));
+  }
+  out << stats::ascii_bar_chart(rows);
+  out << "  objects with majority (>50%) periodic clients: "
+      << pct(1.0 - cdf.at(0.5)) << "\n";
+  return out.str();
+}
+
+std::string render_periodicity_summary(const PeriodicityReport& report) {
+  std::ostringstream out;
+  out << "Section 5.1 periodicity summary\n"
+      << "  analyzed objects:            " << report.objects.size() << "\n"
+      << "  periodic objects:            " << report.object_periods.size()
+      << "\n"
+      << "  periodic request share:      " << pct(report.periodic_request_share)
+      << "\n"
+      << "  periodic uncacheable share:  "
+      << pct(report.periodic_uncacheable_share) << "\n"
+      << "  periodic upload share:       " << pct(report.periodic_upload_share)
+      << "\n";
+  return out.str();
+}
+
+std::string render_ngram_table(const std::vector<NgramAccuracy>& rows) {
+  std::ostringstream out;
+  out << "Table 3: NGram model accuracy for URLs\n";
+  out << "  N  feature     ";
+  // Columns from the first row's K set.
+  if (!rows.empty()) {
+    for (const auto& [k, acc] : rows.front().accuracy_at) {
+      out << " K=" << std::left << std::setw(6) << k;
+    }
+  }
+  out << "predictions\n";
+  for (const auto& row : rows) {
+    out << "  " << std::left << std::setw(3) << row.context_len
+        << std::setw(12) << (row.clustered ? "clustered" : "actual");
+    for (const auto& [k, acc] : row.accuracy_at) {
+      out << " " << std::fixed << std::setprecision(3) << std::setw(8) << acc;
+    }
+    out << row.predictions << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace jsoncdn::core

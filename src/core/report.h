@@ -1,0 +1,48 @@
+// Plain-text renderers for the paper's figures and tables. Every bench
+// binary prints its figure/table through these, so the terminal output reads
+// like the paper's evaluation section.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/characterization.h"
+#include "core/ngram.h"
+#include "core/periodicity.h"
+#include "workload/traffic_mix.h"
+
+namespace jsoncdn::core {
+
+// Fig. 1: quarterly JSON:HTML ratio series.
+[[nodiscard]] std::string render_growth(
+    const std::vector<workload::QuarterStats>& series);
+
+// Fig. 3: device-type breakdown + UA-string distribution.
+[[nodiscard]] std::string render_source(const SourceBreakdown& source);
+
+// §4 headline numbers (methods, cacheability, sizes).
+[[nodiscard]] std::string render_headline(const MethodMix& methods,
+                                          const CacheabilityStats& cache,
+                                          const SizeComparison& sizes);
+
+// Fig. 4: per-industry cacheability heatmap (ASCII shading).
+[[nodiscard]] std::string render_heatmap(const CacheabilityHeatmap& heatmap);
+
+// Fig. 5: histogram of detected object periods, labelled at the canonical
+// spikes.
+[[nodiscard]] std::string render_period_histogram(
+    const std::vector<double>& periods);
+
+// Fig. 6: CDF of the percent of periodic clients across objects.
+[[nodiscard]] std::string render_periodic_client_cdf(
+    const std::vector<double>& shares);
+
+// §5.1 summary block (periodic share, uncacheable/upload shares).
+[[nodiscard]] std::string render_periodicity_summary(
+    const PeriodicityReport& report);
+
+// Table 3: accuracy@K for each evaluated configuration.
+[[nodiscard]] std::string render_ngram_table(
+    const std::vector<NgramAccuracy>& rows);
+
+}  // namespace jsoncdn::core

@@ -1,0 +1,48 @@
+#include "core/study.h"
+
+#include <unordered_map>
+
+namespace jsoncdn::core {
+
+StudyResult run_study(const StudyConfig& config) {
+  workload::WorkloadGenerator generator(config.workload);
+  auto workload = generator.generate();
+
+  cdn::CdnNetwork network(generator.catalog().objects(), config.network);
+  StudyResult result;
+  result.dataset = network.run(workload.events);
+  result.delivery = network.total_metrics();
+  result.truth = std::move(workload.truth);
+  result.json = result.dataset.json_only();
+
+  if (config.run_characterization) {
+    result.source = characterize_source(result.json);
+    result.methods = characterize_methods(result.json);
+    result.cacheability = characterize_cacheability(result.json);
+    result.sizes = compare_sizes(result.dataset);
+
+    // Industry lookup from the catalog ground truth (the stand-in for the
+    // commercial categorization service the paper uses).
+    std::unordered_map<std::string, std::string> industry;
+    for (const auto& d : generator.catalog().domains()) {
+      industry.emplace(d.name, std::string(to_string(d.industry)));
+    }
+    const IndustryLookup lookup = [&industry](std::string_view domain) {
+      const auto it = industry.find(std::string(domain));
+      return it == industry.end() ? std::string("Unknown") : it->second;
+    };
+    result.domains = domain_cacheability(result.json, lookup);
+    result.heatmap = cacheability_heatmap(result.domains);
+  }
+
+  if (config.run_periodicity) {
+    result.periodicity = analyze_periodicity(result.json, config.periodicity);
+  }
+
+  for (const auto& ngram_config : config.ngram_configs) {
+    result.ngram.push_back(evaluate_ngram(result.json, ngram_config));
+  }
+  return result;
+}
+
+}  // namespace jsoncdn::core

@@ -1,0 +1,53 @@
+// End-to-end study pipeline: scenario -> synthetic workload -> CDN
+// simulation -> edge-log dataset -> every §4/§5 analysis. This is the
+// one-call public API; examples and benches compose it or its pieces.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cdn/network.h"
+#include "core/characterization.h"
+#include "core/ngram.h"
+#include "core/periodicity.h"
+#include "logs/dataset.h"
+#include "workload/generator.h"
+
+namespace jsoncdn::core {
+
+struct StudyConfig {
+  workload::GeneratorConfig workload;
+  cdn::NetworkParams network;
+  PeriodicityConfig periodicity;
+  std::vector<NgramEvalConfig> ngram_configs;  // empty => skip ngram eval
+  bool run_characterization = true;
+  bool run_periodicity = false;  // expensive; long-term studies enable it
+};
+
+struct StudyResult {
+  logs::Dataset dataset;        // all content types
+  logs::Dataset json;           // application/json only
+  workload::GroundTruth truth;  // never consumed by the analyses
+  cdn::DeliveryMetrics delivery;
+
+  // §4 characterization (over the JSON dataset unless noted).
+  std::optional<SourceBreakdown> source;
+  std::optional<MethodMix> methods;
+  std::optional<CacheabilityStats> cacheability;
+  std::optional<SizeComparison> sizes;                // over the full dataset
+  std::optional<CacheabilityHeatmap> heatmap;
+  std::vector<DomainCacheability> domains;
+
+  // §5 analyses.
+  std::optional<PeriodicityReport> periodicity;
+  std::vector<NgramAccuracy> ngram;
+};
+
+// Runs the configured pipeline. The industry lookup for the Fig. 4 heatmap
+// is derived from the generated domain catalog (standing in for the paper's
+// commercial categorization service).
+[[nodiscard]] StudyResult run_study(const StudyConfig& config);
+
+}  // namespace jsoncdn::core

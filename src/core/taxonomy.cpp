@@ -1,0 +1,33 @@
+#include "core/taxonomy.h"
+
+namespace jsoncdn::core {
+
+std::string_view to_string(RequestType t) noexcept {
+  switch (t) {
+    case RequestType::kDownload: return "download";
+    case RequestType::kUpload: return "upload";
+    case RequestType::kOther: return "other";
+  }
+  return "other";
+}
+
+TrafficClass classify(const logs::LogRecord& record) {
+  TrafficClass out;
+  out.content = http::classify_content(record.content_type);
+  const auto device = http::classify_device(record.user_agent);
+  out.device = device.device;
+  out.agent = device.agent;
+  if (http::is_download(record.method)) {
+    out.request = RequestType::kDownload;
+  } else if (http::is_upload(record.method)) {
+    out.request = RequestType::kUpload;
+  } else {
+    out.request = RequestType::kOther;
+  }
+  out.cacheable_config =
+      record.cache_status != logs::CacheStatus::kNotCacheable;
+  out.response_bytes = record.response_bytes;
+  return out;
+}
+
+}  // namespace jsoncdn::core

@@ -1,0 +1,43 @@
+// The paper's JSON traffic taxonomy (Fig. 2): every log record is classified
+// along three axes —
+//   traffic source: device type (mobile / desktop / embedded / unknown) and
+//                   browser vs non-browser agent;
+//   request type:   upload (POST) vs download (GET);
+//   response type:  size and cacheability.
+// Human- vs machine-generated is the one axis that cannot be read off a
+// single record; §5.1's periodicity detector supplies it per flow.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "http/device_db.h"
+#include "http/mime.h"
+#include "logs/record.h"
+
+namespace jsoncdn::core {
+
+enum class RequestType { kDownload, kUpload, kOther };
+
+[[nodiscard]] std::string_view to_string(RequestType t) noexcept;
+
+struct TrafficClass {
+  http::ContentClass content = http::ContentClass::kOther;
+  http::DeviceType device = http::DeviceType::kUnknown;
+  http::AgentKind agent = http::AgentKind::kUnknown;
+  RequestType request = RequestType::kDownload;
+  bool cacheable_config = false;  // customer allowed caching
+  std::uint64_t response_bytes = 0;
+
+  [[nodiscard]] bool is_json() const noexcept {
+    return content == http::ContentClass::kJson;
+  }
+  [[nodiscard]] bool is_browser() const noexcept {
+    return agent == http::AgentKind::kBrowser;
+  }
+};
+
+// Classifies one record. Pure function of the record's fields.
+[[nodiscard]] TrafficClass classify(const logs::LogRecord& record);
+
+}  // namespace jsoncdn::core

@@ -1,0 +1,77 @@
+#include "core/url_cluster.h"
+
+#include <cctype>
+
+#include "http/url.h"
+
+namespace jsoncdn::core {
+
+namespace {
+
+bool all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  for (unsigned char c : s) {
+    if (std::isdigit(c) == 0) return false;
+  }
+  return true;
+}
+
+bool all_hex(std::string_view s) {
+  if (s.empty()) return false;
+  for (unsigned char c : s) {
+    if (std::isxdigit(c) == 0) return false;
+  }
+  return true;
+}
+
+bool uuid_shaped(std::string_view s) {
+  // 8-4-4-4-12 hex groups.
+  if (s.size() != 36) return false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (i == 8 || i == 13 || i == 18 || i == 23) {
+      if (s[i] != '-') return false;
+    } else if (std::isxdigit(static_cast<unsigned char>(s[i])) == 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool looks_like_identifier(std::string_view token) {
+  if (token.empty()) return false;
+  if (all_digits(token)) return true;
+  if (uuid_shaped(token)) return true;
+  // Long pure-hex tokens (hashes, session keys). Threshold 8 keeps short
+  // route words like "feed" or "cache" (hex-only letters are rare in words
+  // that long).
+  if (token.size() >= 8 && all_hex(token)) return true;
+  // Long tokens mixing letters and digits (base64-ish identifiers).
+  if (token.size() >= 12) {
+    bool has_digit = false;
+    bool has_alpha = false;
+    for (unsigned char c : token) {
+      if (std::isdigit(c) != 0) has_digit = true;
+      if (std::isalpha(c) != 0) has_alpha = true;
+    }
+    if (has_digit && has_alpha) return true;
+  }
+  return false;
+}
+
+std::string cluster_url(std::string_view url) {
+  auto parsed = http::parse_url(url);
+  if (!parsed) return std::string(url);
+  for (auto& segment : parsed->path_segments) {
+    if (looks_like_identifier(segment)) segment = "{id}";
+  }
+  for (auto& [key, value] : parsed->query) {
+    if (looks_like_identifier(value)) value = "{v}";
+  }
+  // Query *values* are collapsed but keys kept: the paper's clustering keeps
+  // argument structure while shedding client-specific values.
+  return parsed->str();
+}
+
+}  // namespace jsoncdn::core

@@ -1,0 +1,22 @@
+// URL clustering for the "Clustered URLs" column of Table 3, in the style of
+// Klotski's URL argument clustering: client-specific tokens (numeric IDs,
+// hashes, UUIDs, long mixed strings) in path segments and query values are
+// collapsed to a placeholder, so all instances of "/article/1234" and
+// "/article/8731" share the cluster "/article/{id}". Clustered URLs reveal
+// the application-level dependency structure that raw URLs fragment across
+// ids.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace jsoncdn::core {
+
+// True when a path segment / query value looks like a client- or
+// entity-specific identifier rather than a route word.
+[[nodiscard]] bool looks_like_identifier(std::string_view token);
+
+// Canonical cluster key of a URL. Unparseable URLs cluster to themselves.
+[[nodiscard]] std::string cluster_url(std::string_view url);
+
+}  // namespace jsoncdn::core

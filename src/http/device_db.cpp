@@ -1,0 +1,160 @@
+#include "http/device_db.h"
+
+#include "http/headers.h"
+
+namespace jsoncdn::http {
+
+namespace {
+
+bool has(const UserAgent& ua, std::string_view needle) {
+  return icontains(ua.raw, needle);
+}
+
+// Browser product names with conventional Mozilla-compatible UA shapes.
+// Order matters: more specific names first (Edge/OPR before Chrome, Chrome
+// before Safari) — the same precedence real browser databases use.
+constexpr std::string_view kBrowserMarkers[] = {
+    "Edg/",    "Edge/",    "OPR/",    "Opera",  "SamsungBrowser",
+    "Firefox", "Chrome",   "CriOS",   "FxiOS",  "Safari",
+    "MSIE",    "Trident/",
+};
+
+// Product names of generic HTTP stacks. A UA is library traffic only when
+// one of these *leads* the product list: "Feedly/61.0 CFNetwork/978" is a
+// native app that happens to disclose its HTTP stack, while a bare
+// "okhttp/3.12.1" or stock "Dalvik/2.1.0 (...)" carries no app identity.
+constexpr std::string_view kLibraryProducts[] = {
+    "curl",        "Wget",          "python-requests", "Python-urllib",
+    "Go-http-client", "okhttp",     "Apache-HttpClient", "Java",
+    "libwww-perl", "aiohttp",       "node-fetch",      "axios",
+    "CFNetwork",   "Dalvik",        "urlgrabber",
+};
+
+// Embedded: consoles, watches, TVs, streaming sticks, IoT stacks.
+constexpr std::string_view kEmbeddedMarkers[] = {
+    "PlayStation", "Xbox",        "Nintendo",  "AppleWatch", "Watch OS",
+    "watchOS",     "SmartTV",     "SMART-TV",  "Tizen",      "WebOS",
+    "web0s",       "Roku",        "AppleTV",   "Apple TV",   "tvOS",
+    "BRAVIA",      "AquosTV",     "GoogleTV",  "CrKey",      "Chromecast",
+    "FireTV",      "AFTB",        "ESP8266",   "ESP32",      "SmartThings",
+    "HomePod",     "Alexa",       "Kindle",
+};
+
+}  // namespace
+
+std::string_view to_string(DeviceType d) noexcept {
+  switch (d) {
+    case DeviceType::kMobile: return "mobile";
+    case DeviceType::kDesktop: return "desktop";
+    case DeviceType::kEmbedded: return "embedded";
+    case DeviceType::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(AgentKind a) noexcept {
+  switch (a) {
+    case AgentKind::kBrowser: return "browser";
+    case AgentKind::kNativeApp: return "native-app";
+    case AgentKind::kLibrary: return "library";
+    case AgentKind::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+DeviceClassification classify_device(const UserAgent& ua) {
+  DeviceClassification out;
+  if (ua.empty()) return out;
+
+  // --- Device type -------------------------------------------------------
+  // Embedded first: console/TV UAs often also carry desktop-ish tokens
+  // ("Mozilla/5.0 (PlayStation 4 ...)"), so embedded markers take precedence.
+  for (const auto marker : kEmbeddedMarkers) {
+    if (has(ua, marker)) {
+      out.device = DeviceType::kEmbedded;
+      break;
+    }
+  }
+  if (out.device == DeviceType::kUnknown) {
+    if (has(ua, "iPhone") || has(ua, "iPod")) {
+      out.device = DeviceType::kMobile;
+      out.os = "ios";
+    } else if (has(ua, "iPad")) {
+      out.device = DeviceType::kMobile;
+      out.os = "ios";
+    } else if (has(ua, "Android")) {
+      out.device = DeviceType::kMobile;
+      out.os = "android";
+    } else if (has(ua, "Windows Phone")) {
+      out.device = DeviceType::kMobile;
+      out.os = "windows";
+    } else if (has(ua, "Mobile") && has(ua, "Mozilla")) {
+      out.device = DeviceType::kMobile;
+    } else if (has(ua, "Windows NT") || has(ua, "Win64") ||
+               has(ua, "Windows;")) {
+      out.device = DeviceType::kDesktop;
+      out.os = "windows";
+    } else if (has(ua, "Macintosh") || has(ua, "Mac OS X")) {
+      out.device = DeviceType::kDesktop;
+      out.os = "macos";
+    } else if (has(ua, "X11") || has(ua, "Linux x86_64") ||
+               has(ua, "CrOS")) {
+      out.device = DeviceType::kDesktop;
+      out.os = "linux";
+    } else if (has(ua, "Darwin") || has(ua, "CFNetwork")) {
+      // Apple HTTP stack without device marker: overwhelmingly iOS apps.
+      out.device = DeviceType::kMobile;
+      out.os = "ios";
+    } else if (has(ua, "Dalvik") || has(ua, "okhttp")) {
+      out.device = DeviceType::kMobile;
+      out.os = "android";
+    }
+  } else {
+    if (has(ua, "Tizen") || has(ua, "SmartTV") || has(ua, "WebOS") ||
+        has(ua, "BRAVIA"))
+      out.os = "tv";
+  }
+
+  // --- Agent kind --------------------------------------------------------
+  // Library stacks first: "okhttp/3.12" alone is a library UA even on
+  // Android; browsers are identified by the Mozilla-compatible shape plus a
+  // known browser product.
+  bool is_library = false;
+  if (!ua.products.empty()) {
+    for (const auto product : kLibraryProducts) {
+      if (iequals(ua.products.front().name, product)) {
+        is_library = true;
+        break;
+      }
+    }
+  }
+  bool is_browser = false;
+  if (has(ua, "Mozilla/")) {
+    for (const auto marker : kBrowserMarkers) {
+      if (has(ua, marker)) {
+        is_browser = true;
+        break;
+      }
+    }
+  }
+  if (is_browser && out.device != DeviceType::kEmbedded) {
+    // Consoles/TVs embed browser engines in app shells; the paper observes
+    // no browser traffic from embedded devices, and an embedded UA carrying
+    // Chrome tokens is an engine, not a user browser.
+    out.agent = AgentKind::kBrowser;
+  } else if (is_library) {
+    out.agent = AgentKind::kLibrary;
+  } else if (!ua.products.empty() &&
+             (!ua.products.front().version.empty() || !ua.comments.empty())) {
+    // "AppName/1.2.3 (...)" — the native-app convention. A bare unversioned
+    // token with no comment ("prod-fetcher-internal") stays unknown.
+    out.agent = AgentKind::kNativeApp;
+  }
+  return out;
+}
+
+DeviceClassification classify_device(std::string_view raw_ua) {
+  return classify_device(parse_user_agent(raw_ua));
+}
+
+}  // namespace jsoncdn::http

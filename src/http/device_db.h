@@ -1,0 +1,51 @@
+// Device and agent classification from User-Agent strings.
+//
+// Stands in for the two databases the paper uses: Akamai's Edge Device
+// Characteristics (device type) and useragentstring.com (browser detection).
+// The classifier is rule-based over UA tokens: platform identifiers group
+// devices ("Android", "iPhone", "Windows NT", console/watch/TV markers), a
+// browser table separates browser from non-browser traffic, and anything
+// unmatched — or an absent UA — is Unknown, exactly as in §3.2.
+#pragma once
+
+#include <string_view>
+
+#include "http/user_agent.h"
+
+namespace jsoncdn::http {
+
+// Device half of the paper's traffic-source taxonomy (Fig. 2 / Fig. 3).
+enum class DeviceType {
+  kMobile,    // smartphones and tablets
+  kDesktop,   // desktops and laptops
+  kEmbedded,  // game consoles, smart watches, smart TVs, IoT
+  kUnknown,   // missing or unidentifiable user agent
+};
+
+// What kind of software issued the request.
+enum class AgentKind {
+  kBrowser,    // well-formed browser UA
+  kNativeApp,  // app UA (bundle ids, app tokens, mobile HTTP stacks)
+  kLibrary,    // generic HTTP libraries / scripts (curl, okhttp bare, python)
+  kUnknown,
+};
+
+[[nodiscard]] std::string_view to_string(DeviceType d) noexcept;
+[[nodiscard]] std::string_view to_string(AgentKind a) noexcept;
+
+struct DeviceClassification {
+  DeviceType device = DeviceType::kUnknown;
+  AgentKind agent = AgentKind::kUnknown;
+  std::string_view os;        // "android", "ios", "windows", ... or ""
+  [[nodiscard]] bool is_browser() const noexcept {
+    return agent == AgentKind::kBrowser;
+  }
+};
+
+// Classifies a tokenized UA. Deterministic, allocation-free, total.
+[[nodiscard]] DeviceClassification classify_device(const UserAgent& ua);
+
+// Convenience overload that tokenizes first.
+[[nodiscard]] DeviceClassification classify_device(std::string_view raw_ua);
+
+}  // namespace jsoncdn::http

@@ -1,0 +1,49 @@
+#include "http/headers.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace jsoncdn::http {
+
+bool iequals(std::string_view a, std::string_view b) noexcept {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+void HeaderMap::add(std::string_view name, std::string_view value) {
+  fields_.push_back({std::string(name), std::string(value)});
+}
+
+void HeaderMap::set(std::string_view name, std::string_view value) {
+  remove(name);
+  add(name, value);
+}
+
+std::optional<std::string_view> HeaderMap::get(std::string_view name) const {
+  for (const auto& f : fields_) {
+    if (iequals(f.name, name)) return f.value;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string_view> HeaderMap::get_all(std::string_view name) const {
+  std::vector<std::string_view> out;
+  for (const auto& f : fields_) {
+    if (iequals(f.name, name)) out.push_back(f.value);
+  }
+  return out;
+}
+
+bool HeaderMap::contains(std::string_view name) const {
+  return get(name).has_value();
+}
+
+void HeaderMap::remove(std::string_view name) {
+  std::erase_if(fields_,
+                [&](const Field& f) { return iequals(f.name, name); });
+}
+
+}  // namespace jsoncdn::http

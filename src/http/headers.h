@@ -1,0 +1,45 @@
+// Case-insensitive HTTP header map (field names are case-insensitive per
+// RFC 7230 §3.2). Preserves insertion order and supports repeated fields.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jsoncdn::http {
+
+// ASCII case-insensitive comparison (HTTP field names are ASCII).
+[[nodiscard]] bool iequals(std::string_view a, std::string_view b) noexcept;
+
+class HeaderMap {
+ public:
+  // Appends a field; repeated names are kept (e.g. Set-Cookie).
+  void add(std::string_view name, std::string_view value);
+  // Replaces all fields with this name by a single one.
+  void set(std::string_view name, std::string_view value);
+  // First value for the name, if any.
+  [[nodiscard]] std::optional<std::string_view> get(
+      std::string_view name) const;
+  // All values for the name, in insertion order.
+  [[nodiscard]] std::vector<std::string_view> get_all(
+      std::string_view name) const;
+  [[nodiscard]] bool contains(std::string_view name) const;
+  void remove(std::string_view name);
+
+  [[nodiscard]] std::size_t size() const noexcept { return fields_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return fields_.empty(); }
+
+  struct Field {
+    std::string name;
+    std::string value;
+  };
+  [[nodiscard]] const std::vector<Field>& fields() const noexcept {
+    return fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace jsoncdn::http

@@ -1,0 +1,43 @@
+// HTTP request/response value types used at the CDN simulator boundary.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "http/headers.h"
+#include "http/method.h"
+#include "http/url.h"
+
+namespace jsoncdn::http {
+
+// Common status codes the simulator emits.
+enum class Status : int {
+  kOk = 200,
+  kNotModified = 304,
+  kBadRequest = 400,
+  kNotFound = 404,
+  kInternalError = 500,
+  kOriginTimeout = 504,
+};
+
+[[nodiscard]] constexpr int code(Status s) noexcept {
+  return static_cast<int>(s);
+}
+[[nodiscard]] constexpr bool is_success(Status s) noexcept {
+  return code(s) >= 200 && code(s) < 300;
+}
+
+struct Request {
+  Method method = Method::kGet;
+  std::string url;          // normalized full URL
+  HeaderMap headers;        // includes User-Agent when present
+  std::uint64_t body_bytes = 0;  // upload payload size (POST/PUT)
+};
+
+struct Response {
+  Status status = Status::kOk;
+  HeaderMap headers;        // includes Content-Type
+  std::uint64_t body_bytes = 0;
+};
+
+}  // namespace jsoncdn::http

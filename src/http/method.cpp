@@ -1,0 +1,29 @@
+#include "http/method.h"
+
+namespace jsoncdn::http {
+
+std::optional<Method> parse_method(std::string_view token) {
+  if (token == "GET") return Method::kGet;
+  if (token == "POST") return Method::kPost;
+  if (token == "PUT") return Method::kPut;
+  if (token == "DELETE") return Method::kDelete;
+  if (token == "HEAD") return Method::kHead;
+  if (token == "OPTIONS") return Method::kOptions;
+  if (token == "PATCH") return Method::kPatch;
+  return std::nullopt;
+}
+
+std::string_view to_string(Method m) noexcept {
+  switch (m) {
+    case Method::kGet: return "GET";
+    case Method::kPost: return "POST";
+    case Method::kPut: return "PUT";
+    case Method::kDelete: return "DELETE";
+    case Method::kHead: return "HEAD";
+    case Method::kOptions: return "OPTIONS";
+    case Method::kPatch: return "PATCH";
+  }
+  return "GET";
+}
+
+}  // namespace jsoncdn::http

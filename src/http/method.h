@@ -1,0 +1,35 @@
+// HTTP request methods (RFC 7231 §4). The paper's taxonomy maps GET to
+// "download" and POST to "upload" (§3.2, Request Type).
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+namespace jsoncdn::http {
+
+enum class Method {
+  kGet,
+  kPost,
+  kPut,
+  kDelete,
+  kHead,
+  kOptions,
+  kPatch,
+};
+
+// Parses a case-sensitive method token (HTTP methods are case-sensitive per
+// RFC 7231). Returns nullopt for unknown tokens.
+[[nodiscard]] std::optional<Method> parse_method(std::string_view token);
+
+[[nodiscard]] std::string_view to_string(Method m) noexcept;
+
+// Request-type half of the paper's taxonomy: does this method convey a body
+// from client to server?
+[[nodiscard]] constexpr bool is_upload(Method m) noexcept {
+  return m == Method::kPost || m == Method::kPut || m == Method::kPatch;
+}
+[[nodiscard]] constexpr bool is_download(Method m) noexcept {
+  return m == Method::kGet || m == Method::kHead;
+}
+
+}  // namespace jsoncdn::http

@@ -1,0 +1,117 @@
+#include "http/mime.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace jsoncdn::http {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+}  // namespace
+
+std::optional<MimeType> parse_mime(std::string_view header) {
+  header = trim(header);
+  // Split off parameters first.
+  std::string_view essence = header;
+  std::string_view params;
+  if (const auto semi = header.find(';'); semi != std::string_view::npos) {
+    essence = trim(header.substr(0, semi));
+    params = header.substr(semi + 1);
+  }
+  const auto slash = essence.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto type = trim(essence.substr(0, slash));
+  const auto subtype = trim(essence.substr(slash + 1));
+  if (type.empty() || subtype.empty()) return std::nullopt;
+  if (type.find('/') != std::string_view::npos ||
+      subtype.find('/') != std::string_view::npos)
+    return std::nullopt;
+
+  MimeType out;
+  out.type = to_lower(type);
+  out.subtype = to_lower(subtype);
+  while (!params.empty()) {
+    std::string_view item = params;
+    if (const auto semi = params.find(';'); semi != std::string_view::npos) {
+      item = params.substr(0, semi);
+      params = params.substr(semi + 1);
+    } else {
+      params = {};
+    }
+    item = trim(item);
+    if (item.empty()) continue;
+    const auto eq = item.find('=');
+    if (eq == std::string_view::npos) {
+      out.parameters.emplace_back(to_lower(item), "");
+    } else {
+      out.parameters.emplace_back(to_lower(trim(item.substr(0, eq))),
+                                  std::string(trim(item.substr(eq + 1))));
+    }
+  }
+  return out;
+}
+
+std::string_view to_string(ContentClass c) noexcept {
+  switch (c) {
+    case ContentClass::kJson: return "json";
+    case ContentClass::kHtml: return "html";
+    case ContentClass::kCss: return "css";
+    case ContentClass::kJavascript: return "javascript";
+    case ContentClass::kImage: return "image";
+    case ContentClass::kVideo: return "video";
+    case ContentClass::kFont: return "font";
+    case ContentClass::kPlain: return "plain";
+    case ContentClass::kBinary: return "binary";
+    case ContentClass::kOther: return "other";
+  }
+  return "other";
+}
+
+ContentClass classify_content(const MimeType& mime) noexcept {
+  const auto& t = mime.type;
+  const auto& s = mime.subtype;
+  const bool plus_json =
+      s.size() > 5 && s.compare(s.size() - 5, 5, "+json") == 0;
+  if ((t == "application" && (s == "json" || plus_json)) ||
+      (t == "text" && s == "json"))
+    return ContentClass::kJson;
+  if (t == "text" && s == "html") return ContentClass::kHtml;
+  if (t == "text" && s == "css") return ContentClass::kCss;
+  if ((t == "application" || t == "text") &&
+      (s == "javascript" || s == "x-javascript" || s == "ecmascript"))
+    return ContentClass::kJavascript;
+  if (t == "image") return ContentClass::kImage;
+  if (t == "video") return ContentClass::kVideo;
+  if (t == "font" || (t == "application" && s.rfind("font", 0) == 0))
+    return ContentClass::kFont;
+  if (t == "text" && s == "plain") return ContentClass::kPlain;
+  if (t == "application" && s == "octet-stream") return ContentClass::kBinary;
+  return ContentClass::kOther;
+}
+
+ContentClass classify_content(std::string_view header) noexcept {
+  const auto mime = parse_mime(header);
+  return mime ? classify_content(*mime) : ContentClass::kOther;
+}
+
+bool is_json(std::string_view header) noexcept {
+  return classify_content(header) == ContentClass::kJson;
+}
+
+}  // namespace jsoncdn::http

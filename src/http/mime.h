@@ -1,0 +1,57 @@
+// MIME / media-type handling (RFC 2045 grammar subset). The study filters
+// traffic by the response content-type header: a record is JSON traffic iff
+// its media type is application/json (including +json structured suffixes,
+// which the CDN logs as application/json-compatible).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jsoncdn::http {
+
+// Parsed media type: type "/" subtype *(";" parameter). Type and subtype are
+// normalized to lowercase; parameter order is preserved.
+struct MimeType {
+  std::string type;
+  std::string subtype;
+  std::vector<std::pair<std::string, std::string>> parameters;
+
+  [[nodiscard]] std::string essence() const { return type + "/" + subtype; }
+  bool operator==(const MimeType&) const = default;
+};
+
+// Parses a Content-Type header value. Returns nullopt on grammar violations
+// (empty type/subtype, missing slash). Whitespace around tokens is tolerated,
+// as real-world headers are sloppy.
+[[nodiscard]] std::optional<MimeType> parse_mime(std::string_view header);
+
+// Content classes the characterization breaks traffic into (Fig. 1 compares
+// JSON vs HTML; §4 compares their response sizes).
+enum class ContentClass {
+  kJson,
+  kHtml,
+  kCss,
+  kJavascript,
+  kImage,
+  kVideo,
+  kFont,
+  kPlain,
+  kBinary,
+  kOther,
+};
+
+[[nodiscard]] std::string_view to_string(ContentClass c) noexcept;
+
+// Maps a media type to its content class. application/json and any
+// subtype with a "+json" suffix classify as kJson, matching how the paper
+// filters on "application/json" appearing in the mime header.
+[[nodiscard]] ContentClass classify_content(const MimeType& mime) noexcept;
+
+// Convenience: parses and classifies; unparseable headers are kOther.
+[[nodiscard]] ContentClass classify_content(std::string_view header) noexcept;
+
+[[nodiscard]] bool is_json(std::string_view header) noexcept;
+
+}  // namespace jsoncdn::http

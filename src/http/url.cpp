@@ -1,0 +1,192 @@
+#include "http/url.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+namespace jsoncdn::http {
+
+namespace {
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool is_unreserved(unsigned char c) {
+  return std::isalnum(c) != 0 || c == '-' || c == '.' || c == '_' || c == '~';
+}
+
+int hex_value(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+void parse_query_into(std::string_view q, Url& url) {
+  while (!q.empty()) {
+    std::string_view pair = q;
+    if (const auto amp = q.find('&'); amp != std::string_view::npos) {
+      pair = q.substr(0, amp);
+      q = q.substr(amp + 1);
+    } else {
+      q = {};
+    }
+    if (pair.empty()) continue;
+    const auto eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      url.query.emplace_back(url_decode(pair), "");
+    } else {
+      url.query.emplace_back(url_decode(pair.substr(0, eq)),
+                             url_decode(pair.substr(eq + 1)));
+    }
+  }
+}
+
+void parse_path_into(std::string_view path, Url& url) {
+  while (!path.empty() && path.front() == '/') path.remove_prefix(1);
+  while (!path.empty()) {
+    std::string_view seg = path;
+    if (const auto slash = path.find('/'); slash != std::string_view::npos) {
+      seg = path.substr(0, slash);
+      path = path.substr(slash + 1);
+    } else {
+      path = {};
+    }
+    if (!seg.empty()) url.path_segments.push_back(url_decode(seg));
+  }
+}
+
+}  // namespace
+
+std::string url_decode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex_value(s[i + 1]);
+      const int lo = hex_value(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    if (s[i] == '+') {
+      out.push_back(' ');
+      continue;
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+std::string url_encode(std::string_view s) {
+  static constexpr char kHex[] = "0123456789ABCDEF";
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    if (is_unreserved(c)) {
+      out.push_back(static_cast<char>(c));
+    } else {
+      out.push_back('%');
+      out.push_back(kHex[c >> 4]);
+      out.push_back(kHex[c & 0xf]);
+    }
+  }
+  return out;
+}
+
+std::optional<Url> parse_url(std::string_view raw) {
+  Url url;
+  // Strip fragment.
+  if (const auto hash = raw.find('#'); hash != std::string_view::npos)
+    raw = raw.substr(0, hash);
+  if (raw.empty()) return std::nullopt;
+
+  std::string_view rest = raw;
+  if (const auto scheme_end = rest.find("://");
+      scheme_end != std::string_view::npos) {
+    url.scheme = to_lower(rest.substr(0, scheme_end));
+    if (url.scheme.empty()) return std::nullopt;
+    rest = rest.substr(scheme_end + 3);
+    // Authority runs to the first '/', '?' or end.
+    const auto auth_end = rest.find_first_of("/?");
+    std::string_view authority =
+        auth_end == std::string_view::npos ? rest : rest.substr(0, auth_end);
+    rest = auth_end == std::string_view::npos ? std::string_view{}
+                                              : rest.substr(auth_end);
+    if (authority.empty()) return std::nullopt;
+    if (const auto colon = authority.rfind(':');
+        colon != std::string_view::npos) {
+      const auto port_str = authority.substr(colon + 1);
+      int port = 0;
+      const auto [ptr, ec] = std::from_chars(
+          port_str.data(), port_str.data() + port_str.size(), port);
+      if (ec != std::errc{} || ptr != port_str.data() + port_str.size() ||
+          port < 1 || port > 65535)
+        return std::nullopt;
+      url.port = port;
+      authority = authority.substr(0, colon);
+      if (authority.empty()) return std::nullopt;
+    }
+    url.host = to_lower(authority);
+  } else if (rest.front() != '/') {
+    return std::nullopt;  // neither absolute nor origin-relative
+  }
+
+  std::string_view path = rest;
+  if (const auto qmark = rest.find('?'); qmark != std::string_view::npos) {
+    path = rest.substr(0, qmark);
+    parse_query_into(rest.substr(qmark + 1), url);
+  }
+  parse_path_into(path, url);
+  return url;
+}
+
+std::string Url::path() const {
+  if (path_segments.empty()) return "/";
+  std::string out;
+  for (const auto& seg : path_segments) {
+    out.push_back('/');
+    out += url_encode(seg);
+  }
+  return out;
+}
+
+std::string Url::str() const {
+  std::string out;
+  if (!host.empty()) {
+    out += scheme.empty() ? std::string("https") : scheme;
+    out += "://";
+    out += host;
+    const bool default_port =
+        !port || (scheme == "https" && *port == 443) ||
+        (scheme == "http" && *port == 80);
+    if (!default_port) {
+      out.push_back(':');
+      out += std::to_string(*port);
+    }
+  }
+  out += path();
+  if (!query.empty()) {
+    out.push_back('?');
+    bool first = true;
+    for (const auto& [k, v] : query) {
+      if (!first) out.push_back('&');
+      first = false;
+      out += url_encode(k);
+      if (!v.empty()) {
+        out.push_back('=');
+        out += url_encode(v);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace jsoncdn::http

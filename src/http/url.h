@@ -1,0 +1,45 @@
+// URL parsing and normalization. The ngram predictor (§5.2) keys on request
+// URLs and the clustered variant collapses client-specific path/query tokens,
+// so the parser exposes path segments and query arguments individually.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jsoncdn::http {
+
+// Decomposed absolute-or-relative URL. Only the components the CDN log
+// pipeline needs: scheme, host, port, path segments, query args. Fragments
+// are parsed but never sent to servers, so they are stripped.
+struct Url {
+  std::string scheme;          // lowercase; empty for scheme-relative input
+  std::string host;            // lowercase; empty for path-only input
+  std::optional<int> port;     // explicit port only
+  std::vector<std::string> path_segments;
+  std::vector<std::pair<std::string, std::string>> query;  // decoded order kept
+
+  // Reassembles a normalized URL string: lowercase scheme/host, no default
+  // ports, "/"-joined path, original query order.
+  [[nodiscard]] std::string str() const;
+  // Path component only, starting with "/".
+  [[nodiscard]] std::string path() const;
+
+  bool operator==(const Url&) const = default;
+};
+
+// Parses an absolute URL ("https://host[:port]/path?query") or an
+// origin-relative one ("/path?query"). Returns nullopt for structurally
+// invalid input (empty host in an absolute URL, non-numeric port, port
+// outside [1, 65535]).
+[[nodiscard]] std::optional<Url> parse_url(std::string_view raw);
+
+// Percent-decodes a URL component; malformed escapes are kept literally
+// (logs contain sloppy URLs; dropping them would bias the traffic counts).
+[[nodiscard]] std::string url_decode(std::string_view s);
+
+// Percent-encodes characters outside the unreserved set.
+[[nodiscard]] std::string url_encode(std::string_view s);
+
+}  // namespace jsoncdn::http

@@ -1,0 +1,93 @@
+#include "http/user_agent.h"
+
+#include <cctype>
+
+namespace jsoncdn::http {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+    s.remove_prefix(1);
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+    s.remove_suffix(1);
+  return s;
+}
+
+}  // namespace
+
+bool icontains(std::string_view haystack, std::string_view needle) noexcept {
+  if (needle.empty()) return true;
+  if (haystack.size() < needle.size()) return false;
+  for (std::size_t i = 0; i + needle.size() <= haystack.size(); ++i) {
+    bool match = true;
+    for (std::size_t j = 0; j < needle.size(); ++j) {
+      if (std::tolower(static_cast<unsigned char>(haystack[i + j])) !=
+          std::tolower(static_cast<unsigned char>(needle[j]))) {
+        match = false;
+        break;
+      }
+    }
+    if (match) return true;
+  }
+  return false;
+}
+
+bool UserAgent::mentions(std::string_view needle) const {
+  if (icontains(raw, needle)) return true;
+  return false;
+}
+
+UserAgent parse_user_agent(std::string_view raw) {
+  UserAgent ua;
+  ua.raw = std::string(trim(raw));
+  std::string_view rest = ua.raw;
+  while (!rest.empty()) {
+    rest = trim(rest);
+    if (rest.empty()) break;
+    if (rest.front() == '(') {
+      // Comment: runs to the matching close paren (nesting tolerated).
+      std::size_t depth = 0;
+      std::size_t end = 0;
+      for (; end < rest.size(); ++end) {
+        if (rest[end] == '(') ++depth;
+        if (rest[end] == ')' && --depth == 0) break;
+      }
+      const auto body = rest.substr(1, end > 0 ? end - 1 : 0);
+      // Split comment body on ';'.
+      std::string_view items = body;
+      while (!items.empty()) {
+        std::string_view item = items;
+        if (const auto semi = items.find(';'); semi != std::string_view::npos) {
+          item = items.substr(0, semi);
+          items = items.substr(semi + 1);
+        } else {
+          items = {};
+        }
+        item = trim(item);
+        if (!item.empty()) ua.comments.emplace_back(item);
+      }
+      rest = end < rest.size() ? rest.substr(end + 1) : std::string_view{};
+      continue;
+    }
+    // Product token: runs to whitespace or '('.
+    std::size_t end = 0;
+    while (end < rest.size() &&
+           !std::isspace(static_cast<unsigned char>(rest[end])) &&
+           rest[end] != '(')
+      ++end;
+    const auto token = rest.substr(0, end);
+    UaProduct product;
+    if (const auto slash = token.find('/'); slash != std::string_view::npos) {
+      product.name = std::string(token.substr(0, slash));
+      product.version = std::string(token.substr(slash + 1));
+    } else {
+      product.name = std::string(token);
+    }
+    if (!product.name.empty()) ua.products.push_back(std::move(product));
+    rest = rest.substr(end);
+  }
+  return ua;
+}
+
+}  // namespace jsoncdn::http

@@ -1,0 +1,42 @@
+// User-Agent string tokenizer (RFC 7231 §5.5.3 grammar: products with
+// optional versions, interleaved with parenthesized comments). The device
+// classifier consumes these tokens; keeping tokenization separate from
+// classification mirrors the paper's pipeline (UA grouping by system
+// identifiers, then an EDC-style device database lookup).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace jsoncdn::http {
+
+// One "product/version" token from the UA string.
+struct UaProduct {
+  std::string name;
+  std::string version;  // empty when absent
+  bool operator==(const UaProduct&) const = default;
+};
+
+// Tokenized user agent: products in order, plus the contents of every
+// parenthesized comment split on ';'.
+struct UserAgent {
+  std::string raw;
+  std::vector<UaProduct> products;
+  std::vector<std::string> comments;  // trimmed comment items
+
+  [[nodiscard]] bool empty() const noexcept { return raw.empty(); }
+  // True if any product name or comment item contains `needle`
+  // (ASCII case-insensitive).
+  [[nodiscard]] bool mentions(std::string_view needle) const;
+};
+
+// Never fails: an arbitrary byte string still tokenizes (possibly to a single
+// product with no version). Empty input yields an empty UserAgent.
+[[nodiscard]] UserAgent parse_user_agent(std::string_view raw);
+
+// ASCII case-insensitive substring search, exposed for the classifier.
+[[nodiscard]] bool icontains(std::string_view haystack,
+                             std::string_view needle) noexcept;
+
+}  // namespace jsoncdn::http

@@ -1,0 +1,13 @@
+#include "logs/anonymizer.h"
+
+#include "stats/hash.h"
+
+namespace jsoncdn::logs {
+
+std::string Anonymizer::pseudonym(std::string_view client_address) const {
+  const auto h =
+      stats::fnv1a64(client_address, stats::fnv1a64_mix(salt_));
+  return stats::to_hex64(h);
+}
+
+}  // namespace jsoncdn::logs

@@ -1,0 +1,26 @@
+// Client-address anonymization. The paper's logs carry "a client IP address
+// that is hashed for anonymity"; we reproduce that with a salted 64-bit hash
+// rendered as hex. The salt is per-study so identities cannot be joined
+// across independently collected datasets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jsoncdn::logs {
+
+class Anonymizer {
+ public:
+  explicit Anonymizer(std::uint64_t salt) : salt_(salt) {}
+
+  // Deterministic pseudonym for an address: same input + salt -> same output.
+  [[nodiscard]] std::string pseudonym(std::string_view client_address) const;
+
+  [[nodiscard]] std::uint64_t salt() const noexcept { return salt_; }
+
+ private:
+  std::uint64_t salt_;
+};
+
+}  // namespace jsoncdn::logs

@@ -1,0 +1,127 @@
+#include "logs/csv.h"
+
+#include <charconv>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "http/url.h"
+
+namespace jsoncdn::logs {
+
+namespace {
+
+constexpr std::string_view kHeader =
+    "#jsoncdn-log-v1\ttime\tclient\tua\tmethod\turl\tdomain\tmime\tstatus\t"
+    "resp_bytes\treq_bytes\tcache\tedge";
+constexpr std::size_t kColumns = 12;
+
+// Escapes field separators; reuses percent-encoding for the three bytes that
+// would break the line format.
+std::string escape(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (char c : field) {
+    switch (c) {
+      case '\t': out += "%09"; break;
+      case '\n': out += "%0A"; break;
+      case '\r': out += "%0D"; break;
+      case '%': out += "%25"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unescape(std::string_view field) {
+  return http::url_decode(field);
+}
+
+template <typename T>
+bool parse_number(std::string_view s, T& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool parse_double(std::string_view s, double& out) {
+  // from_chars for double is not universally available; strtod via string.
+  const std::string tmp(s);
+  char* end = nullptr;
+  out = std::strtod(tmp.c_str(), &end);
+  return end == tmp.c_str() + tmp.size() && !tmp.empty();
+}
+
+}  // namespace
+
+std::string_view log_header() noexcept { return kHeader; }
+
+std::string to_line(const LogRecord& r) {
+  std::ostringstream out;
+  out.precision(6);
+  out << std::fixed << r.timestamp << '\t' << escape(r.client_id) << '\t'
+      << escape(r.user_agent) << '\t' << http::to_string(r.method) << '\t'
+      << escape(r.url) << '\t' << escape(r.domain) << '\t'
+      << escape(r.content_type) << '\t' << r.status << '\t'
+      << r.response_bytes << '\t' << r.request_bytes << '\t'
+      << to_string(r.cache_status) << '\t' << r.edge_id;
+  return out.str();
+}
+
+std::optional<LogRecord> from_line(std::string_view line) {
+  std::vector<std::string_view> cols;
+  cols.reserve(kColumns);
+  while (true) {
+    const auto tab = line.find('\t');
+    if (tab == std::string_view::npos) {
+      cols.push_back(line);
+      break;
+    }
+    cols.push_back(line.substr(0, tab));
+    line = line.substr(tab + 1);
+  }
+  if (cols.size() != kColumns) return std::nullopt;
+
+  LogRecord r;
+  if (!parse_double(cols[0], r.timestamp)) return std::nullopt;
+  r.client_id = unescape(cols[1]);
+  r.user_agent = unescape(cols[2]);
+  const auto method = http::parse_method(cols[3]);
+  if (!method) return std::nullopt;
+  r.method = *method;
+  r.url = unescape(cols[4]);
+  r.domain = unescape(cols[5]);
+  r.content_type = unescape(cols[6]);
+  if (!parse_number(cols[7], r.status)) return std::nullopt;
+  if (!parse_number(cols[8], r.response_bytes)) return std::nullopt;
+  if (!parse_number(cols[9], r.request_bytes)) return std::nullopt;
+  if (!parse_cache_status(cols[10], r.cache_status)) return std::nullopt;
+  if (!parse_number(cols[11], r.edge_id)) return std::nullopt;
+  return r;
+}
+
+LogWriter::LogWriter(std::ostream& out) : out_(out) {
+  out_ << kHeader << '\n';
+}
+
+void LogWriter::write(const LogRecord& record) {
+  out_ << to_line(record) << '\n';
+  ++written_;
+}
+
+LogReader::LogReader(std::istream& in) : in_(in) {}
+
+std::vector<LogRecord> LogReader::read_all() {
+  std::vector<LogRecord> out;
+  std::string line;
+  while (std::getline(in_, line)) {
+    if (line.empty() || line.front() == '#') continue;
+    if (auto rec = from_line(line)) {
+      out.push_back(std::move(*rec));
+    } else {
+      ++malformed_;
+    }
+  }
+  return out;
+}
+
+}  // namespace jsoncdn::logs

@@ -1,0 +1,56 @@
+// Log (de)serialization as TSV — one record per line, tab-separated, with
+// URL-style escaping of tabs/newlines inside fields. Edge servers in the
+// simulator stream records through a LogWriter; analyses that want to work
+// from files read them back with LogReader. Round-trip is lossless
+// (property-tested).
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logs/record.h"
+
+namespace jsoncdn::logs {
+
+// Header line identifying the column layout / format version.
+[[nodiscard]] std::string_view log_header() noexcept;
+
+// Serializes one record to a single line (no trailing newline).
+[[nodiscard]] std::string to_line(const LogRecord& record);
+
+// Parses one line. Returns nullopt on malformed input (wrong column count,
+// non-numeric numerics, unknown enums) — malformed log lines are data errors,
+// skipped and counted by the reader, never exceptions.
+[[nodiscard]] std::optional<LogRecord> from_line(std::string_view line);
+
+// Streams records to an ostream, writing the header first.
+class LogWriter {
+ public:
+  explicit LogWriter(std::ostream& out);
+  void write(const LogRecord& record);
+  [[nodiscard]] std::uint64_t written() const noexcept { return written_; }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t written_ = 0;
+};
+
+// Reads records from an istream; tolerates and counts malformed lines.
+class LogReader {
+ public:
+  explicit LogReader(std::istream& in);
+  // Reads everything that remains.
+  [[nodiscard]] std::vector<LogRecord> read_all();
+  [[nodiscard]] std::uint64_t malformed_lines() const noexcept {
+    return malformed_;
+  }
+
+ private:
+  std::istream& in_;
+  std::uint64_t malformed_ = 0;
+};
+
+}  // namespace jsoncdn::logs

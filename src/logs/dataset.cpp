@@ -1,0 +1,154 @@
+#include "logs/dataset.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "http/mime.h"
+
+namespace jsoncdn::logs {
+
+Dataset::Dataset(std::vector<LogRecord> records)
+    : records_(std::move(records)) {}
+
+void Dataset::add(LogRecord record) { records_.push_back(std::move(record)); }
+
+void Dataset::sort_by_time() {
+  std::stable_sort(records_.begin(), records_.end(),
+                   [](const LogRecord& a, const LogRecord& b) {
+                     return a.timestamp < b.timestamp;
+                   });
+}
+
+Dataset Dataset::filter(
+    const std::function<bool(const LogRecord&)>& pred) const {
+  Dataset out;
+  for (const auto& r : records_) {
+    if (pred(r)) out.add(r);
+  }
+  return out;
+}
+
+Dataset Dataset::json_only() const {
+  return filter([](const LogRecord& r) {
+    return http::is_json(r.content_type);
+  });
+}
+
+std::pair<double, double> Dataset::time_range() const {
+  if (records_.empty()) return {0.0, 0.0};
+  double lo = records_.front().timestamp;
+  double hi = lo;
+  for (const auto& r : records_) {
+    lo = std::min(lo, r.timestamp);
+    hi = std::max(hi, r.timestamp);
+  }
+  return {lo, hi};
+}
+
+std::size_t Dataset::distinct_domains() const {
+  std::unordered_set<std::string_view> seen;
+  for (const auto& r : records_) seen.insert(r.domain);
+  return seen.size();
+}
+
+std::size_t Dataset::distinct_objects() const {
+  std::unordered_set<std::string_view> seen;
+  for (const auto& r : records_) seen.insert(r.url);
+  return seen.size();
+}
+
+std::size_t Dataset::distinct_clients() const {
+  std::unordered_set<std::string> seen;
+  for (const auto& r : records_) seen.insert(r.client_key());
+  return seen.size();
+}
+
+std::vector<ObjectFlow> extract_object_flows(const Dataset& dataset,
+                                             const FlowFilter& filter) {
+  // First pass: bucket record indices by URL, then by client within URL.
+  std::unordered_map<std::string_view, std::vector<std::size_t>> by_url;
+  const auto& records = dataset.records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    by_url[records[i].url].push_back(i);
+  }
+
+  std::vector<ObjectFlow> out;
+  out.reserve(by_url.size());
+  for (auto& [url, indices] : by_url) {
+    // Indices follow dataset order; enforce time order defensively.
+    std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+      return records[a].timestamp < records[b].timestamp;
+    });
+
+    std::unordered_map<std::string, ClientObjectFlow> by_client;
+    ObjectFlow flow;
+    flow.url = std::string(url);
+    flow.total_requests = indices.size();
+    flow.times.reserve(indices.size());
+    std::size_t uncacheable = 0;
+    std::size_t uploads = 0;
+    for (std::size_t idx : indices) {
+      const auto& r = records[idx];
+      flow.times.push_back(r.timestamp);
+      if (r.cache_status == CacheStatus::kNotCacheable) ++uncacheable;
+      if (http::is_upload(r.method)) ++uploads;
+      auto& cof = by_client[r.client_key()];
+      if (cof.client.empty()) cof.client = r.client_key();
+      cof.times.push_back(r.timestamp);
+      cof.record_indices.push_back(idx);
+    }
+    flow.uncacheable_share =
+        static_cast<double>(uncacheable) / static_cast<double>(indices.size());
+    flow.upload_share =
+        static_cast<double>(uploads) / static_cast<double>(indices.size());
+
+    if (by_client.size() < filter.min_object_clients) continue;
+
+    flow.clients.reserve(by_client.size());
+    for (auto& [client, cof] : by_client) {
+      if (cof.times.size() >= filter.min_client_flow_requests) {
+        flow.clients.push_back(std::move(cof));
+      }
+    }
+    // Deterministic order regardless of hash-map iteration.
+    std::sort(flow.clients.begin(), flow.clients.end(),
+              [](const ClientObjectFlow& a, const ClientObjectFlow& b) {
+                return a.client < b.client;
+              });
+    out.push_back(std::move(flow));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ObjectFlow& a, const ObjectFlow& b) {
+              return a.url < b.url;
+            });
+  return out;
+}
+
+std::vector<ClientFlow> extract_client_flows(const Dataset& dataset,
+                                             std::size_t min_requests) {
+  std::unordered_map<std::string, ClientFlow> by_client;
+  const auto& records = dataset.records();
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    auto& flow = by_client[records[i].client_key()];
+    if (flow.client.empty()) flow.client = records[i].client_key();
+    flow.record_indices.push_back(i);
+  }
+  std::vector<ClientFlow> out;
+  out.reserve(by_client.size());
+  for (auto& [client, flow] : by_client) {
+    if (flow.record_indices.size() < min_requests) continue;
+    std::sort(flow.record_indices.begin(), flow.record_indices.end(),
+              [&](std::size_t a, std::size_t b) {
+                return records[a].timestamp < records[b].timestamp;
+              });
+    out.push_back(std::move(flow));
+  }
+  std::sort(out.begin(), out.end(), [](const ClientFlow& a, const ClientFlow& b) {
+    return a.client < b.client;
+  });
+  return out;
+}
+
+}  // namespace jsoncdn::logs

@@ -1,0 +1,35 @@
+#include "logs/record.h"
+
+namespace jsoncdn::logs {
+
+std::string_view to_string(CacheStatus s) noexcept {
+  switch (s) {
+    case CacheStatus::kHit: return "HIT";
+    case CacheStatus::kMiss: return "MISS";
+    case CacheStatus::kRefreshHit: return "REFRESH";
+    case CacheStatus::kNotCacheable: return "NOCACHE";
+  }
+  return "NOCACHE";
+}
+
+bool parse_cache_status(std::string_view token, CacheStatus& out) noexcept {
+  if (token == "HIT") {
+    out = CacheStatus::kHit;
+    return true;
+  }
+  if (token == "MISS") {
+    out = CacheStatus::kMiss;
+    return true;
+  }
+  if (token == "REFRESH") {
+    out = CacheStatus::kRefreshHit;
+    return true;
+  }
+  if (token == "NOCACHE") {
+    out = CacheStatus::kNotCacheable;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace jsoncdn::logs

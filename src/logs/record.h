@@ -1,0 +1,53 @@
+// The edge-server request log record — the paper's unit of data (§3.1).
+//
+// Fields mirror what the authors collect from Akamai edge logs: request time,
+// anonymized client IP, select request/response headers (user-agent, mime
+// type, URL), HTTP method/status, byte counts, and object caching
+// information. The entire analysis layer consumes only this schema.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "http/method.h"
+
+namespace jsoncdn::logs {
+
+// Cache outcome recorded by the edge server for one request.
+enum class CacheStatus {
+  kHit,           // served from edge cache
+  kMiss,          // cacheable but not present; fetched from origin and stored
+  kRefreshHit,    // stale copy revalidated with origin (304) and re-served
+  kNotCacheable,  // customer config forbids caching; tunneled to origin
+};
+
+[[nodiscard]] std::string_view to_string(CacheStatus s) noexcept;
+// Returns true and sets `out` on success.
+[[nodiscard]] bool parse_cache_status(std::string_view token,
+                                      CacheStatus& out) noexcept;
+
+struct LogRecord {
+  double timestamp = 0.0;          // seconds since dataset epoch
+  std::string client_id;           // salted hash of client IP (hex), "" = n/a
+  std::string user_agent;          // raw UA header; "" when absent
+  http::Method method = http::Method::kGet;
+  std::string url;                 // full normalized request URL
+  std::string domain;              // request host (CDN customer property)
+  std::string content_type;        // response Content-Type header value
+  int status = 200;
+  std::uint64_t response_bytes = 0;
+  std::uint64_t request_bytes = 0; // upload body size
+  CacheStatus cache_status = CacheStatus::kNotCacheable;
+  std::uint32_t edge_id = 0;       // serving edge server
+
+  // Flow keys. An object flow is all requests for one URL; a client-object
+  // flow is one client's requests for one URL, where a client is the
+  // (user-agent, anonymized IP) pair — exactly the paper's definitions.
+  [[nodiscard]] const std::string& object_key() const noexcept { return url; }
+  [[nodiscard]] std::string client_key() const {
+    return client_id + "|" + user_agent;
+  }
+};
+
+}  // namespace jsoncdn::logs

@@ -1,0 +1,106 @@
+#include "stats/autocorrelation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <stdexcept>
+
+#include "stats/fft.h"
+
+namespace jsoncdn::stats {
+
+namespace {
+
+// Shared preamble: mean-centers and reports variance*n (the lag-0 raw value).
+double center(std::span<const double> signal, std::vector<double>& out) {
+  if (signal.empty())
+    throw std::invalid_argument("autocorrelation: empty signal");
+  double mean = 0.0;
+  for (double v : signal) mean += v;
+  mean /= static_cast<double>(signal.size());
+  out.resize(signal.size());
+  double energy = 0.0;
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    out[i] = signal[i] - mean;
+    energy += out[i] * out[i];
+  }
+  return energy;
+}
+
+}  // namespace
+
+std::vector<double> autocorrelation_direct(std::span<const double> signal,
+                                           std::size_t max_lag) {
+  std::vector<double> x;
+  const double energy = center(signal, x);
+  max_lag = std::min(max_lag, x.size() - 1);
+  std::vector<double> r(max_lag + 1, 0.0);
+  if (energy <= 0.0) return r;  // constant signal: no structure
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + k < x.size(); ++i) acc += x[i] * x[i + k];
+    r[k] = acc / energy;
+  }
+  return r;
+}
+
+std::vector<double> autocorrelation_fft(std::span<const double> signal,
+                                        std::size_t max_lag) {
+  std::vector<double> x;
+  const double energy = center(signal, x);
+  max_lag = std::min(max_lag, x.size() - 1);
+  std::vector<double> r(max_lag + 1, 0.0);
+  if (energy <= 0.0) return r;
+
+  // Pad to >= 2n so the circular correlation equals the linear one.
+  const std::size_t padded = next_pow2(2 * x.size());
+  std::vector<std::complex<double>> buf(padded);
+  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = x[i];
+  fft_inplace(buf, /*inverse=*/false);
+  for (auto& v : buf) v = std::norm(v);  // |X|^2, imaginary part zero
+  const auto corr = ifft(std::move(buf));
+  for (std::size_t k = 0; k <= max_lag; ++k) r[k] = corr[k].real() / energy;
+  return r;
+}
+
+SpectralAnalysis spectral_analysis(std::span<const double> signal,
+                                   std::size_t max_lag) {
+  std::vector<double> x;
+  const double energy = center(signal, x);
+  max_lag = std::min(max_lag, x.size() - 1);
+
+  SpectralAnalysis out;
+  out.acf.assign(max_lag + 1, 0.0);
+
+  const std::size_t padded = next_pow2(2 * x.size());
+  out.padded_size = padded;
+  std::vector<std::complex<double>> buf(padded);
+  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = x[i];
+  fft_inplace(buf, /*inverse=*/false);
+  for (auto& v : buf) v = std::norm(v);
+
+  // Periodogram from the shared power spectrum.
+  const std::size_t half = padded / 2;
+  out.pgram_power.reserve(half);
+  for (std::size_t k = 1; k <= half; ++k) {
+    out.pgram_power.push_back(buf[k].real() / static_cast<double>(padded));
+  }
+  if (energy <= 0.0) return out;  // constant signal
+
+  const auto corr = ifft(std::move(buf));
+  for (std::size_t k = 0; k <= max_lag; ++k)
+    out.acf[k] = corr[k].real() / energy;
+  return out;
+}
+
+std::vector<std::size_t> acf_peaks(std::span<const double> r) {
+  std::vector<std::size_t> peaks;
+  for (std::size_t k = 1; k < r.size(); ++k) {
+    const bool rising = r[k] > r[k - 1];
+    const bool falling_next = (k + 1 >= r.size()) || r[k] >= r[k + 1];
+    if (rising && falling_next) peaks.push_back(k);
+  }
+  return peaks;
+}
+
+}  // namespace jsoncdn::stats

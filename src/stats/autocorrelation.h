@@ -1,0 +1,49 @@
+// Autocorrelation of uniformly sampled signals — the time-domain half of the
+// paper's periodicity detector. Computed two ways: a direct O(n^2) reference
+// (kept for tests) and the FFT route via the Wiener-Khinchin theorem, which
+// the detector uses for long flows.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace jsoncdn::stats {
+
+// Normalized autocorrelation r[k] for lags 0..max_lag of the mean-removed
+// signal: r[0] == 1 when the signal has positive variance. A constant signal
+// yields all-zero r (no periodic structure by definition). Requires a
+// non-empty signal; max_lag is clamped to size-1.
+[[nodiscard]] std::vector<double> autocorrelation_direct(
+    std::span<const double> signal, std::size_t max_lag);
+
+// Same contract as autocorrelation_direct, computed as ifft(|fft(x)|^2) with
+// zero-padding to avoid circular wrap-around. Agrees with the direct method
+// to floating-point tolerance (property-tested).
+[[nodiscard]] std::vector<double> autocorrelation_fft(
+    std::span<const double> signal, std::size_t max_lag);
+
+// Indices k in [1, r.size()) that are strict local maxima of r (r[k] > r[k-1]
+// and r[k] >= r[k+1]; the final lag qualifies when rising). Lag 0 never
+// counts.
+[[nodiscard]] std::vector<std::size_t> acf_peaks(std::span<const double> r);
+
+// Fused ACF + periodogram from a single FFT of the zero-padded, mean-removed
+// signal: the power spectrum |X|^2 *is* the (unnormalized) periodogram, and
+// its inverse FFT is the autocorrelation (Wiener-Khinchin). The periodicity
+// detector runs this once per permutation, so sharing the forward FFT
+// matters. `pgram_power[k]` corresponds to FFT bin k+1 of the padded signal
+// (`padded_size` long), matching Periodogram's indexing.
+struct SpectralAnalysis {
+  std::vector<double> acf;          // lags 0..max_lag, normalized
+  std::vector<double> pgram_power;  // bins 1..padded/2, scaled by 1/padded
+  std::size_t padded_size = 0;
+
+  [[nodiscard]] double pgram_period_samples(std::size_t k) const {
+    return static_cast<double>(padded_size) / static_cast<double>(k + 1);
+  }
+};
+
+[[nodiscard]] SpectralAnalysis spectral_analysis(std::span<const double> signal,
+                                                 std::size_t max_lag);
+
+}  // namespace jsoncdn::stats

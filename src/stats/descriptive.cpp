@@ -1,0 +1,136 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace jsoncdn::stats {
+
+Summary summarize(std::span<const double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double sum = std::accumulate(sorted.begin(), sorted.end(), 0.0);
+  s.mean = sum / static_cast<double>(sorted.size());
+  double sq = 0.0;
+  for (double v : sorted) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = std::sqrt(sq / static_cast<double>(sorted.size()));
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p25 = percentile_sorted(sorted, 0.25);
+  s.p50 = percentile_sorted(sorted, 0.50);
+  s.p75 = percentile_sorted(sorted, 0.75);
+  s.p90 = percentile_sorted(sorted, 0.90);
+  s.p99 = percentile_sorted(sorted, 0.99);
+  return s;
+}
+
+double percentile(std::span<const double> values, double q) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return percentile_sorted(sorted, q);
+}
+
+double percentile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty())
+    throw std::invalid_argument("percentile: empty sample");
+  if (q < 0.0 || q > 1.0)
+    throw std::invalid_argument("percentile: q outside [0,1]");
+  if (sorted.size() == 1) return sorted[0];
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo) {
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be >= 1");
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: requires lo < hi");
+  width_ = (hi - lo) / static_cast<double>(bins);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::add(double value) { add_n(value, 1); }
+
+void Histogram::add_n(double value, std::uint64_t n) {
+  total_ += n;
+  if (value < lo_) {
+    underflow_ += n;
+    return;
+  }
+  const auto bin = static_cast<std::size_t>((value - lo_) / width_);
+  if (bin >= counts_.size()) {
+    overflow_ += n;
+    return;
+  }
+  counts_[bin] += n;
+}
+
+std::uint64_t Histogram::count(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::count");
+  return counts_[bin];
+}
+
+double Histogram::bin_lo(std::size_t bin) const {
+  if (bin >= counts_.size()) throw std::out_of_range("Histogram::bin_lo");
+  return lo_ + width_ * static_cast<double>(bin);
+}
+
+double Histogram::bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
+
+double Histogram::bin_center(std::size_t bin) const {
+  return bin_lo(bin) + width_ / 2.0;
+}
+
+std::size_t Histogram::mode_bin() const {
+  if (total_ == underflow_ + overflow_)
+    throw std::logic_error("Histogram::mode_bin: no in-range observations");
+  return static_cast<std::size_t>(
+      std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> values)
+    : sorted_(std::move(values)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::at(double x) const {
+  if (sorted_.empty()) return 0.0;
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double q) const {
+  return percentile_sorted(sorted_, q);
+}
+
+std::string ascii_bar_chart(
+    const std::vector<std::pair<std::string, double>>& rows,
+    std::size_t width) {
+  double max_v = 0.0;
+  std::size_t max_label = 0;
+  for (const auto& [label, v] : rows) {
+    max_v = std::max(max_v, v);
+    max_label = std::max(max_label, label.size());
+  }
+  std::ostringstream out;
+  for (const auto& [label, v] : rows) {
+    const auto bar_len =
+        max_v > 0.0 ? static_cast<std::size_t>(std::lround(
+                          v / max_v * static_cast<double>(width)))
+                    : 0;
+    out << "  " << std::left << std::setw(static_cast<int>(max_label + 2))
+        << label << std::string(bar_len, '#') << ' ' << std::setprecision(4)
+        << v << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace jsoncdn::stats

@@ -1,0 +1,103 @@
+// Descriptive statistics: summary moments, percentiles, histograms, and
+// empirical CDFs. These back every "Figure N" reproduction — the paper's
+// figures are histograms (Fig. 5), CDFs (Fig. 6), ratios over time (Fig. 1),
+// and percentile comparisons (§4 response sizes).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace jsoncdn::stats {
+
+// Five-number-ish summary of a sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  // population stddev (divides by n)
+  double min = 0.0;
+  double max = 0.0;
+  double p25 = 0.0;
+  double p50 = 0.0;
+  double p75 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+// Computes a Summary; an empty sample yields a zeroed Summary.
+[[nodiscard]] Summary summarize(std::span<const double> values);
+
+// Percentile by linear interpolation between closest ranks; q in [0, 1].
+// Requires a non-empty sample. The input need not be sorted.
+[[nodiscard]] double percentile(std::span<const double> values, double q);
+// Same, but assumes `sorted` is ascending (no copy, O(1)).
+[[nodiscard]] double percentile_sorted(std::span<const double> sorted,
+                                       double q);
+
+// Fixed-width histogram over [lo, hi) with `bins` equal bins. Values outside
+// the range are counted in underflow/overflow, never silently dropped.
+class Histogram {
+ public:
+  // Requires bins >= 1 and lo < hi.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  void add_n(double value, std::uint64_t n);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const;
+  [[nodiscard]] std::uint64_t underflow() const noexcept { return underflow_; }
+  [[nodiscard]] std::uint64_t overflow() const noexcept { return overflow_; }
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  // Inclusive lower edge of `bin`.
+  [[nodiscard]] double bin_lo(std::size_t bin) const;
+  // Exclusive upper edge of `bin`.
+  [[nodiscard]] double bin_hi(std::size_t bin) const;
+  // Midpoint of `bin`.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+  // Index of the fullest bin (ties broken toward lower index). Requires at
+  // least one in-range observation.
+  [[nodiscard]] std::size_t mode_bin() const;
+
+ private:
+  double lo_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+// Empirical CDF: built once from a sample, then queried.
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> values);
+
+  // P(X <= x) under the empirical distribution.
+  [[nodiscard]] double at(double x) const;
+  // Inverse CDF (quantile), q in [0, 1]. Requires a non-empty sample.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] std::size_t size() const noexcept { return sorted_.size(); }
+  [[nodiscard]] const std::vector<double>& sorted_values() const noexcept {
+    return sorted_;
+  }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+// (x, y) series point used by figure renderers.
+struct SeriesPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// Renders a horizontal ASCII bar chart of labelled values — the benches use
+// this to print paper figures in the terminal. `width` is the bar length of
+// the maximum value.
+[[nodiscard]] std::string ascii_bar_chart(
+    const std::vector<std::pair<std::string, double>>& rows,
+    std::size_t width = 50);
+
+}  // namespace jsoncdn::stats

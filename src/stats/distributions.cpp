@@ -1,0 +1,95 @@
+#include "stats/distributions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace jsoncdn::stats {
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+  if (n == 0) throw std::invalid_argument("ZipfSampler: n must be >= 1");
+  if (s < 0.0) throw std::invalid_argument("ZipfSampler: s must be >= 0");
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against accumulated float error
+}
+
+std::size_t ZipfSampler::sample(Rng& rng) const {
+  const double u = rng.uniform();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::pmf(std::size_t rank) const {
+  if (rank >= cdf_.size()) throw std::out_of_range("ZipfSampler::pmf: rank");
+  return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+}
+
+BodySizeSampler::BodySizeSampler(const Params& params) : params_(params) {
+  if (params.log_stddev < 0.0)
+    throw std::invalid_argument("BodySizeSampler: log_stddev < 0");
+  if (params.tail_prob < 0.0 || params.tail_prob > 1.0)
+    throw std::invalid_argument("BodySizeSampler: tail_prob outside [0,1]");
+  if (params.tail_alpha <= 0.0)
+    throw std::invalid_argument("BodySizeSampler: tail_alpha <= 0");
+  if (params.min_bytes > params.max_bytes)
+    throw std::invalid_argument("BodySizeSampler: min_bytes > max_bytes");
+}
+
+std::uint64_t BodySizeSampler::sample(Rng& rng) const {
+  double bytes;
+  if (rng.bernoulli(params_.tail_prob)) {
+    // Inverse-CDF Pareto draw: xm * (1-u)^(-1/alpha).
+    const double u = rng.uniform();
+    bytes = params_.tail_xm * std::pow(1.0 - u, -1.0 / params_.tail_alpha);
+  } else {
+    bytes = std::exp(rng.normal(params_.log_mean, params_.log_stddev));
+  }
+  bytes = std::clamp(bytes, static_cast<double>(params_.min_bytes),
+                     static_cast<double>(params_.max_bytes));
+  return static_cast<std::uint64_t>(std::llround(bytes));
+}
+
+PoissonProcess::PoissonProcess(double rate) : rate_(rate) {
+  if (rate <= 0.0) throw std::invalid_argument("PoissonProcess: rate <= 0");
+}
+
+double PoissonProcess::next_after(double now, Rng& rng) const {
+  return now + rng.exponential(rate_);
+}
+
+std::vector<double> PoissonProcess::arrivals(double t_begin, double t_end,
+                                             Rng& rng) const {
+  if (t_begin > t_end)
+    throw std::invalid_argument("PoissonProcess::arrivals: t_begin > t_end");
+  std::vector<double> out;
+  for (double t = next_after(t_begin, rng); t < t_end;
+       t = next_after(t, rng)) {
+    out.push_back(t);
+  }
+  return out;
+}
+
+std::size_t weighted_choice(const std::vector<double>& weights, Rng& rng) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w < 0.0) throw std::invalid_argument("weighted_choice: negative weight");
+    total += w;
+  }
+  if (total <= 0.0)
+    throw std::invalid_argument("weighted_choice: no positive weight");
+  double u = rng.uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    u -= weights[i];
+    if (u < 0.0) return i;
+  }
+  return weights.size() - 1;  // float round-off: fall back to last entry
+}
+
+}  // namespace jsoncdn::stats

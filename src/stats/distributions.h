@@ -1,0 +1,86 @@
+// Heavy-tailed and arrival-process samplers used by the workload generator.
+//
+// Web object popularity is classically Zipf-distributed; response bodies are
+// well modelled by lognormal (body) + Pareto (tail); human request arrivals by
+// Poisson processes. Each sampler is a small value type that owns its
+// parameters and draws from a caller-supplied Rng, keeping all randomness on
+// the single seeded path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace jsoncdn::stats {
+
+// Zipf distribution over ranks {0, ..., n-1} with exponent s >= 0 (s = 0 is
+// uniform). Uses an inverted-CDF table: O(n) setup, O(log n) per draw, exact.
+class ZipfSampler {
+ public:
+  // Requires n >= 1 and s >= 0.
+  ZipfSampler(std::size_t n, double s);
+
+  // Draws a rank in [0, size()); rank 0 is the most popular item.
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return cdf_.size(); }
+  [[nodiscard]] double exponent() const noexcept { return s_; }
+  // P(rank = k); useful for tests and expected-share computations.
+  [[nodiscard]] double pmf(std::size_t rank) const;
+
+ private:
+  double s_;
+  std::vector<double> cdf_;  // cdf_[k] = P(rank <= k), cdf_.back() == 1
+};
+
+// Lognormal body-size model with an optional Pareto upper tail, clamped to
+// [min_bytes, max_bytes]. Matches the empirical shape of HTTP response sizes:
+// most bodies cluster around a mode with a long right tail.
+class BodySizeSampler {
+ public:
+  struct Params {
+    double log_mean = 6.0;      // mean of ln(bytes)
+    double log_stddev = 1.0;    // stddev of ln(bytes)
+    double tail_prob = 0.0;     // probability a draw comes from the Pareto tail
+    double tail_xm = 64 * 1024; // Pareto scale (tail minimum), bytes
+    double tail_alpha = 1.5;    // Pareto shape; > 1 for finite mean
+    std::uint64_t min_bytes = 16;
+    std::uint64_t max_bytes = 64ULL * 1024 * 1024;
+  };
+
+  explicit BodySizeSampler(const Params& params);
+
+  [[nodiscard]] std::uint64_t sample(Rng& rng) const;
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+ private:
+  Params params_;
+};
+
+// Homogeneous Poisson arrival process: successive inter-arrival gaps are
+// exponential with the given rate (events per second).
+class PoissonProcess {
+ public:
+  // Requires rate > 0.
+  explicit PoissonProcess(double rate);
+
+  // Returns the next arrival strictly after `now` (seconds).
+  [[nodiscard]] double next_after(double now, Rng& rng) const;
+
+  // All arrivals in [t_begin, t_end).
+  [[nodiscard]] std::vector<double> arrivals(double t_begin, double t_end,
+                                             Rng& rng) const;
+
+  [[nodiscard]] double rate() const noexcept { return rate_; }
+
+ private:
+  double rate_;
+};
+
+// Draws an index in [0, weights.size()) proportionally to non-negative
+// weights. Requires at least one strictly positive weight.
+[[nodiscard]] std::size_t weighted_choice(const std::vector<double>& weights,
+                                          Rng& rng);
+
+}  // namespace jsoncdn::stats

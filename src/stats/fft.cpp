@@ -1,0 +1,79 @@
+#include "stats/fft.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace jsoncdn::stats {
+
+std::size_t next_pow2(std::size_t n) noexcept {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0)
+    throw std::invalid_argument("fft_inplace: size must be a power of two");
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  // Butterfly passes.
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+std::vector<std::complex<double>> fft_real(std::span<const double> signal) {
+  std::vector<std::complex<double>> data(next_pow2(signal.size()));
+  for (std::size_t i = 0; i < signal.size(); ++i) data[i] = signal[i];
+  fft_inplace(data, /*inverse=*/false);
+  return data;
+}
+
+std::vector<std::complex<double>> ifft(std::vector<std::complex<double>> data) {
+  fft_inplace(data, /*inverse=*/true);
+  const double scale = 1.0 / static_cast<double>(data.size());
+  for (auto& v : data) v *= scale;
+  return data;
+}
+
+Periodogram periodogram(std::span<const double> signal) {
+  if (signal.empty()) throw std::invalid_argument("periodogram: empty signal");
+  double mean = 0.0;
+  for (double v : signal) mean += v;
+  mean /= static_cast<double>(signal.size());
+
+  std::vector<double> centered(signal.size());
+  for (std::size_t i = 0; i < signal.size(); ++i) centered[i] = signal[i] - mean;
+
+  const auto spectrum = fft_real(centered);
+  Periodogram out;
+  out.padded_size = spectrum.size();
+  const std::size_t half = spectrum.size() / 2;
+  out.power.reserve(half);
+  for (std::size_t k = 1; k <= half; ++k) {
+    out.power.push_back(std::norm(spectrum[k]) /
+                        static_cast<double>(spectrum.size()));
+  }
+  return out;
+}
+
+}  // namespace jsoncdn::stats

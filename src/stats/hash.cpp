@@ -1,0 +1,17 @@
+#include "stats/hash.h"
+
+#include <array>
+
+namespace jsoncdn::stats {
+
+std::string to_hex64(std::uint64_t value) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[value & 0xf];
+    value >>= 4;
+  }
+  return out;
+}
+
+}  // namespace jsoncdn::stats

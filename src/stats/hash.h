@@ -1,0 +1,40 @@
+// Non-cryptographic 64-bit hashing used across the library: stable IDs for
+// URLs/domains, salted anonymization of client addresses, and RNG stream
+// derivation. These hashes are deterministic across platforms and runs —
+// unlike std::hash, which the standard does not pin down.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jsoncdn::stats {
+
+inline constexpr std::uint64_t kFnvOffsetBasis64 = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime64 = 0x100000001b3ULL;
+
+// FNV-1a over bytes, optionally continuing from a previous state so callers
+// can hash multiple fields without concatenating strings.
+[[nodiscard]] constexpr std::uint64_t fnv1a64(
+    std::string_view bytes, std::uint64_t state = kFnvOffsetBasis64) noexcept {
+  for (unsigned char c : bytes) {
+    state ^= c;
+    state *= kFnvPrime64;
+  }
+  return state;
+}
+
+// Mixes an integer into an FNV state (hashes its 8 little-endian bytes).
+[[nodiscard]] constexpr std::uint64_t fnv1a64_mix(
+    std::uint64_t value, std::uint64_t state = kFnvOffsetBasis64) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    state ^= (value >> (8 * i)) & 0xffULL;
+    state *= kFnvPrime64;
+  }
+  return state;
+}
+
+// Renders a 64-bit hash as 16 lowercase hex digits (stable textual IDs).
+[[nodiscard]] std::string to_hex64(std::uint64_t value);
+
+}  // namespace jsoncdn::stats

@@ -1,0 +1,68 @@
+// Deterministic random number generation for the jsoncdn simulator.
+//
+// All randomness in the library flows from a single 64-bit seed through Rng so
+// that a scenario run is exactly reproducible. Rng also supports cheap forking
+// ("streams"): fork(key) derives an independent child generator from the
+// parent seed and a caller-supplied key, so concurrent subsystems (per-client
+// session models, per-domain catalogs, ...) draw from uncorrelated streams
+// without sharing mutable state.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace jsoncdn::stats {
+
+// SplitMix64 step: used to stretch user seeds into well-mixed state and to
+// derive fork keys. Public because tests and the anonymizer reuse it.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Seeded pseudo-random generator wrapping mt19937_64 with convenience draws.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(splitmix64(seed)) {}
+
+  // Derives an independent generator from this generator's seed and `key`.
+  // Forking depends only on (seed, key), not on how many draws the parent has
+  // made, so the derivation is stable under refactoring of draw order.
+  [[nodiscard]] Rng fork(std::uint64_t key) const {
+    return Rng(splitmix64(seed_ ^ splitmix64(key)));
+  }
+  [[nodiscard]] Rng fork(std::string_view key) const;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+
+  // UniformRandomBitGenerator interface so <random> distributions accept Rng.
+  static constexpr result_type min() { return std::mt19937_64::min(); }
+  static constexpr result_type max() { return std::mt19937_64::max(); }
+  result_type operator()() { return engine_(); }
+
+  // Uniform double in [0, 1).
+  [[nodiscard]] double uniform();
+  // Uniform double in [lo, hi). Requires lo <= hi.
+  [[nodiscard]] double uniform(double lo, double hi);
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+  // Bernoulli draw with probability p (clamped to [0, 1]).
+  [[nodiscard]] bool bernoulli(double p);
+  // Standard normal via the engine.
+  [[nodiscard]] double normal(double mean, double stddev);
+  // Exponential with given rate (lambda > 0).
+  [[nodiscard]] double exponential(double rate);
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::uint64_t seed_;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace jsoncdn::stats

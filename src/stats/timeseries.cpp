@@ -1,0 +1,52 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace jsoncdn::stats {
+
+std::vector<double> bin_events(std::span<const double> times, double t_begin,
+                               double t_end, double dt) {
+  if (dt <= 0.0) throw std::invalid_argument("bin_events: dt <= 0");
+  if (!(t_begin < t_end))
+    throw std::invalid_argument("bin_events: requires t_begin < t_end");
+  const auto n = static_cast<std::size_t>(std::ceil((t_end - t_begin) / dt));
+  std::vector<double> bins(n, 0.0);
+  for (double t : times) {
+    if (t < t_begin || t >= t_end) continue;
+    auto bin = static_cast<std::size_t>((t - t_begin) / dt);
+    if (bin >= n) bin = n - 1;  // t just below t_end with float round-off
+    bins[bin] += 1.0;
+  }
+  return bins;
+}
+
+std::vector<double> interarrival_gaps(std::span<const double> times) {
+  if (times.size() < 2) return {};
+  std::vector<double> gaps(times.size() - 1);
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    if (times[i] < times[i - 1])
+      throw std::invalid_argument("interarrival_gaps: times not ascending");
+    gaps[i - 1] = times[i] - times[i - 1];
+  }
+  return gaps;
+}
+
+std::vector<double> times_from_gaps(double t0, std::span<const double> gaps) {
+  std::vector<double> times;
+  times.reserve(gaps.size() + 1);
+  times.push_back(t0);
+  for (double g : gaps) times.push_back(times.back() + g);
+  return times;
+}
+
+std::vector<double> permute_gaps(std::span<const double> times, Rng& rng) {
+  if (times.size() < 2)
+    throw std::invalid_argument("permute_gaps: need at least 2 events");
+  auto gaps = interarrival_gaps(times);
+  std::shuffle(gaps.begin(), gaps.end(), rng.engine());
+  return times_from_gaps(times.front(), gaps);
+}
+
+}  // namespace jsoncdn::stats

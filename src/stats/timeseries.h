@@ -1,0 +1,39 @@
+// Event-stream utilities: binning request timestamps into uniformly sampled
+// count signals (the paper samples at 1 s), and permutation of inter-arrival
+// gaps for the detector's significance test.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace jsoncdn::stats {
+
+// Bins event timestamps (seconds) into counts per `dt`-second interval over
+// [t_begin, t_end). Events outside the window are ignored. Requires dt > 0
+// and t_begin < t_end.
+[[nodiscard]] std::vector<double> bin_events(std::span<const double> times,
+                                             double t_begin, double t_end,
+                                             double dt);
+
+// Inter-arrival gaps of an ascending timestamp sequence (size n -> n-1 gaps).
+[[nodiscard]] std::vector<double> interarrival_gaps(
+    std::span<const double> times);
+
+// Rebuilds a timestamp sequence from a start time and gaps.
+[[nodiscard]] std::vector<double> times_from_gaps(double t0,
+                                                  std::span<const double> gaps);
+
+// Random permutation of the inter-arrival gaps, re-accumulated into
+// timestamps starting at times.front(). Preserves the gap distribution
+// (hence the rate) while destroying gap *order*. Note this is NOT a valid
+// periodicity null model: a clean periodic flow has near-constant gaps, so
+// any gap order reproduces the same periodic signal — the detector shuffles
+// the binned signal instead. Kept as a general resampling utility.
+// Requires times.size() >= 2.
+[[nodiscard]] std::vector<double> permute_gaps(std::span<const double> times,
+                                               Rng& rng);
+
+}  // namespace jsoncdn::stats

@@ -1,0 +1,321 @@
+#include "workload/catalog.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "stats/hash.h"
+
+namespace jsoncdn::workload {
+
+std::size_t ObjectCatalog::add(ObjectSpec spec) {
+  const auto [it, inserted] = by_url_.emplace(spec.url, objects_.size());
+  if (!inserted)
+    throw std::invalid_argument("ObjectCatalog::add: duplicate URL " +
+                                spec.url);
+  objects_.push_back(std::move(spec));
+  return objects_.size() - 1;
+}
+
+const ObjectSpec* ObjectCatalog::find(std::string_view url) const {
+  const auto it = by_url_.find(std::string(url));
+  return it == by_url_.end() ? nullptr : &objects_[it->second];
+}
+
+const ObjectSpec& ObjectCatalog::at(std::size_t index) const {
+  if (index >= objects_.size())
+    throw std::out_of_range("ObjectCatalog::at");
+  return objects_[index];
+}
+
+stats::BodySizeSampler::Params size_params(http::ContentClass content) {
+  stats::BodySizeSampler::Params p;
+  switch (content) {
+    case http::ContentClass::kJson:
+      // API payloads cluster in the single-digit kilobytes with a thin tail.
+      // Median ~ e^8.6 = 5.4 kB.
+      p.log_mean = 8.75;
+      p.log_stddev = 0.75;
+      p.tail_prob = 0.01;
+      p.tail_xm = 64 * 1024;
+      p.tail_alpha = 1.8;
+      break;
+    case http::ContentClass::kHtml:
+      // Bimodal: lean mobile pages (lognormal body) plus heavy
+      // server-rendered desktop pages (Pareto component). Solved so that
+      // JSON is ~24% smaller at p50 and ~87% smaller at p75 (§4): HTML
+      // p50 ~ 7.3 kB, p75 ~ 70 kB.
+      p.log_mean = 8.45;
+      p.log_stddev = 0.5;
+      p.tail_prob = 0.38;
+      p.tail_xm = 50 * 1024;
+      p.tail_alpha = 1.2;
+      break;
+    case http::ContentClass::kCss:
+    case http::ContentClass::kJavascript:
+      p.log_mean = 9.2;
+      p.log_stddev = 1.0;
+      break;
+    case http::ContentClass::kImage:
+      p.log_mean = 10.0;
+      p.log_stddev = 1.3;
+      p.tail_prob = 0.05;
+      p.tail_xm = 256 * 1024;
+      p.tail_alpha = 1.6;
+      break;
+    case http::ContentClass::kVideo:
+      p.log_mean = 13.0;
+      p.log_stddev = 1.2;
+      break;
+    default:
+      p.log_mean = 7.0;
+      p.log_stddev = 1.0;
+      break;
+  }
+  return p;
+}
+
+std::string content_type_for(http::ContentClass content) {
+  switch (content) {
+    case http::ContentClass::kJson: return "application/json; charset=utf-8";
+    case http::ContentClass::kHtml: return "text/html; charset=utf-8";
+    case http::ContentClass::kCss: return "text/css";
+    case http::ContentClass::kJavascript: return "application/javascript";
+    case http::ContentClass::kImage: return "image/jpeg";
+    case http::ContentClass::kVideo: return "video/mp4";
+    case http::ContentClass::kFont: return "font/woff2";
+    case http::ContentClass::kPlain: return "text/plain";
+    case http::ContentClass::kBinary: return "application/octet-stream";
+    case http::ContentClass::kOther: return "application/x-unknown";
+  }
+  return "application/octet-stream";
+}
+
+namespace {
+
+std::string industry_slug(Industry ind) {
+  switch (ind) {
+    case Industry::kFinancialServices: return "fin";
+    case Industry::kStreaming: return "stream";
+    case Industry::kGaming: return "game";
+    case Industry::kNewsMedia: return "news";
+    case Industry::kSports: return "sports";
+    case Industry::kEntertainment: return "ent";
+    case Industry::kRetail: return "shop";
+    case Industry::kTechnology: return "tech";
+    case Industry::kTravel: return "travel";
+    case Industry::kSocialMedia: return "social";
+    case Industry::kAdvertising: return "ads";
+  }
+  return "misc";
+}
+
+// API path vocabulary per industry so generated URLs look like the real
+// endpoints the paper cites (stories/articles for news, scores for gaming,
+// quotes for finance, ...).
+const std::vector<std::string>& api_nouns(Industry ind) {
+  static const std::vector<std::string> fin = {
+      "quotes", "accounts", "portfolio", "rates", "transactions", "alerts"};
+  static const std::vector<std::string> stream = {
+      "playlist", "catalog", "recommendations", "drm", "progress", "search"};
+  static const std::vector<std::string> game = {
+      "scores", "leaderboard", "matches", "inventory", "session", "friends"};
+  static const std::vector<std::string> news = {
+      "stories", "article", "headlines", "topics", "comments", "related"};
+  static const std::vector<std::string> sports = {
+      "scores", "schedule", "standings", "players", "stats", "live"};
+  static const std::vector<std::string> ent = {
+      "listings", "events", "reviews", "media", "trending", "search"};
+  static const std::vector<std::string> shop = {
+      "products", "cart", "offers", "inventory", "reviews", "recommend"};
+  static const std::vector<std::string> tech = {
+      "config", "features", "updates", "devices", "status", "metrics"};
+  static const std::vector<std::string> travel = {
+      "flights", "hotels", "bookings", "prices", "itinerary", "search"};
+  static const std::vector<std::string> social = {
+      "feed", "messages", "notifications", "profile", "friends", "media"};
+  static const std::vector<std::string> ads = {
+      "impressions", "bids", "segments", "creatives", "clicks", "config"};
+  switch (ind) {
+    case Industry::kFinancialServices: return fin;
+    case Industry::kStreaming: return stream;
+    case Industry::kGaming: return game;
+    case Industry::kNewsMedia: return news;
+    case Industry::kSports: return sports;
+    case Industry::kEntertainment: return ent;
+    case Industry::kRetail: return shop;
+    case Industry::kTechnology: return tech;
+    case Industry::kTravel: return travel;
+    case Industry::kSocialMedia: return social;
+    case Industry::kAdvertising: return ads;
+  }
+  return tech;
+}
+
+}  // namespace
+
+DomainCatalog::DomainCatalog(const CatalogConfig& config, stats::Rng rng) {
+  if (config.domains_per_industry == 0)
+    throw std::invalid_argument("DomainCatalog: domains_per_industry == 0");
+
+  auto json_params = size_params(http::ContentClass::kJson);
+  json_params.log_mean += config.json_size_log_shift;
+  stats::BodySizeSampler json_sizes(json_params);
+  stats::BodySizeSampler html_sizes(size_params(http::ContentClass::kHtml));
+  stats::BodySizeSampler css_sizes(size_params(http::ContentClass::kCss));
+  stats::BodySizeSampler img_sizes(size_params(http::ContentClass::kImage));
+
+  for (const auto ind : kAllIndustries) {
+    for (std::size_t d = 0; d < config.domains_per_industry; ++d) {
+      DomainSpec domain;
+      char num[8];
+      std::snprintf(num, sizeof num, "%03zu", d);
+      domain.name =
+          "api." + industry_slug(ind) + "-" + num + ".example";
+      domain.industry = ind;
+      domain.cacheable_share = sample_domain_cacheable_share(ind, rng);
+      const auto& nouns = api_nouns(ind);
+      const std::string base = "https://" + domain.name;
+
+      // JSON API endpoints. A per-domain draw decides each object's
+      // cacheability so the domain-level share matches ground truth.
+      for (std::size_t j = 0; j < config.json_objects_per_domain; ++j) {
+        ObjectSpec obj;
+        const auto& noun = nouns[j % nouns.size()];
+        obj.url = base + "/api/v1/" + noun + "/" +
+                  std::to_string(j / nouns.size());
+        obj.domain = domain.name;
+        obj.content = http::ContentClass::kJson;
+        obj.content_type = content_type_for(obj.content);
+        obj.cacheable = rng.bernoulli(domain.cacheable_share);
+        obj.ttl_seconds = config.default_ttl_seconds;
+        obj.body_bytes = json_sizes.sample(rng);
+        domain.json_objects.push_back(objects_.add(std::move(obj)));
+      }
+
+      // HTML pages (for the browser population and the Fig. 1 HTML side).
+      for (std::size_t h = 0; h < config.html_objects_per_domain; ++h) {
+        ObjectSpec obj;
+        obj.url = base + "/pages/" + std::to_string(h) + ".html";
+        obj.domain = domain.name;
+        obj.content = http::ContentClass::kHtml;
+        obj.content_type = content_type_for(obj.content);
+        obj.cacheable = rng.bernoulli(
+            std::min(1.0, domain.cacheable_share + 0.2));
+        obj.ttl_seconds = config.default_ttl_seconds;
+        obj.body_bytes = html_sizes.sample(rng);
+        domain.html_objects.push_back(objects_.add(std::move(obj)));
+      }
+
+      // Static assets: always cacheable (the classic CDN use case).
+      for (std::size_t a = 0; a < config.asset_objects_per_domain; ++a) {
+        ObjectSpec obj;
+        const bool image = (a % 3 != 0);
+        obj.url = base + "/static/" + (image ? "img" : "app") +
+                  std::to_string(a) + (image ? ".jpg" : ".js");
+        obj.domain = domain.name;
+        obj.content = image ? http::ContentClass::kImage
+                            : http::ContentClass::kJavascript;
+        obj.content_type = content_type_for(obj.content);
+        obj.cacheable = true;
+        obj.ttl_seconds = 24 * 3600.0;
+        obj.body_bytes = image ? img_sizes.sample(rng) : css_sizes.sample(rng);
+        domain.asset_objects.push_back(objects_.add(std::move(obj)));
+      }
+
+      // Template-fixed page dependencies: which assets and JSON XHRs each
+      // page references.
+      for (std::size_t h = 0; h < domain.html_objects.size(); ++h) {
+        std::vector<std::size_t> assets;
+        if (!domain.asset_objects.empty()) {
+          const auto hi = std::min<std::size_t>(8, domain.asset_objects.size());
+          const auto lo = std::min<std::size_t>(4, hi);
+          const auto asset_count = static_cast<std::size_t>(rng.uniform_int(
+              static_cast<std::int64_t>(lo), static_cast<std::int64_t>(hi)));
+          for (std::size_t a = 0; a < asset_count; ++a) {
+            assets.push_back(domain.asset_objects[static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(
+                                       domain.asset_objects.size()) - 1))]);
+          }
+        }
+        std::vector<std::size_t> xhrs;
+        if (!domain.json_objects.empty()) {
+          const auto xhr_count =
+              static_cast<std::size_t>(rng.uniform_int(1, 3));
+          for (std::size_t x = 0; x < xhr_count; ++x) {
+            xhrs.push_back(domain.json_objects[static_cast<std::size_t>(
+                rng.uniform_int(0, static_cast<std::int64_t>(
+                                       domain.json_objects.size()) - 1))]);
+          }
+        }
+        domain.page_assets.push_back(std::move(assets));
+        domain.page_xhrs.push_back(std::move(xhrs));
+      }
+
+      // Machine-to-machine endpoints: a POST telemetry beacon and a GET
+      // poller (latest-messages style). Both uncacheable, per §5.1's finding
+      // that periodic traffic is mostly uncacheable and upload-heavy.
+      {
+        ObjectSpec beacon;
+        beacon.url = base + "/api/v1/telemetry";
+        beacon.domain = domain.name;
+        beacon.content = http::ContentClass::kJson;
+        beacon.content_type = content_type_for(beacon.content);
+        beacon.cacheable = false;
+        // Telemetry responses carry config/ack payloads, smaller than API
+        // bodies but not trivial.
+        beacon.body_bytes = std::max<std::uint64_t>(
+            64, json_sizes.sample(rng) / 4);
+        domain.telemetry_object = objects_.add(std::move(beacon));
+
+        ObjectSpec poll;
+        poll.url = base + "/api/v1/" + nouns[0] + "/latest";
+        poll.domain = domain.name;
+        poll.content = http::ContentClass::kJson;
+        poll.content_type = content_type_for(poll.content);
+        // Short-TTL cacheable polling following the domain's cacheability
+        // policy, so never-cache domains stay on Fig. 4's left edge and
+        // always-cache domains on its right edge.
+        poll.cacheable = rng.bernoulli(domain.cacheable_share);
+        poll.ttl_seconds = 10.0;
+        poll.body_bytes = json_sizes.sample(rng);
+        domain.poll_object = objects_.add(std::move(poll));
+      }
+
+      domains_.push_back(std::move(domain));
+    }
+  }
+
+  // Zipf popularity over domains, shuffled so popularity is not correlated
+  // with industry order, then mildly biased toward cacheable domains: the
+  // high-volume CDN customers (news, media, sports) are exactly the ones
+  // that cache. This is what lets the request-weighted uncacheable share
+  // (~55%) coexist with ~50% of *domains* never caching, as in §4.
+  stats::ZipfSampler zipf(domains_.size(), config.domain_popularity_zipf_s);
+  std::vector<std::size_t> ranks(domains_.size());
+  for (std::size_t i = 0; i < ranks.size(); ++i) ranks[i] = i;
+  std::shuffle(ranks.begin(), ranks.end(), rng.engine());
+  popularity_.resize(domains_.size());
+  for (std::size_t i = 0; i < domains_.size(); ++i) {
+    popularity_[i] =
+        zipf.pmf(ranks[i]) * (0.45 + 1.15 * domains_[i].cacheable_share);
+    domains_[i].popularity_weight = popularity_[i];
+  }
+}
+
+std::size_t DomainCatalog::sample_domain(stats::Rng& rng) const {
+  return stats::weighted_choice(popularity_, rng);
+}
+
+std::vector<std::size_t> DomainCatalog::top_domains(std::size_t k) const {
+  std::vector<std::size_t> indices(domains_.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  std::sort(indices.begin(), indices.end(), [&](std::size_t a, std::size_t b) {
+    return popularity_[a] > popularity_[b];
+  });
+  indices.resize(std::min(k, indices.size()));
+  return indices;
+}
+
+}  // namespace jsoncdn::workload

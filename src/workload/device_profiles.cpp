@@ -1,0 +1,203 @@
+#include "workload/device_profiles.h"
+
+#include <stdexcept>
+
+namespace jsoncdn::workload {
+
+namespace {
+
+using http::AgentKind;
+using http::DeviceType;
+
+std::vector<DeviceProfile> make_mobile_apps() {
+  // App UAs release weekly: many live versions per app.
+  return {
+      {"ios-news-app",
+       "NewsReader/{v} (iPhone; iOS 12.4.1; Scale/3.00)",
+       DeviceType::kMobile, AgentKind::kNativeApp, 14},
+      {"ios-cfnetwork-app",
+       "Feedly/{v} CFNetwork/978.0.7 Darwin/18.7.0",
+       DeviceType::kMobile, AgentKind::kNativeApp, 12},
+      {"android-okhttp-app",
+       "com.example.shopping/{v} (Android 9; SM-G960F) okhttp/3.12.0",
+       DeviceType::kMobile, AgentKind::kNativeApp, 14},
+      {"android-dalvik-app",
+       // Stock runtime UA: indistinguishable from a bare HTTP stack, so the
+       // honest ground-truth agent label is "library".
+       "Dalvik/2.1.0 (Linux; U; Android 8.1.0; Pixel 2 Build/{v})",
+       DeviceType::kMobile, AgentKind::kLibrary, 10},
+      {"ios-social-app",
+       "SocialApp/{v} (iPhone11,2; iOS 13.1; Scale/2.00)",
+       DeviceType::kMobile, AgentKind::kNativeApp, 14},
+      {"android-game-app",
+       "PuzzleQuest/{v} (Android 10; Build/QP1A.190711) okhttp/4.2.1",
+       DeviceType::kMobile, AgentKind::kNativeApp, 12},
+      {"ios-weather-app",
+       "WeatherNow/{v} CFNetwork/976 Darwin/18.2.0 (iPhone/XS iOS/12.1.2)",
+       DeviceType::kMobile, AgentKind::kNativeApp, 12},
+  };
+}
+
+std::vector<DeviceProfile> make_mobile_browsers() {
+  return {
+      {"ios-safari",
+       "Mozilla/5.0 (iPhone; CPU iPhone OS 12_4 like Mac OS X) "
+       "AppleWebKit/605.1.15 (KHTML, like Gecko) Version/{v} Mobile/15E148 "
+       "Safari/604.1",
+       DeviceType::kMobile, AgentKind::kBrowser, 5},
+      {"android-chrome",
+       "Mozilla/5.0 (Linux; Android 9; SM-G960F) AppleWebKit/537.36 (KHTML, "
+       "like Gecko) Chrome/{v} Mobile Safari/537.36",
+       DeviceType::kMobile, AgentKind::kBrowser, 6},
+      {"ios-chrome",
+       "Mozilla/5.0 (iPhone; CPU iPhone OS 12_4 like Mac OS X) "
+       "AppleWebKit/605.1.15 (KHTML, like Gecko) CriOS/{v} "
+       "Mobile/15E148 Safari/605.1",
+       DeviceType::kMobile, AgentKind::kBrowser, 5},
+  };
+}
+
+std::vector<DeviceProfile> make_desktop_browsers() {
+  // Desktop browsers auto-update: very few live versions.
+  return {
+      {"win-chrome",
+       "Mozilla/5.0 (Windows NT 10.0; Win64; x64) AppleWebKit/537.36 (KHTML, "
+       "like Gecko) Chrome/76.0.3809.100 Safari/537.36",
+       DeviceType::kDesktop, AgentKind::kBrowser, 1},
+      {"mac-safari",
+       "Mozilla/5.0 (Macintosh; Intel Mac OS X 10_14_6) AppleWebKit/605.1.15 "
+       "(KHTML, like Gecko) Version/12.1.2 Safari/605.1.15",
+       DeviceType::kDesktop, AgentKind::kBrowser, 1},
+      {"win-firefox",
+       "Mozilla/5.0 (Windows NT 10.0; Win64; x64; rv:69.0) Gecko/20100101 "
+       "Firefox/69.0",
+       DeviceType::kDesktop, AgentKind::kBrowser, 1},
+      {"linux-firefox",
+       "Mozilla/5.0 (X11; Linux x86_64; rv:68.0) Gecko/20100101 Firefox/68.0",
+       DeviceType::kDesktop, AgentKind::kBrowser, 1},
+  };
+}
+
+std::vector<DeviceProfile> make_embedded() {
+  // Firmware updates are rare: a handful of versions per device line.
+  return {
+      {"playstation",
+       "Mozilla/5.0 (PlayStation 4 {v}) AppleWebKit/605.1.15 (KHTML, like "
+       "Gecko)",
+       DeviceType::kEmbedded, AgentKind::kNativeApp, 3},
+      {"xbox",
+       "GameHub/{v} (Xbox One; XboxOS 10.0.18363) Network/1.0",
+       DeviceType::kEmbedded, AgentKind::kNativeApp, 3},
+      {"nintendo",
+       "Mozilla/5.0 (Nintendo Switch; WifiWebAuthApplet) AppleWebKit/601.6 "
+       "(KHTML, like Gecko) NF/4.0.0.5.9 NintendoBrowser/{v}",
+       DeviceType::kEmbedded, AgentKind::kNativeApp, 3},
+      {"apple-watch",
+       "FitnessTracker/{v} (AppleWatch4,4; watchOS 5.3; Scale/2.00)",
+       DeviceType::kEmbedded, AgentKind::kNativeApp, 4},
+      {"samsung-tv",
+       "StreamPlayer/{v} (SMART-TV; Tizen 5.0) AppleWebKit/537.36",
+       DeviceType::kEmbedded, AgentKind::kNativeApp, 3},
+      {"lg-tv",
+       "MediaCenter/{v} (WebOS; LGE; 55UK6300) Luna/1.0",
+       DeviceType::kEmbedded, AgentKind::kNativeApp, 3},
+      {"roku",
+       "Roku/DVP-{v} (519.10E04111A)",
+       DeviceType::kEmbedded, AgentKind::kNativeApp, 3},
+      {"iot-sensor",
+       "SmartThings-Hub/{v} ESP8266/2.4.1",
+       DeviceType::kEmbedded, AgentKind::kNativeApp, 2},
+      {"smart-speaker",
+       "VoiceAssistant/{v} (HomePod; audioOS 13.0)",
+       DeviceType::kEmbedded, AgentKind::kNativeApp, 3},
+  };
+}
+
+std::vector<DeviceProfile> make_libraries() {
+  return {
+      {"curl", "curl/7.58.0", DeviceType::kUnknown, AgentKind::kLibrary, 1},
+      {"python-requests", "python-requests/2.22.0", DeviceType::kUnknown,
+       AgentKind::kLibrary, 1},
+      {"go-http", "Go-http-client/1.1", DeviceType::kUnknown,
+       AgentKind::kLibrary, 1},
+      {"java", "Java/1.8.0_222", DeviceType::kUnknown, AgentKind::kLibrary, 1},
+      {"okhttp-bare", "okhttp/3.12.1", DeviceType::kMobile,
+       AgentKind::kLibrary, 2},
+  };
+}
+
+std::vector<DeviceProfile> make_no_ua() {
+  return {
+      {"no-ua", "", DeviceType::kUnknown, AgentKind::kUnknown, 1},
+  };
+}
+
+std::vector<DeviceProfile> make_garbage_ua() {
+  return {
+      {"garbage-1", "0x8fA3-device", DeviceType::kUnknown,
+       AgentKind::kUnknown, 1},
+      {"garbage-2", "prod-fetcher-internal", DeviceType::kUnknown,
+       AgentKind::kUnknown, 1},
+      {"garbage-3", "AGENT_STRING_NOT_SET", DeviceType::kUnknown,
+       AgentKind::kUnknown, 1},
+  };
+}
+
+}  // namespace
+
+const std::vector<DeviceProfile>& profiles(ProfileClass c) {
+  static const auto mobile_apps = make_mobile_apps();
+  static const auto mobile_browsers = make_mobile_browsers();
+  static const auto desktop_browsers = make_desktop_browsers();
+  static const auto embedded = make_embedded();
+  static const auto libraries = make_libraries();
+  static const auto no_ua = make_no_ua();
+  static const auto garbage = make_garbage_ua();
+  switch (c) {
+    case ProfileClass::kMobileApp: return mobile_apps;
+    case ProfileClass::kMobileBrowser: return mobile_browsers;
+    case ProfileClass::kDesktopBrowser: return desktop_browsers;
+    case ProfileClass::kEmbedded: return embedded;
+    case ProfileClass::kLibrary: return libraries;
+    case ProfileClass::kNoUserAgent: return no_ua;
+    case ProfileClass::kGarbageUa: return garbage;
+  }
+  throw std::invalid_argument("profiles: unknown class");
+}
+
+const DeviceProfile& sample_profile(ProfileClass c, stats::Rng& rng) {
+  const auto& list = profiles(c);
+  const auto idx = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(list.size()) - 1));
+  return list[idx];
+}
+
+std::string materialize_user_agent(const DeviceProfile& profile,
+                                   stats::Rng& rng) {
+  const auto slot = profile.user_agent.find("{v}");
+  if (slot == std::string::npos) return profile.user_agent;
+  const auto variant = static_cast<int>(
+      rng.uniform_int(0, std::max(0, profile.version_variants - 1)));
+  // Deterministic "maj.min.patch" per variant index.
+  const std::string version = std::to_string(3 + variant / 5) + "." +
+                              std::to_string((variant * 7) % 10) + "." +
+                              std::to_string((variant * 3) % 8);
+  std::string out = profile.user_agent;
+  out.replace(slot, 3, version);
+  return out;
+}
+
+std::string_view to_string(ProfileClass c) noexcept {
+  switch (c) {
+    case ProfileClass::kMobileApp: return "mobile-app";
+    case ProfileClass::kMobileBrowser: return "mobile-browser";
+    case ProfileClass::kDesktopBrowser: return "desktop-browser";
+    case ProfileClass::kEmbedded: return "embedded";
+    case ProfileClass::kLibrary: return "library";
+    case ProfileClass::kNoUserAgent: return "no-ua";
+    case ProfileClass::kGarbageUa: return "garbage-ua";
+  }
+  return "unknown";
+}
+
+}  // namespace jsoncdn::workload

@@ -1,0 +1,56 @@
+// Device / agent profiles: the user-agent corpus the synthetic population
+// draws from, each carrying its ground-truth device class so detector
+// accuracy can be scored. The corpus covers the classes the paper observes:
+// native mobile apps (iOS + Android, several HTTP stacks), mobile browsers,
+// desktop browsers, embedded devices (consoles, watches, TVs, IoT), generic
+// HTTP libraries, and requests with a missing or garbage UA.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "http/device_db.h"
+#include "stats/rng.h"
+
+namespace jsoncdn::workload {
+
+struct DeviceProfile {
+  std::string name;             // short label, e.g. "ios-news-app"
+  std::string user_agent;       // UA template; "{v}" = version slot, "" = absent
+  http::DeviceType true_device = http::DeviceType::kUnknown;
+  http::AgentKind true_agent = http::AgentKind::kUnknown;
+  // Distinct version strings in the wild for this profile. App UAs churn
+  // fast (weekly releases), embedded firmware slowly, library UAs barely —
+  // this is what shapes the paper's distinct-UA-string distribution
+  // (73% mobile / 17% embedded / 3% desktop / 7% unknown).
+  int version_variants = 1;
+};
+
+// Realizes a concrete UA string from the template by filling the "{v}" slot
+// with one of the profile's version variants. Idempotent for variant-free
+// profiles. Call once per client: a device keeps one UA.
+[[nodiscard]] std::string materialize_user_agent(const DeviceProfile& profile,
+                                                 stats::Rng& rng);
+
+// Population classes used to dial the Fig. 3 device mix.
+enum class ProfileClass {
+  kMobileApp,        // native smartphone apps
+  kMobileBrowser,
+  kDesktopBrowser,
+  kEmbedded,         // consoles / watches / TVs / IoT
+  kLibrary,          // scripts and server-side clients
+  kNoUserAgent,      // UA header missing entirely
+  kGarbageUa,        // present but unidentifiable
+};
+
+// All built-in profiles of a class. Each list has several entries so the UA
+// string distribution is not degenerate.
+[[nodiscard]] const std::vector<DeviceProfile>& profiles(ProfileClass c);
+
+// Uniformly picks one profile of the class.
+[[nodiscard]] const DeviceProfile& sample_profile(ProfileClass c,
+                                                  stats::Rng& rng);
+
+[[nodiscard]] std::string_view to_string(ProfileClass c) noexcept;
+
+}  // namespace jsoncdn::workload

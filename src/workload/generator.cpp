@@ -1,0 +1,320 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/distributions.h"
+
+namespace jsoncdn::workload {
+
+const std::vector<PeriodChoice>& canonical_periods() {
+  // Spike set from Fig. 5 (even intervals dominate) plus a few oddball
+  // periods so the histogram has realistic off-spike mass.
+  static const std::vector<PeriodChoice> kPeriods = {
+      {30.0, 0.16}, {60.0, 0.22}, {120.0, 0.13}, {180.0, 0.11},
+      {300.0, 0.09}, {600.0, 0.11}, {900.0, 0.08}, {1800.0, 0.06},
+      {45.0, 0.02},  {75.0, 0.02},
+  };
+  return kPeriods;
+}
+
+namespace {
+
+double sample_period(stats::Rng& rng) {
+  const auto& choices = canonical_periods();
+  std::vector<double> weights;
+  weights.reserve(choices.size());
+  for (const auto& c : choices) weights.push_back(c.weight);
+  return choices[stats::weighted_choice(weights, rng)].seconds;
+}
+
+std::string address_of(std::size_t client_index) {
+  // Synthetic 10.x.y.z addresses; unique per client.
+  const auto i = client_index;
+  return "10." + std::to_string((i >> 16) & 0xff) + "." +
+         std::to_string((i >> 8) & 0xff) + "." + std::to_string(i & 0xff);
+}
+
+}  // namespace
+
+WorkloadGenerator::WorkloadGenerator(GeneratorConfig config)
+    : config_(std::move(config)) {
+  if (config_.duration_seconds <= 0.0)
+    throw std::invalid_argument("WorkloadGenerator: duration <= 0");
+  if (config_.n_clients == 0)
+    throw std::invalid_argument("WorkloadGenerator: n_clients == 0");
+  stats::Rng croot(config_.catalog_seed != 0 ? config_.catalog_seed
+                                             : config_.seed);
+  catalog_ = std::make_unique<DomainCatalog>(config_.catalog,
+                                             croot.fork("catalog"));
+  const auto& domains = catalog_->domains();
+  app_graphs_.reserve(domains.size());
+  auto graph_params = config_.app_graph;
+  graph_params.json_size_log_shift = config_.catalog.json_size_log_shift;
+  for (std::size_t d = 0; d < domains.size(); ++d) {
+    app_graphs_.emplace_back(domains[d], catalog_->mutable_objects(),
+                             graph_params, croot.fork("appgraph").fork(d));
+  }
+}
+
+Workload WorkloadGenerator::generate() const {
+  stats::Rng root(config_.seed);
+  // Canonical polling periods are firmware properties: tied to the catalog
+  // seed so shared-ecosystem runs agree on them.
+  stats::Rng setup = stats::Rng(config_.catalog_seed != 0 ? config_.catalog_seed
+                                                          : config_.seed)
+                         .fork("period-setup");
+
+  const auto& domains = catalog_->domains();
+  const double window = config_.duration_seconds;
+
+  // Per-domain canonical polling period + client adherence probability.
+  std::vector<double> canonical(domains.size());
+  std::vector<double> adherence(domains.size());
+  for (std::size_t d = 0; d < domains.size(); ++d) {
+    canonical[d] = sample_period(setup);
+    adherence[d] = setup.uniform(config_.canonical_period_adherence_lo,
+                                 config_.canonical_period_adherence_hi);
+  }
+
+  Workload out;
+  auto& truth = out.truth;
+
+  const auto m2m_hubs = catalog_->top_domains(config_.m2m_top_domains);
+
+  const std::vector<double> class_weights = {
+      config_.shares.mobile_app,     config_.shares.mobile_browser,
+      config_.shares.desktop_browser, config_.shares.embedded,
+      config_.shares.library,        config_.shares.no_ua,
+      config_.shares.garbage_ua,
+  };
+  constexpr ProfileClass kClasses[] = {
+      ProfileClass::kMobileApp,      ProfileClass::kMobileBrowser,
+      ProfileClass::kDesktopBrowser, ProfileClass::kEmbedded,
+      ProfileClass::kLibrary,        ProfileClass::kNoUserAgent,
+      ProfileClass::kGarbageUa,
+  };
+
+  auto append = [&](std::vector<RequestEvent>&& events) {
+    for (auto& ev : events) out.events.push_back(std::move(ev));
+  };
+
+  // Hybrid-app webview: after an app session, optionally load one HTML page
+  // of the same domain (plus its template assets).
+  auto maybe_webview = [&](const std::vector<RequestEvent>& session,
+                           std::size_t dom, stats::Rng& rng) {
+    if (session.empty() || !rng.bernoulli(config_.app_webview_html_prob))
+      return;
+    const auto& domain = domains[dom];
+    if (domain.html_objects.empty()) return;
+    const auto page_index = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(domain.html_objects.size()) - 1));
+    RequestEvent ev;
+    ev.time = session.back().time + rng.uniform(0.5, 3.0);
+    ev.client_address = session.back().client_address;
+    ev.user_agent = session.back().user_agent;
+    ev.method = http::Method::kGet;
+    ev.url = catalog_->objects().at(domain.html_objects[page_index]).url;
+    out.events.push_back(std::move(ev));
+  };
+
+  // Emits one periodic flow for `client` and records the ground truth.
+  // Machine-to-machine traffic concentrates: with m2m_concentration the
+  // flow targets one of the hub domains rather than the client's favourite.
+  auto add_periodic_flow = [&](const std::string& address,
+                               const std::string& ua, std::size_t dom,
+                               bool prefer_upload, stats::Rng& rng) {
+    if (!m2m_hubs.empty() && rng.bernoulli(config_.m2m_concentration)) {
+      dom = m2m_hubs[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(m2m_hubs.size()) - 1))];
+    }
+    const auto& domain = domains[dom];
+    const bool upload = prefer_upload ? rng.bernoulli(0.75)
+                                      : rng.bernoulli(0.35);
+    const auto obj_index =
+        upload ? domain.telemetry_object : domain.poll_object;
+    if (!obj_index) return;
+    const auto& url = catalog_->objects().at(*obj_index).url;
+
+    PeriodicFlowParams params;
+    params.period_seconds = rng.bernoulli(adherence[dom])
+                                ? canonical[dom]
+                                : sample_period(rng);
+    params.jitter_stddev = config_.periodic_jitter_stddev;
+    // Device online for a bounded stretch, not the whole window: flows need
+    // >= 10 requests to enter the analysis but should not dominate volume.
+    const double ticks = static_cast<double>(rng.uniform_int(12, 60));
+    const double span = std::min(window, params.period_seconds * ticks);
+    const double start = rng.uniform(0.0, std::max(1e-9, window - span));
+    params.phase_offset = rng.uniform(0.0, params.period_seconds);
+
+    auto events = generate_periodic_flow(
+        url, upload ? http::Method::kPost : http::Method::kGet, address, ua,
+        start, start + span, params, rng);
+    if (events.empty()) return;
+    PeriodicTruth pt;
+    pt.client_address = address;
+    pt.user_agent = ua;
+    pt.url = url;
+    pt.period_seconds = params.period_seconds;
+    pt.request_count = events.size();
+    truth.periodic_flows.push_back(std::move(pt));
+    truth.periodic_events += events.size();
+    append(std::move(events));
+  };
+
+  auto interactive_session_starts = [&](stats::Rng& rng) {
+    std::vector<double> starts;
+    const double mean = config_.mean_sessions_per_client;
+    // Poisson-distributed session count, uniform start times.
+    const double rate = mean / window;
+    stats::PoissonProcess process(std::max(rate, 1e-12));
+    starts = process.arrivals(0.0, window, rng);
+    return starts;
+  };
+
+  for (std::size_t i = 0; i < config_.n_clients; ++i) {
+    stats::Rng rng = root.fork("client").fork(i);
+    const auto cls =
+        kClasses[stats::weighted_choice(class_weights, rng)];
+    const auto& profile = sample_profile(cls, rng);
+    const auto ua = materialize_user_agent(profile, rng);
+    const auto address = address_of(i);
+    const auto favorite = catalog_->sample_domain(rng);
+
+    ClientTruth ct;
+    ct.address = address;
+    ct.user_agent = ua;
+    ct.profile_class = cls;
+    ct.device = profile.true_device;
+    ct.agent = profile.true_agent;
+
+    switch (cls) {
+      case ProfileClass::kMobileApp: {
+        for (double t0 : interactive_session_starts(rng)) {
+          auto session = generate_app_session(app_graphs_[favorite], address,
+                                              ua, t0, config_.app_session,
+                                              rng);
+          maybe_webview(session, favorite, rng);
+          append(std::move(session));
+        }
+        if (rng.bernoulli(config_.periodic.mobile_app)) {
+          ct.runs_periodic_flow = true;
+          add_periodic_flow(address, ua, favorite,
+                            /*prefer_upload=*/true, rng);
+        }
+        break;
+      }
+      case ProfileClass::kMobileBrowser:
+      case ProfileClass::kDesktopBrowser: {
+        for (double t0 : interactive_session_starts(rng)) {
+          append(generate_browser_session(domains[favorite],
+                                          catalog_->objects(), address,
+                                          ua, t0,
+                                          config_.browser_session, rng));
+        }
+        break;
+      }
+      case ProfileClass::kEmbedded: {
+        if (rng.bernoulli(config_.periodic.embedded)) {
+          ct.runs_periodic_flow = true;
+          // IoT / watch style: one or two periodic flows.
+          add_periodic_flow(address, ua, favorite,
+                            /*prefer_upload=*/true, rng);
+          if (rng.bernoulli(0.3)) {
+            add_periodic_flow(address, ua,
+                              catalog_->sample_domain(rng),
+                              /*prefer_upload=*/false, rng);
+          }
+        } else {
+          // Console / smart-TV app behaviour.
+          for (double t0 : interactive_session_starts(rng)) {
+            append(generate_app_session(app_graphs_[favorite], address,
+                                        ua, t0,
+                                        config_.app_session, rng));
+          }
+        }
+        break;
+      }
+      case ProfileClass::kLibrary: {
+        const auto& domain = domains[favorite];
+        if (domain.telemetry_object) {
+          const auto& url = catalog_->objects().at(*domain.telemetry_object).url;
+          const double span = std::min(
+              window, rng.uniform(config_.beacon_session_lo_seconds,
+                                  config_.beacon_session_hi_seconds));
+          const double start = rng.uniform(0.0, std::max(1e-9, window - span));
+          append(generate_poisson_beacon(url, address, ua,
+                                         start, start + span,
+                                         config_.beacon_rate, rng));
+        }
+        if (rng.bernoulli(config_.periodic.library)) {
+          ct.runs_periodic_flow = true;
+          add_periodic_flow(address, ua, favorite,
+                            /*prefer_upload=*/false, rng);
+        }
+        break;
+      }
+      case ProfileClass::kNoUserAgent:
+      case ProfileClass::kGarbageUa: {
+        // Unknown UAs hide a mix of app traffic and scripted beacons.
+        if (rng.bernoulli(config_.unknown_app_like_share)) {
+          for (double t0 : interactive_session_starts(rng)) {
+            append(generate_app_session(app_graphs_[favorite], address,
+                                        ua, t0,
+                                        config_.app_session, rng));
+          }
+        } else {
+          const auto& domain = domains[favorite];
+          if (domain.telemetry_object) {
+            const auto& url =
+                catalog_->objects().at(*domain.telemetry_object).url;
+            const double span = std::min(
+                window, rng.uniform(config_.beacon_session_lo_seconds,
+                                    config_.beacon_session_hi_seconds));
+            const double start =
+                rng.uniform(0.0, std::max(1e-9, window - span));
+            append(generate_poisson_beacon(url, address, ua, start,
+                                           start + span, config_.beacon_rate,
+                                           rng));
+          }
+        }
+        const double p = cls == ProfileClass::kNoUserAgent
+                             ? config_.periodic.no_ua
+                             : config_.periodic.garbage_ua;
+        if (rng.bernoulli(p)) {
+          ct.runs_periodic_flow = true;
+          add_periodic_flow(address, ua, favorite,
+                            /*prefer_upload=*/true, rng);
+        }
+        break;
+      }
+    }
+    truth.clients.push_back(std::move(ct));
+  }
+
+  // Clamp to the window (sessions started near the end may overrun) and
+  // establish global time order.
+  std::erase_if(out.events, [&](const RequestEvent& ev) {
+    return ev.time < 0.0 || ev.time >= window;
+  });
+  std::stable_sort(out.events.begin(), out.events.end(),
+                   [](const RequestEvent& a, const RequestEvent& b) {
+                     return a.time < b.time;
+                   });
+  truth.total_events = out.events.size();
+
+  // URL -> template key map for clustered-prediction scoring.
+  for (const auto& graph : app_graphs_) {
+    for (std::size_t t = 0; t < graph.endpoint_count(); ++t) {
+      const std::string key = graph.domain() + "#" + std::to_string(t);
+      for (const auto& url : graph.urls_of(t)) {
+        truth.template_of_url.emplace(url, key);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace jsoncdn::workload

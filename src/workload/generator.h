@@ -1,0 +1,152 @@
+// Top-level workload generator: builds a client population, assigns each
+// client a behaviour model, and merges all request events into one
+// time-ordered stream with full ground truth. This is the stand-in for the
+// paper's production traffic; every figure/table is regenerated from its
+// output, and the ground truth lets tests score the paper's detectors
+// (something the original study could not do).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "workload/app_graph.h"
+#include "workload/catalog.h"
+#include "workload/device_profiles.h"
+#include "workload/sessions.h"
+
+namespace jsoncdn::workload {
+
+// Population mix over profile classes (fractions of clients; need not sum to
+// exactly 1 — they are used as weights). Defaults approximate the paper's
+// Fig. 3 request shares: mobile >= 55%, embedded ~12%, unknown ~24%,
+// desktop small, and 88% non-browser overall.
+struct PopulationShares {
+  double mobile_app = 0.50;
+  double mobile_browser = 0.06;
+  double desktop_browser = 0.08;
+  double embedded = 0.12;
+  double library = 0.03;
+  double no_ua = 0.165;
+  double garbage_ua = 0.03;
+};
+
+// Probability that a client of a class runs a periodic machine-to-machine
+// flow in addition to (or instead of) its interactive behaviour.
+struct PeriodicShares {
+  double mobile_app = 0.03;   // apps with background refresh/telemetry
+  double embedded = 0.55;     // IoT, watches: mostly periodic by nature
+  double library = 0.35;      // cron-style scripts
+  double no_ua = 0.10;
+  double garbage_ua = 0.10;
+};
+
+struct GeneratorConfig {
+  std::uint64_t seed = 1;
+  // Seed for the domain/object catalog and app graphs; 0 derives it from
+  // `seed`. Setting it explicitly lets two runs share one app ecosystem
+  // while drawing different client populations (train/replay experiments).
+  std::uint64_t catalog_seed = 0;
+  double duration_seconds = 600.0;
+  std::size_t n_clients = 2000;
+  PopulationShares shares;
+  PeriodicShares periodic;
+  CatalogConfig catalog;
+  AppGraphParams app_graph;
+  AppSessionParams app_session;
+  BrowserSessionParams browser_session;
+  // Mean interactive sessions per client over the window.
+  double mean_sessions_per_client = 3.0;
+  // Poisson beacon rate (req/s) for library/script clients.
+  double beacon_rate = 1.0 / 110.0;
+  // Share of unknown-UA clients that behave like apps (vs scripted beacons).
+  double unknown_app_like_share = 0.75;
+  // Chance an app session opens an embedded webview (one HTML page load) —
+  // hybrid apps; a second source of HTML traffic besides browsers.
+  double app_webview_html_prob = 0.10;
+  // Scripted beacon clients run in bounded sessions (cron jobs, batch
+  // uploads), not all day: per-activation span drawn from this range.
+  double beacon_session_lo_seconds = 900.0;
+  double beacon_session_hi_seconds = 7200.0;
+  // Machine-to-machine traffic concentrates on a few big endpoints
+  // (analytics providers, central telemetry): with this probability a
+  // periodic client targets one of the top `m2m_top_domains` domains
+  // instead of its own favourite.
+  double m2m_concentration = 0.7;
+  std::size_t m2m_top_domains = 6;
+  // Gaussian jitter of periodic request timing, seconds.
+  double periodic_jitter_stddev = 0.35;
+  // Probability a periodic client adopts its object's canonical period
+  // (drives the Fig. 6 share of period-matching clients per object).
+  double canonical_period_adherence_lo = 0.20;
+  double canonical_period_adherence_hi = 0.80;
+};
+
+// Ground-truth labels, kept separate from the log stream: the analyses never
+// see these.
+struct ClientTruth {
+  std::string address;
+  std::string user_agent;
+  ProfileClass profile_class = ProfileClass::kNoUserAgent;
+  http::DeviceType device = http::DeviceType::kUnknown;
+  http::AgentKind agent = http::AgentKind::kUnknown;
+  bool runs_periodic_flow = false;
+};
+
+struct PeriodicTruth {
+  std::string client_address;
+  std::string user_agent;
+  std::string url;
+  double period_seconds = 0.0;
+  std::size_t request_count = 0;
+};
+
+struct GroundTruth {
+  std::vector<ClientTruth> clients;
+  std::vector<PeriodicTruth> periodic_flows;
+  std::size_t total_events = 0;
+  std::size_t periodic_events = 0;   // events emitted by periodic flows
+  // Template id per app-graph URL (for scoring clustered-URL prediction).
+  std::unordered_map<std::string, std::string> template_of_url;
+};
+
+struct Workload {
+  std::vector<RequestEvent> events;  // ascending time
+  GroundTruth truth;
+};
+
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(GeneratorConfig config);
+
+  // Generates the full event stream. Deterministic: same config -> same
+  // workload. Callable repeatedly; each call regenerates from the seed.
+  [[nodiscard]] Workload generate() const;
+
+  [[nodiscard]] const DomainCatalog& catalog() const noexcept {
+    return *catalog_;
+  }
+  [[nodiscard]] const std::vector<AppGraph>& app_graphs() const noexcept {
+    return app_graphs_;
+  }
+  [[nodiscard]] const GeneratorConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  GeneratorConfig config_;
+  std::unique_ptr<DomainCatalog> catalog_;
+  std::vector<AppGraph> app_graphs_;  // one per domain
+};
+
+// Canonical machine-to-machine period set: the spikes the paper reports in
+// Fig. 5 (30 s, 1 m, 2 m, 3 m, 5 m, 10 m, 15 m, 30 m) plus their weights.
+struct PeriodChoice {
+  double seconds;
+  double weight;
+};
+[[nodiscard]] const std::vector<PeriodChoice>& canonical_periods();
+
+}  // namespace jsoncdn::workload

@@ -1,0 +1,62 @@
+#include "workload/industry.h"
+
+#include <stdexcept>
+
+namespace jsoncdn::workload {
+
+std::string_view to_string(Industry i) noexcept {
+  switch (i) {
+    case Industry::kFinancialServices: return "Financial Services";
+    case Industry::kStreaming: return "Streaming";
+    case Industry::kGaming: return "Gaming";
+    case Industry::kNewsMedia: return "News/Media";
+    case Industry::kSports: return "Sports";
+    case Industry::kEntertainment: return "Entertainment";
+    case Industry::kRetail: return "Retail";
+    case Industry::kTechnology: return "Technology";
+    case Industry::kTravel: return "Travel";
+    case Industry::kSocialMedia: return "Social Media";
+    case Industry::kAdvertising: return "Advertising";
+  }
+  return "Unknown";
+}
+
+const CacheabilityProfile& cacheability_profile(Industry i) noexcept {
+  // Shares are tuned so that across the default category mix ~50% of
+  // domains never cache and ~30% always cache (Fig. 4 discussion in §4).
+  static constexpr CacheabilityProfile kFinancial{0.88, 0.04, 0.05, 0.35};
+  static constexpr CacheabilityProfile kStreaming{0.82, 0.06, 0.10, 0.40};
+  static constexpr CacheabilityProfile kGaming{0.78, 0.08, 0.10, 0.45};
+  static constexpr CacheabilityProfile kNews{0.10, 0.70, 0.50, 0.95};
+  static constexpr CacheabilityProfile kSports{0.12, 0.62, 0.45, 0.95};
+  static constexpr CacheabilityProfile kEntertainment{0.18, 0.55, 0.40, 0.90};
+  static constexpr CacheabilityProfile kRetail{0.55, 0.18, 0.20, 0.70};
+  static constexpr CacheabilityProfile kTechnology{0.45, 0.25, 0.20, 0.80};
+  static constexpr CacheabilityProfile kTravel{0.60, 0.12, 0.15, 0.60};
+  static constexpr CacheabilityProfile kSocial{0.70, 0.08, 0.10, 0.50};
+  static constexpr CacheabilityProfile kAds{0.65, 0.10, 0.10, 0.55};
+  switch (i) {
+    case Industry::kFinancialServices: return kFinancial;
+    case Industry::kStreaming: return kStreaming;
+    case Industry::kGaming: return kGaming;
+    case Industry::kNewsMedia: return kNews;
+    case Industry::kSports: return kSports;
+    case Industry::kEntertainment: return kEntertainment;
+    case Industry::kRetail: return kRetail;
+    case Industry::kTechnology: return kTechnology;
+    case Industry::kTravel: return kTravel;
+    case Industry::kSocialMedia: return kSocial;
+    case Industry::kAdvertising: return kAds;
+  }
+  return kTechnology;
+}
+
+double sample_domain_cacheable_share(Industry i, stats::Rng& rng) {
+  const auto& p = cacheability_profile(i);
+  const double u = rng.uniform();
+  if (u < p.never_share) return 0.0;
+  if (u < p.never_share + p.always_share) return 1.0;
+  return rng.uniform(p.mid_lo, p.mid_hi);
+}
+
+}  // namespace jsoncdn::workload

@@ -1,0 +1,62 @@
+// Industry categories for CDN customer domains (the paper labels domains via
+// a commercial categorization service; Fig. 4 groups cacheability by the top
+// 11 categories). Each category carries a cacheability mixture matching the
+// paper's qualitative finding: Financial Services / Streaming / Gaming serve
+// one-time-use or personalized JSON (never cacheable), while News/Media /
+// Sports / Entertainment serve highly static content (mostly cacheable), and
+// overall ~50% of domains never cache while ~30% always cache.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "stats/rng.h"
+
+namespace jsoncdn::workload {
+
+enum class Industry {
+  kFinancialServices,
+  kStreaming,
+  kGaming,
+  kNewsMedia,
+  kSports,
+  kEntertainment,
+  kRetail,
+  kTechnology,
+  kTravel,
+  kSocialMedia,
+  kAdvertising,
+};
+
+inline constexpr std::size_t kIndustryCount = 11;
+
+inline constexpr std::array<Industry, kIndustryCount> kAllIndustries = {
+    Industry::kFinancialServices, Industry::kStreaming,
+    Industry::kGaming,            Industry::kNewsMedia,
+    Industry::kSports,            Industry::kEntertainment,
+    Industry::kRetail,            Industry::kTechnology,
+    Industry::kTravel,            Industry::kSocialMedia,
+    Industry::kAdvertising,
+};
+
+[[nodiscard]] std::string_view to_string(Industry i) noexcept;
+
+// Cacheability mixture for domains of a category: with probability
+// `never_share` a domain caches nothing, with `always_share` it caches
+// everything, otherwise its cacheable object share is uniform in
+// [mid_lo, mid_hi].
+struct CacheabilityProfile {
+  double never_share = 0.0;
+  double always_share = 0.0;
+  double mid_lo = 0.2;
+  double mid_hi = 0.8;
+};
+
+[[nodiscard]] const CacheabilityProfile& cacheability_profile(
+    Industry i) noexcept;
+
+// Draws one domain's cacheable-object share from the category mixture.
+[[nodiscard]] double sample_domain_cacheable_share(Industry i,
+                                                   stats::Rng& rng);
+
+}  // namespace jsoncdn::workload

@@ -1,0 +1,28 @@
+// Scenario presets mirroring the paper's two datasets (Table 2):
+//
+//   Short-term: 25 M logs, 10 minutes, ~5 K domains  — the whole network,
+//               used for the §4 characterization (Fig. 3, Fig. 4, sizes).
+//   Long-term:  10 M logs, 24 hours,   ~170 domains — three Seattle vantage
+//               points, used for the §5 pattern analyses (Fig. 5/6, Table 3).
+//
+// `scale` shrinks log volume and domain count proportionally so the full
+// pipeline runs on a laptop; 1.0 would reproduce paper-sized datasets.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/generator.h"
+
+namespace jsoncdn::workload {
+
+// Wide, short window over a large customer base. scale=0.01 yields roughly
+// 250 K logs over ~50 domains-per-industry.
+[[nodiscard]] GeneratorConfig short_term_scenario(double scale = 0.01,
+                                                  std::uint64_t seed = 42);
+
+// Narrow, day-long window over a small customer base, rich in periodic and
+// app-session traffic. scale=0.01 yields roughly 100 K logs.
+[[nodiscard]] GeneratorConfig long_term_scenario(double scale = 0.01,
+                                                 std::uint64_t seed = 43);
+
+}  // namespace jsoncdn::workload

@@ -1,0 +1,92 @@
+// Property sweeps over the two-class priority scheduler: invariants that
+// must hold at any utilization and class mix.
+#include <gtest/gtest.h>
+
+#include "cdn/prioritizer.h"
+#include "stats/rng.h"
+
+namespace jsoncdn::cdn {
+namespace {
+
+struct SweepCase {
+  double utilization;    // offered load vs a single unit-rate server
+  double machine_share;  // probability a job is machine traffic
+  std::uint64_t seed;
+};
+
+std::vector<SchedulerJob> make_jobs(const SweepCase& c, std::size_t n) {
+  stats::Rng rng(c.seed);
+  std::vector<SchedulerJob> jobs;
+  double t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    t += rng.exponential(c.utilization);  // mean gap 1/u, service 1
+    jobs.push_back({t, rng.uniform(0.5, 1.5), rng.bernoulli(c.machine_share)});
+  }
+  return jobs;
+}
+
+class SchedulerSweepTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SchedulerSweepTest, AllJobsServedUnderBothPolicies) {
+  const auto jobs = make_jobs(GetParam(), 800);
+  for (const auto policy :
+       {SchedulingPolicy::kFifo, SchedulingPolicy::kHumanPriority}) {
+    const auto r = simulate_schedule(jobs, policy);
+    EXPECT_EQ(r.human.count + r.machine.count, jobs.size());
+  }
+}
+
+TEST_P(SchedulerSweepTest, PriorityNeverHurtsHumans) {
+  const auto jobs = make_jobs(GetParam(), 800);
+  const auto fifo = simulate_schedule(jobs, SchedulingPolicy::kFifo);
+  const auto prio = simulate_schedule(jobs, SchedulingPolicy::kHumanPriority);
+  if (fifo.human.count == 0) return;  // nothing to compare
+  EXPECT_LE(prio.human.waiting.mean, fifo.human.waiting.mean + 1e-9);
+}
+
+TEST_P(SchedulerSweepTest, WaitingIsNonNegativeAndSojournExceedsService) {
+  const auto jobs = make_jobs(GetParam(), 400);
+  const auto r = simulate_schedule(jobs, SchedulingPolicy::kHumanPriority);
+  EXPECT_GE(r.human.waiting.min, 0.0);
+  EXPECT_GE(r.machine.waiting.min, 0.0);
+  if (r.human.count > 0) {
+    EXPECT_GE(r.human.sojourn.mean, r.human.waiting.mean);
+  }
+}
+
+TEST_P(SchedulerSweepTest, MoreServersNeverIncreaseMeanWait) {
+  const auto jobs = make_jobs(GetParam(), 600);
+  double prev = 1e18;
+  for (const std::size_t servers : {1u, 2u, 4u}) {
+    const auto r = simulate_schedule(jobs, SchedulingPolicy::kFifo, servers);
+    const double overall_wait =
+        (r.human.waiting.mean * static_cast<double>(r.human.count) +
+         r.machine.waiting.mean * static_cast<double>(r.machine.count)) /
+        static_cast<double>(jobs.size());
+    EXPECT_LE(overall_wait, prev + 1e-9) << servers;
+    prev = overall_wait;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    LoadMixGrid, SchedulerSweepTest,
+    ::testing::Values(SweepCase{0.3, 0.2, 1}, SweepCase{0.3, 0.8, 2},
+                      SweepCase{0.7, 0.5, 3}, SweepCase{0.9, 0.3, 4},
+                      SweepCase{0.9, 0.7, 5}, SweepCase{1.1, 0.5, 6},
+                      SweepCase{1.5, 0.5, 7}));
+
+TEST(SchedulerEdge, AllMachineTrafficStillServed) {
+  std::vector<SchedulerJob> jobs = {{0.0, 1.0, true}, {0.5, 1.0, true}};
+  const auto r = simulate_schedule(jobs, SchedulingPolicy::kHumanPriority);
+  EXPECT_EQ(r.machine.count, 2u);
+  EXPECT_EQ(r.human.count, 0u);
+}
+
+TEST(SchedulerEdge, ZeroServiceJobsCompleteInstantly) {
+  std::vector<SchedulerJob> jobs = {{0.0, 0.0, false}, {0.0, 0.0, false}};
+  const auto r = simulate_schedule(jobs, SchedulingPolicy::kFifo);
+  EXPECT_DOUBLE_EQ(r.human.sojourn.max, 0.0);
+}
+
+}  // namespace
+}  // namespace jsoncdn::cdn

@@ -1,0 +1,257 @@
+#include "core/periodicity.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/sessions.h"
+
+namespace jsoncdn::core {
+namespace {
+
+std::vector<double> periodic_times(double period, std::size_t count,
+                                   double jitter, std::uint64_t seed,
+                                   double dropout = 0.0) {
+  stats::Rng rng(seed);
+  std::vector<double> times;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (dropout > 0.0 && rng.bernoulli(dropout)) continue;
+    double t = period * static_cast<double>(i);
+    if (jitter > 0.0) t += rng.normal(0.0, jitter);
+    times.push_back(t);
+  }
+  std::sort(times.begin(), times.end());
+  return times;
+}
+
+std::vector<double> poisson_times(double rate, double duration,
+                                  std::uint64_t seed) {
+  stats::Rng rng(seed);
+  std::vector<double> times;
+  double t = 0.0;
+  while (true) {
+    t += rng.exponential(rate);
+    if (t >= duration) break;
+    times.push_back(t);
+  }
+  return times;
+}
+
+DetectorParams fast_params() {
+  DetectorParams params;
+  params.permutations = 100;
+  return params;
+}
+
+// --- detector on planted periods, across period x jitter ------------------
+
+struct PlantedCase {
+  double period;
+  double jitter;
+};
+
+class PlantedPeriodTest : public ::testing::TestWithParam<PlantedCase> {};
+
+TEST_P(PlantedPeriodTest, DetectsWithinTolerance) {
+  const auto [period, jitter] = GetParam();
+  const auto times = periodic_times(period, 40, jitter, 7, 0.02);
+  PeriodicityDetector detector(fast_params());
+  stats::Rng rng(1);
+  const auto result = detector.detect(times, rng);
+  ASSERT_TRUE(result.periodic) << "period=" << period << " jitter=" << jitter;
+  EXPECT_NEAR(result.period_seconds, period, period * 0.15);
+  EXPECT_GT(result.acf_peak_value, result.acf_threshold);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PeriodsAndJitter, PlantedPeriodTest,
+    ::testing::Values(PlantedCase{30.0, 0.0}, PlantedCase{30.0, 0.5},
+                      PlantedCase{30.0, 1.5}, PlantedCase{60.0, 0.5},
+                      PlantedCase{120.0, 1.0}, PlantedCase{300.0, 2.0},
+                      PlantedCase{900.0, 5.0}, PlantedCase{1800.0, 10.0}));
+
+TEST(PeriodicityDetector, RejectsPoissonTraffic) {
+  PeriodicityDetector detector(fast_params());
+  int false_positives = 0;
+  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+    const auto times = poisson_times(1.0 / 30.0, 2400.0, seed);
+    if (times.size() < 10) continue;
+    stats::Rng rng(seed + 100);
+    if (detector.detect(times, rng).periodic) ++false_positives;
+  }
+  // The threshold targets ~p=0.01 per test; a couple of hits in 20 noisy
+  // flows would already be unusual.
+  EXPECT_LE(false_positives, 2);
+}
+
+TEST(PeriodicityDetector, RejectsTooFewRequests) {
+  PeriodicityDetector detector(fast_params());
+  stats::Rng rng(1);
+  const std::vector<double> times = {0.0, 30.0, 60.0};
+  EXPECT_FALSE(detector.detect(times, rng).periodic);
+}
+
+TEST(PeriodicityDetector, RejectsBurstOfSimultaneousRequests) {
+  PeriodicityDetector detector(fast_params());
+  stats::Rng rng(1);
+  std::vector<double> times(50, 1.0);  // zero span
+  EXPECT_FALSE(detector.detect(times, rng).periodic);
+}
+
+TEST(PeriodicityDetector, NeedsMinCyclesInWindow) {
+  // Period 1000 s but only ~2 cycles observed: must not report it.
+  const auto times = periodic_times(1000.0, 3, 0.0, 1);
+  PeriodicityDetector detector(fast_params());
+  stats::Rng rng(2);
+  const auto result = detector.detect(times, rng);
+  EXPECT_FALSE(result.periodic);
+}
+
+TEST(PeriodicityDetector, DeterministicGivenSameRngSeed) {
+  const auto times = periodic_times(60.0, 30, 0.5, 3);
+  PeriodicityDetector detector(fast_params());
+  stats::Rng r1(5);
+  stats::Rng r2(5);
+  const auto a = detector.detect(times, r1);
+  const auto b = detector.detect(times, r2);
+  EXPECT_EQ(a.periodic, b.periodic);
+  EXPECT_DOUBLE_EQ(a.period_seconds, b.period_seconds);
+}
+
+TEST(PeriodicityDetector, PeriodsMatchTolerance) {
+  DetectorParams params;
+  params.period_match_tolerance = 0.15;
+  PeriodicityDetector detector(params);
+  EXPECT_TRUE(detector.periods_match(30.0, 30.0));
+  EXPECT_TRUE(detector.periods_match(30.0, 33.0));
+  EXPECT_FALSE(detector.periods_match(30.0, 40.0));
+  EXPECT_FALSE(detector.periods_match(30.0, 60.0));
+  EXPECT_FALSE(detector.periods_match(0.0, 30.0));
+}
+
+TEST(PeriodicityDetector, RejectsBadParams) {
+  DetectorParams params;
+  params.sample_interval = 0.0;
+  EXPECT_THROW(PeriodicityDetector{params}, std::invalid_argument);
+  params = {};
+  params.permutations = 1;
+  EXPECT_THROW(PeriodicityDetector{params}, std::invalid_argument);
+  params = {};
+  params.period_match_tolerance = 1.5;
+  EXPECT_THROW(PeriodicityDetector{params}, std::invalid_argument);
+  params = {};
+  params.min_cycles = 1.0;
+  EXPECT_THROW(PeriodicityDetector{params}, std::invalid_argument);
+}
+
+TEST(PeriodicityDetector, LongPeriodLongSpanStillResolved) {
+  // 30-minute period over a day: exercises the adaptive re-binning path.
+  const auto times = periodic_times(1800.0, 48, 5.0, 9);
+  PeriodicityDetector detector(fast_params());
+  stats::Rng rng(10);
+  const auto result = detector.detect(times, rng);
+  ASSERT_TRUE(result.periodic);
+  EXPECT_NEAR(result.period_seconds, 1800.0, 1800.0 * 0.15);
+}
+
+// --- dataset-level analysis ------------------------------------------------
+
+logs::LogRecord rec(double t, const std::string& client,
+                    const std::string& url,
+                    http::Method method = http::Method::kGet) {
+  logs::LogRecord r;
+  r.timestamp = t;
+  r.client_id = client;
+  r.user_agent = "ua";
+  r.url = url;
+  r.domain = "d";
+  r.content_type = "application/json";
+  r.method = method;
+  r.cache_status = logs::CacheStatus::kNotCacheable;
+  return r;
+}
+
+logs::Dataset mixed_dataset() {
+  logs::Dataset ds;
+  // Periodic object: 12 clients polling at 60 s (shared period), offset
+  // phases.
+  for (int c = 0; c < 12; ++c) {
+    stats::Rng rng(100 + c);
+    const double phase = rng.uniform(0.0, 60.0);
+    for (int i = 0; i < 25; ++i) {
+      ds.add(rec(phase + 60.0 * i + rng.normal(0.0, 0.3),
+                 "p" + std::to_string(c), "https://d/poll"));
+    }
+  }
+  // Aperiodic object: 12 clients with Poisson traffic.
+  for (int c = 0; c < 12; ++c) {
+    stats::Rng rng(200 + c);
+    double t = 0.0;
+    for (int i = 0; i < 25; ++i) {
+      t += rng.exponential(1.0 / 60.0);
+      ds.add(rec(t, "a" + std::to_string(c), "https://d/random",
+                 http::Method::kPost));
+    }
+  }
+  ds.sort_by_time();
+  return ds;
+}
+
+TEST(AnalyzePeriodicity, SeparatesPeriodicFromPoissonObjects) {
+  const auto ds = mixed_dataset();
+  PeriodicityConfig config;
+  const auto report = analyze_periodicity(ds, config);
+  ASSERT_EQ(report.objects.size(), 2u);
+
+  const auto* poll = &report.objects[0];
+  const auto* random = &report.objects[1];
+  if (poll->url != "https://d/poll") std::swap(poll, random);
+
+  EXPECT_TRUE(poll->object_periodic);
+  EXPECT_NEAR(poll->object_period_seconds, 60.0, 9.0);
+  EXPECT_GT(poll->periodic_client_share, 0.8);
+
+  EXPECT_EQ(random->periodic_client_count, 0u);
+}
+
+TEST(AnalyzePeriodicity, ReportAggregatesShares) {
+  const auto ds = mixed_dataset();
+  PeriodicityConfig config;
+  const auto report = analyze_periodicity(ds, config);
+  EXPECT_EQ(report.total_requests, ds.size());
+  EXPECT_GT(report.periodic_requests, 0u);
+  EXPECT_NEAR(report.periodic_request_share,
+              static_cast<double>(report.periodic_requests) /
+                  static_cast<double>(ds.size()),
+              1e-12);
+  // The periodic object is GET + uncacheable in this dataset.
+  EXPECT_NEAR(report.periodic_uncacheable_share, 1.0, 1e-9);
+  EXPECT_NEAR(report.periodic_upload_share, 0.0, 1e-9);
+  ASSERT_EQ(report.object_periods.size(), 1u);
+  ASSERT_EQ(report.periodic_client_shares.size(), 1u);
+}
+
+TEST(AnalyzePeriodicity, DeterministicAcrossRuns) {
+  const auto ds = mixed_dataset();
+  PeriodicityConfig config;
+  const auto a = analyze_periodicity(ds, config);
+  const auto b = analyze_periodicity(ds, config);
+  EXPECT_EQ(a.periodic_requests, b.periodic_requests);
+  EXPECT_EQ(a.object_periods, b.object_periods);
+}
+
+TEST(AnalyzePeriodicity, FlowFilterExcludesSmallObjects) {
+  logs::Dataset ds;
+  // 3 clients only -> below the >=10 clients filter.
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 20; ++i) {
+      ds.add(rec(60.0 * i, "c" + std::to_string(c), "https://d/x"));
+    }
+  }
+  const auto report = analyze_periodicity(ds, PeriodicityConfig{});
+  EXPECT_TRUE(report.objects.empty());
+  EXPECT_EQ(report.periodic_requests, 0u);
+}
+
+}  // namespace
+}  // namespace jsoncdn::core

@@ -1,0 +1,92 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+namespace jsoncdn::core {
+namespace {
+
+TEST(RenderGrowth, EmptySeriesRendersHeaderOnly) {
+  const auto out = render_growth({});
+  EXPECT_NE(out.find("Figure 1"), std::string::npos);
+}
+
+TEST(RenderGrowth, RowsPerQuarter) {
+  std::vector<workload::QuarterStats> series(2);
+  series[0].label = "2016Q1";
+  series[0].json_html_ratio = 1.0;
+  series[0].mean_json_bytes = 1000.0;
+  series[1].label = "2016Q2";
+  series[1].json_html_ratio = 2.0;
+  series[1].mean_json_bytes = 900.0;
+  const auto out = render_growth(series);
+  EXPECT_NE(out.find("2016Q1"), std::string::npos);
+  EXPECT_NE(out.find("2016Q2"), std::string::npos);
+  EXPECT_NE(out.find("-10.0%"), std::string::npos);  // size change
+}
+
+TEST(RenderPeriodHistogram, BucketsSpikesWithTolerance) {
+  // 31 s lands in the 30 s bucket; 100 s is no spike -> "other".
+  const auto out = render_period_histogram({31.0, 60.0, 100.0});
+  EXPECT_NE(out.find("30s"), std::string::npos);
+  EXPECT_NE(out.find("other"), std::string::npos);
+  EXPECT_NE(out.find("3 periodic objects"), std::string::npos);
+}
+
+TEST(RenderPeriodHistogram, MinuteLabels) {
+  const auto out = render_period_histogram({});
+  EXPECT_NE(out.find("1m"), std::string::npos);
+  EXPECT_NE(out.find("30m"), std::string::npos);
+  EXPECT_NE(out.find("45s"), std::string::npos);
+}
+
+TEST(RenderPeriodicClientCdf, EmptyInputHandled) {
+  const auto out = render_periodic_client_cdf({});
+  EXPECT_NE(out.find("no periodic objects"), std::string::npos);
+}
+
+TEST(RenderPeriodicClientCdf, MajorityShareLine) {
+  const auto out = render_periodic_client_cdf({0.1, 0.2, 0.8, 0.9});
+  EXPECT_NE(out.find("majority"), std::string::npos);
+  EXPECT_NE(out.find("50.0%"), std::string::npos);  // 2 of 4 above 0.5
+}
+
+TEST(RenderPeriodicitySummary, ContainsHeadlineNumbers) {
+  PeriodicityReport report;
+  report.total_requests = 1000;
+  report.periodic_requests = 63;
+  report.periodic_request_share = 0.063;
+  report.periodic_uncacheable_share = 0.562;
+  report.periodic_upload_share = 0.78;
+  const auto out = render_periodicity_summary(report);
+  EXPECT_NE(out.find("6.3%"), std::string::npos);
+  EXPECT_NE(out.find("56.2%"), std::string::npos);
+  EXPECT_NE(out.find("78.0%"), std::string::npos);
+}
+
+TEST(RenderNgramTable, FormatsRows) {
+  NgramAccuracy row;
+  row.context_len = 1;
+  row.clustered = true;
+  row.predictions = 1234;
+  row.accuracy_at = {{1, 0.65}, {5, 0.84}, {10, 0.87}};
+  const auto out = render_ngram_table({row});
+  EXPECT_NE(out.find("clustered"), std::string::npos);
+  EXPECT_NE(out.find("0.650"), std::string::npos);
+  EXPECT_NE(out.find("0.870"), std::string::npos);
+  EXPECT_NE(out.find("1234"), std::string::npos);
+}
+
+TEST(RenderHeatmap, ShadesCells) {
+  CacheabilityHeatmap heatmap;
+  heatmap.categories = {"Gaming"};
+  heatmap.bins = 10;
+  heatmap.density = {{1.0, 0, 0, 0, 0, 0, 0, 0, 0, 0}};
+  heatmap.never_cache_domain_share = 1.0;
+  const auto out = render_heatmap(heatmap);
+  EXPECT_NE(out.find("Gaming"), std::string::npos);
+  EXPECT_NE(out.find("@"), std::string::npos);  // full-density shade
+  EXPECT_NE(out.find("100.0%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jsoncdn::core

@@ -1,0 +1,196 @@
+// End-to-end integration: scenario -> workload -> CDN -> logs -> analyses.
+// These tests assert the *paper-shaped* properties of the full pipeline at
+// small scale, with tolerances wide enough for sampling noise.
+#include "core/study.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.h"
+#include "logs/csv.h"
+#include "workload/scenario.h"
+#include "workload/traffic_mix.h"
+
+namespace jsoncdn::core {
+namespace {
+
+const StudyResult& small_short_term_study() {
+  static const StudyResult result = [] {
+    StudyConfig config;
+    config.workload = workload::short_term_scenario(0.008, 2024);
+    config.ngram_configs = {{1, {1, 5, 10}, 0.8, false, 2, 17},
+                            {1, {1, 5, 10}, 0.8, true, 2, 17}};
+    return run_study(config);
+  }();
+  return result;
+}
+
+TEST(Study, ProducesAllCharacterizationOutputs) {
+  const auto& r = small_short_term_study();
+  EXPECT_GT(r.dataset.size(), 10000u);
+  EXPECT_GT(r.json.size(), 1000u);
+  ASSERT_TRUE(r.source.has_value());
+  ASSERT_TRUE(r.methods.has_value());
+  ASSERT_TRUE(r.cacheability.has_value());
+  ASSERT_TRUE(r.sizes.has_value());
+  ASSERT_TRUE(r.heatmap.has_value());
+  EXPECT_FALSE(r.domains.empty());
+  EXPECT_FALSE(r.periodicity.has_value());  // not requested
+}
+
+TEST(Study, Figure3DeviceMixInPaperBands) {
+  const auto& source = *small_short_term_study().source;
+  // Paper: mobile >= 55%, embedded ~12%, unknown ~24%.
+  EXPECT_GT(source.device_share(http::DeviceType::kMobile), 0.52);
+  EXPECT_NEAR(source.device_share(http::DeviceType::kEmbedded), 0.12, 0.05);
+  EXPECT_NEAR(source.device_share(http::DeviceType::kUnknown), 0.24, 0.07);
+}
+
+TEST(Study, BrowserSharesInPaperBands) {
+  const auto& source = *small_short_term_study().source;
+  // Paper: 88% non-browser; mobile browsers 2.5% of JSON traffic.
+  EXPECT_GT(source.non_browser_share(), 0.80);
+  EXPECT_NEAR(source.mobile_browser_share(), 0.025, 0.03);
+}
+
+TEST(Study, UaStringDistributionInPaperBands) {
+  const auto& source = *small_short_term_study().source;
+  // Paper: 73% mobile / 17% embedded / 3% desktop / 7% unknown UA strings.
+  EXPECT_NEAR(source.ua_string_share(http::DeviceType::kMobile), 0.73, 0.08);
+  EXPECT_NEAR(source.ua_string_share(http::DeviceType::kEmbedded), 0.17,
+              0.06);
+  EXPECT_LT(source.ua_string_share(http::DeviceType::kDesktop), 0.10);
+}
+
+TEST(Study, MethodMixInPaperBands) {
+  const auto& methods = *small_short_term_study().methods;
+  // Paper: 84% GET; 96% of the rest POST.
+  EXPECT_NEAR(methods.get_share(), 0.84, 0.05);
+  EXPECT_GT(methods.post_share_of_non_get(), 0.85);
+}
+
+TEST(Study, CacheabilityInPaperBands) {
+  const auto& cache = *small_short_term_study().cacheability;
+  // Paper: ~55% of JSON traffic uncacheable.
+  EXPECT_NEAR(cache.uncacheable_share(), 0.55, 0.12);
+}
+
+TEST(Study, SizeComparisonInPaperBands) {
+  const auto& sizes = *small_short_term_study().sizes;
+  // Paper: JSON ~24% smaller at p50, ~87% smaller at p75.
+  // Wide band: the scaled-down catalog has few HTML objects, so the
+  // request-weighted HTML median is seed-noisy (converges at larger scale).
+  EXPECT_NEAR(sizes.p50_ratio(), 0.76, 0.22);
+  EXPECT_NEAR(sizes.p75_ratio(), 0.13, 0.08);
+  EXPECT_LT(sizes.json.mean, sizes.html.mean);
+}
+
+TEST(Study, HeatmapDomainSharesInPaperBands) {
+  const auto& heatmap = *small_short_term_study().heatmap;
+  // Paper: ~50% of domains never cache, ~30% always cache.
+  EXPECT_NEAR(heatmap.never_cache_domain_share, 0.50, 0.12);
+  EXPECT_NEAR(heatmap.always_cache_domain_share, 0.30, 0.12);
+}
+
+TEST(Study, NgramAccuracyMatchesTable3Shape) {
+  const auto& rows = small_short_term_study().ngram;
+  ASSERT_EQ(rows.size(), 2u);
+  const auto& actual = rows[0];
+  const auto& clustered = rows[1];
+  ASSERT_FALSE(actual.clustered);
+  ASSERT_TRUE(clustered.clustered);
+  // Table 3 shape: clustered beats actual at every K; accuracy grows in K.
+  for (const auto k : {1u, 5u, 10u}) {
+    EXPECT_GT(clustered.accuracy_at.at(k), actual.accuracy_at.at(k)) << k;
+  }
+  EXPECT_LT(actual.accuracy_at.at(1), actual.accuracy_at.at(10));
+  // Rough bands around the paper's numbers.
+  EXPECT_NEAR(actual.accuracy_at.at(1), 0.45, 0.12);
+  EXPECT_NEAR(clustered.accuracy_at.at(1), 0.65, 0.12);
+  EXPECT_NEAR(clustered.accuracy_at.at(10), 0.87, 0.10);
+}
+
+TEST(Study, DeliveryMetricsConsistent) {
+  const auto& r = small_short_term_study();
+  EXPECT_EQ(r.delivery.requests(), r.dataset.size());
+  EXPECT_GT(r.delivery.bytes_served(), 0u);
+  EXPECT_GT(r.delivery.cacheable_hit_ratio(), 0.0);
+  EXPECT_LT(r.delivery.cacheable_hit_ratio(), 1.0);
+}
+
+TEST(Study, DatasetSurvivesCsvRoundTrip) {
+  const auto& r = small_short_term_study();
+  std::stringstream stream;
+  logs::LogWriter writer(stream);
+  for (std::size_t i = 0; i < 500; ++i) writer.write(r.dataset[i]);
+  logs::LogReader reader(stream);
+  const auto back = reader.read_all();
+  ASSERT_EQ(back.size(), 500u);
+  EXPECT_EQ(reader.malformed_lines(), 0u);
+  for (std::size_t i = 0; i < back.size(); ++i) {
+    EXPECT_EQ(back[i].url, r.dataset[i].url);
+    EXPECT_EQ(back[i].client_id, r.dataset[i].client_id);
+    EXPECT_EQ(back[i].cache_status, r.dataset[i].cache_status);
+  }
+}
+
+TEST(Study, ReportRenderersProduceOutput) {
+  const auto& r = small_short_term_study();
+  EXPECT_NE(render_source(*r.source).find("mobile"), std::string::npos);
+  EXPECT_NE(render_headline(*r.methods, *r.cacheability, *r.sizes)
+                .find("GET share"),
+            std::string::npos);
+  EXPECT_NE(render_heatmap(*r.heatmap).find("Figure 4"), std::string::npos);
+  EXPECT_NE(render_ngram_table(r.ngram).find("Table 3"), std::string::npos);
+}
+
+TEST(Study, GroundTruthNeverLeaksIntoLogs) {
+  // The dataset must contain anonymized ids, never raw 10.x addresses.
+  const auto& r = small_short_term_study();
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(r.dataset[i].client_id.find("10."), std::string::npos);
+    EXPECT_EQ(r.dataset[i].client_id.size(), 16u);
+  }
+}
+
+TEST(TrafficMix, InterpolationHitsEndpoints) {
+  workload::GrowthConfig config;
+  const auto start = workload::interpolate_mix(config, 0);
+  const auto end = workload::interpolate_mix(config, config.n_quarters - 1);
+  EXPECT_NEAR(start.mobile_app, config.mix_2016.mobile_app, 1e-9);
+  EXPECT_NEAR(end.mobile_app, config.mix_2019.mobile_app, 1e-9);
+  EXPECT_THROW((void)workload::interpolate_mix(config, -1),
+               std::invalid_argument);
+  EXPECT_THROW((void)workload::interpolate_mix(config, config.n_quarters),
+               std::invalid_argument);
+}
+
+TEST(TrafficMix, SizeShiftReachesConfiguredScale) {
+  workload::GrowthConfig config;
+  EXPECT_DOUBLE_EQ(workload::json_size_log_shift_at(config, 0), 0.0);
+  EXPECT_NEAR(std::exp(workload::json_size_log_shift_at(
+                  config, config.n_quarters - 1)),
+              config.json_size_total_scale, 1e-9);
+}
+
+TEST(TrafficMix, Figure1RatioGrowsAcrossTheSpan) {
+  workload::GrowthConfig config;
+  config.clients_per_quarter = 500;
+  config.n_quarters = 7;  // sample fewer quarters for test speed
+  const auto series = workload::simulate_growth(config);
+  ASSERT_EQ(series.size(), 7u);
+  EXPECT_GT(series.front().json_html_ratio, 0.0);
+  // Headline shape: the ratio grows substantially start -> end.
+  EXPECT_GT(series.back().json_html_ratio,
+            series.front().json_html_ratio * 1.5);
+  // Median JSON body size shrinks (means carry Pareto-tail noise).
+  EXPECT_LT(series.back().median_json_bytes,
+            series.front().median_json_bytes * 0.90);
+  // Labels advance.
+  EXPECT_EQ(series.front().label, "2016Q1");
+  EXPECT_EQ(series[4].label, "2017Q1");
+}
+
+}  // namespace
+}  // namespace jsoncdn::core

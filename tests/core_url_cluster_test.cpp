@@ -1,0 +1,80 @@
+#include "core/url_cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace jsoncdn::core {
+namespace {
+
+TEST(LooksLikeIdentifier, Numerics) {
+  EXPECT_TRUE(looks_like_identifier("1234"));
+  EXPECT_TRUE(looks_like_identifier("0"));
+  EXPECT_FALSE(looks_like_identifier("12a"));
+  EXPECT_FALSE(looks_like_identifier(""));
+}
+
+TEST(LooksLikeIdentifier, Uuids) {
+  EXPECT_TRUE(
+      looks_like_identifier("123e4567-e89b-12d3-a456-426614174000"));
+  // Near-UUIDs still read as identifiers via the long-mixed-token rule.
+  EXPECT_TRUE(
+      looks_like_identifier("123e4567-e89b-12d3-a456-42661417400"));
+  // Hyphenated route words carry no digits and stay route words.
+  EXPECT_FALSE(looks_like_identifier("user-profile-settings"));
+}
+
+TEST(LooksLikeIdentifier, LongHexHashes) {
+  EXPECT_TRUE(looks_like_identifier("deadbeef"));
+  EXPECT_TRUE(looks_like_identifier("0123456789abcdef0123"));
+  EXPECT_FALSE(looks_like_identifier("feed"));     // short hex = route word
+  EXPECT_FALSE(looks_like_identifier("gateway"));  // non-hex letters
+}
+
+TEST(LooksLikeIdentifier, LongMixedTokens) {
+  EXPECT_TRUE(looks_like_identifier("session8f3kq92mdk1"));
+  EXPECT_FALSE(looks_like_identifier("recommendations"));  // letters only
+  EXPECT_FALSE(looks_like_identifier("v2"));               // too short
+}
+
+TEST(ClusterUrl, CollapsesNumericPathSegments) {
+  EXPECT_EQ(cluster_url("https://h/article/1234"),
+            "https://h/article/%7Bid%7D");
+}
+
+TEST(ClusterUrl, SameTemplateDifferentIdsShareCluster) {
+  EXPECT_EQ(cluster_url("https://h/api/v1/article/1234"),
+            cluster_url("https://h/api/v1/article/8731"));
+  EXPECT_NE(cluster_url("https://h/api/v1/article/1234"),
+            cluster_url("https://h/api/v1/comments/1234"));
+}
+
+TEST(ClusterUrl, KeepsRouteWords) {
+  const auto c = cluster_url("https://h/api/v1/stories");
+  EXPECT_NE(c.find("stories"), std::string::npos);
+  EXPECT_EQ(c.find("%7Bid%7D"), std::string::npos);
+}
+
+TEST(ClusterUrl, CollapsesQueryValuesKeepsKeys) {
+  const auto a = cluster_url("https://h/s?user=12345&sort=asc");
+  const auto b = cluster_url("https://h/s?user=99999&sort=asc");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("user="), std::string::npos);
+  EXPECT_NE(a.find("sort=asc"), std::string::npos);
+}
+
+TEST(ClusterUrl, VersionSegmentsSurvive) {
+  const auto c = cluster_url("https://h/api/v1/feed");
+  EXPECT_NE(c.find("v1"), std::string::npos);
+}
+
+TEST(ClusterUrl, UnparseableUrlClustersToItself) {
+  EXPECT_EQ(cluster_url("not a url"), "not a url");
+  EXPECT_EQ(cluster_url(""), "");
+}
+
+TEST(ClusterUrl, Idempotent) {
+  const auto once = cluster_url("https://h/a/123?k=456");
+  EXPECT_EQ(cluster_url(once), once);
+}
+
+}  // namespace
+}  // namespace jsoncdn::core

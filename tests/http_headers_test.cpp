@@ -1,0 +1,70 @@
+#include "http/headers.h"
+
+#include <gtest/gtest.h>
+
+namespace jsoncdn::http {
+namespace {
+
+TEST(IEquals, CaseInsensitiveAscii) {
+  EXPECT_TRUE(iequals("Content-Type", "content-type"));
+  EXPECT_TRUE(iequals("", ""));
+  EXPECT_FALSE(iequals("a", "ab"));
+  EXPECT_FALSE(iequals("abc", "abd"));
+}
+
+TEST(HeaderMap, GetIsCaseInsensitive) {
+  HeaderMap h;
+  h.add("Content-Type", "application/json");
+  EXPECT_EQ(h.get("content-type"), "application/json");
+  EXPECT_EQ(h.get("CONTENT-TYPE"), "application/json");
+  EXPECT_FALSE(h.get("content-length").has_value());
+}
+
+TEST(HeaderMap, RepeatedFieldsKeptInOrder) {
+  HeaderMap h;
+  h.add("Set-Cookie", "a=1");
+  h.add("Set-Cookie", "b=2");
+  const auto all = h.get_all("set-cookie");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], "a=1");
+  EXPECT_EQ(all[1], "b=2");
+  EXPECT_EQ(h.get("Set-Cookie"), "a=1");  // first wins
+}
+
+TEST(HeaderMap, SetReplacesAllInstances) {
+  HeaderMap h;
+  h.add("X", "1");
+  h.add("X", "2");
+  h.set("x", "3");
+  EXPECT_EQ(h.get_all("X").size(), 1u);
+  EXPECT_EQ(h.get("X"), "3");
+}
+
+TEST(HeaderMap, RemoveDeletesAllInstances) {
+  HeaderMap h;
+  h.add("A", "1");
+  h.add("a", "2");
+  h.add("B", "3");
+  h.remove("A");
+  EXPECT_FALSE(h.contains("a"));
+  EXPECT_TRUE(h.contains("B"));
+  EXPECT_EQ(h.size(), 1u);
+}
+
+TEST(HeaderMap, PreservesInsertionOrderAcrossNames) {
+  HeaderMap h;
+  h.add("B", "2");
+  h.add("A", "1");
+  ASSERT_EQ(h.fields().size(), 2u);
+  EXPECT_EQ(h.fields()[0].name, "B");
+  EXPECT_EQ(h.fields()[1].name, "A");
+}
+
+TEST(HeaderMap, EmptyByDefault) {
+  HeaderMap h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.size(), 0u);
+}
+
+}  // namespace
+}  // namespace jsoncdn::http

@@ -1,0 +1,42 @@
+#include "http/message.h"
+
+#include <gtest/gtest.h>
+
+namespace jsoncdn::http {
+namespace {
+
+TEST(Status, CodesAndClassification) {
+  EXPECT_EQ(code(Status::kOk), 200);
+  EXPECT_EQ(code(Status::kNotModified), 304);
+  EXPECT_EQ(code(Status::kNotFound), 404);
+  EXPECT_EQ(code(Status::kOriginTimeout), 504);
+  EXPECT_TRUE(is_success(Status::kOk));
+  EXPECT_FALSE(is_success(Status::kNotModified));
+  EXPECT_FALSE(is_success(Status::kNotFound));
+  EXPECT_FALSE(is_success(Status::kInternalError));
+}
+
+TEST(Request, DefaultsAreSane) {
+  Request request;
+  EXPECT_EQ(request.method, Method::kGet);
+  EXPECT_TRUE(request.url.empty());
+  EXPECT_EQ(request.body_bytes, 0u);
+  EXPECT_TRUE(request.headers.empty());
+}
+
+TEST(Request, CarriesHeaders) {
+  Request request;
+  request.headers.set("User-Agent", "TestApp/1.0");
+  request.headers.set("Accept", "application/json");
+  EXPECT_EQ(request.headers.get("user-agent"), "TestApp/1.0");
+  EXPECT_EQ(request.headers.size(), 2u);
+}
+
+TEST(Response, DefaultsAreSane) {
+  Response response;
+  EXPECT_EQ(response.status, Status::kOk);
+  EXPECT_EQ(response.body_bytes, 0u);
+}
+
+}  // namespace
+}  // namespace jsoncdn::http

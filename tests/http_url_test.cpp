@@ -1,0 +1,133 @@
+#include "http/url.h"
+
+#include <gtest/gtest.h>
+
+namespace jsoncdn::http {
+namespace {
+
+TEST(ParseUrl, AbsoluteUrlComponents) {
+  const auto u = parse_url("https://api.example.com/v1/stories?page=2&limit=10");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->scheme, "https");
+  EXPECT_EQ(u->host, "api.example.com");
+  EXPECT_FALSE(u->port.has_value());
+  ASSERT_EQ(u->path_segments.size(), 2u);
+  EXPECT_EQ(u->path_segments[0], "v1");
+  EXPECT_EQ(u->path_segments[1], "stories");
+  ASSERT_EQ(u->query.size(), 2u);
+  EXPECT_EQ(u->query[0].first, "page");
+  EXPECT_EQ(u->query[0].second, "2");
+}
+
+TEST(ParseUrl, HostAndSchemeLowercased) {
+  const auto u = parse_url("HTTPS://API.Example.COM/Path");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->scheme, "https");
+  EXPECT_EQ(u->host, "api.example.com");
+  EXPECT_EQ(u->path_segments[0], "Path");  // path case is significant
+}
+
+TEST(ParseUrl, ExplicitPort) {
+  const auto u = parse_url("http://host:8080/x");
+  ASSERT_TRUE(u.has_value());
+  ASSERT_TRUE(u->port.has_value());
+  EXPECT_EQ(*u->port, 8080);
+}
+
+TEST(ParseUrl, RejectsBadPorts) {
+  EXPECT_FALSE(parse_url("http://host:0/x").has_value());
+  EXPECT_FALSE(parse_url("http://host:65536/x").has_value());
+  EXPECT_FALSE(parse_url("http://host:abc/x").has_value());
+  EXPECT_FALSE(parse_url("http://:80/x").has_value());
+}
+
+TEST(ParseUrl, OriginRelative) {
+  const auto u = parse_url("/api/v1/feed?u=1");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_TRUE(u->host.empty());
+  EXPECT_EQ(u->path_segments.size(), 3u);
+}
+
+TEST(ParseUrl, RejectsRelativeWithoutSlash) {
+  EXPECT_FALSE(parse_url("api/v1/feed").has_value());
+  EXPECT_FALSE(parse_url("").has_value());
+}
+
+TEST(ParseUrl, StripsFragment) {
+  const auto u = parse_url("https://h/x#section");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->path_segments.size(), 1u);
+  EXPECT_EQ(u->str().find('#'), std::string::npos);
+}
+
+TEST(ParseUrl, DecodesPercentEncodedSegments) {
+  const auto u = parse_url("https://h/a%20b/c?k=v%26w");
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->path_segments[0], "a b");
+  EXPECT_EQ(u->query[0].second, "v&w");
+}
+
+TEST(ParseUrl, EmptyQueryPairsSkipped) {
+  const auto u = parse_url("https://h/x?&&a=1&&");
+  ASSERT_TRUE(u.has_value());
+  ASSERT_EQ(u->query.size(), 1u);
+  EXPECT_EQ(u->query[0].first, "a");
+}
+
+TEST(ParseUrl, ValuelessQueryKey) {
+  const auto u = parse_url("https://h/x?flag&k=v");
+  ASSERT_TRUE(u.has_value());
+  ASSERT_EQ(u->query.size(), 2u);
+  EXPECT_EQ(u->query[0].first, "flag");
+  EXPECT_EQ(u->query[0].second, "");
+}
+
+TEST(ParseUrl, CollapsesEmptyPathSegments) {
+  const auto u = parse_url("https://h//a///b/");
+  ASSERT_TRUE(u.has_value());
+  ASSERT_EQ(u->path_segments.size(), 2u);
+}
+
+TEST(UrlStr, RoundTripsNormalizedForm) {
+  const std::string raw = "https://api.example.com/v1/items/42?sort=asc&page=3";
+  const auto u = parse_url(raw);
+  ASSERT_TRUE(u.has_value());
+  EXPECT_EQ(u->str(), raw);
+  // Re-parsing the rendered form is a fixed point.
+  const auto again = parse_url(u->str());
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(*again, *u);
+}
+
+TEST(UrlStr, OmitsDefaultPorts) {
+  EXPECT_EQ(parse_url("https://h:443/x")->str(), "https://h/x");
+  EXPECT_EQ(parse_url("http://h:80/x")->str(), "http://h/x");
+  EXPECT_EQ(parse_url("http://h:8080/x")->str(), "http://h:8080/x");
+}
+
+TEST(UrlStr, EmptyPathRendersRootSlash) {
+  EXPECT_EQ(parse_url("https://h")->str(), "https://h/");
+  EXPECT_EQ(parse_url("https://h/")->path(), "/");
+}
+
+TEST(UrlEncodeDecode, RoundTripsArbitraryBytes) {
+  const std::string nasty = "a b&c=d/e%f\tg\nh+i";
+  EXPECT_EQ(url_decode(url_encode(nasty)), nasty);
+}
+
+TEST(UrlDecode, MalformedEscapesKeptLiterally) {
+  EXPECT_EQ(url_decode("%"), "%");
+  EXPECT_EQ(url_decode("%zz"), "%zz");
+  EXPECT_EQ(url_decode("100%"), "100%");
+}
+
+TEST(UrlDecode, PlusBecomesSpace) { EXPECT_EQ(url_decode("a+b"), "a b"); }
+
+TEST(UrlEncode, UnreservedCharactersUntouched) {
+  const std::string unreserved =
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-._~";
+  EXPECT_EQ(url_encode(unreserved), unreserved);
+}
+
+}  // namespace
+}  // namespace jsoncdn::http

@@ -1,0 +1,77 @@
+#include "http/user_agent.h"
+
+#include <gtest/gtest.h>
+
+namespace jsoncdn::http {
+namespace {
+
+TEST(ParseUserAgent, ProductsAndVersions) {
+  const auto ua = parse_user_agent("NewsReader/5.2.1 CFNetwork/978.0.7");
+  ASSERT_EQ(ua.products.size(), 2u);
+  EXPECT_EQ(ua.products[0].name, "NewsReader");
+  EXPECT_EQ(ua.products[0].version, "5.2.1");
+  EXPECT_EQ(ua.products[1].name, "CFNetwork");
+  EXPECT_TRUE(ua.comments.empty());
+}
+
+TEST(ParseUserAgent, CommentsSplitOnSemicolon) {
+  const auto ua =
+      parse_user_agent("Mozilla/5.0 (iPhone; CPU iPhone OS 12_4) Safari/604.1");
+  ASSERT_EQ(ua.products.size(), 2u);
+  ASSERT_EQ(ua.comments.size(), 2u);
+  EXPECT_EQ(ua.comments[0], "iPhone");
+  EXPECT_EQ(ua.comments[1], "CPU iPhone OS 12_4");
+}
+
+TEST(ParseUserAgent, VersionlessProduct) {
+  const auto ua = parse_user_agent("Wget");
+  ASSERT_EQ(ua.products.size(), 1u);
+  EXPECT_EQ(ua.products[0].name, "Wget");
+  EXPECT_TRUE(ua.products[0].version.empty());
+}
+
+TEST(ParseUserAgent, EmptyInput) {
+  const auto ua = parse_user_agent("");
+  EXPECT_TRUE(ua.empty());
+  EXPECT_TRUE(ua.products.empty());
+}
+
+TEST(ParseUserAgent, WhitespaceOnlyInput) {
+  const auto ua = parse_user_agent("   ");
+  EXPECT_TRUE(ua.empty());
+}
+
+TEST(ParseUserAgent, UnbalancedParenDoesNotCrash) {
+  const auto ua = parse_user_agent("App/1.0 (unterminated comment");
+  EXPECT_EQ(ua.products.size(), 1u);
+  ASSERT_FALSE(ua.comments.empty());
+}
+
+TEST(ParseUserAgent, NestedParensStayInOneComment) {
+  const auto ua = parse_user_agent("App/1.0 (outer (inner) rest)");
+  ASSERT_EQ(ua.products.size(), 1u);
+  ASSERT_EQ(ua.comments.size(), 1u);
+  EXPECT_EQ(ua.comments[0], "outer (inner) rest");
+}
+
+TEST(ParseUserAgent, GarbageBytesTokenizeSomething) {
+  const auto ua = parse_user_agent("0x8fA3-device");
+  EXPECT_FALSE(ua.empty());
+  EXPECT_EQ(ua.products.size(), 1u);
+}
+
+TEST(IContains, CaseInsensitiveSearch) {
+  EXPECT_TRUE(icontains("Mozilla/5.0 (iPhone)", "iphone"));
+  EXPECT_TRUE(icontains("abc", ""));
+  EXPECT_FALSE(icontains("abc", "abcd"));
+  EXPECT_FALSE(icontains("PlayStation", "xbox"));
+}
+
+TEST(Mentions, SearchesRawString) {
+  const auto ua = parse_user_agent("Mozilla/5.0 (PlayStation 4 6.72)");
+  EXPECT_TRUE(ua.mentions("playstation"));
+  EXPECT_FALSE(ua.mentions("nintendo"));
+}
+
+}  // namespace
+}  // namespace jsoncdn::http

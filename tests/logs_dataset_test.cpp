@@ -1,0 +1,170 @@
+#include "logs/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace jsoncdn::logs {
+namespace {
+
+LogRecord make(double t, const std::string& client, const std::string& url,
+               http::Method method = http::Method::kGet,
+               CacheStatus cache = CacheStatus::kHit) {
+  LogRecord r;
+  r.timestamp = t;
+  r.client_id = client;
+  r.user_agent = "ua";
+  r.url = url;
+  r.domain = "d.example";
+  r.content_type = "application/json";
+  r.method = method;
+  r.cache_status = cache;
+  return r;
+}
+
+TEST(Dataset, SortByTimeIsStable) {
+  Dataset ds;
+  ds.add(make(2.0, "a", "u1"));
+  ds.add(make(1.0, "b", "u2"));
+  ds.add(make(1.0, "c", "u3"));
+  ds.sort_by_time();
+  EXPECT_EQ(ds[0].client_id, "b");
+  EXPECT_EQ(ds[1].client_id, "c");  // equal keys keep insertion order
+  EXPECT_EQ(ds[2].client_id, "a");
+}
+
+TEST(Dataset, FilterPreservesOrder) {
+  Dataset ds;
+  ds.add(make(1.0, "a", "u1"));
+  ds.add(make(2.0, "b", "u2"));
+  ds.add(make(3.0, "a", "u3"));
+  const auto out =
+      ds.filter([](const LogRecord& r) { return r.client_id == "a"; });
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].url, "u1");
+  EXPECT_EQ(out[1].url, "u3");
+}
+
+TEST(Dataset, JsonOnlyUsesMimeClassifier) {
+  Dataset ds;
+  auto r1 = make(1.0, "a", "u1");
+  r1.content_type = "application/json; charset=utf-8";
+  auto r2 = make(2.0, "a", "u2");
+  r2.content_type = "text/html";
+  auto r3 = make(3.0, "a", "u3");
+  r3.content_type = "application/vnd.api+json";
+  ds.add(r1);
+  ds.add(r2);
+  ds.add(r3);
+  EXPECT_EQ(ds.json_only().size(), 2u);
+}
+
+TEST(Dataset, TimeRangeAndDistincts) {
+  Dataset ds;
+  EXPECT_EQ(ds.time_range(), (std::pair<double, double>{0.0, 0.0}));
+  ds.add(make(5.0, "a", "u1"));
+  ds.add(make(2.0, "b", "u1"));
+  ds.add(make(9.0, "a", "u2"));
+  EXPECT_EQ(ds.time_range(), (std::pair<double, double>{2.0, 9.0}));
+  EXPECT_EQ(ds.distinct_objects(), 2u);
+  EXPECT_EQ(ds.distinct_clients(), 2u);
+  EXPECT_EQ(ds.distinct_domains(), 1u);
+}
+
+TEST(ExtractObjectFlows, AppliesClientAndRequestFilters) {
+  Dataset ds;
+  // Object u1: 10 clients with 10 requests each -> passes.
+  for (int c = 0; c < 10; ++c) {
+    for (int i = 0; i < 10; ++i) {
+      ds.add(make(c * 100.0 + i, "client" + std::to_string(c), "u1"));
+    }
+  }
+  // Object u2: only 3 clients -> dropped.
+  for (int c = 0; c < 3; ++c) {
+    for (int i = 0; i < 12; ++i) {
+      ds.add(make(c * 100.0 + i, "client" + std::to_string(c), "u2"));
+    }
+  }
+  ds.sort_by_time();
+  const auto flows = extract_object_flows(ds, FlowFilter{});
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].url, "u1");
+  EXPECT_EQ(flows[0].total_requests, 100u);
+  EXPECT_EQ(flows[0].clients.size(), 10u);
+}
+
+TEST(ExtractObjectFlows, ShortClientSubflowsCountedButNotAnalyzed) {
+  Dataset ds;
+  // 10 clients with 10 requests + 5 clients with 2 requests.
+  for (int c = 0; c < 10; ++c) {
+    for (int i = 0; i < 10; ++i) {
+      ds.add(make(i, "big" + std::to_string(c), "u1"));
+    }
+  }
+  for (int c = 0; c < 5; ++c) {
+    ds.add(make(1.0, "small" + std::to_string(c), "u1"));
+    ds.add(make(2.0, "small" + std::to_string(c), "u1"));
+  }
+  const auto flows = extract_object_flows(ds, FlowFilter{});
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_EQ(flows[0].total_requests, 110u);  // includes the short subflows
+  EXPECT_EQ(flows[0].clients.size(), 10u);   // analyzable ones only
+}
+
+TEST(ExtractObjectFlows, ComputesShareStatistics) {
+  Dataset ds;
+  FlowFilter permissive{1, 1};
+  for (int i = 0; i < 4; ++i) {
+    ds.add(make(i, "c", "u1", http::Method::kGet,
+                i < 3 ? CacheStatus::kNotCacheable : CacheStatus::kHit));
+  }
+  ds.add(make(10.0, "c", "u1", http::Method::kPost,
+              CacheStatus::kNotCacheable));
+  const auto flows = extract_object_flows(ds, permissive);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_DOUBLE_EQ(flows[0].uncacheable_share, 0.8);
+  EXPECT_DOUBLE_EQ(flows[0].upload_share, 0.2);
+}
+
+TEST(ExtractObjectFlows, TimesAscendingPerFlowAndClient) {
+  Dataset ds;
+  FlowFilter permissive{2, 1};
+  ds.add(make(5.0, "c", "u1"));
+  ds.add(make(1.0, "c", "u1"));
+  ds.add(make(3.0, "c", "u1"));
+  const auto flows = extract_object_flows(ds, permissive);
+  ASSERT_EQ(flows.size(), 1u);
+  EXPECT_TRUE(std::is_sorted(flows[0].times.begin(), flows[0].times.end()));
+  ASSERT_EQ(flows[0].clients.size(), 1u);
+  EXPECT_TRUE(std::is_sorted(flows[0].clients[0].times.begin(),
+                             flows[0].clients[0].times.end()));
+}
+
+TEST(ExtractClientFlows, OrdersByTimeAndFiltersShortFlows) {
+  Dataset ds;
+  ds.add(make(3.0, "a", "u3"));
+  ds.add(make(1.0, "a", "u1"));
+  ds.add(make(2.0, "a", "u2"));
+  ds.add(make(1.0, "b", "u1"));  // single request -> dropped at min 2
+  const auto flows = extract_client_flows(ds, 2);
+  ASSERT_EQ(flows.size(), 1u);
+  const auto& records = ds.records();
+  ASSERT_EQ(flows[0].record_indices.size(), 3u);
+  EXPECT_EQ(records[flows[0].record_indices[0]].url, "u1");
+  EXPECT_EQ(records[flows[0].record_indices[1]].url, "u2");
+  EXPECT_EQ(records[flows[0].record_indices[2]].url, "u3");
+}
+
+TEST(ExtractClientFlows, DeterministicOrderAcrossRuns) {
+  Dataset ds;
+  ds.add(make(1.0, "z", "u1"));
+  ds.add(make(1.0, "z", "u2"));
+  ds.add(make(1.0, "a", "u1"));
+  ds.add(make(1.0, "a", "u2"));
+  const auto flows1 = extract_client_flows(ds, 2);
+  const auto flows2 = extract_client_flows(ds, 2);
+  ASSERT_EQ(flows1.size(), 2u);
+  EXPECT_EQ(flows1[0].client, flows2[0].client);
+  EXPECT_LT(flows1[0].client, flows1[1].client);  // sorted by client key
+}
+
+}  // namespace
+}  // namespace jsoncdn::logs

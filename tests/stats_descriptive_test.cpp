@@ -1,0 +1,147 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace jsoncdn::stats {
+namespace {
+
+TEST(Percentile, LinearInterpolationBetweenRanks) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.25), 1.75);
+}
+
+TEST(Percentile, UnsortedInputHandled) {
+  std::vector<double> v = {4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.5), 2.5);
+}
+
+TEST(Percentile, SingleElement) {
+  std::vector<double> v = {7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 0.0), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0.99), 7.0);
+}
+
+TEST(Percentile, RejectsBadInput) {
+  std::vector<double> empty;
+  std::vector<double> v = {1.0};
+  EXPECT_THROW((void)percentile(empty, 0.5), std::invalid_argument);
+  EXPECT_THROW((void)percentile(v, -0.1), std::invalid_argument);
+  EXPECT_THROW((void)percentile(v, 1.1), std::invalid_argument);
+}
+
+TEST(Summarize, KnownSample) {
+  std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const auto s = summarize(v);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 2.0);  // classic textbook sample
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.p50, 4.5);
+}
+
+TEST(Summarize, EmptySampleIsZeroed) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.p99, 0.0);
+}
+
+TEST(Histogram, CountsFallIntoCorrectBins) {
+  Histogram h(0.0, 10.0, 5);  // width 2
+  h.add(0.0);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(4), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, UnderflowAndOverflowAreCounted) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(-0.1);
+  h.add(10.0);
+  h.add(100.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinEdgesAndCenters) {
+  Histogram h(10.0, 20.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_lo(0), 10.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(0), 12.5);
+  EXPECT_DOUBLE_EQ(h.bin_center(2), 16.25);
+}
+
+TEST(Histogram, ModeBinFindsFullest) {
+  Histogram h(0.0, 3.0, 3);
+  h.add_n(0.5, 2);
+  h.add_n(1.5, 5);
+  h.add_n(2.5, 1);
+  EXPECT_EQ(h.mode_bin(), 1u);
+}
+
+TEST(Histogram, ModeBinRequiresInRangeData) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.mode_bin(), std::logic_error);
+  h.add(5.0);  // only overflow
+  EXPECT_THROW((void)h.mode_bin(), std::logic_error);
+}
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1.0, 1.0, 3), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 3), std::invalid_argument);
+}
+
+TEST(Histogram, CountThrowsOutOfRange) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_THROW((void)h.count(2), std::out_of_range);
+}
+
+TEST(EmpiricalCdf, StepFunctionValues) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.at(99.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileInvertsAt) {
+  EmpiricalCdf cdf({10.0, 20.0, 30.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 20.0);
+}
+
+TEST(EmpiricalCdf, EmptySampleAtIsZero) {
+  EmpiricalCdf cdf{std::vector<double>{}};
+  EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+  EXPECT_EQ(cdf.size(), 0u);
+}
+
+TEST(AsciiBarChart, RendersBarsProportionally) {
+  const auto chart = ascii_bar_chart({{"a", 10.0}, {"b", 5.0}}, 10);
+  // "a" gets the full width, "b" half of it.
+  EXPECT_NE(chart.find("##########"), std::string::npos);
+  EXPECT_NE(chart.find("#####"), std::string::npos);
+  EXPECT_NE(chart.find("a"), std::string::npos);
+  EXPECT_NE(chart.find("b"), std::string::npos);
+}
+
+TEST(AsciiBarChart, AllZeroValuesRenderNoBars) {
+  const auto chart = ascii_bar_chart({{"x", 0.0}}, 10);
+  EXPECT_EQ(chart.find('#'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace jsoncdn::stats

@@ -1,0 +1,186 @@
+#include "stats/distributions.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+namespace jsoncdn::stats {
+namespace {
+
+TEST(ZipfSampler, PmfSumsToOne) {
+  ZipfSampler zipf(100, 1.0);
+  double sum = 0.0;
+  for (std::size_t k = 0; k < zipf.size(); ++k) sum += zipf.pmf(k);
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(ZipfSampler, PmfIsMonotoneDecreasing) {
+  ZipfSampler zipf(50, 1.2);
+  for (std::size_t k = 1; k < zipf.size(); ++k) {
+    EXPECT_LE(zipf.pmf(k), zipf.pmf(k - 1));
+  }
+}
+
+TEST(ZipfSampler, ZeroExponentIsUniform) {
+  ZipfSampler zipf(10, 0.0);
+  for (std::size_t k = 0; k < 10; ++k) EXPECT_NEAR(zipf.pmf(k), 0.1, 1e-12);
+}
+
+TEST(ZipfSampler, SingleItemAlwaysRankZero) {
+  ZipfSampler zipf(1, 2.0);
+  Rng rng(1);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(ZipfSampler, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(10, -0.1), std::invalid_argument);
+}
+
+TEST(ZipfSampler, PmfThrowsOutOfRange) {
+  ZipfSampler zipf(5, 1.0);
+  EXPECT_THROW((void)zipf.pmf(5), std::out_of_range);
+}
+
+// Sampling frequencies should track the pmf across exponents.
+class ZipfFrequencyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfFrequencyTest, EmpiricalFrequencyMatchesPmf) {
+  const double s = GetParam();
+  ZipfSampler zipf(20, s);
+  Rng rng(123);
+  std::vector<int> counts(20, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t k = 0; k < 5; ++k) {  // check the head, where mass is
+    EXPECT_NEAR(static_cast<double>(counts[k]) / n, zipf.pmf(k), 0.01)
+        << "rank " << k << " s=" << s;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfFrequencyTest,
+                         ::testing::Values(0.0, 0.5, 0.8, 1.0, 1.3, 2.0));
+
+TEST(BodySizeSampler, RespectsClamping) {
+  BodySizeSampler::Params p;
+  p.log_mean = 20.0;  // enormous draws
+  p.log_stddev = 0.1;
+  p.min_bytes = 100;
+  p.max_bytes = 1000;
+  BodySizeSampler sampler(p);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const auto b = sampler.sample(rng);
+    EXPECT_GE(b, 100u);
+    EXPECT_LE(b, 1000u);
+  }
+}
+
+TEST(BodySizeSampler, MedianNearLogMean) {
+  BodySizeSampler::Params p;
+  p.log_mean = 8.0;
+  p.log_stddev = 0.5;
+  p.tail_prob = 0.0;
+  BodySizeSampler sampler(p);
+  Rng rng(2);
+  std::vector<double> draws;
+  for (int i = 0; i < 20000; ++i)
+    draws.push_back(static_cast<double>(sampler.sample(rng)));
+  std::nth_element(draws.begin(), draws.begin() + draws.size() / 2,
+                   draws.end());
+  EXPECT_NEAR(draws[draws.size() / 2], std::exp(8.0),
+              std::exp(8.0) * 0.05);
+}
+
+TEST(BodySizeSampler, TailProducesLargeBodies) {
+  BodySizeSampler::Params p;
+  p.log_mean = 5.0;
+  p.log_stddev = 0.1;
+  p.tail_prob = 1.0;  // always the Pareto tail
+  p.tail_xm = 1 << 20;
+  p.tail_alpha = 2.0;
+  BodySizeSampler sampler(p);
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_GE(sampler.sample(rng), static_cast<std::uint64_t>(1 << 20));
+  }
+}
+
+TEST(BodySizeSampler, RejectsBadParameters) {
+  BodySizeSampler::Params p;
+  p.tail_prob = 1.5;
+  EXPECT_THROW(BodySizeSampler{p}, std::invalid_argument);
+  p.tail_prob = 0.1;
+  p.tail_alpha = 0.0;
+  EXPECT_THROW(BodySizeSampler{p}, std::invalid_argument);
+  p.tail_alpha = 1.0;
+  p.min_bytes = 10;
+  p.max_bytes = 5;
+  EXPECT_THROW(BodySizeSampler{p}, std::invalid_argument);
+}
+
+TEST(PoissonProcess, ArrivalsAreAscendingWithinWindow) {
+  PoissonProcess process(0.5);
+  Rng rng(4);
+  const auto arrivals = process.arrivals(10.0, 200.0, rng);
+  ASSERT_FALSE(arrivals.empty());
+  for (std::size_t i = 0; i < arrivals.size(); ++i) {
+    EXPECT_GE(arrivals[i], 10.0);
+    EXPECT_LT(arrivals[i], 200.0);
+    if (i > 0) EXPECT_GT(arrivals[i], arrivals[i - 1]);
+  }
+}
+
+TEST(PoissonProcess, CountMatchesRate) {
+  PoissonProcess process(2.0);
+  Rng rng(5);
+  double total = 0.0;
+  for (int r = 0; r < 50; ++r) {
+    total += static_cast<double>(process.arrivals(0.0, 100.0, rng).size());
+  }
+  EXPECT_NEAR(total / 50.0, 200.0, 10.0);
+}
+
+TEST(PoissonProcess, NextAfterIsStrictlyLater) {
+  PoissonProcess process(1.0);
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) EXPECT_GT(process.next_after(5.0, rng), 5.0);
+}
+
+TEST(PoissonProcess, RejectsBadParameters) {
+  EXPECT_THROW(PoissonProcess(0.0), std::invalid_argument);
+  PoissonProcess process(1.0);
+  Rng rng(1);
+  EXPECT_THROW((void)process.arrivals(5.0, 1.0, rng), std::invalid_argument);
+}
+
+TEST(WeightedChoice, RespectsWeights) {
+  Rng rng(7);
+  std::vector<double> weights = {0.0, 3.0, 1.0};
+  std::vector<int> counts(3, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) ++counts[weighted_choice(weights, rng)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.75, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.25, 0.02);
+}
+
+TEST(WeightedChoice, RejectsDegenerateInput) {
+  Rng rng(8);
+  std::vector<double> zero = {0.0, 0.0};
+  std::vector<double> negative = {1.0, -1.0};
+  std::vector<double> empty;
+  EXPECT_THROW((void)weighted_choice(zero, rng), std::invalid_argument);
+  EXPECT_THROW((void)weighted_choice(negative, rng), std::invalid_argument);
+  EXPECT_THROW((void)weighted_choice(empty, rng), std::invalid_argument);
+}
+
+TEST(WeightedChoice, SinglePositiveWeightAlwaysChosen) {
+  Rng rng(9);
+  std::vector<double> weights = {0.0, 0.0, 2.5};
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(weighted_choice(weights, rng), 2u);
+}
+
+}  // namespace
+}  // namespace jsoncdn::stats

@@ -1,0 +1,43 @@
+#include "stats/hash.h"
+
+#include <gtest/gtest.h>
+
+namespace jsoncdn::stats {
+namespace {
+
+TEST(Fnv1a64, EmptyStringIsOffsetBasis) {
+  EXPECT_EQ(fnv1a64(""), kFnvOffsetBasis64);
+}
+
+TEST(Fnv1a64, KnownVectors) {
+  // Published FNV-1a test vectors.
+  EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Fnv1a64, ChainingEqualsConcatenation) {
+  EXPECT_EQ(fnv1a64("bar", fnv1a64("foo")), fnv1a64("foobar"));
+}
+
+TEST(Fnv1a64, IsConstexpr) {
+  static_assert(fnv1a64("compile-time") != 0);
+  SUCCEED();
+}
+
+TEST(Fnv1a64Mix, DependsOnAllBytes) {
+  EXPECT_NE(fnv1a64_mix(1), fnv1a64_mix(2));
+  EXPECT_NE(fnv1a64_mix(1ULL << 56), fnv1a64_mix(0));
+}
+
+TEST(ToHex64, FormatsFixedWidth) {
+  EXPECT_EQ(to_hex64(0), "0000000000000000");
+  EXPECT_EQ(to_hex64(0xdeadbeefULL), "00000000deadbeef");
+  EXPECT_EQ(to_hex64(0xffffffffffffffffULL), "ffffffffffffffff");
+}
+
+TEST(ToHex64, RoundTripsNibbles) {
+  EXPECT_EQ(to_hex64(0x0123456789abcdefULL), "0123456789abcdef");
+}
+
+}  // namespace
+}  // namespace jsoncdn::stats

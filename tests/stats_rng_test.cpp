@@ -1,0 +1,147 @@
+#include "stats/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace jsoncdn::stats {
+namespace {
+
+TEST(SplitMix64, KnownVectorsAreStable) {
+  // Pinned outputs: these must never change or every seeded scenario shifts.
+  EXPECT_EQ(splitmix64(0), 0xe220a8397b1dcdafULL);
+  EXPECT_EQ(splitmix64(1), 0x910a2dec89025cc1ULL);
+  EXPECT_NE(splitmix64(2), splitmix64(3));
+}
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDrawCount) {
+  Rng a(7);
+  Rng b(7);
+  (void)b();  // advance b only
+  (void)b();
+  // fork depends on the seed, not engine state.
+  auto fa = a.fork(5);
+  auto fb = b.fork(5);
+  EXPECT_EQ(fa(), fb());
+}
+
+TEST(Rng, ForkKeysProduceDistinctStreams) {
+  Rng root(99);
+  auto a = root.fork(1);
+  auto b = root.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, StringForkMatchesRepeatedCalls) {
+  Rng root(99);
+  auto a = root.fork("catalog");
+  auto b = root.fork("catalog");
+  EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(5.0, 6.5);
+    EXPECT_GE(u, 5.0);
+    EXPECT_LT(u, 6.5);
+  }
+}
+
+TEST(Rng, UniformDegenerateRangeReturnsLo) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform(2.0, 2.0), 2.0);
+}
+
+TEST(Rng, UniformThrowsOnInvertedRange) {
+  Rng rng(3);
+  EXPECT_THROW((void)rng.uniform(2.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.uniform_int(5, 4), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.uniform_int(0, 4));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), 0);
+  EXPECT_EQ(*seen.rbegin(), 4);
+}
+
+TEST(Rng, BernoulliEdgeCasesAreDeterministic) {
+  Rng rng(1);
+  EXPECT_FALSE(rng.bernoulli(0.0));
+  EXPECT_TRUE(rng.bernoulli(1.0));
+  EXPECT_FALSE(rng.bernoulli(-0.5));
+  EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, BernoulliFrequencyApproximatesP) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(6);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialThrowsOnNonPositiveRate) {
+  Rng rng(6);
+  EXPECT_THROW((void)rng.exponential(0.0), std::invalid_argument);
+  EXPECT_THROW((void)rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(8);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(sq / n - mean * mean), 2.0, 0.1);
+}
+
+}  // namespace
+}  // namespace jsoncdn::stats

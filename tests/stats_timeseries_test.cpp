@@ -1,0 +1,102 @@
+#include "stats/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace jsoncdn::stats {
+namespace {
+
+TEST(BinEvents, CountsPerInterval) {
+  const std::vector<double> times = {0.1, 0.9, 1.5, 2.0, 2.99};
+  const auto bins = bin_events(times, 0.0, 3.0, 1.0);
+  ASSERT_EQ(bins.size(), 3u);
+  EXPECT_DOUBLE_EQ(bins[0], 2.0);
+  EXPECT_DOUBLE_EQ(bins[1], 1.0);
+  EXPECT_DOUBLE_EQ(bins[2], 2.0);
+}
+
+TEST(BinEvents, EventsOutsideWindowIgnored) {
+  const std::vector<double> times = {-1.0, 0.5, 5.0};
+  const auto bins = bin_events(times, 0.0, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(std::accumulate(bins.begin(), bins.end(), 0.0), 1.0);
+}
+
+TEST(BinEvents, FractionalBinWidth) {
+  const std::vector<double> times = {0.0, 0.4, 0.6};
+  const auto bins = bin_events(times, 0.0, 1.0, 0.5);
+  ASSERT_EQ(bins.size(), 2u);
+  EXPECT_DOUBLE_EQ(bins[0], 2.0);
+  EXPECT_DOUBLE_EQ(bins[1], 1.0);
+}
+
+TEST(BinEvents, RejectsBadArguments) {
+  const std::vector<double> times = {1.0};
+  EXPECT_THROW((void)bin_events(times, 0.0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)bin_events(times, 2.0, 1.0, 0.5), std::invalid_argument);
+}
+
+TEST(InterarrivalGaps, ComputesDifferences) {
+  const std::vector<double> times = {1.0, 3.0, 6.0, 10.0};
+  const auto gaps = interarrival_gaps(times);
+  ASSERT_EQ(gaps.size(), 3u);
+  EXPECT_DOUBLE_EQ(gaps[0], 2.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 3.0);
+  EXPECT_DOUBLE_EQ(gaps[2], 4.0);
+}
+
+TEST(InterarrivalGaps, ShortSequencesYieldEmpty) {
+  EXPECT_TRUE(interarrival_gaps({}).empty());
+  EXPECT_TRUE(interarrival_gaps({{5.0}}).empty());
+}
+
+TEST(InterarrivalGaps, RejectsDescendingTimes) {
+  const std::vector<double> times = {2.0, 1.0};
+  EXPECT_THROW((void)interarrival_gaps(times), std::invalid_argument);
+}
+
+TEST(TimesFromGaps, RoundTripsWithInterarrivalGaps) {
+  const std::vector<double> times = {0.5, 1.5, 4.0, 4.25};
+  const auto gaps = interarrival_gaps(times);
+  const auto rebuilt = times_from_gaps(times.front(), gaps);
+  ASSERT_EQ(rebuilt.size(), times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    EXPECT_NEAR(rebuilt[i], times[i], 1e-12);
+  }
+}
+
+TEST(PermuteGaps, PreservesStartEndAndGapMultiset) {
+  const std::vector<double> times = {0.0, 1.0, 3.0, 6.0, 10.0};
+  Rng rng(42);
+  const auto permuted = permute_gaps(times, rng);
+  ASSERT_EQ(permuted.size(), times.size());
+  EXPECT_DOUBLE_EQ(permuted.front(), times.front());
+  EXPECT_NEAR(permuted.back(), times.back(), 1e-12);  // total span preserved
+  auto original_gaps = interarrival_gaps(times);
+  auto new_gaps = interarrival_gaps(permuted);
+  std::sort(original_gaps.begin(), original_gaps.end());
+  std::sort(new_gaps.begin(), new_gaps.end());
+  for (std::size_t i = 0; i < original_gaps.size(); ++i) {
+    EXPECT_NEAR(new_gaps[i], original_gaps[i], 1e-12);
+  }
+}
+
+TEST(PermuteGaps, ActuallyShufflesLongSequences) {
+  std::vector<double> times;
+  for (int i = 0; i < 50; ++i) {
+    times.push_back(times.empty() ? 0.0 : times.back() + 1.0 + 0.1 * i);
+  }
+  Rng rng(7);
+  const auto permuted = permute_gaps(times, rng);
+  EXPECT_NE(permuted, times);
+}
+
+TEST(PermuteGaps, RejectsTooShortInput) {
+  Rng rng(1);
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW((void)permute_gaps(one, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jsoncdn::stats

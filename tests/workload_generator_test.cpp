@@ -1,0 +1,190 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "workload/scenario.h"
+
+namespace jsoncdn::workload {
+namespace {
+
+GeneratorConfig small_config(std::uint64_t seed = 11) {
+  GeneratorConfig config;
+  config.seed = seed;
+  config.duration_seconds = 1200.0;
+  config.n_clients = 400;
+  config.catalog.domains_per_industry = 1;
+  return config;
+}
+
+TEST(WorkloadGenerator, DeterministicForSameSeed) {
+  WorkloadGenerator a(small_config());
+  WorkloadGenerator b(small_config());
+  const auto wa = a.generate();
+  const auto wb = b.generate();
+  ASSERT_EQ(wa.events.size(), wb.events.size());
+  for (std::size_t i = 0; i < wa.events.size(); ++i) {
+    EXPECT_EQ(wa.events[i].url, wb.events[i].url);
+    EXPECT_EQ(wa.events[i].client_address, wb.events[i].client_address);
+    EXPECT_DOUBLE_EQ(wa.events[i].time, wb.events[i].time);
+  }
+}
+
+TEST(WorkloadGenerator, RepeatedGenerateCallsAgree) {
+  WorkloadGenerator gen(small_config());
+  const auto w1 = gen.generate();
+  const auto w2 = gen.generate();
+  EXPECT_EQ(w1.events.size(), w2.events.size());
+}
+
+TEST(WorkloadGenerator, DifferentSeedsDiffer) {
+  WorkloadGenerator a(small_config(1));
+  WorkloadGenerator b(small_config(2));
+  EXPECT_NE(a.generate().events.size(), b.generate().events.size());
+}
+
+TEST(WorkloadGenerator, EventsSortedAndInWindow) {
+  WorkloadGenerator gen(small_config());
+  const auto w = gen.generate();
+  ASSERT_FALSE(w.events.empty());
+  for (std::size_t i = 0; i < w.events.size(); ++i) {
+    EXPECT_GE(w.events[i].time, 0.0);
+    EXPECT_LT(w.events[i].time, 1200.0);
+    if (i > 0) EXPECT_LE(w.events[i - 1].time, w.events[i].time);
+  }
+}
+
+TEST(WorkloadGenerator, AllUrlsResolveInCatalog) {
+  WorkloadGenerator gen(small_config());
+  const auto w = gen.generate();
+  for (const auto& ev : w.events) {
+    EXPECT_NE(gen.catalog().objects().find(ev.url), nullptr) << ev.url;
+  }
+}
+
+TEST(WorkloadGenerator, GroundTruthCountsConsistent) {
+  WorkloadGenerator gen(small_config());
+  const auto w = gen.generate();
+  EXPECT_EQ(w.truth.total_events, w.events.size());
+  EXPECT_EQ(w.truth.clients.size(), 400u);
+  std::size_t periodic_clients = 0;
+  for (const auto& ct : w.truth.clients) {
+    if (ct.runs_periodic_flow) ++periodic_clients;
+  }
+  EXPECT_GE(w.truth.periodic_flows.size(), periodic_clients * 0);
+  for (const auto& pt : w.truth.periodic_flows) {
+    EXPECT_GT(pt.period_seconds, 0.0);
+    EXPECT_GT(pt.request_count, 0u);
+  }
+}
+
+TEST(WorkloadGenerator, ClientAddressesUnique) {
+  WorkloadGenerator gen(small_config());
+  const auto w = gen.generate();
+  std::unordered_set<std::string> addresses;
+  for (const auto& ct : w.truth.clients) addresses.insert(ct.address);
+  EXPECT_EQ(addresses.size(), w.truth.clients.size());
+}
+
+TEST(WorkloadGenerator, PopulationSharesApproximatelyRespected) {
+  auto config = small_config();
+  config.n_clients = 4000;
+  WorkloadGenerator gen(config);
+  const auto w = gen.generate();
+  std::size_t mobile_app = 0;
+  std::size_t embedded = 0;
+  for (const auto& ct : w.truth.clients) {
+    if (ct.profile_class == ProfileClass::kMobileApp) ++mobile_app;
+    if (ct.profile_class == ProfileClass::kEmbedded) ++embedded;
+  }
+  const double total = static_cast<double>(w.truth.clients.size());
+  EXPECT_NEAR(mobile_app / total, 0.53, 0.05);  // weights are renormalized
+  EXPECT_NEAR(embedded / total, 0.13, 0.04);
+}
+
+TEST(WorkloadGenerator, TemplateMapCoversAppUrls) {
+  WorkloadGenerator gen(small_config());
+  const auto w = gen.generate();
+  for (const auto& graph : gen.app_graphs()) {
+    for (std::size_t t = 0; t < graph.endpoint_count(); ++t) {
+      for (const auto& url : graph.urls_of(t)) {
+        ASSERT_TRUE(w.truth.template_of_url.contains(url)) << url;
+      }
+    }
+  }
+}
+
+TEST(WorkloadGenerator, SharedCatalogSeedYieldsSameEcosystem) {
+  auto c1 = small_config(100);
+  auto c2 = small_config(200);
+  c1.catalog_seed = 77;
+  c2.catalog_seed = 77;
+  WorkloadGenerator a(c1);
+  WorkloadGenerator b(c2);
+  ASSERT_EQ(a.catalog().objects().size(), b.catalog().objects().size());
+  for (std::size_t i = 0; i < a.catalog().objects().size(); ++i) {
+    EXPECT_EQ(a.catalog().objects().at(i).url, b.catalog().objects().at(i).url);
+  }
+  // But the traffic differs.
+  EXPECT_NE(a.generate().events.size(), b.generate().events.size());
+}
+
+TEST(WorkloadGenerator, RejectsBadConfig) {
+  auto config = small_config();
+  config.duration_seconds = 0.0;
+  EXPECT_THROW(WorkloadGenerator{config}, std::invalid_argument);
+  config = small_config();
+  config.n_clients = 0;
+  EXPECT_THROW(WorkloadGenerator{config}, std::invalid_argument);
+}
+
+TEST(CanonicalPeriods, MatchFigure5Spikes) {
+  const auto& periods = canonical_periods();
+  ASSERT_FALSE(periods.empty());
+  std::vector<double> values;
+  for (const auto& p : periods) {
+    EXPECT_GT(p.weight, 0.0);
+    values.push_back(p.seconds);
+  }
+  for (const double expected : {30.0, 60.0, 120.0, 180.0, 600.0, 900.0,
+                                1800.0}) {
+    EXPECT_NE(std::find(values.begin(), values.end(), expected), values.end())
+        << expected;
+  }
+}
+
+TEST(Scenario, ShortTermMatchesTable2Shape) {
+  const auto config = short_term_scenario(0.01, 1);
+  EXPECT_DOUBLE_EQ(config.duration_seconds, 600.0);  // 10 minutes
+  EXPECT_GT(config.catalog.domains_per_industry * kIndustryCount, 30u);
+  EXPECT_GT(config.n_clients, 10000u);
+}
+
+TEST(Scenario, LongTermMatchesTable2Shape) {
+  const auto config = long_term_scenario(0.01, 1);
+  EXPECT_DOUBLE_EQ(config.duration_seconds, 86400.0);  // 24 hours
+  // ~170 domains at full scale; far fewer than the short-term catalog.
+  EXPECT_LT(config.catalog.domains_per_industry,
+            short_term_scenario(0.01, 1).catalog.domains_per_industry);
+}
+
+TEST(Scenario, FullScaleApproximatesPaperDatasets) {
+  const auto short_term = short_term_scenario(1.0, 1);
+  EXPECT_NEAR(static_cast<double>(short_term.catalog.domains_per_industry) *
+                  kIndustryCount,
+              5000.0, 250.0);
+  const auto long_term = long_term_scenario(1.0, 1);
+  EXPECT_NEAR(static_cast<double>(long_term.catalog.domains_per_industry) *
+                  kIndustryCount,
+              170.0, 20.0);
+}
+
+TEST(Scenario, RejectsNonPositiveScale) {
+  EXPECT_THROW((void)short_term_scenario(0.0), std::invalid_argument);
+  EXPECT_THROW((void)long_term_scenario(-1.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jsoncdn::workload

@@ -1,0 +1,124 @@
+// Machine-to-machine structure of the generated workload: hub concentration,
+// bounded beacon sessions, and webview HTML emission.
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "http/mime.h"
+#include "workload/generator.h"
+
+namespace jsoncdn::workload {
+namespace {
+
+GeneratorConfig m2m_config() {
+  GeneratorConfig config;
+  config.seed = 555;
+  config.duration_seconds = 4 * 3600.0;
+  config.n_clients = 800;
+  config.catalog.domains_per_industry = 2;
+  config.shares = {0.2, 0.02, 0.02, 0.5, 0.06, 0.15, 0.05};
+  config.periodic.embedded = 0.8;
+  return config;
+}
+
+TEST(M2mConcentration, PeriodicFlowsClusterOnHubDomains) {
+  auto config = m2m_config();
+  config.m2m_concentration = 1.0;  // every periodic flow goes to a hub
+  config.m2m_top_domains = 3;
+  WorkloadGenerator generator(config);
+  const auto workload = generator.generate();
+  const auto hubs = generator.catalog().top_domains(3);
+  std::unordered_set<std::string> hub_names;
+  for (const auto d : hubs)
+    hub_names.insert(generator.catalog().domains()[d].name);
+
+  ASSERT_FALSE(workload.truth.periodic_flows.empty());
+  for (const auto& pt : workload.truth.periodic_flows) {
+    const auto* obj = generator.catalog().objects().find(pt.url);
+    ASSERT_NE(obj, nullptr);
+    EXPECT_TRUE(hub_names.contains(obj->domain)) << obj->domain;
+  }
+}
+
+TEST(M2mConcentration, ZeroConcentrationSpreadsFlows) {
+  auto config = m2m_config();
+  config.m2m_concentration = 0.0;
+  WorkloadGenerator generator(config);
+  const auto workload = generator.generate();
+  std::unordered_set<std::string> domains;
+  for (const auto& pt : workload.truth.periodic_flows) {
+    domains.insert(generator.catalog().objects().find(pt.url)->domain);
+  }
+  // With 22 domains and hundreds of flows, spreading reaches many domains.
+  EXPECT_GT(domains.size(), 5u);
+}
+
+TEST(TopDomains, OrderedByPopularity) {
+  WorkloadGenerator generator(m2m_config());
+  const auto& catalog = generator.catalog();
+  const auto top = catalog.top_domains(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(catalog.domains()[top[i - 1]].popularity_weight,
+              catalog.domains()[top[i]].popularity_weight);
+  }
+  // Asking for more than exist clamps.
+  EXPECT_EQ(catalog.top_domains(10'000).size(), catalog.domains().size());
+}
+
+TEST(BeaconSessions, BoundedActivitySpan) {
+  auto config = m2m_config();
+  config.shares = {0.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0};  // all library
+  config.periodic.library = 0.0;                        // beacons only
+  config.beacon_session_lo_seconds = 600.0;
+  config.beacon_session_hi_seconds = 1200.0;
+  WorkloadGenerator generator(config);
+  const auto workload = generator.generate();
+
+  // Group events per client and check each client's activity span.
+  std::unordered_map<std::string, std::pair<double, double>> spans;
+  for (const auto& ev : workload.events) {
+    auto [it, inserted] =
+        spans.try_emplace(ev.client_address, ev.time, ev.time);
+    it->second.first = std::min(it->second.first, ev.time);
+    it->second.second = std::max(it->second.second, ev.time);
+  }
+  ASSERT_FALSE(spans.empty());
+  for (const auto& [client, span] : spans) {
+    EXPECT_LE(span.second - span.first, 1200.0 + 1e-6) << client;
+  }
+}
+
+TEST(Webview, EmitsHtmlAfterAppSessions) {
+  auto config = m2m_config();
+  config.shares = {1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};  // all mobile apps
+  config.periodic.mobile_app = 0.0;
+  config.app_webview_html_prob = 1.0;
+  WorkloadGenerator generator(config);
+  const auto workload = generator.generate();
+  std::size_t html = 0;
+  for (const auto& ev : workload.events) {
+    const auto* obj = generator.catalog().objects().find(ev.url);
+    ASSERT_NE(obj, nullptr);
+    if (obj->content == http::ContentClass::kHtml) ++html;
+  }
+  EXPECT_GT(html, 0u);
+}
+
+TEST(Webview, DisabledMeansAppTrafficIsHtmlFree) {
+  auto config = m2m_config();
+  config.shares = {1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0};
+  config.periodic.mobile_app = 0.0;
+  config.app_webview_html_prob = 0.0;
+  WorkloadGenerator generator(config);
+  const auto workload = generator.generate();
+  for (const auto& ev : workload.events) {
+    const auto* obj = generator.catalog().objects().find(ev.url);
+    ASSERT_NE(obj, nullptr);
+    EXPECT_NE(obj->content, http::ContentClass::kHtml);
+  }
+}
+
+}  // namespace
+}  // namespace jsoncdn::workload

@@ -1,0 +1,103 @@
+#include "workload/device_profiles.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace jsoncdn::workload {
+namespace {
+
+constexpr ProfileClass kAllClasses[] = {
+    ProfileClass::kMobileApp,      ProfileClass::kMobileBrowser,
+    ProfileClass::kDesktopBrowser, ProfileClass::kEmbedded,
+    ProfileClass::kLibrary,        ProfileClass::kNoUserAgent,
+    ProfileClass::kGarbageUa,
+};
+
+TEST(Profiles, EveryClassHasAtLeastOneProfile) {
+  for (const auto c : kAllClasses) {
+    EXPECT_FALSE(profiles(c).empty()) << to_string(c);
+  }
+}
+
+// The key consistency property: every built-in profile's UA must classify
+// back to its ground-truth device/agent labels. If the classifier and the
+// corpus disagree, the Fig. 3 reproduction silently degrades.
+TEST(Profiles, ClassifierAgreesWithGroundTruth) {
+  stats::Rng rng(1);
+  for (const auto c : kAllClasses) {
+    for (const auto& profile : profiles(c)) {
+      const auto ua = materialize_user_agent(profile, rng);
+      const auto classified = http::classify_device(ua);
+      EXPECT_EQ(classified.device, profile.true_device)
+          << profile.name << ": " << ua;
+      EXPECT_EQ(classified.agent, profile.true_agent)
+          << profile.name << ": " << ua;
+    }
+  }
+}
+
+TEST(Profiles, BrowserClassesAreBrowsers) {
+  for (const auto& p : profiles(ProfileClass::kMobileBrowser)) {
+    EXPECT_EQ(p.true_agent, http::AgentKind::kBrowser);
+    EXPECT_EQ(p.true_device, http::DeviceType::kMobile);
+  }
+  for (const auto& p : profiles(ProfileClass::kDesktopBrowser)) {
+    EXPECT_EQ(p.true_agent, http::AgentKind::kBrowser);
+    EXPECT_EQ(p.true_device, http::DeviceType::kDesktop);
+  }
+}
+
+TEST(Profiles, NoUserAgentClassEmitsEmptyString) {
+  for (const auto& p : profiles(ProfileClass::kNoUserAgent)) {
+    EXPECT_TRUE(p.user_agent.empty());
+  }
+}
+
+TEST(Profiles, EmbeddedProfilesNeverBrowse) {
+  for (const auto& p : profiles(ProfileClass::kEmbedded)) {
+    EXPECT_NE(p.true_agent, http::AgentKind::kBrowser);
+  }
+}
+
+TEST(MaterializeUserAgent, FillsVersionSlot) {
+  stats::Rng rng(2);
+  const auto& apps = profiles(ProfileClass::kMobileApp);
+  const auto ua = materialize_user_agent(apps.front(), rng);
+  EXPECT_EQ(ua.find("{v}"), std::string::npos);
+  EXPECT_FALSE(ua.empty());
+}
+
+TEST(MaterializeUserAgent, ProducesMultipleVariants) {
+  stats::Rng rng(3);
+  const auto& apps = profiles(ProfileClass::kMobileApp);
+  std::set<std::string> variants;
+  for (int i = 0; i < 300; ++i) {
+    variants.insert(materialize_user_agent(apps.front(), rng));
+  }
+  EXPECT_GT(variants.size(), 5u);
+  EXPECT_LE(variants.size(),
+            static_cast<std::size_t>(apps.front().version_variants));
+}
+
+TEST(MaterializeUserAgent, IdempotentWithoutSlot) {
+  stats::Rng rng(4);
+  const auto& libs = profiles(ProfileClass::kLibrary);
+  EXPECT_EQ(materialize_user_agent(libs.front(), rng), libs.front().user_agent);
+}
+
+TEST(SampleProfile, ReturnsMemberOfClass) {
+  stats::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto& p = sample_profile(ProfileClass::kEmbedded, rng);
+    EXPECT_EQ(p.true_device, http::DeviceType::kEmbedded);
+  }
+}
+
+TEST(ProfileClassNames, AreStable) {
+  EXPECT_EQ(to_string(ProfileClass::kMobileApp), "mobile-app");
+  EXPECT_EQ(to_string(ProfileClass::kGarbageUa), "garbage-ua");
+}
+
+}  // namespace
+}  // namespace jsoncdn::workload

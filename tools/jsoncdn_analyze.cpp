@@ -1,0 +1,136 @@
+// jsoncdn-analyze — run the paper's analyses over a log file.
+//
+//   jsoncdn-analyze FILE [--characterize] [--periodicity] [--ngram] [--all]
+//                   [--permutations N]
+//
+// Consumes the TSV format written by jsoncdn-generate (or any producer of
+// the same schema) and prints the corresponding figures/tables. Exactly the
+// paper's situation: the analyst sees only the logs.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/characterization.h"
+#include "core/ngram.h"
+#include "core/periodicity.h"
+#include "core/report.h"
+#include "logs/csv.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: jsoncdn-analyze FILE [--characterize] [--periodicity]\n"
+               "                       [--ngram] [--all] [--permutations N]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jsoncdn;
+
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string path = argv[1];
+  bool characterize = false;
+  bool periodicity = false;
+  bool ngram = false;
+  std::size_t permutations = 100;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--characterize") {
+      characterize = true;
+    } else if (arg == "--periodicity") {
+      periodicity = true;
+    } else if (arg == "--ngram") {
+      ngram = true;
+    } else if (arg == "--all") {
+      characterize = periodicity = ngram = true;
+    } else if (arg == "--permutations" && i + 1 < argc) {
+      permutations = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (!characterize && !periodicity && !ngram) characterize = true;
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  logs::LogReader reader(in);
+  logs::Dataset dataset(reader.read_all());
+  dataset.sort_by_time();
+  if (reader.malformed_lines() > 0) {
+    std::fprintf(stderr, "warning: skipped %llu malformed lines\n",
+                 static_cast<unsigned long long>(reader.malformed_lines()));
+  }
+  const auto json = dataset.json_only();
+  std::printf("loaded %zu records (%zu JSON) from %s\n", dataset.size(),
+              json.size(), path.c_str());
+  std::printf("domains: %zu, objects: %zu, clients: %zu\n\n",
+              dataset.distinct_domains(), dataset.distinct_objects(),
+              dataset.distinct_clients());
+
+  if (characterize) {
+    std::fputs(core::render_source(core::characterize_source(json)).c_str(),
+               stdout);
+    std::printf("\n");
+    std::fputs(core::render_headline(core::characterize_methods(json),
+                                     core::characterize_cacheability(json),
+                                     core::compare_sizes(dataset))
+                   .c_str(),
+               stdout);
+    std::printf("\n");
+    // Without an external categorization service, group the heatmap by
+    // registrable domain prefix (the synthetic logs encode the industry in
+    // the hostname; real logs would plug a categorization database in here).
+    const core::IndustryLookup lookup = [](std::string_view domain) {
+      const auto dot = domain.find('.');
+      const auto dash = domain.find('-');
+      if (dot != std::string_view::npos && dash != std::string_view::npos &&
+          dash > dot) {
+        return std::string(domain.substr(dot + 1, dash - dot - 1));
+      }
+      return std::string("other");
+    };
+    const auto domains = core::domain_cacheability(json, lookup);
+    std::fputs(core::render_heatmap(core::cacheability_heatmap(domains))
+                   .c_str(),
+               stdout);
+    std::printf("\n");
+  }
+
+  if (periodicity) {
+    core::PeriodicityConfig config;
+    config.detector.permutations = permutations;
+    const auto report = core::analyze_periodicity(json, config);
+    std::fputs(core::render_periodicity_summary(report).c_str(), stdout);
+    std::fputs(core::render_period_histogram(report.object_periods).c_str(),
+               stdout);
+    std::fputs(
+        core::render_periodic_client_cdf(report.periodic_client_shares)
+            .c_str(),
+        stdout);
+    std::printf("\n");
+  }
+
+  if (ngram) {
+    std::vector<core::NgramAccuracy> rows;
+    for (const bool clustered : {true, false}) {
+      core::NgramEvalConfig config;
+      config.clustered = clustered;
+      rows.push_back(core::evaluate_ngram(json, config));
+    }
+    std::fputs(core::render_ngram_table(rows).c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,98 @@
+// jsoncdn-generate — produce a synthetic CDN edge log file.
+//
+//   jsoncdn-generate [--scenario short|long] [--scale S] [--seed N]
+//                    [--out FILE] [--json-only]
+//
+// Writes the TSV log format (logs/csv.h) that jsoncdn-analyze consumes, so
+// the full pipeline can be driven from the shell exactly like the paper's:
+// collect logs on the edge, analyze offline.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "cdn/network.h"
+#include "logs/csv.h"
+#include "workload/scenario.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: jsoncdn-generate [--scenario short|long] [--scale S]\n"
+               "                        [--seed N] [--out FILE] [--json-only]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jsoncdn;
+
+  std::string scenario = "short";
+  double scale = 0.005;
+  std::uint64_t seed = 42;
+  std::string out_path = "jsoncdn.log";
+  bool json_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scenario") {
+      scenario = next();
+    } else if (arg == "--scale") {
+      scale = std::atof(next());
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--json-only") {
+      json_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  workload::GeneratorConfig config;
+  if (scenario == "short") {
+    config = workload::short_term_scenario(scale, seed);
+  } else if (scenario == "long") {
+    config = workload::long_term_scenario(scale, seed);
+  } else {
+    std::fprintf(stderr, "unknown scenario: %s\n", scenario.c_str());
+    return 2;
+  }
+
+  std::fprintf(stderr, "generating %s-term scenario at scale %g (seed %llu)\n",
+               scenario.c_str(), scale,
+               static_cast<unsigned long long>(seed));
+  workload::WorkloadGenerator generator(config);
+  const auto workload = generator.generate();
+  cdn::CdnNetwork network(generator.catalog().objects(), {});
+  auto dataset = network.run(workload.events);
+  if (json_only) dataset = dataset.json_only();
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  logs::LogWriter writer(out);
+  for (const auto& record : dataset.records()) writer.write(record);
+  std::fprintf(stderr, "wrote %llu records to %s\n",
+               static_cast<unsigned long long>(writer.written()),
+               out_path.c_str());
+  return 0;
+}
