@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_periodicity.dir/ablation_periodicity.cpp.o"
+  "CMakeFiles/ablation_periodicity.dir/ablation_periodicity.cpp.o.d"
+  "ablation_periodicity"
+  "ablation_periodicity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_periodicity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_push_timing.dir/ablation_push_timing.cpp.o"
+  "CMakeFiles/ablation_push_timing.dir/ablation_push_timing.cpp.o.d"
+  "ablation_push_timing"
+  "ablation_push_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_push_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_per_byte.dir/cost_per_byte.cpp.o"
+  "CMakeFiles/cost_per_byte.dir/cost_per_byte.cpp.o.d"
+  "cost_per_byte"
+  "cost_per_byte.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_per_byte.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_json_growth.dir/fig1_json_growth.cpp.o"
+  "CMakeFiles/fig1_json_growth.dir/fig1_json_growth.cpp.o.d"
+  "fig1_json_growth"
+  "fig1_json_growth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_json_growth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_periodic_client_cdf.dir/fig6_periodic_client_cdf.cpp.o"
+  "CMakeFiles/fig6_periodic_client_cdf.dir/fig6_periodic_client_cdf.cpp.o.d"
+  "fig6_periodic_client_cdf"
+  "fig6_periodic_client_cdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_periodic_client_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

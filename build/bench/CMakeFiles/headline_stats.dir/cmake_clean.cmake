@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_stats.dir/headline_stats.cpp.o"
+  "CMakeFiles/headline_stats.dir/headline_stats.cpp.o.d"
+  "headline_stats"
+  "headline_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

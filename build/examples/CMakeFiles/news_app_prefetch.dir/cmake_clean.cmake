@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/news_app_prefetch.dir/news_app_prefetch.cpp.o"
+  "CMakeFiles/news_app_prefetch.dir/news_app_prefetch.cpp.o.d"
+  "news_app_prefetch"
+  "news_app_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/news_app_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cdn/cache.cpp" "src/cdn/CMakeFiles/jsoncdn_cdn.dir/cache.cpp.o" "gcc" "src/cdn/CMakeFiles/jsoncdn_cdn.dir/cache.cpp.o.d"
+  "/root/repo/src/cdn/edge.cpp" "src/cdn/CMakeFiles/jsoncdn_cdn.dir/edge.cpp.o" "gcc" "src/cdn/CMakeFiles/jsoncdn_cdn.dir/edge.cpp.o.d"
+  "/root/repo/src/cdn/metrics.cpp" "src/cdn/CMakeFiles/jsoncdn_cdn.dir/metrics.cpp.o" "gcc" "src/cdn/CMakeFiles/jsoncdn_cdn.dir/metrics.cpp.o.d"
+  "/root/repo/src/cdn/network.cpp" "src/cdn/CMakeFiles/jsoncdn_cdn.dir/network.cpp.o" "gcc" "src/cdn/CMakeFiles/jsoncdn_cdn.dir/network.cpp.o.d"
+  "/root/repo/src/cdn/origin.cpp" "src/cdn/CMakeFiles/jsoncdn_cdn.dir/origin.cpp.o" "gcc" "src/cdn/CMakeFiles/jsoncdn_cdn.dir/origin.cpp.o.d"
+  "/root/repo/src/cdn/prioritizer.cpp" "src/cdn/CMakeFiles/jsoncdn_cdn.dir/prioritizer.cpp.o" "gcc" "src/cdn/CMakeFiles/jsoncdn_cdn.dir/prioritizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/jsoncdn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/jsoncdn_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/jsoncdn_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/jsoncdn_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsoncdn_cdn.dir/cache.cpp.o"
+  "CMakeFiles/jsoncdn_cdn.dir/cache.cpp.o.d"
+  "CMakeFiles/jsoncdn_cdn.dir/edge.cpp.o"
+  "CMakeFiles/jsoncdn_cdn.dir/edge.cpp.o.d"
+  "CMakeFiles/jsoncdn_cdn.dir/metrics.cpp.o"
+  "CMakeFiles/jsoncdn_cdn.dir/metrics.cpp.o.d"
+  "CMakeFiles/jsoncdn_cdn.dir/network.cpp.o"
+  "CMakeFiles/jsoncdn_cdn.dir/network.cpp.o.d"
+  "CMakeFiles/jsoncdn_cdn.dir/origin.cpp.o"
+  "CMakeFiles/jsoncdn_cdn.dir/origin.cpp.o.d"
+  "CMakeFiles/jsoncdn_cdn.dir/prioritizer.cpp.o"
+  "CMakeFiles/jsoncdn_cdn.dir/prioritizer.cpp.o.d"
+  "libjsoncdn_cdn.a"
+  "libjsoncdn_cdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsoncdn_cdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

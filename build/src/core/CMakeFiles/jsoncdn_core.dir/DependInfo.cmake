@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/anomaly.cpp" "src/core/CMakeFiles/jsoncdn_core.dir/anomaly.cpp.o" "gcc" "src/core/CMakeFiles/jsoncdn_core.dir/anomaly.cpp.o.d"
+  "/root/repo/src/core/characterization.cpp" "src/core/CMakeFiles/jsoncdn_core.dir/characterization.cpp.o" "gcc" "src/core/CMakeFiles/jsoncdn_core.dir/characterization.cpp.o.d"
+  "/root/repo/src/core/cost.cpp" "src/core/CMakeFiles/jsoncdn_core.dir/cost.cpp.o" "gcc" "src/core/CMakeFiles/jsoncdn_core.dir/cost.cpp.o.d"
+  "/root/repo/src/core/ngram.cpp" "src/core/CMakeFiles/jsoncdn_core.dir/ngram.cpp.o" "gcc" "src/core/CMakeFiles/jsoncdn_core.dir/ngram.cpp.o.d"
+  "/root/repo/src/core/periodicity.cpp" "src/core/CMakeFiles/jsoncdn_core.dir/periodicity.cpp.o" "gcc" "src/core/CMakeFiles/jsoncdn_core.dir/periodicity.cpp.o.d"
+  "/root/repo/src/core/prefetch.cpp" "src/core/CMakeFiles/jsoncdn_core.dir/prefetch.cpp.o" "gcc" "src/core/CMakeFiles/jsoncdn_core.dir/prefetch.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/jsoncdn_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/jsoncdn_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/jsoncdn_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/jsoncdn_core.dir/study.cpp.o.d"
+  "/root/repo/src/core/taxonomy.cpp" "src/core/CMakeFiles/jsoncdn_core.dir/taxonomy.cpp.o" "gcc" "src/core/CMakeFiles/jsoncdn_core.dir/taxonomy.cpp.o.d"
+  "/root/repo/src/core/timing.cpp" "src/core/CMakeFiles/jsoncdn_core.dir/timing.cpp.o" "gcc" "src/core/CMakeFiles/jsoncdn_core.dir/timing.cpp.o.d"
+  "/root/repo/src/core/url_cluster.cpp" "src/core/CMakeFiles/jsoncdn_core.dir/url_cluster.cpp.o" "gcc" "src/core/CMakeFiles/jsoncdn_core.dir/url_cluster.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cdn/CMakeFiles/jsoncdn_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jsoncdn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/jsoncdn_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/jsoncdn_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/jsoncdn_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

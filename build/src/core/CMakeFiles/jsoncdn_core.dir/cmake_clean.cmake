@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsoncdn_core.dir/anomaly.cpp.o"
+  "CMakeFiles/jsoncdn_core.dir/anomaly.cpp.o.d"
+  "CMakeFiles/jsoncdn_core.dir/characterization.cpp.o"
+  "CMakeFiles/jsoncdn_core.dir/characterization.cpp.o.d"
+  "CMakeFiles/jsoncdn_core.dir/cost.cpp.o"
+  "CMakeFiles/jsoncdn_core.dir/cost.cpp.o.d"
+  "CMakeFiles/jsoncdn_core.dir/ngram.cpp.o"
+  "CMakeFiles/jsoncdn_core.dir/ngram.cpp.o.d"
+  "CMakeFiles/jsoncdn_core.dir/periodicity.cpp.o"
+  "CMakeFiles/jsoncdn_core.dir/periodicity.cpp.o.d"
+  "CMakeFiles/jsoncdn_core.dir/prefetch.cpp.o"
+  "CMakeFiles/jsoncdn_core.dir/prefetch.cpp.o.d"
+  "CMakeFiles/jsoncdn_core.dir/report.cpp.o"
+  "CMakeFiles/jsoncdn_core.dir/report.cpp.o.d"
+  "CMakeFiles/jsoncdn_core.dir/study.cpp.o"
+  "CMakeFiles/jsoncdn_core.dir/study.cpp.o.d"
+  "CMakeFiles/jsoncdn_core.dir/taxonomy.cpp.o"
+  "CMakeFiles/jsoncdn_core.dir/taxonomy.cpp.o.d"
+  "CMakeFiles/jsoncdn_core.dir/timing.cpp.o"
+  "CMakeFiles/jsoncdn_core.dir/timing.cpp.o.d"
+  "CMakeFiles/jsoncdn_core.dir/url_cluster.cpp.o"
+  "CMakeFiles/jsoncdn_core.dir/url_cluster.cpp.o.d"
+  "libjsoncdn_core.a"
+  "libjsoncdn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsoncdn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/device_db.cpp" "src/http/CMakeFiles/jsoncdn_http.dir/device_db.cpp.o" "gcc" "src/http/CMakeFiles/jsoncdn_http.dir/device_db.cpp.o.d"
+  "/root/repo/src/http/headers.cpp" "src/http/CMakeFiles/jsoncdn_http.dir/headers.cpp.o" "gcc" "src/http/CMakeFiles/jsoncdn_http.dir/headers.cpp.o.d"
+  "/root/repo/src/http/method.cpp" "src/http/CMakeFiles/jsoncdn_http.dir/method.cpp.o" "gcc" "src/http/CMakeFiles/jsoncdn_http.dir/method.cpp.o.d"
+  "/root/repo/src/http/mime.cpp" "src/http/CMakeFiles/jsoncdn_http.dir/mime.cpp.o" "gcc" "src/http/CMakeFiles/jsoncdn_http.dir/mime.cpp.o.d"
+  "/root/repo/src/http/url.cpp" "src/http/CMakeFiles/jsoncdn_http.dir/url.cpp.o" "gcc" "src/http/CMakeFiles/jsoncdn_http.dir/url.cpp.o.d"
+  "/root/repo/src/http/user_agent.cpp" "src/http/CMakeFiles/jsoncdn_http.dir/user_agent.cpp.o" "gcc" "src/http/CMakeFiles/jsoncdn_http.dir/user_agent.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stats/CMakeFiles/jsoncdn_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsoncdn_http.dir/device_db.cpp.o"
+  "CMakeFiles/jsoncdn_http.dir/device_db.cpp.o.d"
+  "CMakeFiles/jsoncdn_http.dir/headers.cpp.o"
+  "CMakeFiles/jsoncdn_http.dir/headers.cpp.o.d"
+  "CMakeFiles/jsoncdn_http.dir/method.cpp.o"
+  "CMakeFiles/jsoncdn_http.dir/method.cpp.o.d"
+  "CMakeFiles/jsoncdn_http.dir/mime.cpp.o"
+  "CMakeFiles/jsoncdn_http.dir/mime.cpp.o.d"
+  "CMakeFiles/jsoncdn_http.dir/url.cpp.o"
+  "CMakeFiles/jsoncdn_http.dir/url.cpp.o.d"
+  "CMakeFiles/jsoncdn_http.dir/user_agent.cpp.o"
+  "CMakeFiles/jsoncdn_http.dir/user_agent.cpp.o.d"
+  "libjsoncdn_http.a"
+  "libjsoncdn_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsoncdn_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

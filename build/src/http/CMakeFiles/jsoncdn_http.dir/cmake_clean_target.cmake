@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libjsoncdn_http.a"
+)

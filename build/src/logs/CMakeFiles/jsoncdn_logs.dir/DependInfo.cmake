@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logs/anonymizer.cpp" "src/logs/CMakeFiles/jsoncdn_logs.dir/anonymizer.cpp.o" "gcc" "src/logs/CMakeFiles/jsoncdn_logs.dir/anonymizer.cpp.o.d"
+  "/root/repo/src/logs/csv.cpp" "src/logs/CMakeFiles/jsoncdn_logs.dir/csv.cpp.o" "gcc" "src/logs/CMakeFiles/jsoncdn_logs.dir/csv.cpp.o.d"
+  "/root/repo/src/logs/dataset.cpp" "src/logs/CMakeFiles/jsoncdn_logs.dir/dataset.cpp.o" "gcc" "src/logs/CMakeFiles/jsoncdn_logs.dir/dataset.cpp.o.d"
+  "/root/repo/src/logs/record.cpp" "src/logs/CMakeFiles/jsoncdn_logs.dir/record.cpp.o" "gcc" "src/logs/CMakeFiles/jsoncdn_logs.dir/record.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/jsoncdn_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/jsoncdn_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

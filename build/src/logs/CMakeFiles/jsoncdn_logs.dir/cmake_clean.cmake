@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsoncdn_logs.dir/anonymizer.cpp.o"
+  "CMakeFiles/jsoncdn_logs.dir/anonymizer.cpp.o.d"
+  "CMakeFiles/jsoncdn_logs.dir/csv.cpp.o"
+  "CMakeFiles/jsoncdn_logs.dir/csv.cpp.o.d"
+  "CMakeFiles/jsoncdn_logs.dir/dataset.cpp.o"
+  "CMakeFiles/jsoncdn_logs.dir/dataset.cpp.o.d"
+  "CMakeFiles/jsoncdn_logs.dir/record.cpp.o"
+  "CMakeFiles/jsoncdn_logs.dir/record.cpp.o.d"
+  "libjsoncdn_logs.a"
+  "libjsoncdn_logs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsoncdn_logs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

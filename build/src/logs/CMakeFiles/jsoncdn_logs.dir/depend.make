@@ -1,0 +1,2 @@
+# Empty dependencies file for jsoncdn_logs.
+# This may be replaced when dependencies are built.

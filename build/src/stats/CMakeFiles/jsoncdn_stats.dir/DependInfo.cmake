@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/autocorrelation.cpp" "src/stats/CMakeFiles/jsoncdn_stats.dir/autocorrelation.cpp.o" "gcc" "src/stats/CMakeFiles/jsoncdn_stats.dir/autocorrelation.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "src/stats/CMakeFiles/jsoncdn_stats.dir/descriptive.cpp.o" "gcc" "src/stats/CMakeFiles/jsoncdn_stats.dir/descriptive.cpp.o.d"
+  "/root/repo/src/stats/distributions.cpp" "src/stats/CMakeFiles/jsoncdn_stats.dir/distributions.cpp.o" "gcc" "src/stats/CMakeFiles/jsoncdn_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/stats/fft.cpp" "src/stats/CMakeFiles/jsoncdn_stats.dir/fft.cpp.o" "gcc" "src/stats/CMakeFiles/jsoncdn_stats.dir/fft.cpp.o.d"
+  "/root/repo/src/stats/hash.cpp" "src/stats/CMakeFiles/jsoncdn_stats.dir/hash.cpp.o" "gcc" "src/stats/CMakeFiles/jsoncdn_stats.dir/hash.cpp.o.d"
+  "/root/repo/src/stats/rng.cpp" "src/stats/CMakeFiles/jsoncdn_stats.dir/rng.cpp.o" "gcc" "src/stats/CMakeFiles/jsoncdn_stats.dir/rng.cpp.o.d"
+  "/root/repo/src/stats/timeseries.cpp" "src/stats/CMakeFiles/jsoncdn_stats.dir/timeseries.cpp.o" "gcc" "src/stats/CMakeFiles/jsoncdn_stats.dir/timeseries.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsoncdn_stats.dir/autocorrelation.cpp.o"
+  "CMakeFiles/jsoncdn_stats.dir/autocorrelation.cpp.o.d"
+  "CMakeFiles/jsoncdn_stats.dir/descriptive.cpp.o"
+  "CMakeFiles/jsoncdn_stats.dir/descriptive.cpp.o.d"
+  "CMakeFiles/jsoncdn_stats.dir/distributions.cpp.o"
+  "CMakeFiles/jsoncdn_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/jsoncdn_stats.dir/fft.cpp.o"
+  "CMakeFiles/jsoncdn_stats.dir/fft.cpp.o.d"
+  "CMakeFiles/jsoncdn_stats.dir/hash.cpp.o"
+  "CMakeFiles/jsoncdn_stats.dir/hash.cpp.o.d"
+  "CMakeFiles/jsoncdn_stats.dir/rng.cpp.o"
+  "CMakeFiles/jsoncdn_stats.dir/rng.cpp.o.d"
+  "CMakeFiles/jsoncdn_stats.dir/timeseries.cpp.o"
+  "CMakeFiles/jsoncdn_stats.dir/timeseries.cpp.o.d"
+  "libjsoncdn_stats.a"
+  "libjsoncdn_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsoncdn_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

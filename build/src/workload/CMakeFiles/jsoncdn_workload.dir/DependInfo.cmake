@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_graph.cpp" "src/workload/CMakeFiles/jsoncdn_workload.dir/app_graph.cpp.o" "gcc" "src/workload/CMakeFiles/jsoncdn_workload.dir/app_graph.cpp.o.d"
+  "/root/repo/src/workload/catalog.cpp" "src/workload/CMakeFiles/jsoncdn_workload.dir/catalog.cpp.o" "gcc" "src/workload/CMakeFiles/jsoncdn_workload.dir/catalog.cpp.o.d"
+  "/root/repo/src/workload/device_profiles.cpp" "src/workload/CMakeFiles/jsoncdn_workload.dir/device_profiles.cpp.o" "gcc" "src/workload/CMakeFiles/jsoncdn_workload.dir/device_profiles.cpp.o.d"
+  "/root/repo/src/workload/generator.cpp" "src/workload/CMakeFiles/jsoncdn_workload.dir/generator.cpp.o" "gcc" "src/workload/CMakeFiles/jsoncdn_workload.dir/generator.cpp.o.d"
+  "/root/repo/src/workload/industry.cpp" "src/workload/CMakeFiles/jsoncdn_workload.dir/industry.cpp.o" "gcc" "src/workload/CMakeFiles/jsoncdn_workload.dir/industry.cpp.o.d"
+  "/root/repo/src/workload/scenario.cpp" "src/workload/CMakeFiles/jsoncdn_workload.dir/scenario.cpp.o" "gcc" "src/workload/CMakeFiles/jsoncdn_workload.dir/scenario.cpp.o.d"
+  "/root/repo/src/workload/sessions.cpp" "src/workload/CMakeFiles/jsoncdn_workload.dir/sessions.cpp.o" "gcc" "src/workload/CMakeFiles/jsoncdn_workload.dir/sessions.cpp.o.d"
+  "/root/repo/src/workload/traffic_mix.cpp" "src/workload/CMakeFiles/jsoncdn_workload.dir/traffic_mix.cpp.o" "gcc" "src/workload/CMakeFiles/jsoncdn_workload.dir/traffic_mix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/jsoncdn_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/jsoncdn_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsoncdn_workload.dir/app_graph.cpp.o"
+  "CMakeFiles/jsoncdn_workload.dir/app_graph.cpp.o.d"
+  "CMakeFiles/jsoncdn_workload.dir/catalog.cpp.o"
+  "CMakeFiles/jsoncdn_workload.dir/catalog.cpp.o.d"
+  "CMakeFiles/jsoncdn_workload.dir/device_profiles.cpp.o"
+  "CMakeFiles/jsoncdn_workload.dir/device_profiles.cpp.o.d"
+  "CMakeFiles/jsoncdn_workload.dir/generator.cpp.o"
+  "CMakeFiles/jsoncdn_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/jsoncdn_workload.dir/industry.cpp.o"
+  "CMakeFiles/jsoncdn_workload.dir/industry.cpp.o.d"
+  "CMakeFiles/jsoncdn_workload.dir/scenario.cpp.o"
+  "CMakeFiles/jsoncdn_workload.dir/scenario.cpp.o.d"
+  "CMakeFiles/jsoncdn_workload.dir/sessions.cpp.o"
+  "CMakeFiles/jsoncdn_workload.dir/sessions.cpp.o.d"
+  "CMakeFiles/jsoncdn_workload.dir/traffic_mix.cpp.o"
+  "CMakeFiles/jsoncdn_workload.dir/traffic_mix.cpp.o.d"
+  "libjsoncdn_workload.a"
+  "libjsoncdn_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsoncdn_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,65 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cdn_cache_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/cdn_cache_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/cdn_cache_test.cpp.o.d"
+  "/root/repo/tests/cdn_edge_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/cdn_edge_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/cdn_edge_test.cpp.o.d"
+  "/root/repo/tests/cdn_network_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/cdn_network_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/cdn_network_test.cpp.o.d"
+  "/root/repo/tests/cdn_prioritizer_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/cdn_prioritizer_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/cdn_prioritizer_test.cpp.o.d"
+  "/root/repo/tests/cdn_push_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/cdn_push_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/cdn_push_test.cpp.o.d"
+  "/root/repo/tests/cdn_revalidation_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/cdn_revalidation_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/cdn_revalidation_test.cpp.o.d"
+  "/root/repo/tests/cdn_scheduler_property_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/cdn_scheduler_property_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/cdn_scheduler_property_test.cpp.o.d"
+  "/root/repo/tests/core_anomaly_prefetch_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/core_anomaly_prefetch_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/core_anomaly_prefetch_test.cpp.o.d"
+  "/root/repo/tests/core_characterization_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/core_characterization_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/core_characterization_test.cpp.o.d"
+  "/root/repo/tests/core_cost_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/core_cost_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/core_cost_test.cpp.o.d"
+  "/root/repo/tests/core_detector_property_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/core_detector_property_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/core_detector_property_test.cpp.o.d"
+  "/root/repo/tests/core_multiperiod_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/core_multiperiod_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/core_multiperiod_test.cpp.o.d"
+  "/root/repo/tests/core_ngram_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/core_ngram_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/core_ngram_test.cpp.o.d"
+  "/root/repo/tests/core_periodicity_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/core_periodicity_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/core_periodicity_test.cpp.o.d"
+  "/root/repo/tests/core_report_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/core_report_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/core_report_test.cpp.o.d"
+  "/root/repo/tests/core_study_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/core_study_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/core_study_test.cpp.o.d"
+  "/root/repo/tests/core_timing_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/core_timing_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/core_timing_test.cpp.o.d"
+  "/root/repo/tests/core_url_cluster_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/core_url_cluster_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/core_url_cluster_test.cpp.o.d"
+  "/root/repo/tests/http_device_db_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/http_device_db_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/http_device_db_test.cpp.o.d"
+  "/root/repo/tests/http_headers_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/http_headers_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/http_headers_test.cpp.o.d"
+  "/root/repo/tests/http_message_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/http_message_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/http_message_test.cpp.o.d"
+  "/root/repo/tests/http_mime_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/http_mime_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/http_mime_test.cpp.o.d"
+  "/root/repo/tests/http_url_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/http_url_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/http_url_test.cpp.o.d"
+  "/root/repo/tests/http_user_agent_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/http_user_agent_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/http_user_agent_test.cpp.o.d"
+  "/root/repo/tests/integration_cli_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/integration_cli_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/integration_cli_test.cpp.o.d"
+  "/root/repo/tests/logs_dataset_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/logs_dataset_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/logs_dataset_test.cpp.o.d"
+  "/root/repo/tests/logs_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/logs_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/logs_test.cpp.o.d"
+  "/root/repo/tests/stats_autocorrelation_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/stats_autocorrelation_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/stats_autocorrelation_test.cpp.o.d"
+  "/root/repo/tests/stats_descriptive_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/stats_descriptive_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/stats_descriptive_test.cpp.o.d"
+  "/root/repo/tests/stats_distributions_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/stats_distributions_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/stats_distributions_test.cpp.o.d"
+  "/root/repo/tests/stats_fft_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/stats_fft_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/stats_fft_test.cpp.o.d"
+  "/root/repo/tests/stats_hash_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/stats_hash_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/stats_hash_test.cpp.o.d"
+  "/root/repo/tests/stats_property_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/stats_property_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/stats_property_test.cpp.o.d"
+  "/root/repo/tests/stats_rng_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/stats_rng_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/stats_rng_test.cpp.o.d"
+  "/root/repo/tests/stats_timeseries_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/stats_timeseries_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/stats_timeseries_test.cpp.o.d"
+  "/root/repo/tests/workload_app_graph_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/workload_app_graph_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/workload_app_graph_test.cpp.o.d"
+  "/root/repo/tests/workload_catalog_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/workload_catalog_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/workload_catalog_test.cpp.o.d"
+  "/root/repo/tests/workload_generator_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/workload_generator_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/workload_generator_test.cpp.o.d"
+  "/root/repo/tests/workload_m2m_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/workload_m2m_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/workload_m2m_test.cpp.o.d"
+  "/root/repo/tests/workload_profiles_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/workload_profiles_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/workload_profiles_test.cpp.o.d"
+  "/root/repo/tests/workload_sessions_test.cpp" "tests/CMakeFiles/jsoncdn_tests.dir/workload_sessions_test.cpp.o" "gcc" "tests/CMakeFiles/jsoncdn_tests.dir/workload_sessions_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/jsoncdn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cdn/CMakeFiles/jsoncdn_cdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/jsoncdn_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/logs/CMakeFiles/jsoncdn_logs.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/jsoncdn_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/jsoncdn_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsoncdn-analyze.dir/jsoncdn_analyze.cpp.o"
+  "CMakeFiles/jsoncdn-analyze.dir/jsoncdn_analyze.cpp.o.d"
+  "jsoncdn-analyze"
+  "jsoncdn-analyze.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsoncdn-analyze.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jsoncdn-generate.dir/jsoncdn_generate.cpp.o"
+  "CMakeFiles/jsoncdn-generate.dir/jsoncdn_generate.cpp.o.d"
+  "jsoncdn-generate"
+  "jsoncdn-generate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jsoncdn-generate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
