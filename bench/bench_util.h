@@ -3,6 +3,7 @@
 // bench output directly.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
 
@@ -24,6 +25,35 @@ inline void compare(const std::string& metric, double paper, double measured,
 
 inline void note(const std::string& text) {
   std::printf("  %s\n", text.c_str());
+}
+
+// Wall-clock stopwatch for stage-level timing (the figure benches measure
+// shape, this measures speed).
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline void print_timing(const std::string& stage, double seconds) {
+  std::printf("  %-42s %10.3f s\n", stage.c_str(), seconds);
+}
+
+// One row of the parallel speedup report: serial vs N-thread wall clock.
+inline void print_speedup(const std::string& stage, double serial_seconds,
+                          double parallel_seconds, std::size_t threads) {
+  std::printf(
+      "  %-30s 1 thread: %8.3f s   %zu threads: %8.3f s   speedup: %5.2fx\n",
+      stage.c_str(), serial_seconds, threads, parallel_seconds,
+      parallel_seconds > 0.0 ? serial_seconds / parallel_seconds : 0.0);
 }
 
 }  // namespace jsoncdn::bench

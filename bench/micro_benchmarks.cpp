@@ -1,8 +1,13 @@
 // Google-benchmark microbenchmarks for the hot paths: FFT/ACF (periodicity
 // inner loop), ngram training/prediction, edge cache operations, UA
-// classification, URL parsing/clustering, and log (de)serialization.
+// classification, URL parsing/clustering, and log (de)serialization — plus
+// a wall-clock speedup report (1 thread vs N) for the parallel periodicity
+// and ngram stages, printed after the benchmark table.
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
+#include "bench_util.h"
 #include "cdn/cache.h"
 #include "core/ngram.h"
 #include "core/periodicity.h"
@@ -12,6 +17,7 @@
 #include "logs/csv.h"
 #include "stats/autocorrelation.h"
 #include "stats/fft.h"
+#include "stats/parallel.h"
 #include "stats/rng.h"
 
 namespace {
@@ -161,6 +167,139 @@ void BM_LogLineRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_LogLineRoundTrip);
 
+// ---- Parallel stage speedup (wall clock, 1 thread vs N) -------------------
+
+// Synthetic dataset dense enough to pass the paper's flow filter: a mix of
+// periodic objects (the expensive full-permutation path) and Poisson objects
+// (the cheap early-exit path), mirroring the real workload's skew.
+logs::Dataset make_periodicity_dataset(std::size_t periodic_objects,
+                                       std::size_t poisson_objects) {
+  stats::Rng rng(2024);
+  logs::Dataset ds;
+  const std::size_t clients = 12;
+  const std::size_t requests = 24;
+  auto add_flow = [&](const std::string& url, std::size_t c,
+                      double t) {
+    logs::LogRecord record;
+    record.timestamp = t;
+    record.client_id = "client" + std::to_string(c);
+    record.user_agent = "NewsReader/5.2";
+    record.url = url;
+    record.domain = "api.bench.example";
+    record.content_type = "application/json";
+    record.response_bytes = 2048;
+    record.cache_status = logs::CacheStatus::kNotCacheable;
+    ds.add(std::move(record));
+  };
+  for (std::size_t o = 0; o < periodic_objects; ++o) {
+    const std::string url =
+        "https://api.bench.example/poll/" + std::to_string(o);
+    const double period = 30.0 + static_cast<double>(o % 5) * 15.0;
+    for (std::size_t c = 0; c < clients; ++c) {
+      const double phase = rng.uniform(0.0, period);
+      for (std::size_t r = 0; r < requests; ++r) {
+        add_flow(url, c,
+                 phase + static_cast<double>(r) * period +
+                     rng.normal(0.0, 0.3));
+      }
+    }
+  }
+  for (std::size_t o = 0; o < poisson_objects; ++o) {
+    const std::string url =
+        "https://api.bench.example/feed/" + std::to_string(o);
+    for (std::size_t c = 0; c < clients; ++c) {
+      double t = rng.uniform(0.0, 60.0);
+      for (std::size_t r = 0; r < requests; ++r) {
+        t += rng.exponential(1.0 / 45.0);
+        add_flow(url, c, t);
+      }
+    }
+  }
+  ds.sort_by_time();
+  return ds;
+}
+
+// Per-client request sequences with Zipf-ish repeat structure so the ngram
+// model has something to learn.
+logs::Dataset make_ngram_dataset(std::size_t n_clients,
+                                 std::size_t requests_per_client) {
+  stats::Rng rng(7);
+  logs::Dataset ds;
+  for (std::size_t c = 0; c < n_clients; ++c) {
+    double t = rng.uniform(0.0, 10.0);
+    std::int64_t page = rng.uniform_int(0, 49);
+    for (std::size_t r = 0; r < requests_per_client; ++r) {
+      // Mostly-deterministic walk with occasional jumps: predictable
+      // transitions dominate, like app-driven request sequences.
+      page = rng.bernoulli(0.7) ? (page + 1) % 50 : rng.uniform_int(0, 49);
+      t += rng.exponential(1.0 / 5.0);
+      logs::LogRecord record;
+      record.timestamp = t;
+      record.client_id = "client" + std::to_string(c);
+      record.user_agent = "NewsReader/5.2";
+      record.url = "https://api.bench.example/api/v1/page/" +
+                   std::to_string(page);
+      record.domain = "api.bench.example";
+      record.content_type = "application/json";
+      record.response_bytes = 1024;
+      ds.add(std::move(record));
+    }
+  }
+  ds.sort_by_time();
+  return ds;
+}
+
+void report_parallel_speedup() {
+  const std::size_t n_threads = 4;
+  bench::print_header(
+      "parallel speedup",
+      "analysis stages, 1 thread vs " + std::to_string(n_threads) +
+          " (hardware_concurrency = " +
+          std::to_string(std::thread::hardware_concurrency()) + ")");
+
+  {
+    const auto ds = make_periodicity_dataset(24, 24);
+    core::PeriodicityConfig config;
+    auto run_with = [&](std::size_t threads) {
+      config.threads = threads;
+      bench::Timer timer;
+      const auto report = core::analyze_periodicity(ds, config);
+      const double elapsed = timer.seconds();
+      if (report.objects.empty()) bench::note("warning: no flows analyzed");
+      return elapsed;
+    };
+    run_with(1);  // warm-up: page in the dataset, stabilize the comparison
+    const double serial = run_with(1);
+    const double parallel = run_with(n_threads);
+    bench::print_speedup("analyze_periodicity", serial, parallel, n_threads);
+  }
+
+  {
+    const auto ds = make_ngram_dataset(4000, 60);
+    core::NgramEvalConfig config;
+    config.context_len = 2;
+    auto run_with = [&](std::size_t threads) {
+      config.threads = threads;
+      bench::Timer timer;
+      const auto accuracy = core::evaluate_ngram(ds, config);
+      const double elapsed = timer.seconds();
+      if (accuracy.predictions == 0) bench::note("warning: no predictions");
+      return elapsed;
+    };
+    run_with(1);
+    const double serial = run_with(1);
+    const double parallel = run_with(n_threads);
+    bench::print_speedup("evaluate_ngram", serial, parallel, n_threads);
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  report_parallel_speedup();
+  return 0;
+}

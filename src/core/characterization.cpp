@@ -6,6 +6,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "stats/parallel.h"
+
 namespace jsoncdn::core {
 
 namespace {
@@ -46,27 +48,64 @@ double SourceBreakdown::mobile_browser_share() const noexcept {
                                    static_cast<double>(total_requests);
 }
 
-SourceBreakdown characterize_source(const logs::Dataset& ds) {
-  SourceBreakdown out;
-  // Distinct UA strings per device type; classification cached per string
-  // since datasets repeat UAs millions of times.
-  std::unordered_map<std::string, http::DeviceClassification> ua_cache;
-  for (const auto& record : ds.records()) {
-    const auto [it, inserted] =
-        ua_cache.try_emplace(record.user_agent, http::DeviceClassification{});
-    if (inserted) it->second = http::classify_device(record.user_agent);
-    const auto& cls = it->second;
-
-    ++out.total_requests;
-    ++out.requests_by_device[device_index(cls.device)];
-    if (cls.is_browser()) {
-      ++out.browser_requests;
-      if (cls.device == http::DeviceType::kMobile)
-        ++out.mobile_browser_requests;
-    }
-    if (record.user_agent.empty()) ++out.missing_ua_requests;
+void SourceBreakdown::merge(const SourceBreakdown& other) noexcept {
+  for (std::size_t d = 0; d < requests_by_device.size(); ++d) {
+    requests_by_device[d] += other.requests_by_device[d];
+    ua_strings_by_device[d] += other.ua_strings_by_device[d];
   }
-  for (const auto& [ua, cls] : ua_cache) {
+  total_requests += other.total_requests;
+  total_ua_strings += other.total_ua_strings;
+  browser_requests += other.browser_requests;
+  mobile_browser_requests += other.mobile_browser_requests;
+  missing_ua_requests += other.missing_ua_requests;
+}
+
+namespace {
+
+// Per-shard accumulator: request counters plus the shard's distinct-UA
+// classification cache. UA-string counting happens after the caches are
+// unioned, so a UA seen by several shards still counts once.
+struct SourceShard {
+  SourceBreakdown breakdown;  // request-side counters only
+  std::unordered_map<std::string, http::DeviceClassification> ua_cache;
+
+  void merge(SourceShard& other) {
+    breakdown.merge(other.breakdown);
+    ua_cache.merge(other.ua_cache);
+  }
+};
+
+}  // namespace
+
+SourceBreakdown characterize_source(const logs::Dataset& ds,
+                                    std::size_t threads) {
+  const auto& records = ds.records();
+  stats::ThreadPool pool(threads);
+  auto shard = stats::parallel_reduce<SourceShard>(
+      pool, records.size(),
+      [&](SourceShard& acc, std::size_t begin, std::size_t end) {
+        auto& out = acc.breakdown;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& record = records[i];
+          // Classification cached per distinct string since datasets repeat
+          // UAs millions of times.
+          const auto [it, inserted] = acc.ua_cache.try_emplace(
+              record.user_agent, http::DeviceClassification{});
+          if (inserted) it->second = http::classify_device(record.user_agent);
+          const auto& cls = it->second;
+
+          ++out.total_requests;
+          ++out.requests_by_device[device_index(cls.device)];
+          if (cls.is_browser()) {
+            ++out.browser_requests;
+            if (cls.device == http::DeviceType::kMobile)
+              ++out.mobile_browser_requests;
+          }
+          if (record.user_agent.empty()) ++out.missing_ua_requests;
+        }
+      });
+  SourceBreakdown out = shard.breakdown;
+  for (const auto& [ua, cls] : shard.ua_cache) {
     if (ua.empty()) continue;  // a missing header is not a UA string
     ++out.total_ua_strings;
     ++out.ua_strings_by_device[device_index(cls.device)];
@@ -93,17 +132,28 @@ double MethodMix::upload_share() const noexcept {
                     : static_cast<double>(post) / static_cast<double>(total);
 }
 
-MethodMix characterize_methods(const logs::Dataset& ds) {
-  MethodMix out;
-  for (const auto& record : ds.records()) {
-    ++out.total;
-    switch (record.method) {
-      case http::Method::kGet: ++out.get; break;
-      case http::Method::kPost: ++out.post; break;
-      default: ++out.other; break;
-    }
-  }
-  return out;
+void MethodMix::merge(const MethodMix& shard) noexcept {
+  get += shard.get;
+  post += shard.post;
+  other += shard.other;
+  total += shard.total;
+}
+
+MethodMix characterize_methods(const logs::Dataset& ds, std::size_t threads) {
+  const auto& records = ds.records();
+  stats::ThreadPool pool(threads);
+  return stats::parallel_reduce<MethodMix>(
+      pool, records.size(),
+      [&](MethodMix& out, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          ++out.total;
+          switch (records[i].method) {
+            case http::Method::kGet: ++out.get; break;
+            case http::Method::kPost: ++out.post; break;
+            default: ++out.other; break;
+          }
+        }
+      });
 }
 
 double CacheabilityStats::uncacheable_share() const noexcept {
@@ -119,17 +169,29 @@ double CacheabilityStats::hit_share() const noexcept {
                     : static_cast<double>(hits) / static_cast<double>(total);
 }
 
-CacheabilityStats characterize_cacheability(const logs::Dataset& ds) {
-  CacheabilityStats out;
-  for (const auto& record : ds.records()) {
-    if (record.cache_status == logs::CacheStatus::kNotCacheable) {
-      ++out.uncacheable;
-    } else {
-      ++out.cacheable;
-      if (record.cache_status == logs::CacheStatus::kHit) ++out.hits;
-    }
-  }
-  return out;
+void CacheabilityStats::merge(const CacheabilityStats& shard) noexcept {
+  cacheable += shard.cacheable;
+  uncacheable += shard.uncacheable;
+  hits += shard.hits;
+}
+
+CacheabilityStats characterize_cacheability(const logs::Dataset& ds,
+                                            std::size_t threads) {
+  const auto& records = ds.records();
+  stats::ThreadPool pool(threads);
+  return stats::parallel_reduce<CacheabilityStats>(
+      pool, records.size(),
+      [&](CacheabilityStats& out, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          if (records[i].cache_status == logs::CacheStatus::kNotCacheable) {
+            ++out.uncacheable;
+          } else {
+            ++out.cacheable;
+            if (records[i].cache_status == logs::CacheStatus::kHit)
+              ++out.hits;
+          }
+        }
+      });
 }
 
 double SizeComparison::p50_ratio() const noexcept {
@@ -140,42 +202,87 @@ double SizeComparison::p75_ratio() const noexcept {
   return html.p75 == 0.0 ? 0.0 : json.p75 / html.p75;
 }
 
-SizeComparison compare_sizes(const logs::Dataset& ds) {
+namespace {
+
+// Chunk-ordered concatenation keeps the collected sizes in record order, so
+// the summaries match the serial pass bit for bit.
+struct SizeShard {
   std::vector<double> json_sizes;
   std::vector<double> html_sizes;
-  for (const auto& record : ds.records()) {
-    const auto content = http::classify_content(record.content_type);
-    if (content == http::ContentClass::kJson) {
-      json_sizes.push_back(static_cast<double>(record.response_bytes));
-    } else if (content == http::ContentClass::kHtml) {
-      html_sizes.push_back(static_cast<double>(record.response_bytes));
-    }
+
+  void merge(const SizeShard& shard) {
+    json_sizes.insert(json_sizes.end(), shard.json_sizes.begin(),
+                      shard.json_sizes.end());
+    html_sizes.insert(html_sizes.end(), shard.html_sizes.begin(),
+                      shard.html_sizes.end());
   }
+};
+
+}  // namespace
+
+SizeComparison compare_sizes(const logs::Dataset& ds, std::size_t threads) {
+  const auto& records = ds.records();
+  stats::ThreadPool pool(threads);
+  const auto shard = stats::parallel_reduce<SizeShard>(
+      pool, records.size(),
+      [&](SizeShard& acc, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto content =
+              http::classify_content(records[i].content_type);
+          if (content == http::ContentClass::kJson) {
+            acc.json_sizes.push_back(
+                static_cast<double>(records[i].response_bytes));
+          } else if (content == http::ContentClass::kHtml) {
+            acc.html_sizes.push_back(
+                static_cast<double>(records[i].response_bytes));
+          }
+        }
+      });
   SizeComparison out;
-  out.json = stats::summarize(json_sizes);
-  out.html = stats::summarize(html_sizes);
+  out.json = stats::summarize(shard.json_sizes);
+  out.html = stats::summarize(shard.html_sizes);
   return out;
 }
 
 std::vector<DomainCacheability> domain_cacheability(
-    const logs::Dataset& ds, const IndustryLookup& industry_of) {
+    const logs::Dataset& ds, const IndustryLookup& industry_of,
+    std::size_t threads) {
   if (!industry_of)
     throw std::invalid_argument("domain_cacheability: null industry lookup");
   struct Acc {
     std::uint64_t requests = 0;
     std::uint64_t cacheable = 0;
   };
-  std::map<std::string, Acc> by_domain;  // ordered => deterministic output
-  for (const auto& record : ds.records()) {
-    // Cacheability is a property of *served content*: uploads are inherently
-    // uncacheable and would push every domain off the heatmap's right edge,
-    // so the Fig. 4 view considers download traffic only.
-    if (!http::is_download(record.method)) continue;
-    auto& acc = by_domain[record.domain];
-    ++acc.requests;
-    if (record.cache_status != logs::CacheStatus::kNotCacheable)
-      ++acc.cacheable;
-  }
+  struct DomainShard {
+    std::map<std::string, Acc> by_domain;  // ordered => deterministic output
+
+    void merge(const DomainShard& shard) {
+      for (const auto& [domain, acc] : shard.by_domain) {
+        auto& mine = by_domain[domain];
+        mine.requests += acc.requests;
+        mine.cacheable += acc.cacheable;
+      }
+    }
+  };
+  const auto& records = ds.records();
+  stats::ThreadPool pool(threads);
+  const auto merged = stats::parallel_reduce<DomainShard>(
+      pool, records.size(),
+      [&](DomainShard& shard, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& record = records[i];
+          // Cacheability is a property of *served content*: uploads are
+          // inherently uncacheable and would push every domain off the
+          // heatmap's right edge, so the Fig. 4 view considers download
+          // traffic only.
+          if (!http::is_download(record.method)) continue;
+          auto& acc = shard.by_domain[record.domain];
+          ++acc.requests;
+          if (record.cache_status != logs::CacheStatus::kNotCacheable)
+            ++acc.cacheable;
+        }
+      });
+  const auto& by_domain = merged.by_domain;
   std::vector<DomainCacheability> out;
   out.reserve(by_domain.size());
   for (const auto& [domain, acc] : by_domain) {

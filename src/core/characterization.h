@@ -33,9 +33,19 @@ struct SourceBreakdown {
   [[nodiscard]] double browser_share() const noexcept;
   [[nodiscard]] double non_browser_share() const noexcept;
   [[nodiscard]] double mobile_browser_share() const noexcept;
+
+  // Adds another shard's counters (shard-then-merge parallel aggregation).
+  // Caller must ensure UA-string counters are disjoint across shards —
+  // characterize_source merges the distinct-UA sets before counting them.
+  void merge(const SourceBreakdown& other) noexcept;
 };
 
-[[nodiscard]] SourceBreakdown characterize_source(const logs::Dataset& ds);
+// `threads`: 0 = auto (JSONCDN_THREADS env, else hardware_concurrency).
+// All characterize_* aggregations shard the record range across workers and
+// merge per-shard accumulators in shard order; counts are integers, so the
+// result is bit-identical for any thread count.
+[[nodiscard]] SourceBreakdown characterize_source(const logs::Dataset& ds,
+                                                  std::size_t threads = 1);
 
 // ---- Request type ---------------------------------------------------------
 
@@ -49,9 +59,12 @@ struct MethodMix {
   // "96% of the remaining requests are POST": POST share of non-GET.
   [[nodiscard]] double post_share_of_non_get() const noexcept;
   [[nodiscard]] double upload_share() const noexcept;  // POST+PUT+PATCH
+
+  void merge(const MethodMix& other) noexcept;
 };
 
-[[nodiscard]] MethodMix characterize_methods(const logs::Dataset& ds);
+[[nodiscard]] MethodMix characterize_methods(const logs::Dataset& ds,
+                                             std::size_t threads = 1);
 
 // ---- Response type --------------------------------------------------------
 
@@ -62,10 +75,12 @@ struct CacheabilityStats {
 
   [[nodiscard]] double uncacheable_share() const noexcept;
   [[nodiscard]] double hit_share() const noexcept;
+
+  void merge(const CacheabilityStats& other) noexcept;
 };
 
 [[nodiscard]] CacheabilityStats characterize_cacheability(
-    const logs::Dataset& ds);
+    const logs::Dataset& ds, std::size_t threads = 1);
 
 // JSON vs HTML response sizes over an (unfiltered) dataset.
 struct SizeComparison {
@@ -77,7 +92,8 @@ struct SizeComparison {
   [[nodiscard]] double p75_ratio() const noexcept;
 };
 
-[[nodiscard]] SizeComparison compare_sizes(const logs::Dataset& ds);
+[[nodiscard]] SizeComparison compare_sizes(const logs::Dataset& ds,
+                                           std::size_t threads = 1);
 
 // ---- Domain cacheability heatmap (Fig. 4) -------------------------------
 
@@ -93,8 +109,11 @@ struct DomainCacheability {
   double cacheable_share = 0.0;  // share of the domain's requests cacheable
 };
 
+// The industry lookup is invoked serially (once per distinct domain, after
+// the sharded per-record aggregation), so it need not be thread-safe.
 [[nodiscard]] std::vector<DomainCacheability> domain_cacheability(
-    const logs::Dataset& ds, const IndustryLookup& industry_of);
+    const logs::Dataset& ds, const IndustryLookup& industry_of,
+    std::size_t threads = 1);
 
 struct CacheabilityHeatmap {
   std::vector<std::string> categories;      // row labels

@@ -1,11 +1,13 @@
 #include "core/ngram.h"
 
 #include <algorithm>
+#include <cstring>
 #include <stdexcept>
 #include <unordered_set>
 
 #include "core/url_cluster.h"
 #include "stats/hash.h"
+#include "stats/parallel.h"
 
 namespace jsoncdn::core {
 
@@ -52,6 +54,30 @@ void NgramModel::observe_sequence(std::span<const std::string> tokens) {
     for (std::size_t len = 1; len <= max_context_ && len <= i; ++len) {
       const std::span<const TokenId> context(&ids[i - len], len);
       ++tables_[len - 1][context_key(context)][ids[i]];
+    }
+  }
+}
+
+void NgramModel::merge(const NgramModel& other) {
+  if (other.max_context_ != max_context_)
+    throw std::invalid_argument("NgramModel::merge: max_context mismatch");
+  // Remap the other model's token ids into this vocabulary.
+  std::vector<TokenId> remap(other.token_names_.size());
+  for (std::size_t i = 0; i < other.token_names_.size(); ++i)
+    remap[i] = intern(other.token_names_[i]);
+
+  for (const auto& [id, count] : other.unigrams_)
+    unigrams_[remap[id]] += count;
+  transitions_ += other.transitions_;
+
+  std::vector<TokenId> context;
+  for (std::size_t len = 1; len <= max_context_; ++len) {
+    for (const auto& [key, counts] : other.tables_[len - 1]) {
+      context.resize(len);
+      std::memcpy(context.data(), key.data(), key.size());
+      for (auto& id : context) id = remap[id];
+      auto& dst = tables_[len - 1][context_key(context)];
+      for (const auto& [id, count] : counts) dst[remap[id]] += count;
     }
   }
 }
@@ -155,47 +181,91 @@ NgramAccuracy evaluate_ngram(const logs::Dataset& ds,
     return static_cast<double>(h % 1'000'000) / 1e6 < config.train_fraction;
   };
 
-  NgramModel model(config.context_len);
+  std::vector<const logs::ClientFlow*> train_flows;
   std::vector<const logs::ClientFlow*> test_flows;
   for (const auto& flow : flows) {
     if (is_train(flow.client)) {
       ++result.train_clients;
-      const auto tokens = tokens_of(flow);
-      model.observe_sequence(tokens);
+      train_flows.push_back(&flow);
     } else {
       ++result.test_clients;
       test_flows.push_back(&flow);
     }
   }
 
-  std::map<std::size_t, std::size_t> hits;
-  for (const auto k : config.ks) hits[k] = 0;
+  stats::ThreadPool pool(config.threads);
+
+  // Token extraction is per-flow independent: index-ordered parallel map.
+  const auto train_tokens = stats::parallel_map<std::vector<std::string>>(
+      pool, train_flows.size(),
+      [&](std::size_t i) { return tokens_of(*train_flows[i]); });
+
+  // Sharded count-then-merge training. Shards are contiguous chunks of the
+  // flow order and merge ascending, so the merged model carries exactly the
+  // counts (and first-seen vocabulary order) of serial training.
+  NgramModel model(config.context_len);
+  const std::size_t shards = stats::chunk_count(pool, train_flows.size());
+  if (shards <= 1) {
+    for (const auto& tokens : train_tokens) model.observe_sequence(tokens);
+  } else {
+    std::vector<NgramModel> shard_models(shards,
+                                         NgramModel(config.context_len));
+    stats::parallel_for(pool, train_flows.size(),
+                        [&](std::size_t begin, std::size_t end,
+                            std::size_t shard) {
+                          for (std::size_t i = begin; i < end; ++i)
+                            shard_models[shard].observe_sequence(
+                                train_tokens[i]);
+                        });
+    for (const auto& shard_model : shard_models) model.merge(shard_model);
+  }
+
   const std::size_t max_k =
       *std::max_element(config.ks.begin(), config.ks.end());
 
-  for (const auto* flow : test_flows) {
-    const auto tokens = tokens_of(*flow);
-    for (std::size_t i = 1; i < tokens.size(); ++i) {
-      const std::size_t ctx = std::min(config.context_len, i);
-      const std::span<const std::string> history(&tokens[i - ctx], ctx);
-      const auto predictions = model.predict(history, max_k);
-      ++result.predictions;
-      for (const auto k : config.ks) {
-        const auto limit = std::min(k, predictions.size());
-        for (std::size_t p = 0; p < limit; ++p) {
-          if (predictions[p].token == tokens[i]) {
-            ++hits[k];
-            break;
+  // Scoring shards accumulate integer hit counters and merge by addition —
+  // order-insensitive, so accuracy is identical for any thread count.
+  struct EvalAcc {
+    std::vector<std::uint64_t> hits;  // parallel to config.ks
+    std::uint64_t predictions = 0;
+    void merge(const EvalAcc& other) {
+      if (hits.size() < other.hits.size()) hits.resize(other.hits.size(), 0);
+      for (std::size_t i = 0; i < other.hits.size(); ++i)
+        hits[i] += other.hits[i];
+      predictions += other.predictions;
+    }
+  };
+  const auto scored = stats::parallel_reduce<EvalAcc>(
+      pool, test_flows.size(),
+      [&](EvalAcc& acc, std::size_t begin, std::size_t end) {
+        acc.hits.assign(config.ks.size(), 0);
+        for (std::size_t f = begin; f < end; ++f) {
+          const auto tokens = tokens_of(*test_flows[f]);
+          for (std::size_t i = 1; i < tokens.size(); ++i) {
+            const std::size_t ctx = std::min(config.context_len, i);
+            const std::span<const std::string> history(&tokens[i - ctx], ctx);
+            const auto predictions = model.predict(history, max_k);
+            ++acc.predictions;
+            for (std::size_t ki = 0; ki < config.ks.size(); ++ki) {
+              const auto limit = std::min(config.ks[ki], predictions.size());
+              for (std::size_t p = 0; p < limit; ++p) {
+                if (predictions[p].token == tokens[i]) {
+                  ++acc.hits[ki];
+                  break;
+                }
+              }
+            }
           }
         }
-      }
-    }
-  }
-  for (const auto k : config.ks) {
-    result.accuracy_at[k] =
+      });
+
+  result.predictions = scored.predictions;
+  for (std::size_t ki = 0; ki < config.ks.size(); ++ki) {
+    const std::uint64_t k_hits = ki < scored.hits.size() ? scored.hits[ki] : 0;
+    result.accuracy_at[config.ks[ki]] =
         result.predictions == 0
             ? 0.0
-            : static_cast<double>(hits[k]) /
+            : static_cast<double>(k_hits) /
                   static_cast<double>(result.predictions);
   }
   return result;

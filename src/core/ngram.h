@@ -29,6 +29,13 @@ class NgramModel {
   // Adds all context->next transitions of one client request sequence.
   void observe_sequence(std::span<const std::string> tokens);
 
+  // Adds every count of `other` (same max_context) into this model —
+  // the merge half of shard-then-merge parallel training. Token ids are
+  // remapped through the vocabulary, so predictions from a merged model are
+  // identical to training one model on the concatenated shards: counts add
+  // exactly and ranking ties break on token text, never on id.
+  void merge(const NgramModel& other);
+
   struct Prediction {
     std::string token;
     double score = 0.0;  // backoff-discounted relative frequency
@@ -77,6 +84,10 @@ struct NgramEvalConfig {
   bool clustered = false;                // raw URLs vs clustered URLs
   std::size_t min_flow_requests = 2;
   std::uint64_t seed = 17;
+  // Worker threads for token extraction, sharded training, and scoring:
+  // 0 = auto (JSONCDN_THREADS env, else hardware_concurrency). Accuracy
+  // figures are bit-identical for any value.
+  std::size_t threads = 0;
 };
 
 struct NgramAccuracy {

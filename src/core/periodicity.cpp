@@ -9,16 +9,23 @@
 #include "stats/autocorrelation.h"
 #include "stats/fft.h"
 #include "stats/hash.h"
+#include "stats/parallel.h"
 #include "stats/timeseries.h"
 
 namespace jsoncdn::core {
 
 namespace {
 
-// Max ACF value over peak lags >= 1 (0 when no peaks).
+// Max ACF value over peak lags >= 1 (0 when no peaks). Same peak definition
+// as stats::acf_peaks, scanned inline so the permutation loop allocates no
+// peak-index vector.
 double max_acf_peak(const std::vector<double>& acf) {
   double best = 0.0;
-  for (const auto lag : stats::acf_peaks(acf)) best = std::max(best, acf[lag]);
+  for (std::size_t k = 1; k < acf.size(); ++k) {
+    const bool rising = acf[k] > acf[k - 1];
+    const bool falling_next = (k + 1 >= acf.size()) || acf[k] >= acf[k + 1];
+    if (rising && falling_next) best = std::max(best, acf[k]);
+  }
   return best;
 }
 
@@ -74,11 +81,13 @@ struct FlowAnalysis {
 
 }  // namespace
 
-// Out-of-line so detect() and detect_all() share one implementation.
+// Out-of-line so detect() and detect_all() share one implementation. All
+// transient buffers live in `scratch` so the permutation loop allocates
+// nothing after the scratch warms up.
 static FlowAnalysis analyze_flow(const DetectorParams& params,
                                  const PeriodicityDetector& detector,
                                  std::span<const double> times,
-                                 stats::Rng& rng) {
+                                 stats::Rng& rng, DetectScratch& scratch) {
   FlowAnalysis out;
   if (times.size() < params.min_requests) return out;
   const double t0 = times.front();
@@ -97,7 +106,8 @@ static FlowAnalysis analyze_flow(const DetectorParams& params,
                              span / static_cast<double>(sample_cap));
   out.dt = dt;
 
-  const auto signal = stats::bin_events(times, t0, t1 + dt, dt);
+  stats::bin_events(times, t0, t1 + dt, dt, scratch.signal);
+  const auto& signal = scratch.signal;
   // A period must repeat min_cycles times within the span to be trusted, so
   // lags beyond span/min_cycles are not considered.
   const auto max_lag = static_cast<std::size_t>(
@@ -106,7 +116,9 @@ static FlowAnalysis analyze_flow(const DetectorParams& params,
   out.usable = true;
 
   // One fused FFT pass yields both the ACF and the periodogram.
-  const auto spec = stats::spectral_analysis(signal, max_lag);
+  stats::spectral_analysis(signal, max_lag, scratch.workspace,
+                           scratch.spectral);
+  const auto& spec = scratch.spectral;
   const auto& acf = spec.acf;
 
   // --- Permutation null model (steps 2-3) --------------------------------
@@ -124,16 +136,21 @@ static FlowAnalysis analyze_flow(const DetectorParams& params,
   // majority) therefore cost only a handful of FFTs.
   const double observed_acf_max = max_acf_peak(acf);
   const double observed_power_max = max_power(spec.pgram_power);
-  std::vector<double> null_acf_max;
-  std::vector<double> null_power_max;
+  auto& null_acf_max = scratch.null_acf_max;
+  auto& null_power_max = scratch.null_power_max;
+  null_acf_max.clear();
+  null_power_max.clear();
   null_acf_max.reserve(params.permutations);
   null_power_max.reserve(params.permutations);
   std::size_t acf_exceed = 0;
   std::size_t power_exceed = 0;
-  std::vector<double> shuffled = signal;
+  auto& shuffled = scratch.shuffled;
+  shuffled.assign(signal.begin(), signal.end());
   for (std::size_t p = 0; p < params.permutations; ++p) {
     std::shuffle(shuffled.begin(), shuffled.end(), rng.engine());
-    const auto nspec = stats::spectral_analysis(shuffled, max_lag);
+    stats::spectral_analysis(shuffled, max_lag, scratch.workspace,
+                             scratch.null_spectral);
+    const auto& nspec = scratch.null_spectral;
     const double a = max_acf_peak(nspec.acf);
     const double w = max_power(nspec.pgram_power);
     null_acf_max.push_back(a);
@@ -191,7 +208,14 @@ static FlowAnalysis analyze_flow(const DetectorParams& params,
 
 PeriodDetection PeriodicityDetector::detect(std::span<const double> times,
                                             stats::Rng& rng) const {
-  const auto all = detect_all(times, rng, 1);
+  DetectScratch scratch;
+  return detect(times, rng, scratch);
+}
+
+PeriodDetection PeriodicityDetector::detect(std::span<const double> times,
+                                            stats::Rng& rng,
+                                            DetectScratch& scratch) const {
+  const auto all = detect_all(times, rng, 1, scratch);
   if (!all.empty()) return all.front();
   PeriodDetection out;
   return out;
@@ -200,8 +224,15 @@ PeriodDetection PeriodicityDetector::detect(std::span<const double> times,
 std::vector<PeriodDetection> PeriodicityDetector::detect_all(
     std::span<const double> times, stats::Rng& rng,
     std::size_t max_periods) const {
+  DetectScratch scratch;
+  return detect_all(times, rng, max_periods, scratch);
+}
+
+std::vector<PeriodDetection> PeriodicityDetector::detect_all(
+    std::span<const double> times, stats::Rng& rng, std::size_t max_periods,
+    DetectScratch& scratch) const {
   std::vector<PeriodDetection> out;
-  const auto analysis = analyze_flow(params_, *this, times, rng);
+  const auto analysis = analyze_flow(params_, *this, times, rng, scratch);
   if (analysis.matches.empty()) return out;
 
   // The true period and its multiples all carry near-equal ACF peaks; a
@@ -242,6 +273,57 @@ std::vector<PeriodDetection> PeriodicityDetector::detect_all(
   return out;
 }
 
+namespace {
+
+// The per-object-flow unit of parallel work: the object flow's detection
+// plus all of its client flows. Randomness is forked from the root seed by
+// (url, client) keys, so the result is independent of which worker runs it
+// and of the order flows are processed in.
+ObjectPeriodicity analyze_object_flow(const PeriodicityDetector& detector,
+                                      const logs::ObjectFlow& flow,
+                                      const stats::Rng& root,
+                                      DetectScratch& scratch) {
+  ObjectPeriodicity obj;
+  obj.url = flow.url;
+  obj.total_requests = flow.total_requests;
+  obj.uncacheable_share = flow.uncacheable_share;
+  obj.upload_share = flow.upload_share;
+
+  // Independent, order-insensitive randomness per flow.
+  stats::Rng obj_rng = root.fork(stats::fnv1a64(flow.url));
+  const auto obj_detection = detector.detect(flow.times, obj_rng, scratch);
+  obj.object_periodic = obj_detection.periodic;
+  obj.object_period_seconds = obj_detection.period_seconds;
+
+  for (const auto& cof : flow.clients) {
+    ClientPeriodRecord rec;
+    rec.client = cof.client;
+    rec.requests = cof.times.size();
+    stats::Rng client_rng =
+        root.fork(stats::fnv1a64(cof.client, stats::fnv1a64(flow.url)));
+    const auto detection = detector.detect(cof.times, client_rng, scratch);
+    rec.periodic = detection.periodic;
+    rec.period_seconds = detection.period_seconds;
+    rec.matches_object =
+        obj.object_periodic && detection.periodic &&
+        detector.periods_match(detection.period_seconds,
+                               obj.object_period_seconds);
+    if (rec.matches_object) {
+      ++obj.periodic_client_count;
+      obj.periodic_requests += rec.requests;
+    }
+    obj.clients.push_back(std::move(rec));
+  }
+  if (!obj.clients.empty()) {
+    obj.periodic_client_share =
+        static_cast<double>(obj.periodic_client_count) /
+        static_cast<double>(obj.clients.size());
+  }
+  return obj;
+}
+
+}  // namespace
+
 PeriodicityReport analyze_periodicity(const logs::Dataset& ds,
                                       const PeriodicityConfig& config) {
   PeriodicityDetector detector(config.detector);
@@ -251,47 +333,23 @@ PeriodicityReport analyze_periodicity(const logs::Dataset& ds,
   PeriodicityReport report;
   report.total_requests = ds.size();
 
+  // Fan out one task per object flow with index-ordered placement; the
+  // sequential merge below then visits objects in the same order as the
+  // serial loop did, so the report is bit-identical for any thread count.
+  stats::ThreadPool pool(config.threads);
+  std::vector<ObjectPeriodicity> objects(flows.size());
+  stats::parallel_for(
+      pool, flows.size(),
+      [&](std::size_t begin, std::size_t end, std::size_t) {
+        DetectScratch scratch;  // reused across this chunk's flows
+        for (std::size_t i = begin; i < end; ++i)
+          objects[i] = analyze_object_flow(detector, flows[i], root, scratch);
+      });
+
   std::uint64_t periodic_uncacheable_weight = 0;
   std::uint64_t periodic_upload_weight = 0;
 
-  for (const auto& flow : flows) {
-    ObjectPeriodicity obj;
-    obj.url = flow.url;
-    obj.total_requests = flow.total_requests;
-    obj.uncacheable_share = flow.uncacheable_share;
-    obj.upload_share = flow.upload_share;
-
-    // Independent, order-insensitive randomness per flow.
-    stats::Rng obj_rng = root.fork(stats::fnv1a64(flow.url));
-    const auto obj_detection = detector.detect(flow.times, obj_rng);
-    obj.object_periodic = obj_detection.periodic;
-    obj.object_period_seconds = obj_detection.period_seconds;
-
-    for (const auto& cof : flow.clients) {
-      ClientPeriodRecord rec;
-      rec.client = cof.client;
-      rec.requests = cof.times.size();
-      stats::Rng client_rng =
-          root.fork(stats::fnv1a64(cof.client, stats::fnv1a64(flow.url)));
-      const auto detection = detector.detect(cof.times, client_rng);
-      rec.periodic = detection.periodic;
-      rec.period_seconds = detection.period_seconds;
-      rec.matches_object =
-          obj.object_periodic && detection.periodic &&
-          detector.periods_match(detection.period_seconds,
-                                 obj.object_period_seconds);
-      if (rec.matches_object) {
-        ++obj.periodic_client_count;
-        obj.periodic_requests += rec.requests;
-      }
-      obj.clients.push_back(std::move(rec));
-    }
-    if (!obj.clients.empty()) {
-      obj.periodic_client_share =
-          static_cast<double>(obj.periodic_client_count) /
-          static_cast<double>(obj.clients.size());
-    }
-
+  for (auto& obj : objects) {
     if (obj.object_periodic) {
       report.object_periods.push_back(obj.object_period_seconds);
       if (!obj.clients.empty())

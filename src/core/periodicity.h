@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "logs/dataset.h"
+#include "stats/autocorrelation.h"
 #include "stats/rng.h"
 
 namespace jsoncdn::core {
@@ -56,6 +57,22 @@ struct PeriodDetection {
   double power_threshold = 0.0;
 };
 
+// Reusable buffers for detect()/detect_all(): the binned signal, its
+// shuffled copies, the fused-FFT workspace/outputs, and the permutation
+// maxima. The permutation test runs ~100 spectral passes per flow across
+// thousands of flows, so carrying one scratch per worker thread removes
+// every per-permutation (and per-flow) allocation from the hot loop.
+// Contents carry no state between calls; never share one across threads.
+struct DetectScratch {
+  stats::SpectralWorkspace workspace;
+  stats::SpectralAnalysis spectral;       // observed signal
+  stats::SpectralAnalysis null_spectral;  // reused per permutation
+  std::vector<double> signal;
+  std::vector<double> shuffled;
+  std::vector<double> null_acf_max;
+  std::vector<double> null_power_max;
+};
+
 class PeriodicityDetector {
  public:
   explicit PeriodicityDetector(const DetectorParams& params);
@@ -64,6 +81,10 @@ class PeriodicityDetector {
   // `rng` drives the permutation null model only.
   [[nodiscard]] PeriodDetection detect(std::span<const double> times,
                                        stats::Rng& rng) const;
+  // Same, with caller-owned scratch buffers (hot-loop variant).
+  [[nodiscard]] PeriodDetection detect(std::span<const double> times,
+                                       stats::Rng& rng,
+                                       DetectScratch& scratch) const;
 
   // Multi-period extension (the paper's future work: "we assume a flow only
   // contains one significant period and leave multi-period analysis for
@@ -74,6 +95,9 @@ class PeriodicityDetector {
   [[nodiscard]] std::vector<PeriodDetection> detect_all(
       std::span<const double> times, stats::Rng& rng,
       std::size_t max_periods = 4) const;
+  [[nodiscard]] std::vector<PeriodDetection> detect_all(
+      std::span<const double> times, stats::Rng& rng, std::size_t max_periods,
+      DetectScratch& scratch) const;
 
   [[nodiscard]] const DetectorParams& params() const noexcept {
     return params_;
@@ -113,6 +137,10 @@ struct PeriodicityConfig {
   DetectorParams detector;
   logs::FlowFilter flow_filter;   // paper: >=10 requests, >=10 clients
   std::uint64_t seed = 0x9e110d;  // permutation-test randomness
+  // Worker threads for the per-flow fan-out: 0 = auto (JSONCDN_THREADS env,
+  // else hardware_concurrency). Results are bit-identical for any value —
+  // randomness is forked per flow and results placed in flow order.
+  std::size_t threads = 0;
 };
 
 struct PeriodicityReport {

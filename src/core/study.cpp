@@ -1,6 +1,9 @@
 #include "core/study.h"
 
+#include <algorithm>
 #include <unordered_map>
+
+#include "stats/parallel.h"
 
 namespace jsoncdn::core {
 
@@ -15,11 +18,13 @@ StudyResult run_study(const StudyConfig& config) {
   result.truth = std::move(workload.truth);
   result.json = result.dataset.json_only();
 
+  const std::size_t threads = stats::resolve_threads(config.threads);
+
   if (config.run_characterization) {
-    result.source = characterize_source(result.json);
-    result.methods = characterize_methods(result.json);
-    result.cacheability = characterize_cacheability(result.json);
-    result.sizes = compare_sizes(result.dataset);
+    result.source = characterize_source(result.json, threads);
+    result.methods = characterize_methods(result.json, threads);
+    result.cacheability = characterize_cacheability(result.json, threads);
+    result.sizes = compare_sizes(result.dataset, threads);
 
     // Industry lookup from the catalog ground truth (the stand-in for the
     // commercial categorization service the paper uses).
@@ -31,16 +36,28 @@ StudyResult run_study(const StudyConfig& config) {
       const auto it = industry.find(std::string(domain));
       return it == industry.end() ? std::string("Unknown") : it->second;
     };
-    result.domains = domain_cacheability(result.json, lookup);
+    result.domains = domain_cacheability(result.json, lookup, threads);
     result.heatmap = cacheability_heatmap(result.domains);
   }
 
   if (config.run_periodicity) {
-    result.periodicity = analyze_periodicity(result.json, config.periodicity);
+    PeriodicityConfig periodicity = config.periodicity;
+    periodicity.threads = threads;
+    result.periodicity = analyze_periodicity(result.json, periodicity);
   }
 
-  for (const auto& ngram_config : config.ngram_configs) {
-    result.ngram.push_back(evaluate_ngram(result.json, ngram_config));
+  if (!config.ngram_configs.empty()) {
+    // Outer fan-out across configurations, inner threads split between
+    // them; index-ordered placement keeps result.ngram in config order.
+    const std::size_t outer =
+        std::min(threads, config.ngram_configs.size());
+    stats::ThreadPool pool(outer);
+    result.ngram = stats::parallel_map<NgramAccuracy>(
+        pool, config.ngram_configs.size(), [&](std::size_t i) {
+          NgramEvalConfig ngram_config = config.ngram_configs[i];
+          ngram_config.threads = std::max<std::size_t>(1, threads / outer);
+          return evaluate_ngram(result.json, ngram_config);
+        });
   }
   return result;
 }

@@ -24,6 +24,11 @@ struct StudyConfig {
   std::vector<NgramEvalConfig> ngram_configs;  // empty => skip ngram eval
   bool run_characterization = true;
   bool run_periodicity = false;  // expensive; long-term studies enable it
+  // Worker threads for every analysis stage: 0 = auto (JSONCDN_THREADS env,
+  // else hardware_concurrency). Overrides the per-stage thread settings.
+  // The determinism contract (see DESIGN.md) guarantees the StudyResult is
+  // bit-identical for any value.
+  std::size_t threads = 0;
 };
 
 struct StudyResult {

@@ -65,32 +65,42 @@ std::vector<double> autocorrelation_fft(std::span<const double> signal,
 
 SpectralAnalysis spectral_analysis(std::span<const double> signal,
                                    std::size_t max_lag) {
-  std::vector<double> x;
-  const double energy = center(signal, x);
+  SpectralWorkspace ws;
+  SpectralAnalysis out;
+  spectral_analysis(signal, max_lag, ws, out);
+  return out;
+}
+
+void spectral_analysis(std::span<const double> signal, std::size_t max_lag,
+                       SpectralWorkspace& ws, SpectralAnalysis& out) {
+  const double energy = center(signal, ws.centered);
+  const auto& x = ws.centered;
   max_lag = std::min(max_lag, x.size() - 1);
 
-  SpectralAnalysis out;
   out.acf.assign(max_lag + 1, 0.0);
 
   const std::size_t padded = next_pow2(2 * x.size());
   out.padded_size = padded;
-  std::vector<std::complex<double>> buf(padded);
-  for (std::size_t i = 0; i < x.size(); ++i) buf[i] = x[i];
-  fft_inplace(buf, /*inverse=*/false);
-  for (auto& v : buf) v = std::norm(v);
+  ws.freq.assign(padded, std::complex<double>(0.0, 0.0));
+  for (std::size_t i = 0; i < x.size(); ++i) ws.freq[i] = x[i];
+  fft_inplace(ws.freq, /*inverse=*/false);
+  for (auto& v : ws.freq) v = std::norm(v);
 
   // Periodogram from the shared power spectrum.
   const std::size_t half = padded / 2;
+  out.pgram_power.clear();
   out.pgram_power.reserve(half);
   for (std::size_t k = 1; k <= half; ++k) {
-    out.pgram_power.push_back(buf[k].real() / static_cast<double>(padded));
+    out.pgram_power.push_back(ws.freq[k].real() / static_cast<double>(padded));
   }
-  if (energy <= 0.0) return out;  // constant signal
+  if (energy <= 0.0) return;  // constant signal
 
-  const auto corr = ifft(std::move(buf));
+  // Unscaled inverse transform, scaling applied per used lag: exactly the
+  // ifft() arithmetic without surrendering the buffer.
+  fft_inplace(ws.freq, /*inverse=*/true);
+  const double scale = 1.0 / static_cast<double>(padded);
   for (std::size_t k = 0; k <= max_lag; ++k)
-    out.acf[k] = corr[k].real() / energy;
-  return out;
+    out.acf[k] = (ws.freq[k] * scale).real() / energy;
 }
 
 std::vector<std::size_t> acf_peaks(std::span<const double> r) {

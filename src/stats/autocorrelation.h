@@ -4,6 +4,7 @@
 // the detector uses for long flows.
 #pragma once
 
+#include <complex>
 #include <span>
 #include <vector>
 
@@ -45,5 +46,20 @@ struct SpectralAnalysis {
 
 [[nodiscard]] SpectralAnalysis spectral_analysis(std::span<const double> signal,
                                                  std::size_t max_lag);
+
+// Reusable scratch for spectral_analysis: the centered copy of the signal
+// and the complex FFT buffer. The periodicity detector's permutation test
+// calls spectral_analysis ~100 times per flow over thousands of flows, so
+// reusing these (and the output vectors) removes every per-permutation
+// allocation from the hot loop. One workspace per thread — never shared.
+struct SpectralWorkspace {
+  std::vector<double> centered;
+  std::vector<std::complex<double>> freq;
+};
+
+// Allocation-free variant (after warm-up): identical results to the
+// two-argument overload, written into `out` whose vectors are reused.
+void spectral_analysis(std::span<const double> signal, std::size_t max_lag,
+                       SpectralWorkspace& ws, SpectralAnalysis& out);
 
 }  // namespace jsoncdn::stats

@@ -1,12 +1,16 @@
 #include "stats/fft.h"
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 #include <stdexcept>
 
 namespace jsoncdn::stats {
 
 std::size_t next_pow2(std::size_t n) noexcept {
+  constexpr std::size_t kTopBit =
+      std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
+  if (n > kTopBit) return 0;  // no representable power of two >= n
   std::size_t p = 1;
   while (p < n) p <<= 1;
   return p;

@@ -10,7 +10,9 @@
 
 namespace jsoncdn::stats {
 
-// Returns the smallest power of two >= n (n = 0 maps to 1).
+// Returns the smallest power of two >= n (n = 0 maps to 1). When no such
+// power is representable in std::size_t (n > 2^(bits-1)), returns 0 instead
+// of looping forever on the shift overflow.
 [[nodiscard]] std::size_t next_pow2(std::size_t n) noexcept;
 
 // In-place iterative radix-2 Cooley-Tukey FFT. Requires data.size() to be a

@@ -1,0 +1,144 @@
+#include "stats/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace jsoncdn::stats {
+
+namespace {
+
+// Set while a thread is executing tasks for a pool; lets run() detect
+// re-entrant use from inside one of its own tasks and fall back to inline
+// execution instead of deadlocking on run_mu_.
+thread_local const ThreadPool* t_current_pool = nullptr;
+
+struct CurrentPoolGuard {
+  const ThreadPool* previous;
+  explicit CurrentPoolGuard(const ThreadPool* pool)
+      : previous(t_current_pool) {
+    t_current_pool = pool;
+  }
+  ~CurrentPoolGuard() { t_current_pool = previous; }
+};
+
+}  // namespace
+
+std::size_t resolve_threads(std::size_t requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("JSONCDN_THREADS")) {
+    char* end = nullptr;
+    const long value = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && value > 0)
+      return static_cast<std::size_t>(value);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  const std::size_t total = std::max<std::size_t>(1, resolve_threads(threads));
+  workers_.reserve(total - 1);
+  for (std::size_t i = 0; i + 1 < total; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::worker_loop() {
+  CurrentPoolGuard guard(this);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return stop_ || next_ < n_tasks_; });
+    if (stop_) return;
+    drain(lock);
+  }
+}
+
+void ThreadPool::drain(std::unique_lock<std::mutex>& lock) {
+  while (next_ < n_tasks_) {
+    const std::size_t index = next_++;
+    ++active_;
+    lock.unlock();
+    std::exception_ptr err;
+    try {
+      (*task_)(index);
+    } catch (...) {
+      err = std::current_exception();
+    }
+    lock.lock();
+    if (err && !error_) error_ = std::move(err);
+    --active_;
+  }
+  if (active_ == 0) done_cv_.notify_all();
+}
+
+void ThreadPool::run(std::size_t n_tasks,
+                     const std::function<void(std::size_t)>& task) {
+  if (n_tasks == 0) return;
+  if (workers_.empty() || t_current_pool == this) {
+    // Single-threaded pool, or nested call from one of our own tasks: the
+    // plain loop is both deadlock-free and trivially deterministic.
+    for (std::size_t i = 0; i < n_tasks; ++i) task(i);
+    return;
+  }
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  task_ = &task;
+  n_tasks_ = n_tasks;
+  next_ = 0;
+  error_ = nullptr;
+  work_cv_.notify_all();
+  {
+    CurrentPoolGuard guard(this);
+    drain(lock);
+  }
+  done_cv_.wait(lock, [&] { return next_ >= n_tasks_ && active_ == 0; });
+  task_ = nullptr;
+  n_tasks_ = 0;
+  next_ = 0;
+  if (error_) {
+    std::exception_ptr err = std::move(error_);
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
+}
+
+std::size_t chunk_count(const ThreadPool& pool, std::size_t n) {
+  if (n == 0) return 0;
+  if (pool.thread_count() == 1) return 1;
+  // 4 chunks per thread: enough slack for skewed per-item cost without
+  // drowning small inputs in scheduling overhead.
+  return std::min(n, pool.thread_count() * 4);
+}
+
+std::pair<std::size_t, std::size_t> chunk_range(std::size_t n,
+                                                std::size_t chunks,
+                                                std::size_t c) noexcept {
+  const std::size_t base = n / chunks;
+  const std::size_t rem = n % chunks;
+  const std::size_t begin = c * base + std::min(c, rem);
+  const std::size_t end = begin + base + (c < rem ? 1 : 0);
+  return {begin, end};
+}
+
+void parallel_for(
+    ThreadPool& pool, std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  const std::size_t chunks = chunk_count(pool, n);
+  pool.run(chunks, [&](std::size_t c) {
+    const auto [begin, end] = chunk_range(n, chunks, c);
+    body(begin, end, c);
+  });
+}
+
+}  // namespace jsoncdn::stats

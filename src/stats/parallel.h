@@ -1,0 +1,137 @@
+// Deterministic parallel execution primitives for the analysis pipeline.
+//
+// The contract everything here is built around: parallel output is
+// bit-identical to serial output. Three ingredients make that hold:
+//
+//   (1) index-ordered result placement — parallel_map writes result i into
+//       slot i of a preallocated vector, so result order never depends on
+//       scheduling;
+//   (2) chunk-ordered reduction — parallel_reduce accumulates into one
+//       accumulator per contiguous index chunk and merges them in ascending
+//       chunk order, so floating-point and container iteration order match a
+//       serial left fold over the same chunks;
+//   (3) per-task randomness — callers fork independent RNG streams per item
+//       (stats::Rng::fork), never sharing a generator across tasks.
+//
+// The chunk partition is a pure function of (n, thread_count): which worker
+// executes a chunk varies run to run, but *what* each chunk computes and the
+// order results are combined in never does.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace jsoncdn::stats {
+
+// Resolves a requested thread count: 0 means "auto" — the JSONCDN_THREADS
+// environment variable when set to a positive integer, otherwise
+// hardware_concurrency. Always returns >= 1.
+[[nodiscard]] std::size_t resolve_threads(std::size_t requested);
+
+// Fixed-size worker pool executing indexed task batches. One run() is active
+// at a time (concurrent run() calls from different threads serialize); the
+// calling thread participates in task execution, so a pool of size N applies
+// N threads total with N-1 workers. run() called from inside one of the
+// pool's own tasks executes inline (nested-use safety: no deadlock, still
+// every index exactly once).
+class ThreadPool {
+ public:
+  // `threads` is passed through resolve_threads; the pool ends up with
+  // max(1, resolved) threads. A size-1 pool spawns no workers and run()
+  // executes inline.
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size() + 1;
+  }
+
+  // Executes task(i) for every i in [0, n_tasks), blocking until all
+  // complete. Tasks are claimed dynamically (load balancing); callers
+  // needing determinism must make task(i) independent of execution order.
+  // If any task throws, one of the thrown exceptions is rethrown here after
+  // all remaining tasks have run.
+  void run(std::size_t n_tasks, const std::function<void(std::size_t)>& task);
+
+ private:
+  void worker_loop();
+  // Claims and executes tasks of the active batch. Requires `lock` held on
+  // mu_; returns with it held.
+  void drain(std::unique_lock<std::mutex>& lock);
+
+  std::mutex run_mu_;  // serializes run() callers
+  std::mutex mu_;      // guards all state below
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* task_ = nullptr;
+  std::size_t n_tasks_ = 0;
+  std::size_t next_ = 0;    // next unclaimed task index
+  std::size_t active_ = 0;  // claimed but unfinished tasks
+  std::exception_ptr error_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+// Number of contiguous chunks parallel_for/parallel_reduce split [0, n)
+// into: a pure function of (n, pool size), so chunk boundaries — and hence
+// merge order — are reproducible across runs and machines with the same
+// thread setting. Several chunks per thread absorb skew (e.g. one giant
+// periodic flow among thousands of cheap aperiodic ones).
+[[nodiscard]] std::size_t chunk_count(const ThreadPool& pool, std::size_t n);
+
+// [begin, end) of chunk `c` out of `chunks` over [0, n): balanced partition,
+// earlier chunks take the remainder.
+[[nodiscard]] std::pair<std::size_t, std::size_t> chunk_range(
+    std::size_t n, std::size_t chunks, std::size_t c) noexcept;
+
+// Runs body(begin, end, chunk_index) over the chunk partition of [0, n).
+void parallel_for(
+    ThreadPool& pool, std::size_t n,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>& body);
+
+// Index-ordered parallel map: out[i] = fn(i). Requires T default- and
+// move-constructible. Bit-identical to the serial loop by construction.
+template <typename T, typename Fn>
+[[nodiscard]] std::vector<T> parallel_map(ThreadPool& pool, std::size_t n,
+                                          Fn&& fn) {
+  std::vector<T> out(n);
+  parallel_for(pool, n,
+               [&](std::size_t begin, std::size_t end, std::size_t) {
+                 for (std::size_t i = begin; i < end; ++i) out[i] = fn(i);
+               });
+  return out;
+}
+
+// Shard-then-merge reduction: one default-constructed Acc per chunk is
+// filled by body(acc, begin, end), then the chunk accumulators are folded
+// left-to-right in chunk order via acc.merge(other). Equal to the serial
+// result whenever merge distributes over the chunk boundaries (integer
+// counters, container unions, concatenations in index order).
+template <typename Acc, typename Body>
+[[nodiscard]] Acc parallel_reduce(ThreadPool& pool, std::size_t n,
+                                  Body&& body) {
+  const std::size_t chunks = chunk_count(pool, n);
+  if (chunks <= 1) {
+    Acc acc{};
+    if (n > 0) body(acc, 0, n);
+    return acc;
+  }
+  std::vector<Acc> accs(chunks);
+  parallel_for(pool, n,
+               [&](std::size_t begin, std::size_t end, std::size_t c) {
+                 body(accs[c], begin, end);
+               });
+  Acc out = std::move(accs.front());
+  for (std::size_t c = 1; c < chunks; ++c) out.merge(accs[c]);
+  return out;
+}
+
+}  // namespace jsoncdn::stats

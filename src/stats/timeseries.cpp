@@ -8,18 +8,24 @@ namespace jsoncdn::stats {
 
 std::vector<double> bin_events(std::span<const double> times, double t_begin,
                                double t_end, double dt) {
+  std::vector<double> bins;
+  bin_events(times, t_begin, t_end, dt, bins);
+  return bins;
+}
+
+void bin_events(std::span<const double> times, double t_begin, double t_end,
+                double dt, std::vector<double>& out) {
   if (dt <= 0.0) throw std::invalid_argument("bin_events: dt <= 0");
   if (!(t_begin < t_end))
     throw std::invalid_argument("bin_events: requires t_begin < t_end");
   const auto n = static_cast<std::size_t>(std::ceil((t_end - t_begin) / dt));
-  std::vector<double> bins(n, 0.0);
+  out.assign(n, 0.0);
   for (double t : times) {
     if (t < t_begin || t >= t_end) continue;
     auto bin = static_cast<std::size_t>((t - t_begin) / dt);
     if (bin >= n) bin = n - 1;  // t just below t_end with float round-off
-    bins[bin] += 1.0;
+    out[bin] += 1.0;
   }
-  return bins;
 }
 
 std::vector<double> interarrival_gaps(std::span<const double> times) {

@@ -18,6 +18,11 @@ namespace jsoncdn::stats {
                                              double t_begin, double t_end,
                                              double dt);
 
+// Same, writing into `out` (resized and zeroed) so per-flow callers can
+// reuse the allocation across many flows.
+void bin_events(std::span<const double> times, double t_begin, double t_end,
+                double dt, std::vector<double>& out);
+
 // Inter-arrival gaps of an ascending timestamp sequence (size n -> n-1 gaps).
 [[nodiscard]] std::vector<double> interarrival_gaps(
     std::span<const double> times);

@@ -154,6 +154,123 @@ TEST(Study, GroundTruthNeverLeaksIntoLogs) {
   }
 }
 
+// The threading determinism contract (DESIGN.md): every analysis output is
+// bit-identical for any thread count. Exact (EXPECT_EQ) comparisons on
+// doubles are deliberate — "close" would hide order-dependent reductions.
+TEST(Study, ResultsBitIdenticalAcrossThreadCounts) {
+  StudyConfig config;
+  config.workload = workload::short_term_scenario(0.002, 7);
+  config.run_periodicity = true;
+  config.periodicity.detector.permutations = 25;  // keep the test fast
+  config.ngram_configs = {{1, {1, 5}, 0.8, false, 2, 17},
+                          {2, {1, 5}, 0.8, true, 2, 17}};
+
+  config.threads = 1;
+  const StudyResult serial = run_study(config);
+  config.threads = 4;
+  const StudyResult parallel = run_study(config);
+
+  // Characterization counters.
+  ASSERT_TRUE(serial.source && parallel.source);
+  EXPECT_EQ(serial.source->requests_by_device,
+            parallel.source->requests_by_device);
+  EXPECT_EQ(serial.source->ua_strings_by_device,
+            parallel.source->ua_strings_by_device);
+  EXPECT_EQ(serial.source->total_requests, parallel.source->total_requests);
+  EXPECT_EQ(serial.source->total_ua_strings,
+            parallel.source->total_ua_strings);
+  EXPECT_EQ(serial.source->browser_requests,
+            parallel.source->browser_requests);
+  EXPECT_EQ(serial.source->mobile_browser_requests,
+            parallel.source->mobile_browser_requests);
+  EXPECT_EQ(serial.source->missing_ua_requests,
+            parallel.source->missing_ua_requests);
+
+  ASSERT_TRUE(serial.methods && parallel.methods);
+  EXPECT_EQ(serial.methods->get, parallel.methods->get);
+  EXPECT_EQ(serial.methods->post, parallel.methods->post);
+  EXPECT_EQ(serial.methods->other, parallel.methods->other);
+  EXPECT_EQ(serial.methods->total, parallel.methods->total);
+
+  ASSERT_TRUE(serial.cacheability && parallel.cacheability);
+  EXPECT_EQ(serial.cacheability->cacheable, parallel.cacheability->cacheable);
+  EXPECT_EQ(serial.cacheability->uncacheable,
+            parallel.cacheability->uncacheable);
+  EXPECT_EQ(serial.cacheability->hits, parallel.cacheability->hits);
+
+  // Size summaries: percentiles come from per-shard vectors concatenated in
+  // chunk order, so even the floating-point stats must match exactly.
+  ASSERT_TRUE(serial.sizes && parallel.sizes);
+  const auto expect_summary_eq = [](const stats::Summary& a,
+                                    const stats::Summary& b) {
+    EXPECT_EQ(a.count, b.count);
+    EXPECT_EQ(a.mean, b.mean);
+    EXPECT_EQ(a.stddev, b.stddev);
+    EXPECT_EQ(a.min, b.min);
+    EXPECT_EQ(a.max, b.max);
+    EXPECT_EQ(a.p25, b.p25);
+    EXPECT_EQ(a.p50, b.p50);
+    EXPECT_EQ(a.p75, b.p75);
+    EXPECT_EQ(a.p90, b.p90);
+    EXPECT_EQ(a.p99, b.p99);
+  };
+  expect_summary_eq(serial.sizes->json, parallel.sizes->json);
+  expect_summary_eq(serial.sizes->html, parallel.sizes->html);
+
+  // Domain cacheability rows and the derived heatmap.
+  ASSERT_EQ(serial.domains.size(), parallel.domains.size());
+  for (std::size_t i = 0; i < serial.domains.size(); ++i) {
+    EXPECT_EQ(serial.domains[i].domain, parallel.domains[i].domain);
+    EXPECT_EQ(serial.domains[i].category, parallel.domains[i].category);
+    EXPECT_EQ(serial.domains[i].requests, parallel.domains[i].requests);
+    EXPECT_EQ(serial.domains[i].cacheable_share,
+              parallel.domains[i].cacheable_share);
+  }
+  ASSERT_TRUE(serial.heatmap && parallel.heatmap);
+  EXPECT_EQ(serial.heatmap->categories, parallel.heatmap->categories);
+  EXPECT_EQ(serial.heatmap->density, parallel.heatmap->density);
+
+  // Periodicity: per-flow RNG forking keyed on url/client hashes makes the
+  // permutation tests independent of scheduling.
+  ASSERT_TRUE(serial.periodicity && parallel.periodicity);
+  const auto& sp = *serial.periodicity;
+  const auto& pp = *parallel.periodicity;
+  EXPECT_EQ(sp.total_requests, pp.total_requests);
+  EXPECT_EQ(sp.periodic_requests, pp.periodic_requests);
+  EXPECT_EQ(sp.periodic_request_share, pp.periodic_request_share);
+  EXPECT_EQ(sp.periodic_uncacheable_share, pp.periodic_uncacheable_share);
+  EXPECT_EQ(sp.periodic_upload_share, pp.periodic_upload_share);
+  EXPECT_EQ(sp.object_periods, pp.object_periods);
+  EXPECT_EQ(sp.periodic_client_shares, pp.periodic_client_shares);
+  ASSERT_EQ(sp.objects.size(), pp.objects.size());
+  for (std::size_t i = 0; i < sp.objects.size(); ++i) {
+    const auto& a = sp.objects[i];
+    const auto& b = pp.objects[i];
+    EXPECT_EQ(a.url, b.url);
+    EXPECT_EQ(a.object_periodic, b.object_periodic);
+    EXPECT_EQ(a.object_period_seconds, b.object_period_seconds);
+    EXPECT_EQ(a.total_requests, b.total_requests);
+    EXPECT_EQ(a.periodic_client_count, b.periodic_client_count);
+    EXPECT_EQ(a.periodic_requests, b.periodic_requests);
+    ASSERT_EQ(a.clients.size(), b.clients.size()) << a.url;
+    for (std::size_t c = 0; c < a.clients.size(); ++c) {
+      EXPECT_EQ(a.clients[c].client, b.clients[c].client);
+      EXPECT_EQ(a.clients[c].periodic, b.clients[c].periodic);
+      EXPECT_EQ(a.clients[c].period_seconds, b.clients[c].period_seconds);
+      EXPECT_EQ(a.clients[c].matches_object, b.clients[c].matches_object);
+    }
+  }
+
+  // Ngram: sharded count-then-merge training and chunked scoring.
+  ASSERT_EQ(serial.ngram.size(), parallel.ngram.size());
+  for (std::size_t i = 0; i < serial.ngram.size(); ++i) {
+    EXPECT_EQ(serial.ngram[i].train_clients, parallel.ngram[i].train_clients);
+    EXPECT_EQ(serial.ngram[i].test_clients, parallel.ngram[i].test_clients);
+    EXPECT_EQ(serial.ngram[i].predictions, parallel.ngram[i].predictions);
+    EXPECT_EQ(serial.ngram[i].accuracy_at, parallel.ngram[i].accuracy_at);
+  }
+}
+
 TEST(TrafficMix, InterpolationHitsEndpoints) {
   workload::GrowthConfig config;
   const auto start = workload::interpolate_mix(config, 0);

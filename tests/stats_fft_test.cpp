@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <numbers>
 
 #include "stats/rng.h"
@@ -35,6 +36,19 @@ TEST(NextPow2, Values) {
   EXPECT_EQ(next_pow2(3), 4u);
   EXPECT_EQ(next_pow2(1024), 1024u);
   EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+TEST(NextPow2, OverflowBoundary) {
+  constexpr std::size_t kTop =
+      std::size_t{1} << (std::numeric_limits<std::size_t>::digits - 1);
+  // Exact powers map to themselves, including the largest representable one.
+  EXPECT_EQ(next_pow2(kTop / 2), kTop / 2);
+  EXPECT_EQ(next_pow2(kTop - 1), kTop);
+  EXPECT_EQ(next_pow2(kTop), kTop);
+  // Beyond the top power of two, no result is representable: 0 sentinel
+  // instead of an infinite shift loop.
+  EXPECT_EQ(next_pow2(kTop + 1), 0u);
+  EXPECT_EQ(next_pow2(std::numeric_limits<std::size_t>::max()), 0u);
 }
 
 TEST(Fft, RejectsNonPowerOfTwo) {

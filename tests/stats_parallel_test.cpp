@@ -1,0 +1,244 @@
+// Tests for the deterministic parallel primitives: pool lifecycle, exact
+// task coverage, index-ordered results, exception propagation, nested-use
+// safety, the chunk partition, and thread-count resolution.
+#include "stats/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace jsoncdn::stats {
+namespace {
+
+// RAII save/restore of JSONCDN_THREADS so tests cannot leak env state.
+class ScopedThreadsEnv {
+ public:
+  explicit ScopedThreadsEnv(const char* value) {
+    const char* old = std::getenv("JSONCDN_THREADS");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value == nullptr) {
+      ::unsetenv("JSONCDN_THREADS");
+    } else {
+      ::setenv("JSONCDN_THREADS", value, 1);
+    }
+  }
+  ~ScopedThreadsEnv() {
+    if (had_old_) {
+      ::setenv("JSONCDN_THREADS", old_.c_str(), 1);
+    } else {
+      ::unsetenv("JSONCDN_THREADS");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(ResolveThreads, ExplicitRequestPassesThrough) {
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(3), 3u);
+  EXPECT_EQ(resolve_threads(64), 64u);
+}
+
+TEST(ResolveThreads, AutoUsesEnvWhenSet) {
+  ScopedThreadsEnv env("6");
+  EXPECT_EQ(resolve_threads(0), 6u);
+  // An explicit request still wins over the env.
+  EXPECT_EQ(resolve_threads(2), 2u);
+}
+
+TEST(ResolveThreads, AutoFallsBackToHardwareConcurrency) {
+  ScopedThreadsEnv env(nullptr);
+  EXPECT_GE(resolve_threads(0), 1u);
+}
+
+TEST(ResolveThreads, GarbageEnvIgnored) {
+  {
+    ScopedThreadsEnv env("not-a-number");
+    EXPECT_GE(resolve_threads(0), 1u);
+  }
+  {
+    ScopedThreadsEnv env("0");
+    EXPECT_GE(resolve_threads(0), 1u);
+  }
+  {
+    ScopedThreadsEnv env("-4");
+    EXPECT_GE(resolve_threads(0), 1u);
+  }
+}
+
+TEST(ChunkRange, CoversRangeExactlyAndBalanced) {
+  for (const std::size_t n : {0u, 1u, 2u, 7u, 16u, 100u, 101u}) {
+    for (const std::size_t chunks : {1u, 2u, 3u, 7u, 16u}) {
+      if (chunks > n && n > 0) continue;  // chunk_count never exceeds n
+      std::size_t covered = 0;
+      std::size_t prev_end = 0;
+      std::size_t max_len = 0, min_len = n + 1;
+      for (std::size_t c = 0; c < chunks && n > 0; ++c) {
+        const auto [begin, end] = chunk_range(n, chunks, c);
+        EXPECT_EQ(begin, prev_end) << n << "/" << chunks << "#" << c;
+        EXPECT_LE(begin, end);
+        prev_end = end;
+        covered += end - begin;
+        max_len = std::max(max_len, end - begin);
+        min_len = std::min(min_len, end - begin);
+      }
+      if (n > 0) {
+        EXPECT_EQ(covered, n);
+        EXPECT_EQ(prev_end, n);
+        EXPECT_LE(max_len - min_len, 1u) << "unbalanced " << n << "/" << chunks;
+      }
+    }
+  }
+}
+
+TEST(ChunkCount, PureFunctionOfSizeAndPool) {
+  ThreadPool single(1);
+  ThreadPool quad(4);
+  EXPECT_EQ(chunk_count(single, 0), 0u);
+  EXPECT_EQ(chunk_count(quad, 0), 0u);
+  // A single-thread pool uses one chunk: the exact serial code path.
+  EXPECT_EQ(chunk_count(single, 1000), 1u);
+  // Multi-thread pools over-partition for load balancing, capped at n.
+  EXPECT_EQ(chunk_count(quad, 1000), 16u);
+  EXPECT_EQ(chunk_count(quad, 3), 3u);
+}
+
+TEST(ThreadPool, ReportsThreadCount) {
+  ThreadPool single(1);
+  EXPECT_EQ(single.thread_count(), 1u);
+  ThreadPool quad(4);
+  EXPECT_EQ(quad.thread_count(), 4u);
+}
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+  for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::atomic<int>> hits(kN);
+    pool.run(kN, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < kN; ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << ", " << threads;
+    }
+  }
+}
+
+TEST(ThreadPool, ReusableAcrossBatches) {
+  ThreadPool pool(4);
+  std::atomic<std::size_t> total{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.run(20, [&](std::size_t) { total.fetch_add(1); });
+  }
+  EXPECT_EQ(total.load(), 1000u);
+  pool.run(0, [&](std::size_t) { FAIL() << "no tasks to run"; });
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  EXPECT_THROW(
+      pool.run(100,
+               [&](std::size_t i) {
+                 if (i == 37) throw std::runtime_error("task 37 failed");
+                 completed.fetch_add(1);
+               }),
+      std::runtime_error);
+  // Every non-throwing task still ran, and the pool stays usable.
+  EXPECT_EQ(completed.load(), 99);
+  std::atomic<int> after{0};
+  pool.run(10, [&](std::size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 10);
+}
+
+TEST(ThreadPool, PropagatesExceptionFromInlinePath) {
+  ThreadPool pool(1);  // no workers: run() executes inline on the caller
+  EXPECT_THROW(pool.run(5,
+                        [](std::size_t i) {
+                          if (i == 2) throw std::logic_error("inline");
+                        }),
+               std::logic_error);
+}
+
+TEST(ThreadPool, NestedRunExecutesInline) {
+  ThreadPool pool(4);
+  constexpr std::size_t kOuter = 16;
+  constexpr std::size_t kInner = 8;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  // A task that re-enters its own pool must not deadlock; the nested run
+  // executes inline on the already-pooled thread.
+  pool.run(kOuter, [&](std::size_t outer) {
+    pool.run(kInner, [&](std::size_t inner) {
+      hits[outer * kInner + inner].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ChunksPartitionTheRange) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 103;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<std::size_t> chunks_seen{0};
+  parallel_for(pool, kN,
+               [&](std::size_t begin, std::size_t end, std::size_t) {
+                 chunks_seen.fetch_add(1);
+                 for (std::size_t i = begin; i < end; ++i) hits[i].fetch_add(1);
+               });
+  EXPECT_EQ(chunks_seen.load(), chunk_count(pool, kN));
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ParallelMap, ResultsAreIndexOrdered) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 500;
+  const auto out = parallel_map<std::size_t>(
+      pool, kN, [](std::size_t i) { return i * i; });
+  ASSERT_EQ(out.size(), kN);
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(out[i], i * i);
+}
+
+struct SumAcc {
+  std::uint64_t sum = 0;
+  std::vector<std::size_t> order;  // chunk-begin indices, in merge order
+  void merge(const SumAcc& other) {
+    sum += other.sum;
+    order.insert(order.end(), other.order.begin(), other.order.end());
+  }
+};
+
+TEST(ParallelReduce, MatchesSerialFoldInChunkOrder) {
+  constexpr std::size_t kN = 1000;
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    ThreadPool pool(threads);
+    const auto acc = parallel_reduce<SumAcc>(
+        pool, kN, [](SumAcc& a, std::size_t begin, std::size_t end) {
+          a.order.push_back(begin);
+          for (std::size_t i = begin; i < end; ++i) a.sum += i;
+        });
+    EXPECT_EQ(acc.sum, kN * (kN - 1) / 2) << threads;
+    // Accumulators merged in ascending chunk order regardless of which
+    // worker ran which chunk.
+    EXPECT_TRUE(std::is_sorted(acc.order.begin(), acc.order.end())) << threads;
+    EXPECT_EQ(acc.order.size(), chunk_count(pool, kN)) << threads;
+  }
+}
+
+TEST(ParallelReduce, EmptyRangeYieldsDefaultAccumulator) {
+  ThreadPool pool(4);
+  const auto acc = parallel_reduce<SumAcc>(
+      pool, 0, [](SumAcc&, std::size_t, std::size_t) {
+        FAIL() << "body must not run on an empty range";
+      });
+  EXPECT_EQ(acc.sum, 0u);
+}
+
+}  // namespace
+}  // namespace jsoncdn::stats

@@ -1,7 +1,7 @@
 // jsoncdn-analyze — run the paper's analyses over a log file.
 //
 //   jsoncdn-analyze FILE [--characterize] [--periodicity] [--ngram] [--all]
-//                   [--permutations N]
+//                   [--permutations N] [--threads N]
 //
 // Consumes the TSV format written by jsoncdn-generate (or any producer of
 // the same schema) and prints the corresponding figures/tables. Exactly the
@@ -18,13 +18,15 @@
 #include "core/periodicity.h"
 #include "core/report.h"
 #include "logs/csv.h"
+#include "stats/parallel.h"
 
 namespace {
 
 void usage() {
   std::fprintf(stderr,
                "usage: jsoncdn-analyze FILE [--characterize] [--periodicity]\n"
-               "                       [--ngram] [--all] [--permutations N]\n");
+               "                       [--ngram] [--all] [--permutations N]\n"
+               "                       [--threads N]  (0 = auto)\n");
 }
 
 }  // namespace
@@ -41,6 +43,7 @@ int main(int argc, char** argv) {
   bool periodicity = false;
   bool ngram = false;
   std::size_t permutations = 100;
+  std::size_t threads = 0;  // auto
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--characterize") {
@@ -53,6 +56,8 @@ int main(int argc, char** argv) {
       characterize = periodicity = ngram = true;
     } else if (arg == "--permutations" && i + 1 < argc) {
       permutations = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--threads" && i + 1 < argc) {
+      threads = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       usage();
@@ -60,6 +65,7 @@ int main(int argc, char** argv) {
     }
   }
   if (!characterize && !periodicity && !ngram) characterize = true;
+  const std::size_t effective_threads = jsoncdn::stats::resolve_threads(threads);
 
   std::ifstream in(path);
   if (!in) {
@@ -81,12 +87,15 @@ int main(int argc, char** argv) {
               dataset.distinct_clients());
 
   if (characterize) {
-    std::fputs(core::render_source(core::characterize_source(json)).c_str(),
+    std::fputs(core::render_source(
+                   core::characterize_source(json, effective_threads))
+                   .c_str(),
                stdout);
     std::printf("\n");
-    std::fputs(core::render_headline(core::characterize_methods(json),
-                                     core::characterize_cacheability(json),
-                                     core::compare_sizes(dataset))
+    std::fputs(core::render_headline(
+                   core::characterize_methods(json, effective_threads),
+                   core::characterize_cacheability(json, effective_threads),
+                   core::compare_sizes(dataset, effective_threads))
                    .c_str(),
                stdout);
     std::printf("\n");
@@ -102,7 +111,8 @@ int main(int argc, char** argv) {
       }
       return std::string("other");
     };
-    const auto domains = core::domain_cacheability(json, lookup);
+    const auto domains =
+        core::domain_cacheability(json, lookup, effective_threads);
     std::fputs(core::render_heatmap(core::cacheability_heatmap(domains))
                    .c_str(),
                stdout);
@@ -112,6 +122,7 @@ int main(int argc, char** argv) {
   if (periodicity) {
     core::PeriodicityConfig config;
     config.detector.permutations = permutations;
+    config.threads = effective_threads;
     const auto report = core::analyze_periodicity(json, config);
     std::fputs(core::render_periodicity_summary(report).c_str(), stdout);
     std::fputs(core::render_period_histogram(report.object_periods).c_str(),
@@ -128,6 +139,7 @@ int main(int argc, char** argv) {
     for (const bool clustered : {true, false}) {
       core::NgramEvalConfig config;
       config.clustered = clustered;
+      config.threads = effective_threads;
       rows.push_back(core::evaluate_ngram(json, config));
     }
     std::fputs(core::render_ngram_table(rows).c_str(), stdout);
