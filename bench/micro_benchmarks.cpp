@@ -9,6 +9,7 @@
 
 #include "bench_util.h"
 #include "cdn/cache.h"
+#include "core/characterization.h"
 #include "core/ngram.h"
 #include "core/periodicity.h"
 #include "core/url_cluster.h"
@@ -19,6 +20,7 @@
 #include "stats/fft.h"
 #include "stats/parallel.h"
 #include "stats/rng.h"
+#include "stream/streaming_study.h"
 
 namespace {
 
@@ -293,6 +295,81 @@ void report_parallel_speedup() {
   }
 }
 
+// ---- Streaming vs batch (throughput + analysis-state memory) --------------
+
+// Approximate resident footprint of a materialized dataset: the record
+// structs plus their heap-allocated string payloads.
+std::size_t dataset_bytes(const logs::Dataset& ds) {
+  std::size_t bytes = ds.size() * sizeof(logs::LogRecord);
+  for (const auto& r : ds.records()) {
+    bytes += r.client_id.capacity() + r.user_agent.capacity() +
+             r.url.capacity() + r.domain.capacity() +
+             r.content_type.capacity();
+  }
+  return bytes;
+}
+
+void report_streaming_vs_batch() {
+  bench::print_header(
+      "streaming vs batch",
+      "one-pass sketches vs exact characterization at 1x / 10x / 100x");
+  const auto base = make_periodicity_dataset(8, 8);
+  const double span =
+      base.time_range().second - base.time_range().first + 1.0;
+  bench::note("base workload: " + std::to_string(base.size()) + " records");
+
+  for (const std::size_t scale : {std::size_t{1}, std::size_t{10},
+                                  std::size_t{100}}) {
+    // Streaming: chunks generated on the fly, so peak memory is the sketch
+    // state plus one chunk — the production shape.
+    stream::StreamingConfig config;
+    config.threads = 4;
+    stream::StreamingStudy study(config);
+    std::vector<logs::LogRecord> chunk;
+    bench::Timer stream_timer;
+    for (std::size_t rep = 0; rep < scale; ++rep) {
+      chunk = base.records();
+      for (auto& r : chunk) r.timestamp += span * static_cast<double>(rep);
+      study.ingest(chunk);
+    }
+    const auto summary = study.summary();
+    const double stream_seconds = stream_timer.seconds();
+
+    // Batch: materialize the scaled dataset, then run the exact analyses
+    // the summary mirrors.
+    logs::Dataset scaled;
+    scaled.reserve(base.size() * scale);
+    for (std::size_t rep = 0; rep < scale; ++rep) {
+      for (auto r : base.records()) {
+        r.timestamp += span * static_cast<double>(rep);
+        scaled.add(std::move(r));
+      }
+    }
+    bench::Timer batch_timer;
+    const auto json = scaled.json_only();
+    benchmark::DoNotOptimize(core::characterize_methods(json, 4));
+    benchmark::DoNotOptimize(core::characterize_cacheability(json, 4));
+    benchmark::DoNotOptimize(core::characterize_source(json, 4));
+    benchmark::DoNotOptimize(core::compare_sizes(scaled, 4));
+    benchmark::DoNotOptimize(json.distinct_objects());
+    benchmark::DoNotOptimize(json.distinct_clients());
+    const double batch_seconds = batch_timer.seconds();
+    const std::size_t batch_bytes = dataset_bytes(scaled) +
+                                    dataset_bytes(json);
+
+    const auto records = static_cast<double>(summary.total_records);
+    std::printf(
+        "  %4zux (%8llu records)  streaming: %6.2f Mrec/s %6zu KiB state"
+        "   batch: %6.2f Mrec/s %8zu KiB state\n",
+        scale, static_cast<unsigned long long>(summary.total_records),
+        records / stream_seconds / 1e6, summary.memory_bytes / 1024,
+        records / batch_seconds / 1e6, batch_bytes / 1024);
+  }
+  bench::note(
+      "streaming state is the sketch footprint (flat in the record count); "
+      "batch state is the materialized datasets the exact analyses need");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -301,5 +378,6 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   report_parallel_speedup();
+  report_streaming_vs_batch();
   return 0;
 }

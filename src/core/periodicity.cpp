@@ -331,7 +331,9 @@ PeriodicityReport analyze_periodicity(const logs::Dataset& ds,
   const stats::Rng root(config.seed);
 
   PeriodicityReport report;
-  report.total_requests = ds.size();
+  report.total_requests = config.total_requests_override > 0
+                              ? config.total_requests_override
+                              : ds.size();
 
   // Fan out one task per object flow with index-ordered placement; the
   // sequential merge below then visits objects in the same order as the

@@ -141,6 +141,11 @@ struct PeriodicityConfig {
   // else hardware_concurrency). Results are bit-identical for any value —
   // randomness is forked per flow and results placed in flow order.
   std::size_t threads = 0;
+  // When nonzero, periodic_request_share is computed against this request
+  // count instead of the input dataset's size. The streaming pipeline feeds
+  // the detector only triage-selected candidate flows, but the share it
+  // reports must stay relative to the full stream.
+  std::size_t total_requests_override = 0;
 };
 
 struct PeriodicityReport {

@@ -1,9 +1,12 @@
 #include "logs/csv.h"
 
 #include <charconv>
+#include <filesystem>
+#include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
+#include <stdexcept>
 
 #include "http/url.h"
 
@@ -68,6 +71,9 @@ std::string to_line(const LogRecord& r) {
 }
 
 std::optional<LogRecord> from_line(std::string_view line) {
+  // Tolerate CRLF line endings (files written on Windows or fetched over
+  // HTTP): getline leaves the '\r' on, and it would corrupt the last column.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
   std::vector<std::string_view> cols;
   cols.reserve(kColumns);
   while (true) {
@@ -110,18 +116,72 @@ void LogWriter::write(const LogRecord& record) {
 
 LogReader::LogReader(std::istream& in) : in_(in) {}
 
-std::vector<LogRecord> LogReader::read_all() {
+std::vector<LogRecord> LogReader::read_all(std::size_t reserve_hint) {
   std::vector<LogRecord> out;
+  out.reserve(reserve_hint);
   std::string line;
   while (std::getline(in_, line)) {
-    if (line.empty() || line.front() == '#') continue;
-    if (auto rec = from_line(line)) {
+    std::string_view view(line);
+    if (!view.empty() && view.back() == '\r') view.remove_suffix(1);
+    if (view.empty() || view.front() == '#') continue;
+    if (auto rec = from_line(view)) {
       out.push_back(std::move(*rec));
     } else {
       ++malformed_;
     }
   }
   return out;
+}
+
+std::size_t estimate_record_count(const std::string& path) {
+  std::error_code ec;
+  const auto bytes = std::filesystem::file_size(path, ec);
+  if (ec) return 0;
+  // to_line emits ~100-200 bytes per record for realistic URLs and UAs; a
+  // conservative divisor over-reserves slightly rather than reallocating.
+  constexpr std::uintmax_t kEstimatedBytesPerRecord = 96;
+  return static_cast<std::size_t>(bytes / kEstimatedBytesPerRecord);
+}
+
+Dataset read_log_file(const std::string& path, std::uint64_t* malformed) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open log file: " + path);
+  LogReader reader(in);
+  Dataset dataset(reader.read_all(estimate_record_count(path)));
+  if (malformed) *malformed = reader.malformed_lines();
+  return dataset;
+}
+
+FileReadStats for_each_record(
+    const std::string& path, std::size_t chunk_size,
+    const std::function<void(std::span<const LogRecord>)>& fn) {
+  if (chunk_size == 0) chunk_size = 1;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open log file: " + path);
+  FileReadStats stats;
+  std::vector<LogRecord> chunk;
+  chunk.reserve(chunk_size);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string_view view(line);
+    if (!view.empty() && view.back() == '\r') view.remove_suffix(1);
+    if (view.empty() || view.front() == '#') continue;
+    if (auto rec = from_line(view)) {
+      chunk.push_back(std::move(*rec));
+      if (chunk.size() == chunk_size) {
+        fn(std::span<const LogRecord>(chunk));
+        stats.records += chunk.size();
+        chunk.clear();
+      }
+    } else {
+      ++stats.malformed;
+    }
+  }
+  if (!chunk.empty()) {
+    fn(std::span<const LogRecord>(chunk));
+    stats.records += chunk.size();
+  }
+  return stats;
 }
 
 }  // namespace jsoncdn::logs

@@ -5,12 +5,15 @@
 // (property-tested).
 #pragma once
 
+#include <functional>
 #include <iosfwd>
 #include <optional>
+#include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "logs/dataset.h"
 #include "logs/record.h"
 
 namespace jsoncdn::logs {
@@ -23,7 +26,9 @@ namespace jsoncdn::logs {
 
 // Parses one line. Returns nullopt on malformed input (wrong column count,
 // non-numeric numerics, unknown enums) — malformed log lines are data errors,
-// skipped and counted by the reader, never exceptions.
+// skipped and counted by the reader, never exceptions. A trailing '\r'
+// (CRLF line ending) is tolerated; files without a final newline parse the
+// last row like any other.
 [[nodiscard]] std::optional<LogRecord> from_line(std::string_view line);
 
 // Streams records to an ostream, writing the header first.
@@ -42,8 +47,9 @@ class LogWriter {
 class LogReader {
  public:
   explicit LogReader(std::istream& in);
-  // Reads everything that remains.
-  [[nodiscard]] std::vector<LogRecord> read_all();
+  // Reads everything that remains; `reserve_hint` pre-sizes the result
+  // vector (see estimate_record_count for file-backed streams).
+  [[nodiscard]] std::vector<LogRecord> read_all(std::size_t reserve_hint = 0);
   [[nodiscard]] std::uint64_t malformed_lines() const noexcept {
     return malformed_;
   }
@@ -52,5 +58,30 @@ class LogReader {
   std::istream& in_;
   std::uint64_t malformed_ = 0;
 };
+
+// Estimated record count from the file size — a reserve hint, not a promise;
+// 0 when the file cannot be stat'ed.
+[[nodiscard]] std::size_t estimate_record_count(const std::string& path);
+
+// Loads a whole log file into a Dataset, reserving capacity from the file
+// size so the load does one allocation instead of log2(n) regrows. Throws
+// std::runtime_error if the file cannot be opened; malformed lines are
+// skipped and counted into `*malformed` when non-null.
+[[nodiscard]] Dataset read_log_file(const std::string& path,
+                                    std::uint64_t* malformed = nullptr);
+
+struct FileReadStats {
+  std::uint64_t records = 0;    // well-formed records delivered to fn
+  std::uint64_t malformed = 0;  // lines skipped
+};
+
+// Streams a log file through `fn` in chunks of up to `chunk_size` records
+// without ever materializing the whole file — the bounded-memory ingest path
+// for stream::StreamingStudy. The span passed to fn is only valid for the
+// duration of the call. Throws std::runtime_error if the file cannot be
+// opened.
+FileReadStats for_each_record(
+    const std::string& path, std::size_t chunk_size,
+    const std::function<void(std::span<const LogRecord>)>& fn);
 
 }  // namespace jsoncdn::logs

@@ -30,6 +30,40 @@ Summary summarize(std::span<const double> values) {
   return s;
 }
 
+void RunningMoments::add(double x) noexcept {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningMoments::merge(const RunningMoments& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  n_ += other.n_;
+}
+
+double RunningMoments::variance() const noexcept {
+  return n_ == 0 ? 0.0 : std::max(0.0, m2_ / static_cast<double>(n_));
+}
+
+double RunningMoments::stddev() const noexcept {
+  return std::sqrt(variance());
+}
+
+double RunningMoments::coefficient_of_variation() const noexcept {
+  return mean() == 0.0 ? 0.0 : stddev() / mean();
+}
+
 double percentile(std::span<const double> values, double q) {
   std::vector<double> sorted(values.begin(), values.end());
   std::sort(sorted.begin(), sorted.end());

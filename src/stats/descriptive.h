@@ -28,6 +28,29 @@ struct Summary {
 // Computes a Summary; an empty sample yields a zeroed Summary.
 [[nodiscard]] Summary summarize(std::span<const double> values);
 
+// Single-pass mean/variance accumulator (Welford), mergeable across shards
+// via Chan et al.'s pairwise-update formula. O(1) state — the streaming
+// layer keeps one per tracked flow. merge() is deterministic for a fixed
+// merge order (floating point), matching the chunk-ordered reduce contract.
+class RunningMoments {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningMoments& other) noexcept;
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ == 0 ? 0.0 : mean_; }
+  // Population variance (divides by n), matching summarize().
+  [[nodiscard]] double variance() const noexcept;
+  [[nodiscard]] double stddev() const noexcept;
+  // stddev / mean; 0 when the mean is 0.
+  [[nodiscard]] double coefficient_of_variation() const noexcept;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
 // Percentile by linear interpolation between closest ranks; q in [0, 1].
 // Requires a non-empty sample. The input need not be sorted.
 [[nodiscard]] double percentile(std::span<const double> values, double q);

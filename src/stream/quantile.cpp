@@ -1,0 +1,77 @@
+#include "stream/quantile.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace jsoncdn::stream {
+
+QuantileSketch::QuantileSketch(double alpha, std::size_t max_buckets)
+    : alpha_(alpha), max_buckets_(max_buckets) {
+  if (!(alpha > 0.0 && alpha < 1.0))
+    throw std::invalid_argument("QuantileSketch: alpha outside (0,1)");
+  if (max_buckets < 16)
+    throw std::invalid_argument("QuantileSketch: max_buckets < 16");
+  gamma_ = (1.0 + alpha) / (1.0 - alpha);
+  inv_log_gamma_ = 1.0 / std::log(gamma_);
+}
+
+std::int32_t QuantileSketch::bucket_index(double value) const {
+  return static_cast<std::int32_t>(
+      std::ceil(std::log(value) * inv_log_gamma_));
+}
+
+double QuantileSketch::bucket_value(std::int32_t index) const {
+  // Midpoint (in the multiplicative sense) of (gamma^(i-1), gamma^i]: every
+  // value in the bucket is within factor (1 +/- alpha) of it.
+  return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::add(double value, std::uint64_t count) {
+  if (count == 0) return;
+  total_ += count;
+  if (value <= 0.0) {
+    zero_count_ += count;
+    return;
+  }
+  buckets_[bucket_index(value)] += count;
+  collapse_if_needed();
+}
+
+void QuantileSketch::collapse_if_needed() {
+  while (buckets_.size() > max_buckets_) {
+    // Fold the lowest bucket into its neighbour above.
+    auto lowest = buckets_.begin();
+    auto next = std::next(lowest);
+    next->second += lowest->second;
+    buckets_.erase(lowest);
+    collapsed_ = true;
+  }
+}
+
+double QuantileSketch::quantile(double q) const {
+  if (total_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(
+      std::llround(q * static_cast<double>(total_ - 1)));
+  if (rank < zero_count_) return 0.0;
+  std::uint64_t cumulative = zero_count_;
+  for (const auto& [index, count] : buckets_) {
+    cumulative += count;
+    if (cumulative > rank) return bucket_value(index);
+  }
+  return buckets_.empty() ? 0.0 : bucket_value(buckets_.rbegin()->first);
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (alpha_ != other.alpha_ || max_buckets_ != other.max_buckets_)
+    throw std::invalid_argument("QuantileSketch::merge: config mismatch");
+  zero_count_ += other.zero_count_;
+  total_ += other.total_;
+  collapsed_ = collapsed_ || other.collapsed_;
+  for (const auto& [index, count] : other.buckets_)
+    buckets_[index] += count;
+  collapse_if_needed();
+}
+
+}  // namespace jsoncdn::stream

@@ -1,0 +1,69 @@
+// Mergeable quantile sketch over non-negative values (response body sizes).
+//
+// DDSketch-style (Masson et al. '19) logarithmic bucketing: bucket i covers
+// (gamma^(i-1), gamma^i] with gamma = (1 + alpha) / (1 - alpha), so any
+// returned quantile is within relative error alpha of an exact quantile of
+// the ingested stream. Chosen over KLL / t-digest because the state is a
+// plain bucket->count map: merge is bucket-wise addition — commutative,
+// associative, and bit-identical to the single-pass sketch — which fits the
+// repo's deterministic shard-then-merge contract, and the alpha bound is a
+// worst-case guarantee rather than an expectation.
+//
+// Memory is bounded by max_buckets; overflow collapses the lowest buckets
+// together (preserving upper-quantile accuracy, like the reference
+// implementation). Body sizes span far fewer than max_buckets log-buckets
+// at the default alpha, so collapse never triggers in practice; when it has
+// triggered, merges remain correct but the lowest quantiles widen.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+namespace jsoncdn::stream {
+
+class QuantileSketch {
+ public:
+  // Requires 0 < alpha < 1 and max_buckets >= 16.
+  explicit QuantileSketch(double alpha = 0.01,
+                          std::size_t max_buckets = 4096);
+
+  // Adds `count` observations of `value`. Values <= 0 land in a dedicated
+  // zero bucket (uploads and empty bodies are legitimately 0 bytes).
+  void add(double value, std::uint64_t count = 1);
+
+  // Value at quantile q in [0, 1], within relative error alpha. Returns 0
+  // for an empty sketch.
+  [[nodiscard]] double quantile(double q) const;
+
+  // Requires matching (alpha, max_buckets); throws otherwise.
+  void merge(const QuantileSketch& other);
+
+  [[nodiscard]] double alpha() const noexcept { return alpha_; }
+  [[nodiscard]] std::uint64_t count() const noexcept { return total_; }
+  [[nodiscard]] std::size_t bucket_count() const noexcept {
+    return buckets_.size();
+  }
+  [[nodiscard]] bool collapsed() const noexcept { return collapsed_; }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept {
+    // std::map node: key + count + ~3 pointers + color, rounded up.
+    return buckets_.size() * (sizeof(std::int32_t) + sizeof(std::uint64_t) +
+                              4 * sizeof(void*)) +
+           sizeof(*this);
+  }
+
+ private:
+  [[nodiscard]] std::int32_t bucket_index(double value) const;
+  [[nodiscard]] double bucket_value(std::int32_t index) const;
+  void collapse_if_needed();
+
+  double alpha_;
+  double gamma_;
+  double inv_log_gamma_;
+  std::size_t max_buckets_;
+  std::uint64_t zero_count_ = 0;
+  std::uint64_t total_ = 0;
+  bool collapsed_ = false;
+  std::map<std::int32_t, std::uint64_t> buckets_;  // ordered for quantile walk
+};
+
+}  // namespace jsoncdn::stream

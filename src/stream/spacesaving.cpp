@@ -1,0 +1,146 @@
+#include "stream/spacesaving.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace jsoncdn::stream {
+
+SpaceSaving::SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("SpaceSaving: capacity == 0");
+  heap_.reserve(capacity);
+  index_.reserve(capacity);
+}
+
+void SpaceSaving::swap_slots(std::size_t a, std::size_t b) {
+  std::swap(heap_[a], heap_[b]);
+  index_[heap_[a].key] = a;
+  index_[heap_[b].key] = b;
+}
+
+void SpaceSaving::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (heap_[parent].count <= heap_[i].count) break;
+    swap_slots(parent, i);
+    i = parent;
+  }
+}
+
+void SpaceSaving::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    std::size_t smallest = i;
+    if (l < n && heap_[l].count < heap_[smallest].count) smallest = l;
+    if (r < n && heap_[r].count < heap_[smallest].count) smallest = r;
+    if (smallest == i) break;
+    swap_slots(smallest, i);
+    i = smallest;
+  }
+}
+
+std::optional<std::string> SpaceSaving::offer(std::string_view key,
+                                              std::uint64_t weight) {
+  total_ += weight;
+  if (const auto it = index_.find(key); it != index_.end()) {
+    heap_[it->second].count += weight;
+    sift_down(it->second);
+    return std::nullopt;
+  }
+  if (heap_.size() < capacity_) {
+    heap_.push_back({std::string(key), weight, 0});
+    index_[heap_.back().key] = heap_.size() - 1;
+    sift_up(heap_.size() - 1);
+    return std::nullopt;
+  }
+  // Replace the minimum counter: the newcomer inherits its count as error.
+  Entry& root = heap_.front();
+  std::string evicted = std::move(root.key);
+  index_.erase(evicted);
+  root.key = std::string(key);
+  root.error = root.count;
+  root.count += weight;
+  index_[root.key] = 0;
+  sift_down(0);
+  return evicted;
+}
+
+bool SpaceSaving::contains(std::string_view key) const {
+  return index_.find(key) != index_.end();
+}
+
+std::uint64_t SpaceSaving::estimate(std::string_view key) const {
+  const auto it = index_.find(key);
+  return it == index_.end() ? untracked_bound() : heap_[it->second].count;
+}
+
+std::uint64_t SpaceSaving::untracked_bound() const noexcept {
+  return heap_.size() < capacity_ || heap_.empty() ? 0 : heap_.front().count;
+}
+
+std::vector<HeavyHitter> SpaceSaving::top(std::size_t n) const {
+  std::vector<HeavyHitter> out;
+  out.reserve(heap_.size());
+  for (const auto& e : heap_) out.push_back({e.key, e.count, e.error});
+  std::sort(out.begin(), out.end(),
+            [](const HeavyHitter& a, const HeavyHitter& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.key < b.key;
+            });
+  if (out.size() > n) out.resize(n);
+  return out;
+}
+
+void SpaceSaving::merge(const SpaceSaving& other) {
+  if (capacity_ != other.capacity_)
+    throw std::invalid_argument("SpaceSaving::merge: capacity mismatch");
+  const std::uint64_t bound_a = untracked_bound();
+  const std::uint64_t bound_b = other.untracked_bound();
+
+  // Combined estimates over the key union; absent sides contribute their
+  // untracked bound to both count and error.
+  std::unordered_map<std::string, Entry> combined;
+  combined.reserve(heap_.size() + other.heap_.size());
+  for (const auto& e : heap_)
+    combined[e.key] = {e.key, e.count + bound_b, e.error + bound_b};
+  for (const auto& e : other.heap_) {
+    auto [it, inserted] =
+        combined.try_emplace(e.key, Entry{e.key, bound_a, bound_a});
+    it->second.count += e.count;
+    it->second.error += e.error;
+    if (!inserted) {
+      // Key present in both: remove the absent-side bound added above.
+      it->second.count -= bound_b;
+      it->second.error -= bound_b;
+    }
+  }
+
+  std::vector<Entry> entries;
+  entries.reserve(combined.size());
+  for (auto& [key, e] : combined) entries.push_back(std::move(e));
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  if (entries.size() > capacity_) entries.resize(capacity_);
+
+  heap_.clear();
+  index_.clear();
+  total_ += other.total_;
+  for (auto& e : entries) {
+    heap_.push_back(std::move(e));
+    index_[heap_.back().key] = heap_.size() - 1;
+    sift_up(heap_.size() - 1);
+  }
+}
+
+std::size_t SpaceSaving::memory_bytes() const noexcept {
+  std::size_t bytes = sizeof(*this) + heap_.capacity() * sizeof(Entry) +
+                      index_.size() * (sizeof(std::string) + sizeof(std::size_t));
+  for (const auto& e : heap_) bytes += 2 * e.key.capacity();
+  return bytes;
+}
+
+}  // namespace jsoncdn::stream

@@ -1,0 +1,95 @@
+// Space-Saving heavy hitters (Metwally et al. '05): top-K tracking in a
+// fixed budget of `capacity` counters. Guarantees: every key whose true
+// count exceeds N / capacity is tracked; a tracked key's count overestimates
+// its true count by at most its recorded `error`, which never exceeds
+// N / capacity.
+//
+// Merge contract (Agarwal et al., "Mergeable Summaries"): for each key in
+// either operand, absent-side counts are bounded by that side's minimum
+// counter; the union is re-truncated to the capacity largest. The merged
+// sketch keeps the same error guarantees over the combined stream. Contents
+// depend on operand order, so shard merges must follow the chunk-ordered
+// contract (stats::parallel_reduce) for reproducible output; the guarantees
+// themselves hold for any order.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace jsoncdn::stream {
+
+struct HeavyHitter {
+  std::string key;
+  std::uint64_t count = 0;  // estimate; >= true count
+  std::uint64_t error = 0;  // count - error <= true count <= count
+};
+
+class SpaceSaving {
+ public:
+  // Requires capacity >= 1.
+  explicit SpaceSaving(std::size_t capacity);
+
+  // Offers one occurrence (or `weight` of them). Returns the key evicted to
+  // make room, if any — the triage layer uses this to drop per-flow state
+  // for keys that fell out of the heavy set.
+  std::optional<std::string> offer(std::string_view key,
+                                   std::uint64_t weight = 1);
+
+  [[nodiscard]] bool contains(std::string_view key) const;
+  // Count estimate for a tracked key; untracked keys report the untracked
+  // bound (their true count cannot exceed it).
+  [[nodiscard]] std::uint64_t estimate(std::string_view key) const;
+
+  // The `n` largest tracked keys, count descending, key ascending on ties.
+  [[nodiscard]] std::vector<HeavyHitter> top(std::size_t n) const;
+
+  // Upper bound on the true count of any key NOT tracked: the minimum
+  // counter when full, 0 otherwise.
+  [[nodiscard]] std::uint64_t untracked_bound() const noexcept;
+
+  // Guaranteed worst-case overestimation: total_weight / capacity.
+  [[nodiscard]] double error_bound() const noexcept {
+    return static_cast<double>(total_) / static_cast<double>(capacity_);
+  }
+
+  void merge(const SpaceSaving& other);
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] std::uint64_t total_weight() const noexcept { return total_; }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  struct Entry {
+    std::string key;
+    std::uint64_t count = 0;
+    std::uint64_t error = 0;
+  };
+
+  // Min-heap by count over heap_, with index_ mapping key -> heap slot.
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+  void swap_slots(std::size_t a, std::size_t b);
+
+  // Transparent hashing so hot-path lookups take string_view without
+  // allocating a temporary std::string.
+  struct StringHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  using Index =
+      std::unordered_map<std::string, std::size_t, StringHash, std::equal_to<>>;
+
+  std::size_t capacity_;
+  std::uint64_t total_ = 0;
+  std::vector<Entry> heap_;
+  Index index_;
+};
+
+}  // namespace jsoncdn::stream

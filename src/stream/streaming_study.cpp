@@ -1,0 +1,317 @@
+#include "stream/streaming_study.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+
+#include "http/device_db.h"
+#include "http/mime.h"
+#include "stats/hash.h"
+
+namespace jsoncdn::stream {
+
+namespace {
+
+constexpr std::size_t device_index(http::DeviceType d) noexcept {
+  return static_cast<std::size_t>(d);
+}
+
+// UA classification cache cap: far above any real UA corpus, but bounded so
+// a flood of unique garbage UAs cannot grow the accumulator unboundedly.
+constexpr std::size_t kUaCacheCap = 8192;
+
+}  // namespace
+
+StreamingAccumulator::StreamingAccumulator(const StreamingConfig& config)
+    : config_(config),
+      urls_(config.hll_precision),
+      clients_(config.hll_precision),
+      domains_(config.hll_precision),
+      ua_strings_(config.hll_precision),
+      ua_by_device_{HyperLogLog(config.hll_precision),
+                    HyperLogLog(config.hll_precision),
+                    HyperLogLog(config.hll_precision),
+                    HyperLogLog(config.hll_precision)},
+      url_counts_(config.cms_epsilon, config.cms_delta, /*seed=*/0x0415),
+      client_counts_(config.cms_epsilon, config.cms_delta, /*seed=*/0x0416),
+      top_urls_(config.heavy_hitters),
+      top_clients_(config.heavy_hitters),
+      json_sizes_(config.quantile_alpha, config.quantile_max_buckets),
+      html_sizes_(config.quantile_alpha, config.quantile_max_buckets),
+      triage_(config.triage) {}
+
+void StreamingAccumulator::offer(const logs::LogRecord& record) {
+  ++total_records_;
+  first_ts_ = std::min(first_ts_, record.timestamp);
+  last_ts_ = std::max(last_ts_, record.timestamp);
+
+  // §4 size comparison runs over the full stream (all content types).
+  const auto content = http::classify_content(record.content_type);
+  const auto bytes = static_cast<double>(record.response_bytes);
+  if (content == http::ContentClass::kJson) {
+    json_sizes_.add(bytes);
+    json_moments_.add(bytes);
+    json_min_ = std::min(json_min_, bytes);
+    json_max_ = std::max(json_max_, bytes);
+  } else if (content == http::ContentClass::kHtml) {
+    html_sizes_.add(bytes);
+    html_moments_.add(bytes);
+    html_min_ = std::min(html_min_, bytes);
+    html_max_ = std::max(html_max_, bytes);
+  }
+
+  // Everything below mirrors the batch pipeline's JSON-only analyses.
+  if (content != http::ContentClass::kJson) return;
+  ++json_records_;
+
+  ++methods_.total;
+  switch (record.method) {
+    case http::Method::kGet: ++methods_.get; break;
+    case http::Method::kPost: ++methods_.post; break;
+    default: ++methods_.other; break;
+  }
+
+  if (record.cache_status == logs::CacheStatus::kNotCacheable) {
+    ++cacheability_.uncacheable;
+  } else {
+    ++cacheability_.cacheable;
+    if (record.cache_status == logs::CacheStatus::kHit)
+      ++cacheability_.hits;
+  }
+
+  http::DeviceClassification cls;
+  if (const auto it = ua_cache_.find(record.user_agent);
+      it != ua_cache_.end()) {
+    cls = it->second;
+  } else {
+    cls = http::classify_device(record.user_agent);
+    if (ua_cache_.size() < kUaCacheCap) ua_cache_.emplace(record.user_agent, cls);
+  }
+  ++source_.total_requests;
+  ++source_.requests_by_device[device_index(cls.device)];
+  if (cls.is_browser()) {
+    ++source_.browser_requests;
+    if (cls.device == http::DeviceType::kMobile)
+      ++source_.mobile_browser_requests;
+  }
+  if (record.user_agent.empty()) {
+    ++source_.missing_ua_requests;
+  } else {
+    const std::uint64_t ua_hash = stats::fnv1a64(record.user_agent);
+    ua_strings_.add(ua_hash);
+    ua_by_device_[device_index(cls.device)].add(ua_hash);
+  }
+
+  const std::uint64_t url_hash = stats::fnv1a64(record.url);
+  const std::string client_key = record.client_key();
+  const std::uint64_t client_hash = stats::fnv1a64(client_key);
+  urls_.add(url_hash);
+  clients_.add(client_hash);
+  domains_.add(stats::fnv1a64(record.domain));
+  url_counts_.add(url_hash);
+  client_counts_.add(client_hash);
+  top_urls_.offer(record.url);
+  top_clients_.offer(client_key);
+  triage_.offer(record.url, client_hash, record.timestamp);
+}
+
+void StreamingAccumulator::merge(const StreamingAccumulator& later) {
+  total_records_ += later.total_records_;
+  json_records_ += later.json_records_;
+  first_ts_ = std::min(first_ts_, later.first_ts_);
+  last_ts_ = std::max(last_ts_, later.last_ts_);
+
+  methods_.merge(later.methods_);
+  cacheability_.merge(later.cacheability_);
+  source_.merge(later.source_);
+
+  urls_.merge(later.urls_);
+  clients_.merge(later.clients_);
+  domains_.merge(later.domains_);
+  ua_strings_.merge(later.ua_strings_);
+  for (std::size_t d = 0; d < ua_by_device_.size(); ++d)
+    ua_by_device_[d].merge(later.ua_by_device_[d]);
+
+  url_counts_.merge(later.url_counts_);
+  client_counts_.merge(later.client_counts_);
+  top_urls_.merge(later.top_urls_);
+  top_clients_.merge(later.top_clients_);
+
+  json_sizes_.merge(later.json_sizes_);
+  html_sizes_.merge(later.html_sizes_);
+  json_moments_.merge(later.json_moments_);
+  html_moments_.merge(later.html_moments_);
+  json_min_ = std::min(json_min_, later.json_min_);
+  json_max_ = std::max(json_max_, later.json_max_);
+  html_min_ = std::min(html_min_, later.html_min_);
+  html_max_ = std::max(html_max_, later.html_max_);
+
+  triage_.merge(later.triage_);
+
+  for (const auto& [ua, cls] : later.ua_cache_) {
+    if (ua_cache_.size() >= kUaCacheCap) break;
+    ua_cache_.emplace(ua, cls);
+  }
+}
+
+namespace {
+
+stats::Summary summary_from_sketch(const QuantileSketch& sketch,
+                                   const stats::RunningMoments& moments,
+                                   double min_value, double max_value) {
+  stats::Summary s;
+  s.count = moments.count();
+  if (s.count == 0) return s;
+  s.mean = moments.mean();
+  s.stddev = moments.stddev();
+  s.min = min_value;
+  s.max = max_value;
+  s.p25 = sketch.quantile(0.25);
+  s.p50 = sketch.quantile(0.50);
+  s.p75 = sketch.quantile(0.75);
+  s.p90 = sketch.quantile(0.90);
+  s.p99 = sketch.quantile(0.99);
+  return s;
+}
+
+}  // namespace
+
+StreamingSummary StreamingAccumulator::summarize() const {
+  StreamingSummary out;
+  out.total_records = total_records_;
+  out.json_records = json_records_;
+  out.first_timestamp = total_records_ == 0 ? 0.0 : first_ts_;
+  out.last_timestamp = total_records_ == 0 ? 0.0 : last_ts_;
+
+  out.methods = methods_;
+  out.cacheability = cacheability_;
+  out.source = source_;
+  // The UA-string side of the breakdown is estimated: distinct-UA counting
+  // is exactly what the batch path needs the full dataset for.
+  out.source.total_ua_strings =
+      static_cast<std::uint64_t>(std::llround(ua_strings_.estimate()));
+  for (std::size_t d = 0; d < ua_by_device_.size(); ++d) {
+    out.source.ua_strings_by_device[d] = static_cast<std::uint64_t>(
+        std::llround(ua_by_device_[d].estimate()));
+  }
+
+  out.distinct_urls = urls_.estimate();
+  out.distinct_clients = clients_.estimate();
+  out.distinct_domains = domains_.estimate();
+  out.distinct_ua_strings = ua_strings_.estimate();
+  out.hll_standard_error = urls_.standard_error();
+
+  out.top_urls = top_urls_.top(config_.heavy_hitters);
+  out.top_clients = top_clients_.top(config_.heavy_hitters);
+  out.heavy_hitter_error_bound = top_urls_.error_bound();
+
+  out.json_sizes =
+      summary_from_sketch(json_sizes_, json_moments_, json_min_, json_max_);
+  out.html_sizes =
+      summary_from_sketch(html_sizes_, html_moments_, html_min_, html_max_);
+  out.quantile_alpha = config_.quantile_alpha;
+
+  out.periodic_candidates = triage_.candidates();
+  out.memory_bytes = memory_bytes();
+  return out;
+}
+
+std::size_t StreamingAccumulator::memory_bytes() const {
+  std::size_t bytes = sizeof(*this);
+  bytes += urls_.memory_bytes() + clients_.memory_bytes() +
+           domains_.memory_bytes() + ua_strings_.memory_bytes();
+  for (const auto& hll : ua_by_device_) bytes += hll.memory_bytes();
+  bytes += url_counts_.memory_bytes() + client_counts_.memory_bytes();
+  bytes += top_urls_.memory_bytes() + top_clients_.memory_bytes();
+  bytes += json_sizes_.memory_bytes() + html_sizes_.memory_bytes();
+  bytes += triage_.memory_bytes();
+  for (const auto& [ua, cls] : ua_cache_)
+    bytes += ua.capacity() + sizeof(cls) + 2 * sizeof(void*);
+  return bytes;
+}
+
+StreamingStudy::StreamingStudy(const StreamingConfig& config)
+    : config_(config),
+      threads_(stats::resolve_threads(config.threads)),
+      pool_(threads_),
+      state_(config) {}
+
+void StreamingStudy::offer(const logs::LogRecord& record) {
+  state_.offer(record);
+  ++ingested_;
+}
+
+void StreamingStudy::ingest(std::span<const logs::LogRecord> chunk) {
+  ingested_ += chunk.size();
+  // Sharding pays for itself only when each worker gets a real slice; tiny
+  // chunks go straight into the master state.
+  if (threads_ <= 1 || chunk.size() < threads_ * 256) {
+    for (const auto& record : chunk) state_.offer(record);
+    return;
+  }
+  // One accumulator per contiguous subrange, merged in subrange order: the
+  // exact shard-then-merge shape of the batch stages, so sketch guarantees
+  // and determinism carry over (see the file comment).
+  std::vector<StreamingAccumulator> shards(threads_,
+                                           StreamingAccumulator(config_));
+  pool_.run(threads_, [&](std::size_t s) {
+    const auto [begin, end] = stats::chunk_range(chunk.size(), threads_, s);
+    for (std::size_t i = begin; i < end; ++i) shards[s].offer(chunk[i]);
+  });
+  for (const auto& shard : shards) state_.merge(shard);
+}
+
+std::string render_streaming_summary(const StreamingSummary& summary,
+                                     std::size_t top_n) {
+  std::ostringstream out;
+  auto pct = [](double v) {
+    std::ostringstream o;
+    o << std::fixed << std::setprecision(1) << v * 100.0 << "%";
+    return o.str();
+  };
+  out << "Streaming summary (one-pass, bounded-memory sketches)\n";
+  out << "  records: " << summary.total_records << " ("
+      << summary.json_records << " JSON), span " << std::fixed
+      << std::setprecision(1)
+      << summary.last_timestamp - summary.first_timestamp << " s\n";
+  out << "  sketch state: " << summary.memory_bytes / 1024 << " KiB\n";
+  out << "  distinct (HLL, +/-" << pct(summary.hll_standard_error)
+      << "): urls " << std::setprecision(0) << summary.distinct_urls
+      << ", clients " << summary.distinct_clients << ", domains "
+      << summary.distinct_domains << ", UA strings "
+      << summary.distinct_ua_strings << "\n";
+  out << "  GET share: " << pct(summary.methods.get_share())
+      << "   POST share of non-GET: "
+      << pct(summary.methods.post_share_of_non_get())
+      << "   uncacheable: " << pct(summary.cacheability.uncacheable_share())
+      << "\n";
+  out << "  non-browser traffic: " << pct(summary.source.non_browser_share())
+      << "   mobile requests: "
+      << pct(summary.source.device_share(http::DeviceType::kMobile)) << "\n";
+  out << "  JSON/HTML size ratio (sketch, +/-"
+      << pct(summary.quantile_alpha) << "): p50 " << std::setprecision(2)
+      << summary.json_html_p50_ratio() << ", p75 "
+      << summary.json_html_p75_ratio() << "\n";
+  out << "  top URLs (Space-Saving, max err "
+      << static_cast<std::uint64_t>(summary.heavy_hitter_error_bound)
+      << "):\n";
+  for (std::size_t i = 0; i < summary.top_urls.size() && i < top_n; ++i) {
+    const auto& hh = summary.top_urls[i];
+    out << "    " << std::setw(8) << hh.count << " (+/-" << hh.error << ") "
+        << hh.key << "\n";
+  }
+  out << "  periodic-candidate flows (triage): "
+      << summary.periodic_candidates.size() << "\n";
+  for (std::size_t i = 0; i < summary.periodic_candidates.size() && i < top_n;
+       ++i) {
+    const auto& c = summary.periodic_candidates[i];
+    out << "    " << std::setw(8) << c.requests << " reqs, ~"
+        << std::setprecision(1) << c.estimated_clients << " clients, gap "
+        << std::setprecision(2) << c.mean_gap << " s (cv "
+        << c.gap_cv << ") " << c.key << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace jsoncdn::stream

@@ -1,0 +1,199 @@
+// One-pass, bounded-memory streaming analytics over the edge-log stream.
+//
+// The batch pipeline (core::characterize_*, core::analyze_periodicity)
+// materializes the full log in RAM; this layer ingests records one at a
+// time and keeps only mergeable sketch state, so peak memory is a function
+// of the sketch configuration — independent of record count — and a
+// 35 M-record production stream fits the same footprint as a toy one.
+//
+// State per accumulator:
+//   - exact integer counters where exactness is free: method mix,
+//     cacheability, per-device request counts (core::MethodMix,
+//     core::CacheabilityStats, core::SourceBreakdown request side);
+//   - HyperLogLog for the distinct counts the §5.1 eligibility filters
+//     need (URLs, clients, domains, UA strings per device);
+//   - Count-Min + Space-Saving for heavy-hitter URLs / clients;
+//   - a DDSketch-style quantile sketch + exact moments/min/max for the §4
+//     JSON-vs-HTML body-size comparison;
+//   - InterarrivalTriage emitting candidate periodic flows for the FFT
+//     detector.
+//
+// Merge contract: StreamingAccumulator::merge(later) folds a shard covering
+// a *later* contiguous record range into this one. Counter, CMS, HLL, and
+// quantile state is bit-identical to a single-pass ingest for any shard
+// partition; Space-Saving contents and triage state are deterministic for a
+// fixed (chunk size, thread count) and keep their error guarantees for any
+// partition. StreamingStudy::ingest shards each chunk across the PR-1
+// stats::ThreadPool and merges in chunk order, so repeated runs with the
+// same settings produce identical summaries.
+#pragma once
+
+#include <array>
+#include <limits>
+#include <span>
+#include <string>
+#include <unordered_map>
+
+#include "core/characterization.h"
+#include "logs/record.h"
+#include "stats/descriptive.h"
+#include "stats/parallel.h"
+#include "stream/countmin.h"
+#include "stream/hyperloglog.h"
+#include "stream/quantile.h"
+#include "stream/spacesaving.h"
+#include "stream/triage.h"
+
+namespace jsoncdn::stream {
+
+struct StreamingConfig {
+  // Count-Min error: estimates overshoot by <= cms_epsilon * N with
+  // probability 1 - cms_delta.
+  double cms_epsilon = 5e-4;
+  double cms_delta = 1e-3;
+  // Space-Saving counter budget; any key with count > N / heavy_hitters is
+  // guaranteed tracked.
+  std::size_t heavy_hitters = 512;
+  // HLL registers = 2^hll_precision; relative error ~1.04 / 2^(p/2).
+  unsigned hll_precision = 12;
+  // Quantile relative-value error bound.
+  double quantile_alpha = 0.01;
+  std::size_t quantile_max_buckets = 4096;
+  TriageConfig triage;
+  // Worker threads for chunk ingest: 0 = auto (JSONCDN_THREADS env, else
+  // hardware_concurrency), same convention as every batch stage.
+  std::size_t threads = 0;
+};
+
+// The streaming counterpart of the batch §4 results: same field shapes
+// (core::MethodMix, core::CacheabilityStats, core::SourceBreakdown,
+// stats::Summary) so callers and tests can compare the two directly.
+struct StreamingSummary {
+  std::uint64_t total_records = 0;
+  std::uint64_t json_records = 0;
+  double first_timestamp = 0.0;
+  double last_timestamp = 0.0;
+
+  // Exact (integer counters, bit-identical to the batch run over the same
+  // records). SourceBreakdown's UA-string counters are the one exception:
+  // they are HLL estimates, rounded.
+  core::MethodMix methods;
+  core::CacheabilityStats cacheability;
+  core::SourceBreakdown source;
+
+  // HLL cardinality estimates with the configured standard error.
+  double distinct_urls = 0.0;
+  double distinct_clients = 0.0;
+  double distinct_domains = 0.0;
+  double distinct_ua_strings = 0.0;
+  double hll_standard_error = 0.0;
+
+  // Heavy hitters (Space-Saving estimates; count - error <= true <= count).
+  std::vector<HeavyHitter> top_urls;
+  std::vector<HeavyHitter> top_clients;
+  double heavy_hitter_error_bound = 0.0;  // N / heavy_hitters
+
+  // §4 size comparison: count/mean/stddev/min/max exact, percentiles from
+  // the quantile sketch (relative error <= quantile_alpha).
+  stats::Summary json_sizes;
+  stats::Summary html_sizes;
+  double quantile_alpha = 0.0;
+
+  // Flows worth running the FFT + permutation detector on.
+  std::vector<CandidateFlow> periodic_candidates;
+
+  // Total sketch-state footprint at snapshot time — the number that stays
+  // put as the record count grows.
+  std::size_t memory_bytes = 0;
+
+  [[nodiscard]] double json_html_p50_ratio() const noexcept {
+    return html_sizes.p50 == 0.0 ? 0.0 : json_sizes.p50 / html_sizes.p50;
+  }
+  [[nodiscard]] double json_html_p75_ratio() const noexcept {
+    return html_sizes.p75 == 0.0 ? 0.0 : json_sizes.p75 / html_sizes.p75;
+  }
+};
+
+// Full per-shard sketch state. offer() consumes one record; merge() folds a
+// shard covering a later record range (see the file comment for the
+// determinism contract).
+class StreamingAccumulator {
+ public:
+  explicit StreamingAccumulator(const StreamingConfig& config);
+
+  void offer(const logs::LogRecord& record);
+  void merge(const StreamingAccumulator& later);
+
+  [[nodiscard]] StreamingSummary summarize() const;
+  [[nodiscard]] std::size_t memory_bytes() const;
+
+ private:
+  StreamingConfig config_;
+
+  std::uint64_t total_records_ = 0;
+  std::uint64_t json_records_ = 0;
+  double first_ts_ = std::numeric_limits<double>::infinity();
+  double last_ts_ = -std::numeric_limits<double>::infinity();
+
+  core::MethodMix methods_;
+  core::CacheabilityStats cacheability_;
+  core::SourceBreakdown source_;  // request-side counters only
+
+  HyperLogLog urls_;
+  HyperLogLog clients_;
+  HyperLogLog domains_;
+  HyperLogLog ua_strings_;
+  std::array<HyperLogLog, 4> ua_by_device_;
+
+  CountMinSketch url_counts_;
+  CountMinSketch client_counts_;
+  SpaceSaving top_urls_;
+  SpaceSaving top_clients_;
+
+  QuantileSketch json_sizes_;
+  QuantileSketch html_sizes_;
+  stats::RunningMoments json_moments_;
+  stats::RunningMoments html_moments_;
+  double json_min_ = std::numeric_limits<double>::infinity();
+  double json_max_ = -std::numeric_limits<double>::infinity();
+  double html_min_ = std::numeric_limits<double>::infinity();
+  double html_max_ = -std::numeric_limits<double>::infinity();
+
+  InterarrivalTriage triage_;
+
+  // Per-accumulator UA classification cache (same trick as the batch
+  // characterize_source); bounded so adversarial UA floods cannot grow it.
+  std::unordered_map<std::string, http::DeviceClassification> ua_cache_;
+};
+
+// One-pass driver: offer records singly or ingest chunks; chunks are
+// sharded across the thread pool and merged in chunk order.
+class StreamingStudy {
+ public:
+  explicit StreamingStudy(const StreamingConfig& config = {});
+
+  void offer(const logs::LogRecord& record);
+  void ingest(std::span<const logs::LogRecord> chunk);
+
+  [[nodiscard]] StreamingSummary summary() const { return state_.summarize(); }
+  [[nodiscard]] std::uint64_t records_ingested() const noexcept {
+    return ingested_;
+  }
+  [[nodiscard]] const StreamingConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  StreamingConfig config_;
+  std::size_t threads_;
+  stats::ThreadPool pool_;
+  StreamingAccumulator state_;
+  std::uint64_t ingested_ = 0;
+};
+
+// Plain-text rendering in the report.h house style, with the paper's §4/§5
+// headline numbers next to their streaming estimates.
+[[nodiscard]] std::string render_streaming_summary(
+    const StreamingSummary& summary, std::size_t top_n = 10);
+
+}  // namespace jsoncdn::stream

@@ -1,0 +1,96 @@
+// One-pass periodicity triage: bounded per-flow inter-arrival state that
+// emits *candidate* periodic flows, so the expensive FFT + permutation
+// detector (core::analyze_periodicity, ~100 spectral passes per flow) runs
+// on a small eligible subset instead of every object flow in the stream.
+//
+// The flow table is bounded: an internal Space-Saving sketch over flow keys
+// is the admission policy — only the `max_flows` currently-heaviest flows
+// carry detailed state (a sliding window over the heavy set; light flows
+// can never pass the paper's >= 10-requests filter anyway, and a flow that
+// falls out of the heavy set takes its state with it). Per-flow state is
+// O(1): request count, first/last timestamp, mergeable inter-arrival
+// moments (stats::RunningMoments), and a 256-bit linear-counting bitmap of
+// client hashes for the paper's >= 10-distinct-clients filter.
+//
+// Candidates are flows passing the §5.1 eligibility filters plus a
+// regularity screen (inter-arrival coefficient of variation and minimum
+// span) mirroring the detector's own preconditions. The screen is a recall
+// filter, not a detector: the FFT still decides periodicity.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "stream/spacesaving.h"
+
+namespace jsoncdn::stream {
+
+struct TriageConfig {
+  std::size_t max_flows = 4096;   // bounded flow table (heavy set size)
+  std::size_t min_requests = 10;  // paper: client/object flow filter
+  std::size_t min_clients = 10;   // paper: object flow filter
+  // Regularity screen: aggregate inter-arrival CV above this is too bursty
+  // to be worth an FFT. Aggregates of phase-offset periodic clients land
+  // well below it; single-burst spikes land far above.
+  double max_gap_cv = 2.5;
+  // Mirrors the detector's "span > 4 * sample_interval" precondition.
+  double min_span_seconds = 5.0;
+};
+
+struct CandidateFlow {
+  std::string key;              // flow key (URL for object flows)
+  std::uint64_t requests = 0;
+  double span_seconds = 0.0;
+  double mean_gap = 0.0;        // estimated period-ish scale
+  double gap_cv = 0.0;
+  double estimated_clients = 0.0;
+};
+
+class InterarrivalTriage {
+ public:
+  explicit InterarrivalTriage(const TriageConfig& config = {});
+
+  // Offers one request of flow `key` by client `client_hash` at `timestamp`.
+  // Timestamps must be non-decreasing within one triage instance (the log
+  // stream is time-sorted; shard boundaries are handled by merge()).
+  void offer(std::string_view key, std::uint64_t client_hash,
+             double timestamp);
+
+  // Merges a later shard's state (chunk-ordered: `other` covers records
+  // after this instance's records).
+  void merge(const InterarrivalTriage& other);
+
+  // Flows passing every filter, requests descending, key ascending on ties.
+  [[nodiscard]] std::vector<CandidateFlow> candidates() const;
+
+  [[nodiscard]] const TriageConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t tracked_flows() const noexcept {
+    return states_.size();
+  }
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  struct FlowState {
+    std::uint64_t requests = 0;
+    double first_ts = 0.0;
+    double last_ts = 0.0;
+    stats::RunningMoments gaps;
+    // 256-bit client-presence bitmap; distinct clients estimated by linear
+    // counting. Saturates gracefully far above the >= 10 filter.
+    std::array<std::uint64_t, 4> client_bits{};
+
+    void note_client(std::uint64_t client_hash) noexcept;
+    [[nodiscard]] double estimated_clients() const noexcept;
+  };
+
+  TriageConfig config_;
+  SpaceSaving heavy_;  // admission policy over flow keys
+  std::unordered_map<std::string, FlowState> states_;
+};
+
+}  // namespace jsoncdn::stream

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <span>
 #include <sstream>
 
 #include "logs/anonymizer.h"
@@ -120,6 +124,92 @@ TEST(LogWriterReader, StreamRoundTripWithHeaderAndMalformedLines) {
   expect_equal(records[0], r1);
   expect_equal(records[1], r2);
   EXPECT_EQ(reader.malformed_lines(), 1u);  // empty lines are skipped silently
+}
+
+TEST(LogLine, ToleratesCrlfLineEndings) {
+  const auto r = sample_record();
+  const auto parsed = from_line(to_line(r) + "\r");
+  ASSERT_TRUE(parsed.has_value());
+  expect_equal(*parsed, r);
+}
+
+TEST(LogWriterReader, ReadsCrlfStreamsAndFinalRowWithoutNewline) {
+  const auto r1 = sample_record();
+  auto r2 = sample_record();
+  r2.timestamp = 99.75;
+  // A Windows-edited log: CRLF endings, a blank CR line, and no newline
+  // after the final row.
+  std::stringstream stream;
+  stream << log_header() << "\r\n"
+         << to_line(r1) << "\r\n"
+         << "\r\n"
+         << to_line(r2);  // no trailing newline
+  LogReader reader(stream);
+  const auto records = reader.read_all();
+  ASSERT_EQ(records.size(), 2u);
+  expect_equal(records[0], r1);
+  expect_equal(records[1], r2);
+  EXPECT_EQ(reader.malformed_lines(), 0u);
+}
+
+class LogFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "jsoncdn_logs_file_test.log";
+    std::ofstream out(path_);
+    LogWriter writer(out);
+    for (int i = 0; i < 25; ++i) {
+      auto r = sample_record();
+      r.timestamp = 100.0 + i;
+      r.url = "https://api.news-000.example/api/v1/stories/" +
+              std::to_string(i);
+      writer.write(r);
+      written_.push_back(std::move(r));
+    }
+    out << "not a log line\n";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  std::string path_;
+  std::vector<LogRecord> written_;
+};
+
+TEST_F(LogFileTest, ReadLogFileLoadsAndCountsMalformed) {
+  std::uint64_t malformed = 0;
+  const auto ds = read_log_file(path_, &malformed);
+  ASSERT_EQ(ds.size(), written_.size());
+  EXPECT_EQ(malformed, 1u);
+  for (std::size_t i = 0; i < written_.size(); ++i)
+    expect_equal(ds[i], written_[i]);
+  // The file-size reserve hint must be in a sane band: nonzero, and not
+  // orders of magnitude above the real record count.
+  const auto hint = estimate_record_count(path_);
+  EXPECT_GT(hint, 0u);
+  EXPECT_LT(hint, written_.size() * 100);
+}
+
+TEST_F(LogFileTest, ReadLogFileThrowsOnMissingFile) {
+  EXPECT_THROW((void)read_log_file(path_ + ".does-not-exist"),
+               std::runtime_error);
+}
+
+TEST_F(LogFileTest, ForEachRecordChunksMatchReadAll) {
+  std::vector<LogRecord> streamed;
+  std::size_t calls = 0;
+  std::size_t max_chunk = 0;
+  const auto stats = for_each_record(
+      path_, 7, [&](std::span<const LogRecord> chunk) {
+        ++calls;
+        max_chunk = std::max(max_chunk, chunk.size());
+        streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+      });
+  EXPECT_EQ(stats.records, written_.size());
+  EXPECT_EQ(stats.malformed, 1u);
+  EXPECT_LE(max_chunk, 7u);
+  EXPECT_EQ(calls, (written_.size() + 6) / 7);
+  ASSERT_EQ(streamed.size(), written_.size());
+  for (std::size_t i = 0; i < written_.size(); ++i)
+    expect_equal(streamed[i], written_[i]);
 }
 
 TEST(LogHeader, StartsWithCommentMarker) {

@@ -1,24 +1,33 @@
 // jsoncdn-analyze — run the paper's analyses over a log file.
 //
 //   jsoncdn-analyze FILE [--characterize] [--periodicity] [--ngram] [--all]
+//                   [--streaming] [--chunk-size N]
 //                   [--permutations N] [--threads N]
 //
 // Consumes the TSV format written by jsoncdn-generate (or any producer of
 // the same schema) and prints the corresponding figures/tables. Exactly the
 // paper's situation: the analyst sees only the logs.
+//
+// --streaming switches to the one-pass bounded-memory pipeline
+// (stream::StreamingStudy): the file is consumed in --chunk-size record
+// chunks, sketches replace exact tables, and the periodicity detector runs
+// a targeted second pass over triage-selected candidate flows only.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <unordered_set>
 
 #include "core/characterization.h"
 #include "core/ngram.h"
 #include "core/periodicity.h"
 #include "core/report.h"
+#include "http/mime.h"
 #include "logs/csv.h"
 #include "stats/parallel.h"
+#include "stream/streaming_study.h"
 
 namespace {
 
@@ -26,7 +35,72 @@ void usage() {
   std::fprintf(stderr,
                "usage: jsoncdn-analyze FILE [--characterize] [--periodicity]\n"
                "                       [--ngram] [--all] [--permutations N]\n"
+               "                       [--streaming] [--chunk-size N]\n"
                "                       [--threads N]  (0 = auto)\n");
+}
+
+// One-pass streaming path: never materializes the full log. The periodicity
+// second pass re-reads the file keeping only candidate-flow records, so its
+// memory is bounded by the candidates' traffic, not the stream.
+int run_streaming(const std::string& path, bool periodicity,
+                  std::size_t chunk_size, std::size_t permutations,
+                  std::size_t threads) {
+  using namespace jsoncdn;
+
+  stream::StreamingConfig config;
+  config.threads = threads;
+  stream::StreamingStudy study(config);
+  logs::FileReadStats stats;
+  try {
+    stats = logs::for_each_record(
+        path, chunk_size,
+        [&study](std::span<const logs::LogRecord> chunk) {
+          study.ingest(chunk);
+        });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 1;
+  }
+  if (stats.malformed > 0) {
+    std::fprintf(stderr, "warning: skipped %llu malformed lines\n",
+                 static_cast<unsigned long long>(stats.malformed));
+  }
+  const auto summary = study.summary();
+  std::printf("streamed %llu records (%llu JSON) from %s in chunks of %zu\n\n",
+              static_cast<unsigned long long>(summary.total_records),
+              static_cast<unsigned long long>(summary.json_records),
+              path.c_str(), chunk_size);
+  std::fputs(stream::render_streaming_summary(summary).c_str(), stdout);
+
+  if (periodicity && !summary.periodic_candidates.empty()) {
+    std::unordered_set<std::string_view> candidates;
+    for (const auto& c : summary.periodic_candidates)
+      candidates.insert(c.key);
+    logs::Dataset subset;
+    logs::for_each_record(
+        path, chunk_size,
+        [&](std::span<const logs::LogRecord> chunk) {
+          for (const auto& r : chunk) {
+            if (http::is_json(r.content_type) && candidates.contains(r.url))
+              subset.add(r);
+          }
+        });
+    subset.sort_by_time();
+
+    core::PeriodicityConfig pconfig;
+    pconfig.detector.permutations = permutations;
+    pconfig.threads = threads;
+    pconfig.total_requests_override =
+        static_cast<std::size_t>(summary.json_records);
+    const auto report = core::analyze_periodicity(subset, pconfig);
+    std::printf("\nperiodicity (targeted pass over %zu candidate flows, "
+                "%zu records):\n",
+                summary.periodic_candidates.size(), subset.size());
+    std::fputs(core::render_periodicity_summary(report).c_str(), stdout);
+    std::fputs(core::render_period_histogram(report.object_periods).c_str(),
+               stdout);
+  }
+  return 0;
 }
 
 }  // namespace
@@ -42,6 +116,8 @@ int main(int argc, char** argv) {
   bool characterize = false;
   bool periodicity = false;
   bool ngram = false;
+  bool streaming = false;
+  std::size_t chunk_size = 65536;
   std::size_t permutations = 100;
   std::size_t threads = 0;  // auto
   for (int i = 2; i < argc; ++i) {
@@ -54,6 +130,11 @@ int main(int argc, char** argv) {
       ngram = true;
     } else if (arg == "--all") {
       characterize = periodicity = ngram = true;
+    } else if (arg == "--streaming") {
+      streaming = true;
+    } else if (arg == "--chunk-size" && i + 1 < argc) {
+      chunk_size = static_cast<std::size_t>(std::atoll(argv[++i]));
+      if (chunk_size == 0) chunk_size = 1;
     } else if (arg == "--permutations" && i + 1 < argc) {
       permutations = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--threads" && i + 1 < argc) {
@@ -67,17 +148,23 @@ int main(int argc, char** argv) {
   if (!characterize && !periodicity && !ngram) characterize = true;
   const std::size_t effective_threads = jsoncdn::stats::resolve_threads(threads);
 
-  std::ifstream in(path);
-  if (!in) {
-    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+  if (streaming) {
+    return run_streaming(path, periodicity, chunk_size, permutations,
+                         effective_threads);
+  }
+
+  std::uint64_t malformed = 0;
+  logs::Dataset dataset;
+  try {
+    dataset = logs::read_log_file(path, &malformed);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
-  logs::LogReader reader(in);
-  logs::Dataset dataset(reader.read_all());
   dataset.sort_by_time();
-  if (reader.malformed_lines() > 0) {
+  if (malformed > 0) {
     std::fprintf(stderr, "warning: skipped %llu malformed lines\n",
-                 static_cast<unsigned long long>(reader.malformed_lines()));
+                 static_cast<unsigned long long>(malformed));
   }
   const auto json = dataset.json_only();
   std::printf("loaded %zu records (%zu JSON) from %s\n", dataset.size(),
