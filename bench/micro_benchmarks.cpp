@@ -5,10 +5,12 @@
 // and ngram stages, printed after the benchmark table.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <thread>
 
 #include "bench_util.h"
 #include "cdn/cache.h"
+#include "cdn/network.h"
 #include "core/characterization.h"
 #include "core/ngram.h"
 #include "core/periodicity.h"
@@ -21,6 +23,7 @@
 #include "stats/parallel.h"
 #include "stats/rng.h"
 #include "stream/streaming_study.h"
+#include "workload/scenario.h"
 
 namespace {
 
@@ -370,6 +373,63 @@ void report_streaming_vs_batch() {
       "batch state is the materialized datasets the exact analyses need");
 }
 
+// ---- Edge throughput under origin faults ----------------------------------
+
+// The resilience layer (retry/backoff, stale-if-error, negative cache,
+// breaker) only runs on origin failures, so its cost must scale with the
+// fault rate and be zero at 0%. This section measures edge throughput,
+// cache-hit ratio, and the error share actually reaching clients at 0%, 1%,
+// and 10% origin failure — the EXPERIMENTS.md fault table comes from here.
+void report_fault_resilience() {
+  bench::print_header(
+      "edge resilience",
+      "simulated edge throughput vs deterministic origin fault rate");
+  workload::WorkloadGenerator generator(workload::short_term_scenario(0.01, 42));
+  const auto workload = generator.generate();
+  double horizon = 0.0;
+  for (const auto& event : workload.events)
+    horizon = std::max(horizon, event.time);
+  bench::note("workload: " + std::to_string(workload.events.size()) +
+              " requests");
+
+  for (const double rate : {0.0, 0.01, 0.10}) {
+    cdn::NetworkParams params;
+    if (rate > 0.0) {
+      params.faults.enabled = true;
+      params.faults.seed = 1337;
+      params.faults.error_rate = 0.6 * rate;
+      params.faults.timeout_rate = 0.2 * rate;
+      params.faults.truncate_rate = 0.1 * rate;
+      params.faults.latency_spike_rate = 0.1 * rate;
+      params.faults.horizon_seconds = horizon + 1.0;
+    }
+    cdn::CdnNetwork network(generator.catalog().objects(), params);
+    bench::Timer timer;
+    const auto dataset = network.run(workload.events);
+    const double seconds = timer.seconds();
+
+    const auto metrics = network.total_metrics();
+    const auto resilience = network.total_resilience();
+    const double requests = static_cast<double>(metrics.requests());
+    const double error_share =
+        requests == 0.0 ? 0.0
+                        : static_cast<double>(metrics.errors()) / requests;
+    std::printf(
+        "  fault rate %5.1f%%  %6.2f Mreq/s   hit ratio %5.3f   "
+        "error share %6.4f   stale served %llu   retries %llu   "
+        "breaker trips %llu\n",
+        100.0 * rate, requests / seconds / 1e6,
+        metrics.overall_hit_ratio(), error_share,
+        static_cast<unsigned long long>(resilience.stale_served),
+        static_cast<unsigned long long>(resilience.retries),
+        static_cast<unsigned long long>(resilience.breaker_trips));
+    benchmark::DoNotOptimize(dataset.size());
+  }
+  bench::note(
+      "error share counts responses no resilience mechanism could absorb; "
+      "the gap to the injected rate is retries + stale-if-error");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -379,5 +439,6 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   report_parallel_speedup();
   report_streaming_vs_batch();
+  report_fault_resilience();
   return 0;
 }

@@ -49,6 +49,30 @@ std::optional<std::uint64_t> LruCache::peek_stale(std::string_view key,
   return it->second->bytes;
 }
 
+std::optional<LruCache::StaleEntry> LruCache::peek_stale_entry(
+    std::string_view key, double now) const {
+  const auto it = entries_.find(std::string(key));
+  if (it == entries_.end() || it->second->expires_at > now)
+    return std::nullopt;
+  return StaleEntry{it->second->bytes, it->second->expires_at};
+}
+
+void LruCache::restore(std::string_view key, std::uint64_t bytes,
+                       double expires_at) {
+  if (bytes > capacity_) return;
+  const std::string k(key);
+  if (const auto it = entries_.find(k); it != entries_.end()) {
+    used_ -= it->second->bytes;
+    lru_.erase(it->second);
+    entries_.erase(it);
+  }
+  while (used_ + bytes > capacity_ && !lru_.empty()) evict_lru();
+  lru_.push_front(Entry{k, bytes, expires_at});
+  entries_[k] = lru_.begin();
+  used_ += bytes;
+  ++stats_.insertions;
+}
+
 bool LruCache::contains(std::string_view key, double now) const {
   const auto it = entries_.find(std::string(key));
   return it != entries_.end() && it->second->expires_at > now;

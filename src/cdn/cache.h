@@ -48,6 +48,21 @@ class LruCache {
   // stats; a subsequent insert() refreshes the entry.
   [[nodiscard]] std::optional<std::uint64_t> peek_stale(std::string_view key,
                                                         double now) const;
+
+  // Present-but-expired entry with its expiry time — the stale-if-error
+  // case needs to know *how* stale a copy is. Does not erase or touch stats.
+  struct StaleEntry {
+    std::uint64_t bytes = 0;
+    double expires_at = 0.0;
+  };
+  [[nodiscard]] std::optional<StaleEntry> peek_stale_entry(
+      std::string_view key, double now) const;
+
+  // Re-admits an entry with an explicit absolute expiry (possibly already in
+  // the past) — used by the stale-if-error path to put back a stale copy
+  // that lookup() evicted, so later requests during the same origin outage
+  // can still be served stale.
+  void restore(std::string_view key, std::uint64_t bytes, double expires_at);
   void erase(std::string_view key);
   void clear();
 

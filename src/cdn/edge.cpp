@@ -1,5 +1,7 @@
 #include "cdn/edge.h"
 
+#include <algorithm>
+
 namespace jsoncdn::cdn {
 
 EdgeServer::EdgeServer(std::uint32_t id, const Origin& origin,
@@ -10,6 +12,61 @@ EdgeServer::EdgeServer(std::uint32_t id, const Origin& origin,
       anonymizer_(anonymizer),
       params_(params),
       cache_(params.cache_capacity_bytes) {}
+
+EdgeServer::OriginOutcome EdgeServer::contact_origin(const std::string& url,
+                                                     const std::string& domain,
+                                                     double now,
+                                                     bool revalidate_only) {
+  OriginOutcome out;
+  auto& breaker =
+      breakers_.try_emplace(domain, params_.resilience.breaker).first->second;
+  const auto trips_before = breaker.trips();
+  if (!breaker.allow(now)) {
+    out.short_circuited = true;
+    out.status = 503;
+    ++resilience_.breaker_short_circuits;
+    return out;
+  }
+
+  const auto& retry = params_.resilience.retry;
+  for (std::size_t attempt = 0;; ++attempt) {
+    const auto result = revalidate_only ? origin_.revalidate(url, now)
+                                        : origin_.fetch(url, now);
+    if (!result.failed()) {
+      out.result = result;
+      out.latency += result.latency_seconds;
+      out.success = true;
+      out.status = result.status;
+      if (attempt > 0) ++resilience_.retry_successes;
+      breaker.record_success(now);
+      break;
+    }
+
+    ++resilience_.origin_errors;
+    if (result.timed_out) {
+      ++resilience_.timeouts;
+      // A hung connection is abandoned at the budget, not at whatever the
+      // origin's internal latency would have been.
+      out.latency += params_.resilience.timeout_seconds;
+    } else {
+      out.latency += result.latency_seconds;
+      if (result.truncated) ++resilience_.truncated_bodies;
+    }
+    out.status = result.timed_out    ? 504
+                 : result.truncated ? 502
+                                    : result.status;
+    breaker.record_failure(now);
+
+    // Stop when retries are exhausted or the breaker just tripped open.
+    if (attempt >= retry.max_retries || !breaker.allow(now)) break;
+    const double delay = faults::backoff_delay(retry, url, attempt);
+    out.latency += delay;
+    resilience_.backoff_seconds += delay;
+    ++resilience_.retries;
+  }
+  resilience_.breaker_trips += breaker.trips() - trips_before;
+  return out;
+}
 
 logs::LogRecord EdgeServer::handle(const workload::RequestEvent& event,
                                    PrefetchPolicy* policy) {
@@ -28,12 +85,31 @@ logs::LogRecord EdgeServer::handle(const workload::RequestEvent& event,
   // reach it (miss, revalidation, uncacheable tunnel, 404).
   const auto* object = origin_.describe(event.url);
   if (object == nullptr) {
-    // Unknown object: tunneled to origin, answered 404.
-    const auto origin_result = origin_.fetch(event.url);
-    record.status = 404;
-    record.cache_status = logs::CacheStatus::kNotCacheable;
+    // Unknown object: tunneled to origin. Even a 404 needs the origin to
+    // answer, so a failing origin turns it into an error response. Single
+    // attempt — the edge does not retry objects it knows nothing about.
+    const auto origin_result = origin_.fetch(event.url, now);
     record.content_type = "text/plain";
     record.response_bytes = 0;
+    if (origin_result.failed()) {
+      ++resilience_.origin_errors;
+      double origin_latency = origin_result.latency_seconds;
+      if (origin_result.timed_out) {
+        ++resilience_.timeouts;
+        origin_latency = params_.resilience.timeout_seconds;
+      } else if (origin_result.truncated) {
+        ++resilience_.truncated_bodies;
+      }
+      record.status = origin_result.timed_out    ? 504
+                      : origin_result.truncated ? 502
+                                                : origin_result.status;
+      record.cache_status = logs::CacheStatus::kError;
+      ++resilience_.error_responses;
+      metrics_.record_error(params_.client_rtt_seconds + origin_latency);
+      return record;
+    }
+    record.status = 404;
+    record.cache_status = logs::CacheStatus::kNotCacheable;
     metrics_.record(/*cacheable=*/false, /*hit=*/false, 0,
                     params_.client_rtt_seconds + origin_result.latency_seconds);
     return record;
@@ -71,17 +147,36 @@ logs::LogRecord EdgeServer::handle(const workload::RequestEvent& event,
 
   double latency = params_.client_rtt_seconds + transfer;
   bool hit = false;
+  // Snapshot any expired copy before lookup() — lookup erases expired
+  // entries, and both revalidation and stale-if-error need the copy.
+  const auto stale_entry =
+      (params_.enable_revalidation || params_.resilience.serve_stale_on_error)
+          ? cache_.peek_stale_entry(event.url, now)
+          : std::optional<LruCache::StaleEntry>{};
+  const bool stale_available =
+      params_.enable_revalidation && stale_entry.has_value();
+  const double stale_window = params_.resilience.stale_if_error_seconds;
+  const bool stale_usable_on_error =
+      params_.resilience.serve_stale_on_error && stale_entry.has_value() &&
+      now - stale_entry->expires_at <= stale_window;
+
   if (!cacheable) {
     // Tunneled to customer infrastructure, exactly as the paper describes
-    // for the >55% uncacheable JSON share.
-    const auto origin_result = origin_.fetch(event.url);
+    // for the >55% uncacheable JSON share. Retries and the breaker apply;
+    // there is no cached copy to fall back on.
+    const auto outcome =
+        contact_origin(event.url, object->domain, now, /*revalidate_only=*/false);
+    if (!outcome.success) {
+      record.status = outcome.status;
+      record.cache_status = logs::CacheStatus::kError;
+      record.response_bytes = 0;
+      ++resilience_.error_responses;
+      metrics_.record_error(params_.client_rtt_seconds + outcome.latency);
+      return record;
+    }
     record.cache_status = logs::CacheStatus::kNotCacheable;
-    latency += origin_result.latency_seconds;
-  } else if (const bool stale_available =
-                 params_.enable_revalidation &&
-                 cache_.peek_stale(event.url, now).has_value();
-             cache_.lookup(event.url, now).has_value()) {
-    // Note peek_stale runs before lookup: lookup erases expired entries.
+    latency += outcome.latency;
+  } else if (cache_.lookup(event.url, now).has_value()) {
     hit = true;
     record.cache_status = logs::CacheStatus::kHit;
     if (const auto it = pending_prefetches_.find(event.url);
@@ -89,26 +184,101 @@ logs::LogRecord EdgeServer::handle(const workload::RequestEvent& event,
       metrics_.mark_prefetch_useful();
       pending_prefetches_.erase(it);
     }
-  } else if (stale_available) {
-    // Stale copy on disk: a 304 revalidation refreshes it without
-    // re-transferring the body.
-    const auto origin_result = origin_.revalidate(event.url);
-    hit = true;
-    record.cache_status = logs::CacheStatus::kRefreshHit;
-    latency += origin_result.latency_seconds;
-    cache_.insert(event.url, object->body_bytes, object->ttl_seconds, now);
-    metrics_.mark_refresh_hit();
   } else {
-    const auto origin_result = origin_.fetch(event.url);
-    record.cache_status = logs::CacheStatus::kMiss;
-    latency += origin_result.latency_seconds;
-    cache_.insert(event.url, object->body_bytes, object->ttl_seconds, now);
-    pending_prefetches_.erase(event.url);
+    // Cache miss (possibly with a stale copy on disk). Before touching the
+    // origin, consult the negative cache: a failure observed moments ago is
+    // answered without another round trip — stale copy if usable, else the
+    // remembered error.
+    if (const auto neg = negative_cache_.find(event.url);
+        neg != negative_cache_.end()) {
+      if (neg->second.expires_at > now) {
+        ++resilience_.negative_cache_hits;
+        if (stale_usable_on_error) {
+          record.cache_status = logs::CacheStatus::kStale;
+          cache_.restore(event.url, stale_entry->bytes,
+                         stale_entry->expires_at);
+          ++resilience_.stale_served;
+          metrics_.record(cacheable, /*hit=*/true, object->body_bytes,
+                          latency);
+          maybe_prefetch(record, policy, now);
+          return record;
+        }
+        record.status = neg->second.status;
+        record.cache_status = logs::CacheStatus::kError;
+        record.response_bytes = 0;
+        ++resilience_.error_responses;
+        metrics_.record_error(params_.client_rtt_seconds);
+        return record;
+      }
+      negative_cache_.erase(neg);
+    }
+
+    const auto outcome =
+        contact_origin(event.url, object->domain, now, stale_available);
+    if (outcome.success) {
+      latency += outcome.latency;
+      if (stale_available) {
+        // Stale copy on disk: a 304 revalidation refreshed it without
+        // re-transferring the body.
+        hit = true;
+        record.cache_status = logs::CacheStatus::kRefreshHit;
+        cache_.insert(event.url, object->body_bytes, object->ttl_seconds, now);
+        metrics_.mark_refresh_hit();
+      } else {
+        record.cache_status = logs::CacheStatus::kMiss;
+        cache_.insert(event.url, object->body_bytes, object->ttl_seconds, now);
+        pending_prefetches_.erase(event.url);
+      }
+    } else if (stale_usable_on_error) {
+      // RFC 5861 stale-if-error: the expired copy is better than the error.
+      // Restore it with its old expiry so later requests during the same
+      // outage can also be served stale.
+      hit = true;
+      record.cache_status = logs::CacheStatus::kStale;
+      cache_.restore(event.url, stale_entry->bytes, stale_entry->expires_at);
+      ++resilience_.stale_served;
+      latency += outcome.latency;
+    } else {
+      // Unabsorbed failure: remember it (unless the breaker answered without
+      // asking the origin) and return the error to the client.
+      if (!outcome.short_circuited) {
+        negative_cache_[event.url] = {
+            now + params_.resilience.negative_ttl_seconds, outcome.status};
+        if (negative_cache_.size() > 100'000) {
+          std::erase_if(negative_cache_, [now](const auto& kv) {
+            return kv.second.expires_at <= now;
+          });
+        }
+      }
+      record.status = outcome.status;
+      record.cache_status = logs::CacheStatus::kError;
+      record.response_bytes = 0;
+      ++resilience_.error_responses;
+      metrics_.record_error(params_.client_rtt_seconds + outcome.latency);
+      return record;
+    }
   }
 
   metrics_.record(cacheable, hit, object->body_bytes, latency);
   maybe_prefetch(record, policy, now);
   return record;
+}
+
+std::vector<BreakerEvent> EdgeServer::breaker_timeline() const {
+  std::vector<BreakerEvent> events;
+  for (const auto& [domain, breaker] : breakers_) {
+    for (const auto& transition : breaker.timeline()) {
+      events.push_back({id_, domain, transition});
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const BreakerEvent& a, const BreakerEvent& b) {
+              if (a.transition.time != b.transition.time) {
+                return a.transition.time < b.transition.time;
+              }
+              return a.domain < b.domain;
+            });
+  return events;
 }
 
 void EdgeServer::maybe_prefetch(const logs::LogRecord& served,
@@ -121,8 +291,13 @@ void EdgeServer::maybe_prefetch(const logs::LogRecord& served,
     if (issued >= params_.max_prefetches_per_request) break;
     const workload::ObjectSpec* object = nullptr;
     if (!cache_.contains(url, now)) {
-      const auto result = origin_.fetch(url);
-      if (result.object == nullptr || !result.object->cacheable) continue;
+      const auto result = origin_.fetch(url, now);
+      // Speculative traffic gets no resilience budget: a failed prefetch is
+      // simply dropped.
+      if (result.object == nullptr || result.failed() ||
+          !result.object->cacheable) {
+        continue;
+      }
       object = result.object;
       cache_.insert(url, object->body_bytes, object->ttl_seconds, now);
       pending_prefetches_.insert(url);

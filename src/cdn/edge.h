@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <unordered_map>
@@ -15,6 +16,8 @@
 #include "cdn/cache.h"
 #include "cdn/metrics.h"
 #include "cdn/origin.h"
+#include "faults/breaker.h"
+#include "faults/retry.h"
 #include "logs/anonymizer.h"
 #include "logs/record.h"
 #include "workload/sessions.h"
@@ -28,6 +31,30 @@ class PrefetchPolicy {
   virtual ~PrefetchPolicy() = default;
   [[nodiscard]] virtual std::vector<std::string> candidates(
       const logs::LogRecord& served) = 0;
+};
+
+// How the edge absorbs origin failures — the mechanisms real CDNs layer in
+// front of unreliable customer infrastructure. All of them are inert when
+// no fault plan is active (an origin that never fails never triggers them),
+// so enabling them does not perturb fault-free runs.
+struct ResilienceParams {
+  // Bounded retry with exponential backoff + deterministic jitter. The
+  // jitter seed makes the whole backoff schedule a pure function of
+  // (seed, url, attempt) — identical across runs and thread counts.
+  faults::RetryConfig retry;
+  // Per-attempt budget charged when the origin connection hangs.
+  double timeout_seconds = 1.0;
+  // RFC 5861 stale-if-error: when the origin fails, an expired cached copy
+  // no more than `stale_if_error_seconds` past its TTL is served instead of
+  // the error.
+  bool serve_stale_on_error = true;
+  double stale_if_error_seconds = 600.0;
+  // Negative caching: an origin failure is remembered this long, so repeat
+  // requests during an incident fail fast (or serve stale) without another
+  // origin round trip.
+  double negative_ttl_seconds = 5.0;
+  // Per-origin circuit breaker (closed / open / half-open).
+  faults::BreakerConfig breaker;
 };
 
 struct EdgeParams {
@@ -46,6 +73,7 @@ struct EdgeParams {
   // origin to validate it (If-None-Match -> 304) instead of re-transferring
   // the body. Cheaper than a full miss; logged as REFRESH.
   bool enable_revalidation = false;
+  ResilienceParams resilience;
 };
 
 class EdgeServer {
@@ -62,9 +90,29 @@ class EdgeServer {
   [[nodiscard]] const DeliveryMetrics& metrics() const noexcept {
     return metrics_;
   }
+  [[nodiscard]] const ResilienceMetrics& resilience() const noexcept {
+    return resilience_;
+  }
   [[nodiscard]] const LruCache& cache() const noexcept { return cache_; }
 
+  // Every breaker state change on this edge, sorted by (time, domain).
+  [[nodiscard]] std::vector<BreakerEvent> breaker_timeline() const;
+
  private:
+  // One logical origin interaction: breaker gate, then up to
+  // 1 + retry.max_retries attempts with backoff. `latency` accumulates the
+  // origin-side time spent (failed attempts, backoff, timeout budgets).
+  struct OriginOutcome {
+    OriginResult result;
+    double latency = 0.0;
+    bool success = false;
+    int status = 503;           // client-facing status on failure
+    bool short_circuited = false;  // breaker refused; origin untouched
+  };
+  OriginOutcome contact_origin(const std::string& url,
+                               const std::string& domain, double now,
+                               bool revalidate_only);
+
   void maybe_prefetch(const logs::LogRecord& served, PrefetchPolicy* policy,
                       double now);
 
@@ -74,6 +122,16 @@ class EdgeServer {
   EdgeParams params_;
   LruCache cache_;
   DeliveryMetrics metrics_;
+  ResilienceMetrics resilience_;
+  // Per-origin-domain breakers; ordered so iteration (and therefore the
+  // reported timeline) is deterministic.
+  std::map<std::string, faults::CircuitBreaker> breakers_;
+  // url -> remembered origin failure (negative cache).
+  struct NegativeEntry {
+    double expires_at = 0.0;
+    int status = 503;
+  };
+  std::unordered_map<std::string, NegativeEntry> negative_cache_;
   // URLs currently in cache because of a prefetch, not yet used.
   std::unordered_set<std::string> pending_prefetches_;
   // (client_key \x1f url) -> push expiry time.

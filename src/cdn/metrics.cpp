@@ -1,6 +1,46 @@
 #include "cdn/metrics.h"
 
+#include <sstream>
+
 namespace jsoncdn::cdn {
+
+void ResilienceMetrics::merge(const ResilienceMetrics& other) {
+  origin_errors += other.origin_errors;
+  timeouts += other.timeouts;
+  truncated_bodies += other.truncated_bodies;
+  retries += other.retries;
+  retry_successes += other.retry_successes;
+  stale_served += other.stale_served;
+  negative_cache_hits += other.negative_cache_hits;
+  breaker_short_circuits += other.breaker_short_circuits;
+  breaker_trips += other.breaker_trips;
+  error_responses += other.error_responses;
+  backoff_seconds += other.backoff_seconds;
+}
+
+bool ResilienceMetrics::any_activity() const noexcept {
+  return origin_errors != 0 || timeouts != 0 || truncated_bodies != 0 ||
+         retries != 0 || stale_served != 0 || negative_cache_hits != 0 ||
+         breaker_short_circuits != 0 || breaker_trips != 0 ||
+         error_responses != 0;
+}
+
+std::string render_resilience(const ResilienceMetrics& m) {
+  std::ostringstream out;
+  out << "Resilience (origin faults absorbed at the edge)\n";
+  out << "  failed origin attempts: " << m.origin_errors << " ("
+      << m.timeouts << " timeouts, " << m.truncated_bodies
+      << " truncated bodies)\n";
+  out << "  retries: " << m.retries << " issued, " << m.retry_successes
+      << " requests rescued, " << m.backoff_seconds
+      << " s simulated backoff\n";
+  out << "  stale-if-error responses: " << m.stale_served
+      << "   negative-cache hits: " << m.negative_cache_hits << "\n";
+  out << "  circuit breaker: " << m.breaker_trips << " trips, "
+      << m.breaker_short_circuits << " short-circuited requests\n";
+  out << "  error responses to clients: " << m.error_responses << "\n";
+  return out.str();
+}
 
 void DeliveryMetrics::record(bool cacheable, bool hit, std::uint64_t bytes,
                              double latency_seconds) {
@@ -14,6 +54,12 @@ void DeliveryMetrics::record(bool cacheable, bool hit, std::uint64_t bytes,
   } else {
     ++misses_;
   }
+}
+
+void DeliveryMetrics::record_error(double latency_seconds) {
+  ++requests_;
+  ++errors_;
+  latencies_.push_back(latency_seconds);
 }
 
 void DeliveryMetrics::record_prefetch(std::uint64_t bytes) {
@@ -71,6 +117,7 @@ void DeliveryMetrics::merge(const DeliveryMetrics& other) {
   hits_ += other.hits_;
   misses_ += other.misses_;
   uncacheable_ += other.uncacheable_;
+  errors_ += other.errors_;
   bytes_ += other.bytes_;
   prefetches_ += other.prefetches_;
   prefetch_bytes_ += other.prefetch_bytes_;

@@ -5,16 +5,53 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "faults/breaker.h"
 #include "stats/descriptive.h"
 
 namespace jsoncdn::cdn {
+
+// How the edge absorbed origin failures: retries, stale serves, negative
+// caching, and circuit-breaker activity. All counters are zero when no
+// fault plan is active, so seed behaviour is unchanged.
+struct ResilienceMetrics {
+  std::uint64_t origin_errors = 0;     // failed origin attempts (incl. retried)
+  std::uint64_t timeouts = 0;          // attempts that hit the timeout budget
+  std::uint64_t truncated_bodies = 0;  // attempts with partial bodies
+  std::uint64_t retries = 0;           // re-attempts issued
+  std::uint64_t retry_successes = 0;   // requests rescued by a retry
+  std::uint64_t stale_served = 0;      // RFC 5861 stale-if-error responses
+  std::uint64_t negative_cache_hits = 0;   // answered from a cached failure
+  std::uint64_t breaker_short_circuits = 0;  // refused while breaker open
+  std::uint64_t breaker_trips = 0;           // closed -> open transitions
+  std::uint64_t error_responses = 0;   // 5xx actually returned to clients
+  double backoff_seconds = 0.0;        // total simulated backoff delay
+
+  void merge(const ResilienceMetrics& other);
+  // True when any fault-path counter moved — i.e. the run saw faults.
+  [[nodiscard]] bool any_activity() const noexcept;
+};
+
+// One breaker state change, attributed to its edge and origin domain.
+struct BreakerEvent {
+  std::uint32_t edge_id = 0;
+  std::string domain;
+  faults::BreakerTransition transition;
+};
+
+// Plain-text block for tools and benches.
+[[nodiscard]] std::string render_resilience(const ResilienceMetrics& m);
 
 class DeliveryMetrics {
  public:
   void record(bool cacheable, bool hit, std::uint64_t bytes,
               double latency_seconds);
+  // An error response served to a client (origin failure that no resilience
+  // mechanism could absorb): counted in requests/latency but in none of the
+  // hit/miss/uncacheable buckets.
+  void record_error(double latency_seconds);
   void record_prefetch(std::uint64_t bytes);
   // Called when a previously prefetched object gets its first hit.
   void mark_prefetch_useful();
@@ -32,6 +69,7 @@ class DeliveryMetrics {
   [[nodiscard]] std::uint64_t uncacheable() const noexcept {
     return uncacheable_;
   }
+  [[nodiscard]] std::uint64_t errors() const noexcept { return errors_; }
   [[nodiscard]] std::uint64_t bytes_served() const noexcept { return bytes_; }
   [[nodiscard]] std::uint64_t prefetches_issued() const noexcept {
     return prefetches_;
@@ -78,6 +116,7 @@ class DeliveryMetrics {
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t uncacheable_ = 0;
+  std::uint64_t errors_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t prefetches_ = 0;
   std::uint64_t prefetch_bytes_ = 0;

@@ -1,5 +1,6 @@
 #include "cdn/network.h"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "stats/hash.h"
@@ -8,10 +9,12 @@ namespace jsoncdn::cdn {
 
 CdnNetwork::CdnNetwork(const workload::ObjectCatalog& catalog,
                        const NetworkParams& params)
-    : origin_(catalog, params.origin),
+    : fault_plan_(params.faults),
+      origin_(catalog, params.origin),
       anonymizer_(params.anonymization_salt) {
   if (params.edge_count == 0)
     throw std::invalid_argument("CdnNetwork: edge_count == 0");
+  origin_.set_fault_plan(&fault_plan_);
   edges_.reserve(params.edge_count);
   for (std::size_t i = 0; i < params.edge_count; ++i) {
     edges_.emplace_back(static_cast<std::uint32_t>(i), origin_, anonymizer_,
@@ -40,6 +43,29 @@ DeliveryMetrics CdnNetwork::total_metrics() const {
   DeliveryMetrics total;
   for (const auto& edge : edges_) total.merge(edge.metrics());
   return total;
+}
+
+ResilienceMetrics CdnNetwork::total_resilience() const {
+  ResilienceMetrics total;
+  for (const auto& edge : edges_) total.merge(edge.resilience());
+  return total;
+}
+
+std::vector<BreakerEvent> CdnNetwork::breaker_timeline() const {
+  std::vector<BreakerEvent> events;
+  for (const auto& edge : edges_) {
+    auto per_edge = edge.breaker_timeline();
+    events.insert(events.end(), per_edge.begin(), per_edge.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const BreakerEvent& a, const BreakerEvent& b) {
+              if (a.transition.time != b.transition.time) {
+                return a.transition.time < b.transition.time;
+              }
+              if (a.edge_id != b.edge_id) return a.edge_id < b.edge_id;
+              return a.domain < b.domain;
+            });
+  return events;
 }
 
 }  // namespace jsoncdn::cdn

@@ -9,6 +9,7 @@
 
 #include "cdn/edge.h"
 #include "cdn/origin.h"
+#include "faults/plan.h"
 #include "logs/anonymizer.h"
 #include "logs/dataset.h"
 #include "workload/catalog.h"
@@ -22,6 +23,9 @@ struct NetworkParams {
   EdgeParams edge;
   OriginParams origin;
   std::uint64_t anonymization_salt = 0x6a736f6e63646eULL;  // "jsoncdn"
+  // Deterministic origin fault injection (disabled by default, in which case
+  // the network behaves bit-identically to a fault-free build).
+  faults::FaultPlanConfig faults;
 };
 
 class CdnNetwork {
@@ -37,6 +41,15 @@ class CdnNetwork {
 
   // Aggregate metrics across all edges.
   [[nodiscard]] DeliveryMetrics total_metrics() const;
+  // Aggregate resilience counters across all edges.
+  [[nodiscard]] ResilienceMetrics total_resilience() const;
+  // Every breaker state change on any edge, sorted by (time, edge, domain) —
+  // the replayable incident timeline two identically-seeded runs must agree
+  // on byte-for-byte.
+  [[nodiscard]] std::vector<BreakerEvent> breaker_timeline() const;
+  [[nodiscard]] const faults::FaultPlan& fault_plan() const noexcept {
+    return fault_plan_;
+  }
   [[nodiscard]] const std::vector<EdgeServer>& edges() const noexcept {
     return edges_;
   }
@@ -49,6 +62,7 @@ class CdnNetwork {
   [[nodiscard]] std::size_t edge_for(std::string_view client_address) const;
 
  private:
+  faults::FaultPlan fault_plan_;
   Origin origin_;
   logs::Anonymizer anonymizer_;
   std::vector<EdgeServer> edges_;

@@ -183,13 +183,74 @@ CacheabilityStats characterize_cacheability(const logs::Dataset& ds,
       pool, records.size(),
       [&](CacheabilityStats& out, std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
-          if (records[i].cache_status == logs::CacheStatus::kNotCacheable) {
-            ++out.uncacheable;
-          } else {
-            ++out.cacheable;
-            if (records[i].cache_status == logs::CacheStatus::kHit)
+          switch (records[i].cache_status) {
+            case logs::CacheStatus::kError:
+              // An unabsorbed origin failure carries no cacheability signal.
+              break;
+            case logs::CacheStatus::kNotCacheable:
+              ++out.uncacheable;
+              break;
+            case logs::CacheStatus::kHit:
+            case logs::CacheStatus::kStale:  // served from CDN storage
+              ++out.cacheable;
               ++out.hits;
+              break;
+            case logs::CacheStatus::kMiss:
+            case logs::CacheStatus::kRefreshHit:
+              ++out.cacheable;
+              break;
           }
+        }
+      });
+}
+
+double StatusBreakdown::error_share() const noexcept {
+  return total == 0 ? 0.0
+                    : static_cast<double>(server_error_5xx) /
+                          static_cast<double>(total);
+}
+
+double StatusBreakdown::absorbed_share() const noexcept {
+  return total == 0 ? 0.0
+                    : static_cast<double>(stale_served) /
+                          static_cast<double>(total);
+}
+
+void StatusBreakdown::merge(const StatusBreakdown& shard) noexcept {
+  total += shard.total;
+  ok_2xx += shard.ok_2xx;
+  redirect_3xx += shard.redirect_3xx;
+  client_error_4xx += shard.client_error_4xx;
+  server_error_5xx += shard.server_error_5xx;
+  gateway_timeout_504 += shard.gateway_timeout_504;
+  stale_served += shard.stale_served;
+  error_cache_status += shard.error_cache_status;
+}
+
+StatusBreakdown characterize_status(const logs::Dataset& ds,
+                                    std::size_t threads) {
+  const auto& records = ds.records();
+  stats::ThreadPool pool(threads);
+  return stats::parallel_reduce<StatusBreakdown>(
+      pool, records.size(),
+      [&](StatusBreakdown& out, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto& record = records[i];
+          ++out.total;
+          if (record.status >= 500) {
+            ++out.server_error_5xx;
+            if (record.status == 504) ++out.gateway_timeout_504;
+          } else if (record.status >= 400) {
+            ++out.client_error_4xx;
+          } else if (record.status >= 300) {
+            ++out.redirect_3xx;
+          } else if (record.status >= 200) {
+            ++out.ok_2xx;
+          }
+          if (record.cache_status == logs::CacheStatus::kStale)
+            ++out.stale_served;
+          if (record.cache_status == logs::CacheStatus::kError)
+            ++out.error_cache_status;
         }
       });
 }
@@ -276,6 +337,9 @@ std::vector<DomainCacheability> domain_cacheability(
           // heatmap's right edge, so the Fig. 4 view considers download
           // traffic only.
           if (!http::is_download(record.method)) continue;
+          // ERROR records carry no cacheability signal (see
+          // characterize_cacheability).
+          if (record.cache_status == logs::CacheStatus::kError) continue;
           auto& acc = shard.by_domain[record.domain];
           ++acc.requests;
           if (record.cache_status != logs::CacheStatus::kNotCacheable)

@@ -79,8 +79,38 @@ struct CacheabilityStats {
   void merge(const CacheabilityStats& other) noexcept;
 };
 
+// ERROR records are excluded (an origin failure says nothing about the
+// customer's cacheability config); STALE counts as a cacheable hit — the
+// bytes came from CDN storage. The streaming counterpart applies the same
+// rules, so batch and streaming agree exactly.
 [[nodiscard]] CacheabilityStats characterize_cacheability(
     const logs::Dataset& ds, std::size_t threads = 1);
+
+// ---- Response status / error share ---------------------------------------
+
+// HTTP status mix of a log — all zero except ok_2xx on a fault-free run.
+// With fault injection on, this is the error-share view the resilience
+// experiments report against.
+struct StatusBreakdown {
+  std::uint64_t total = 0;
+  std::uint64_t ok_2xx = 0;
+  std::uint64_t redirect_3xx = 0;
+  std::uint64_t client_error_4xx = 0;
+  std::uint64_t server_error_5xx = 0;     // includes 504
+  std::uint64_t gateway_timeout_504 = 0;  // subset of server_error_5xx
+  std::uint64_t stale_served = 0;         // 200s served via stale-if-error
+  std::uint64_t error_cache_status = 0;   // records logged ERROR
+
+  // Share of requests answered with a server error.
+  [[nodiscard]] double error_share() const noexcept;
+  // Share of requests a resilience mechanism visibly absorbed (stale serves).
+  [[nodiscard]] double absorbed_share() const noexcept;
+
+  void merge(const StatusBreakdown& other) noexcept;
+};
+
+[[nodiscard]] StatusBreakdown characterize_status(const logs::Dataset& ds,
+                                                  std::size_t threads = 1);
 
 // JSON vs HTML response sizes over an (unfiltered) dataset.
 struct SizeComparison {

@@ -89,6 +89,24 @@ std::string render_headline(const MethodMix& methods,
   return out.str();
 }
 
+std::string render_status(const StatusBreakdown& status) {
+  const bool error_free = status.server_error_5xx == 0 &&
+                          status.stale_served == 0 &&
+                          status.error_cache_status == 0;
+  if (error_free) return "";
+  std::ostringstream out;
+  out << "Response status mix (origin faults visible in the log)\n"
+      << "  2xx: " << status.ok_2xx << "   3xx: " << status.redirect_3xx
+      << "   4xx: " << status.client_error_4xx
+      << "   5xx: " << status.server_error_5xx << " (of which 504: "
+      << status.gateway_timeout_504 << ")\n"
+      << "  error share:               " << pct(status.error_share()) << "\n"
+      << "  stale-if-error responses:  " << status.stale_served << " ("
+      << pct(status.absorbed_share()) << " of requests)\n"
+      << "  records logged ERROR:      " << status.error_cache_status << "\n";
+  return out.str();
+}
+
 std::string render_heatmap(const CacheabilityHeatmap& heatmap) {
   static constexpr const char* kShades[] = {" ", ".", ":", "-", "=",
                                             "+", "*", "#", "%", "@"};

@@ -25,6 +25,11 @@ namespace jsoncdn::core {
                                           const CacheabilityStats& cache,
                                           const SizeComparison& sizes);
 
+// Response-status mix / error share — the resilience experiments' view of a
+// log with fault injection on. Empty string when the log is error-free, so
+// fault-free reports are byte-identical with or without this call.
+[[nodiscard]] std::string render_status(const StatusBreakdown& status);
+
 // Fig. 4: per-industry cacheability heatmap (ASCII shading).
 [[nodiscard]] std::string render_heatmap(const CacheabilityHeatmap& heatmap);
 

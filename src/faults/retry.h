@@ -1,0 +1,27 @@
+// Bounded retry with exponential backoff and deterministic jitter.
+//
+// The jitter for attempt `a` of request `key` is a pure function of
+// (seed, key, a) — derived through stats::rng's splitmix64, never drawn
+// from shared RNG state — so the full backoff schedule is identical across
+// runs and thread counts, and can be recomputed anywhere for verification.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace jsoncdn::faults {
+
+struct RetryConfig {
+  std::size_t max_retries = 2;       // re-attempts after the first try
+  double base_delay_seconds = 0.05;  // delay before the first retry
+  double multiplier = 2.0;           // exponential growth per attempt
+  double jitter = 0.5;               // delay *= 1 + jitter * u, u in [0, 1)
+  std::uint64_t seed = 0;            // jitter stream
+};
+
+// Simulated delay inserted before retry number `attempt` (0-based: attempt 0
+// is the first retry) of the request identified by `key`.
+[[nodiscard]] double backoff_delay(const RetryConfig& config,
+                                   std::string_view key, std::size_t attempt);
+
+}  // namespace jsoncdn::faults

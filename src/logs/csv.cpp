@@ -3,10 +3,12 @@
 #include <charconv>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 #include "http/url.h"
 
@@ -70,7 +72,12 @@ std::string to_line(const LogRecord& r) {
   return out.str();
 }
 
-std::optional<LogRecord> from_line(std::string_view line) {
+std::optional<LogRecord> from_line(std::string_view line,
+                                   std::string* reason) {
+  const auto fail = [reason](const char* why) -> std::optional<LogRecord> {
+    if (reason != nullptr) *reason = why;
+    return std::nullopt;
+  };
   // Tolerate CRLF line endings (files written on Windows or fetched over
   // HTTP): getline leaves the '\r' on, and it would corrupt the last column.
   if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
@@ -85,24 +92,62 @@ std::optional<LogRecord> from_line(std::string_view line) {
     cols.push_back(line.substr(0, tab));
     line = line.substr(tab + 1);
   }
-  if (cols.size() != kColumns) return std::nullopt;
+  if (cols.size() != kColumns) return fail("column-count");
 
   LogRecord r;
-  if (!parse_double(cols[0], r.timestamp)) return std::nullopt;
+  if (!parse_double(cols[0], r.timestamp)) return fail("bad-timestamp");
   r.client_id = unescape(cols[1]);
   r.user_agent = unescape(cols[2]);
   const auto method = http::parse_method(cols[3]);
-  if (!method) return std::nullopt;
+  if (!method) return fail("bad-method");
   r.method = *method;
   r.url = unescape(cols[4]);
   r.domain = unescape(cols[5]);
   r.content_type = unescape(cols[6]);
-  if (!parse_number(cols[7], r.status)) return std::nullopt;
-  if (!parse_number(cols[8], r.response_bytes)) return std::nullopt;
-  if (!parse_number(cols[9], r.request_bytes)) return std::nullopt;
-  if (!parse_cache_status(cols[10], r.cache_status)) return std::nullopt;
-  if (!parse_number(cols[11], r.edge_id)) return std::nullopt;
+  if (!parse_number(cols[7], r.status)) return fail("bad-status");
+  if (!parse_number(cols[8], r.response_bytes))
+    return fail("bad-response-bytes");
+  if (!parse_number(cols[9], r.request_bytes)) return fail("bad-request-bytes");
+  if (!parse_cache_status(cols[10], r.cache_status))
+    return fail("bad-cache-status");
+  if (!parse_number(cols[11], r.edge_id)) return fail("bad-edge-id");
   return r;
+}
+
+std::optional<LogRecord> from_line(std::string_view line) {
+  return from_line(line, nullptr);
+}
+
+StreamQuarantine::StreamQuarantine(std::ostream& out) : out_(out) {}
+
+void StreamQuarantine::quarantine(std::uint64_t line_number,
+                                  std::string_view line,
+                                  std::string_view reason) {
+  out_ << line_number << '\t' << reason << '\t' << line << '\n';
+  ++count_;
+}
+
+void IngestReport::merge(const IngestReport& other) {
+  lines += other.lines;
+  records += other.records;
+  malformed += other.malformed;
+  header_seen = header_seen || other.header_seen;
+  for (const auto& [reason, count] : other.reasons) reasons[reason] += count;
+}
+
+std::string render_ingest_report(const IngestReport& report) {
+  std::ostringstream out;
+  out << "Ingest (" << report.lines << " lines)\n";
+  out << "  records: " << report.records << "   malformed: "
+      << report.malformed << " (" << std::fixed << std::setprecision(2)
+      << 100.0 * report.error_share() << "% of data lines)\n";
+  for (const auto& [reason, count] : report.reasons) {
+    out << "    " << reason << ": " << count << "\n";
+  }
+  if (!report.header_seen) {
+    out << "  note: no #jsoncdn-log header line present\n";
+  }
+  return out.str();
 }
 
 LogWriter::LogWriter(std::ostream& out) : out_(out) {
@@ -150,6 +195,98 @@ Dataset read_log_file(const std::string& path, std::uint64_t* malformed) {
   Dataset dataset(reader.read_all(estimate_record_count(path)));
   if (malformed) *malformed = reader.malformed_lines();
   return dataset;
+}
+
+namespace {
+
+// Shared hardened line loop: header/version validation, strict-vs-permissive
+// handling, per-reason accounting, quarantine, and the error budget. `emit`
+// receives each accepted record.
+template <typename Emit>
+IngestReport ingest_stream(std::istream& in, const IngestOptions& options,
+                           Emit&& emit) {
+  constexpr std::string_view kMagic = "#jsoncdn-log";
+  IngestReport report;
+  std::string line;
+  std::string reason;
+  std::uint64_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    ++report.lines;
+    std::string_view view(line);
+    if (!view.empty() && view.back() == '\r') view.remove_suffix(1);
+    if (view.empty()) continue;
+    if (view.front() == '#') {
+      if (view.substr(0, kMagic.size()) == kMagic) {
+        report.header_seen = true;
+        // A wrong version means every following line may parse *wrong*
+        // rather than fail — fatal in both modes.
+        if (view != log_header()) {
+          throw std::runtime_error(
+              "unsupported log header at line " + std::to_string(line_number) +
+              " (expected \"" + std::string(log_header()) + "\")");
+        }
+      }
+      continue;
+    }
+    if (auto rec = from_line(view, &reason)) {
+      ++report.records;
+      emit(std::move(*rec));
+      continue;
+    }
+    if (options.mode == ParseMode::kStrict) {
+      throw std::runtime_error("malformed log line " +
+                               std::to_string(line_number) + ": " + reason);
+    }
+    ++report.malformed;
+    ++report.reasons[reason];
+    if (options.quarantine != nullptr) {
+      options.quarantine->quarantine(line_number, view, reason);
+    }
+    if (report.malformed > options.max_malformed) {
+      throw std::runtime_error(
+          "ingest error budget exceeded: " + std::to_string(report.malformed) +
+          " malformed lines (limit " + std::to_string(options.max_malformed) +
+          ")");
+    }
+  }
+  return report;
+}
+
+}  // namespace
+
+Dataset ingest_log_file(const std::string& path, const IngestOptions& options,
+                        IngestReport* report) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open log file: " + path);
+  std::vector<LogRecord> records;
+  records.reserve(estimate_record_count(path));
+  auto local = ingest_stream(in, options, [&records](LogRecord&& rec) {
+    records.push_back(std::move(rec));
+  });
+  if (report != nullptr) *report = std::move(local);
+  return Dataset(std::move(records));
+}
+
+IngestReport ingest_for_each_record(
+    const std::string& path, std::size_t chunk_size,
+    const IngestOptions& options,
+    const std::function<void(std::span<const LogRecord>)>& fn) {
+  if (chunk_size == 0) chunk_size = 1;
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open log file: " + path);
+  std::vector<LogRecord> chunk;
+  chunk.reserve(chunk_size);
+  auto report =
+      ingest_stream(in, options, [&chunk, &fn, chunk_size](LogRecord&& rec) {
+        chunk.push_back(std::move(rec));
+        if (chunk.size() == chunk_size) {
+          fn(std::span<const LogRecord>(chunk));
+          chunk.clear();
+        }
+      });
+  if (!chunk.empty()) fn(std::span<const LogRecord>(chunk));
+  return report;
 }
 
 FileReadStats for_each_record(

@@ -5,8 +5,10 @@
 // (property-tested).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <map>
 #include <optional>
 #include <span>
 #include <string>
@@ -30,6 +32,77 @@ namespace jsoncdn::logs {
 // (CRLF line ending) is tolerated; files without a final newline parse the
 // last row like any other.
 [[nodiscard]] std::optional<LogRecord> from_line(std::string_view line);
+
+// Same, but on failure stores a short machine-readable reason (one of
+// "column-count", "bad-timestamp", "bad-method", "bad-status",
+// "bad-response-bytes", "bad-request-bytes", "bad-cache-status",
+// "bad-edge-id") into *reason. Reasons are stable identifiers — the ingest
+// report aggregates by them.
+[[nodiscard]] std::optional<LogRecord> from_line(std::string_view line,
+                                                 std::string* reason);
+
+// How an ingest run treats malformed lines.
+enum class ParseMode {
+  kPermissive,  // skip, count, optionally quarantine — analysis proceeds
+  kStrict,      // first malformed line throws with its line number
+};
+
+// Receives rejected lines during permissive ingestion, so corrupted input is
+// preserved for inspection instead of silently dropped.
+class QuarantineSink {
+ public:
+  virtual ~QuarantineSink() = default;
+  virtual void quarantine(std::uint64_t line_number, std::string_view line,
+                          std::string_view reason) = 0;
+};
+
+// Quarantine sink writing one TSV row per rejected line:
+// <line_number>\t<reason>\t<raw line>.
+class StreamQuarantine final : public QuarantineSink {
+ public:
+  explicit StreamQuarantine(std::ostream& out);
+  void quarantine(std::uint64_t line_number, std::string_view line,
+                  std::string_view reason) override;
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  std::ostream& out_;
+  std::uint64_t count_ = 0;
+};
+
+struct IngestOptions {
+  ParseMode mode = ParseMode::kPermissive;
+  // Non-owning; may be nullptr. Only consulted in permissive mode (strict
+  // mode throws before anything could be quarantined).
+  QuarantineSink* quarantine = nullptr;
+  // Permissive-mode error budget: ingestion aborts (throws) once more than
+  // this many lines have been rejected. Guards against feeding an analysis
+  // a file that is mostly garbage.
+  std::uint64_t max_malformed = UINT64_MAX;
+};
+
+// What an ingest run saw — the analyzer reports this as the ingest-error
+// budget of the dataset it is about to characterize.
+struct IngestReport {
+  std::uint64_t lines = 0;      // every input line, incl. header/comments
+  std::uint64_t records = 0;    // well-formed records accepted
+  std::uint64_t malformed = 0;  // lines rejected
+  bool header_seen = false;     // a "#jsoncdn-log" header line was present
+  // reason identifier -> rejected-line count; deterministic iteration order.
+  std::map<std::string, std::uint64_t> reasons;
+
+  // Rejected share of data lines (header/comment lines excluded).
+  [[nodiscard]] double error_share() const noexcept {
+    const auto data_lines = records + malformed;
+    return data_lines == 0 ? 0.0
+                           : static_cast<double>(malformed) /
+                                 static_cast<double>(data_lines);
+  }
+  void merge(const IngestReport& other);
+};
+
+// Renders the ingest report as a short plain-text block for tools.
+[[nodiscard]] std::string render_ingest_report(const IngestReport& report);
 
 // Streams records to an ostream, writing the header first.
 class LogWriter {
@@ -70,6 +143,15 @@ class LogReader {
 [[nodiscard]] Dataset read_log_file(const std::string& path,
                                     std::uint64_t* malformed = nullptr);
 
+// Hardened whole-file load. Permissive mode skips/quarantines bad lines and
+// fills `*report`; strict mode throws std::runtime_error naming the first bad
+// line. Also throws when the file cannot be opened, when a "#jsoncdn-log"
+// header announces an unsupported version, or when the permissive error
+// budget (options.max_malformed) is exceeded.
+[[nodiscard]] Dataset ingest_log_file(const std::string& path,
+                                      const IngestOptions& options,
+                                      IngestReport* report = nullptr);
+
 struct FileReadStats {
   std::uint64_t records = 0;    // well-formed records delivered to fn
   std::uint64_t malformed = 0;  // lines skipped
@@ -82,6 +164,14 @@ struct FileReadStats {
 // opened.
 FileReadStats for_each_record(
     const std::string& path, std::size_t chunk_size,
+    const std::function<void(std::span<const LogRecord>)>& fn);
+
+// Hardened chunked streaming ingest — for_each_record with the same
+// strict/permissive/quarantine semantics as ingest_log_file. Returns the
+// full ingest report.
+IngestReport ingest_for_each_record(
+    const std::string& path, std::size_t chunk_size,
+    const IngestOptions& options,
     const std::function<void(std::span<const LogRecord>)>& fn);
 
 }  // namespace jsoncdn::logs

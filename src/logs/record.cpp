@@ -2,12 +2,26 @@
 
 namespace jsoncdn::logs {
 
+const std::array<CacheStatus, kCacheStatusCount>&
+all_cache_statuses() noexcept {
+  static const std::array<CacheStatus, kCacheStatusCount> kAll = {
+      CacheStatus::kHit,        CacheStatus::kMiss,
+      CacheStatus::kRefreshHit, CacheStatus::kNotCacheable,
+      CacheStatus::kStale,      CacheStatus::kError,
+  };
+  return kAll;
+}
+
 std::string_view to_string(CacheStatus s) noexcept {
+  // No default: a new enumerator must be added here (and to parse) or the
+  // -Wall build warns on the unhandled case.
   switch (s) {
     case CacheStatus::kHit: return "HIT";
     case CacheStatus::kMiss: return "MISS";
     case CacheStatus::kRefreshHit: return "REFRESH";
     case CacheStatus::kNotCacheable: return "NOCACHE";
+    case CacheStatus::kStale: return "STALE";
+    case CacheStatus::kError: return "ERROR";
   }
   return "NOCACHE";
 }
@@ -27,6 +41,14 @@ bool parse_cache_status(std::string_view token, CacheStatus& out) noexcept {
   }
   if (token == "NOCACHE") {
     out = CacheStatus::kNotCacheable;
+    return true;
+  }
+  if (token == "STALE") {
+    out = CacheStatus::kStale;
+    return true;
+  }
+  if (token == "ERROR") {
+    out = CacheStatus::kError;
     return true;
   }
   return false;

@@ -6,6 +6,7 @@
 // information. The entire analysis layer consumes only this schema.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -20,7 +21,18 @@ enum class CacheStatus {
   kMiss,          // cacheable but not present; fetched from origin and stored
   kRefreshHit,    // stale copy revalidated with origin (304) and re-served
   kNotCacheable,  // customer config forbids caching; tunneled to origin
+  kStale,         // expired copy served because the origin failed (RFC 5861)
+  kError,         // origin failure no resilience mechanism could absorb (5xx)
 };
+
+// Number of CacheStatus values. The serialization coverage test
+// static_asserts against this so adding an enumerator without extending
+// to_string/parse_cache_status fails the build, not the field.
+inline constexpr std::size_t kCacheStatusCount = 6;
+// Every status, in declaration order — lets tests and renderers iterate
+// exhaustively.
+[[nodiscard]] const std::array<CacheStatus, kCacheStatusCount>&
+all_cache_statuses() noexcept;
 
 [[nodiscard]] std::string_view to_string(CacheStatus s) noexcept;
 // Returns true and sets `out` on success.

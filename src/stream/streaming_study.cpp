@@ -61,6 +61,23 @@ void StreamingAccumulator::offer(const logs::LogRecord& record) {
     html_max_ = std::max(html_max_, bytes);
   }
 
+  // Status mix is a delivery-health view over the whole stream (exact
+  // counters, mirroring core::characterize_status record for record).
+  ++status_.total;
+  if (record.status >= 500) {
+    ++status_.server_error_5xx;
+    if (record.status == 504) ++status_.gateway_timeout_504;
+  } else if (record.status >= 400) {
+    ++status_.client_error_4xx;
+  } else if (record.status >= 300) {
+    ++status_.redirect_3xx;
+  } else if (record.status >= 200) {
+    ++status_.ok_2xx;
+  }
+  if (record.cache_status == logs::CacheStatus::kStale) ++status_.stale_served;
+  if (record.cache_status == logs::CacheStatus::kError)
+    ++status_.error_cache_status;
+
   // Everything below mirrors the batch pipeline's JSON-only analyses.
   if (content != http::ContentClass::kJson) return;
   ++json_records_;
@@ -72,12 +89,23 @@ void StreamingAccumulator::offer(const logs::LogRecord& record) {
     default: ++methods_.other; break;
   }
 
-  if (record.cache_status == logs::CacheStatus::kNotCacheable) {
-    ++cacheability_.uncacheable;
-  } else {
-    ++cacheability_.cacheable;
-    if (record.cache_status == logs::CacheStatus::kHit)
+  // Same rules as core::characterize_cacheability: ERROR carries no
+  // cacheability signal, STALE is a hit served from CDN storage.
+  switch (record.cache_status) {
+    case logs::CacheStatus::kError:
+      break;
+    case logs::CacheStatus::kNotCacheable:
+      ++cacheability_.uncacheable;
+      break;
+    case logs::CacheStatus::kHit:
+    case logs::CacheStatus::kStale:
+      ++cacheability_.cacheable;
       ++cacheability_.hits;
+      break;
+    case logs::CacheStatus::kMiss:
+    case logs::CacheStatus::kRefreshHit:
+      ++cacheability_.cacheable;
+      break;
   }
 
   http::DeviceClassification cls;
@@ -124,6 +152,7 @@ void StreamingAccumulator::merge(const StreamingAccumulator& later) {
 
   methods_.merge(later.methods_);
   cacheability_.merge(later.cacheability_);
+  status_.merge(later.status_);
   source_.merge(later.source_);
 
   urls_.merge(later.urls_);
@@ -186,6 +215,7 @@ StreamingSummary StreamingAccumulator::summarize() const {
 
   out.methods = methods_;
   out.cacheability = cacheability_;
+  out.status = status_;
   out.source = source_;
   // The UA-string side of the breakdown is estimated: distinct-UA counting
   // is exactly what the batch path needs the full dataset for.
@@ -300,6 +330,17 @@ std::string render_streaming_summary(const StreamingSummary& summary,
     const auto& hh = summary.top_urls[i];
     out << "    " << std::setw(8) << hh.count << " (+/-" << hh.error << ") "
         << hh.key << "\n";
+  }
+  // Only printed when the stream actually saw errors, so fault-free output
+  // is unchanged.
+  if (summary.status.server_error_5xx != 0 ||
+      summary.status.stale_served != 0 ||
+      summary.status.error_cache_status != 0) {
+    out << "  errors: " << summary.status.server_error_5xx << " 5xx ("
+        << pct(summary.status.error_share()) << " of requests, "
+        << summary.status.gateway_timeout_504 << " timeouts), stale served "
+        << summary.status.stale_served << ", logged ERROR "
+        << summary.status.error_cache_status << "\n";
   }
   out << "  periodic-candidate flows (triage): "
       << summary.periodic_candidates.size() << "\n";

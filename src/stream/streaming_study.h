@@ -79,6 +79,9 @@ struct StreamingSummary {
   // they are HLL estimates, rounded.
   core::MethodMix methods;
   core::CacheabilityStats cacheability;
+  // Status mix over the whole stream (not JSON-only) — exact, matches
+  // core::characterize_status over the same records.
+  core::StatusBreakdown status;
   core::SourceBreakdown source;
 
   // HLL cardinality estimates with the configured standard error.
@@ -137,6 +140,7 @@ class StreamingAccumulator {
 
   core::MethodMix methods_;
   core::CacheabilityStats cacheability_;
+  core::StatusBreakdown status_;
   core::SourceBreakdown source_;  // request-side counters only
 
   HyperLogLog urls_;

@@ -1,0 +1,332 @@
+// Edge resilience against a failing origin: bounded retry with backoff,
+// RFC 5861 stale-if-error, negative caching of origin failures, timeout
+// budgets, and the per-origin circuit breaker. Fault sequences come from
+// the deterministic faults::FaultPlan, so every scenario replays exactly.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "cdn/edge.h"
+#include "cdn/origin.h"
+#include "faults/breaker.h"
+#include "faults/plan.h"
+
+namespace jsoncdn::cdn {
+namespace {
+
+constexpr char kUrl[] = "https://d/x";
+
+// Mines a seed whose per-request draw sequence for the test origin matches
+// `wanted` (one FaultOutcome per successive request ordinal). decide() is a
+// pure function, so the search is cheap and the found seed is stable.
+std::uint64_t find_seed(const faults::FaultPlanConfig& base,
+                        const std::vector<faults::FaultOutcome>& wanted) {
+  for (std::uint64_t seed = 1; seed < 200'000; ++seed) {
+    faults::FaultPlanConfig config = base;
+    config.seed = seed;
+    const faults::FaultPlan plan(config);
+    bool ok = true;
+    for (std::size_t k = 0; k < wanted.size(); ++k) {
+      if (plan.decide("d", k, 0.0).outcome != wanted[k]) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return seed;
+  }
+  ADD_FAILURE() << "no seed found for requested fault sequence";
+  return 0;
+}
+
+class ResilienceFixture : public ::testing::Test {
+ protected:
+  void make_edge(const faults::FaultPlanConfig& faults,
+                 const EdgeParams& params = {}) {
+    workload::ObjectSpec obj;
+    obj.url = kUrl;
+    obj.domain = "d";
+    obj.content_type = "application/json";
+    obj.cacheable = true;
+    obj.ttl_seconds = 60.0;
+    obj.body_bytes = 100'000;
+    catalog_.add(obj);
+
+    plan_ = std::make_unique<faults::FaultPlan>(faults);
+    origin_ = std::make_unique<Origin>(catalog_, OriginParams{});
+    origin_->set_fault_plan(plan_.get());
+    anonymizer_ = std::make_unique<logs::Anonymizer>(9);
+    edge_ = std::make_unique<EdgeServer>(0, *origin_, *anonymizer_, params);
+  }
+
+  static workload::RequestEvent request(double t) {
+    workload::RequestEvent ev;
+    ev.time = t;
+    ev.client_address = "10.0.0.1";
+    ev.user_agent = "ua";
+    ev.url = kUrl;
+    return ev;
+  }
+
+  workload::ObjectCatalog catalog_;
+  std::unique_ptr<faults::FaultPlan> plan_;
+  std::unique_ptr<Origin> origin_;
+  std::unique_ptr<logs::Anonymizer> anonymizer_;
+  std::unique_ptr<EdgeServer> edge_;
+};
+
+TEST_F(ResilienceFixture, RetryRescuesTransientError) {
+  faults::FaultPlanConfig base;
+  base.enabled = true;
+  base.error_rate = 0.5;
+  base.seed = find_seed(
+      base, {faults::FaultOutcome::kError, faults::FaultOutcome::kOk});
+  make_edge(base);
+
+  const auto record = edge_->handle(request(0.0));
+  EXPECT_EQ(record.cache_status, logs::CacheStatus::kMiss);
+  EXPECT_EQ(record.status, 200);
+
+  const auto& r = edge_->resilience();
+  EXPECT_EQ(r.origin_errors, 1u);
+  EXPECT_EQ(r.retries, 1u);
+  EXPECT_EQ(r.retry_successes, 1u);
+  EXPECT_EQ(r.error_responses, 0u);
+  EXPECT_GT(r.backoff_seconds, 0.0);
+  EXPECT_EQ(edge_->metrics().errors(), 0u);
+  // Both attempts hit the origin.
+  EXPECT_EQ(origin_->fetch_count(), 2u);
+}
+
+TEST_F(ResilienceFixture, StaleIfErrorServesExpiredCopy) {
+  faults::FaultPlanConfig base;
+  base.enabled = true;
+  base.error_rate = 0.5;
+  // First request (cache fill) healthy; the refill attempt and both retries
+  // fail, exhausting the default budget of 2 retries.
+  base.seed = find_seed(
+      base, {faults::FaultOutcome::kOk, faults::FaultOutcome::kError,
+             faults::FaultOutcome::kError, faults::FaultOutcome::kError});
+  make_edge(base);
+
+  const auto first = edge_->handle(request(0.0));
+  ASSERT_EQ(first.cache_status, logs::CacheStatus::kMiss);
+
+  // Past TTL with the origin down: the expired copy is served, not the 5xx.
+  const auto second = edge_->handle(request(61.0));
+  EXPECT_EQ(second.cache_status, logs::CacheStatus::kStale);
+  EXPECT_EQ(second.status, 200);
+  EXPECT_EQ(second.response_bytes, 100'000u);
+
+  const auto& r = edge_->resilience();
+  EXPECT_EQ(r.stale_served, 1u);
+  EXPECT_EQ(r.origin_errors, 3u);  // attempt + 2 retries
+  EXPECT_EQ(r.error_responses, 0u);
+  // Stale counts as a hit: the bytes came from CDN storage.
+  EXPECT_EQ(edge_->metrics().hits(), 1u);
+}
+
+TEST_F(ResilienceFixture, NegativeCacheShortCircuitsRepeatFailures) {
+  faults::FaultPlanConfig base;
+  base.enabled = true;
+  base.error_rate = 0.5;
+  base.seed = find_seed(
+      base, {faults::FaultOutcome::kError, faults::FaultOutcome::kError,
+             faults::FaultOutcome::kError});
+  EdgeParams params;
+  params.resilience.serve_stale_on_error = false;
+  make_edge(base, params);
+
+  const auto first = edge_->handle(request(0.0));
+  EXPECT_EQ(first.cache_status, logs::CacheStatus::kError);
+  EXPECT_GE(first.status, 500);
+  EXPECT_EQ(first.response_bytes, 0u);
+  const auto fetches_after_first = origin_->fetch_count();
+  EXPECT_EQ(fetches_after_first, 3u);  // attempt + 2 retries
+
+  // Within the negative TTL: answered from the remembered failure, origin
+  // untouched.
+  const auto second = edge_->handle(request(1.0));
+  EXPECT_EQ(second.cache_status, logs::CacheStatus::kError);
+  EXPECT_EQ(second.status, first.status);
+  EXPECT_EQ(origin_->fetch_count(), fetches_after_first);
+
+  const auto& r = edge_->resilience();
+  EXPECT_EQ(r.negative_cache_hits, 1u);
+  EXPECT_EQ(r.error_responses, 2u);
+  EXPECT_EQ(edge_->metrics().errors(), 2u);
+}
+
+TEST_F(ResilienceFixture, BreakerOpensAndShortCircuits) {
+  faults::FaultPlanConfig base;
+  base.enabled = true;
+  base.error_rate = 1.0;  // origin is down for good
+  base.seed = 7;
+  EdgeParams params;
+  params.resilience.retry.max_retries = 0;  // one attempt per request
+  params.resilience.serve_stale_on_error = false;
+  params.resilience.negative_ttl_seconds = 0.0;  // isolate the breaker
+  params.resilience.breaker.failure_threshold = 3;
+  params.resilience.breaker.open_seconds = 30.0;
+  make_edge(base, params);
+
+  for (int i = 0; i < 3; ++i) {
+    const auto record = edge_->handle(request(static_cast<double>(i)));
+    EXPECT_EQ(record.cache_status, logs::CacheStatus::kError);
+  }
+  const auto fetches_when_tripped = origin_->fetch_count();
+  EXPECT_EQ(fetches_when_tripped, 3u);
+  EXPECT_EQ(edge_->resilience().breaker_trips, 1u);
+
+  // Open breaker: failed fast, origin untouched.
+  const auto shorted = edge_->handle(request(3.0));
+  EXPECT_EQ(shorted.cache_status, logs::CacheStatus::kError);
+  EXPECT_EQ(shorted.status, 503);
+  EXPECT_EQ(origin_->fetch_count(), fetches_when_tripped);
+  EXPECT_EQ(edge_->resilience().breaker_short_circuits, 1u);
+
+  const auto timeline = edge_->breaker_timeline();
+  ASSERT_EQ(timeline.size(), 1u);
+  EXPECT_EQ(timeline[0].domain, "d");
+  EXPECT_EQ(timeline[0].transition.from, faults::BreakerState::kClosed);
+  EXPECT_EQ(timeline[0].transition.to, faults::BreakerState::kOpen);
+  EXPECT_DOUBLE_EQ(timeline[0].transition.time, 2.0);
+}
+
+TEST_F(ResilienceFixture, TimeoutChargesBudgetNotOriginLatency) {
+  faults::FaultPlanConfig base;
+  base.enabled = true;
+  base.timeout_rate = 1.0;
+  base.seed = 7;
+  EdgeParams params;
+  params.resilience.retry.max_retries = 0;
+  params.resilience.serve_stale_on_error = false;
+  params.resilience.timeout_seconds = 1.5;
+  make_edge(base, params);
+
+  const auto record = edge_->handle(request(0.0));
+  EXPECT_EQ(record.status, 504);
+  EXPECT_EQ(record.cache_status, logs::CacheStatus::kError);
+  EXPECT_EQ(edge_->resilience().timeouts, 1u);
+
+  const auto& latencies = edge_->metrics().latencies();
+  ASSERT_EQ(latencies.size(), 1u);
+  // client RTT + the full timeout budget, not the origin's internal latency.
+  EXPECT_DOUBLE_EQ(latencies[0], 0.020 + 1.5);
+}
+
+TEST_F(ResilienceFixture, TruncatedBodiesAreRetriedThen502) {
+  faults::FaultPlanConfig base;
+  base.enabled = true;
+  base.truncate_rate = 1.0;
+  base.seed = 7;
+  EdgeParams params;
+  params.resilience.serve_stale_on_error = false;
+  make_edge(base, params);
+
+  const auto record = edge_->handle(request(0.0));
+  EXPECT_EQ(record.status, 502);
+  EXPECT_EQ(record.cache_status, logs::CacheStatus::kError);
+  EXPECT_EQ(edge_->resilience().truncated_bodies, 3u);  // attempt + 2 retries
+  EXPECT_EQ(edge_->resilience().retries, 2u);
+}
+
+TEST_F(ResilienceFixture, ErrorRecordsKeepDomainAndContentType) {
+  faults::FaultPlanConfig base;
+  base.enabled = true;
+  base.error_rate = 1.0;
+  base.seed = 7;
+  EdgeParams params;
+  params.resilience.serve_stale_on_error = false;
+  make_edge(base, params);
+
+  const auto record = edge_->handle(request(0.0));
+  ASSERT_EQ(record.cache_status, logs::CacheStatus::kError);
+  // The analyses' JSON filters must still see the failed request.
+  EXPECT_EQ(record.domain, "d");
+  EXPECT_EQ(record.content_type, "application/json");
+}
+
+TEST_F(ResilienceFixture, DisabledPlanTouchesNothing) {
+  faults::FaultPlanConfig off;  // enabled == false, rates irrelevant
+  off.error_rate = 1.0;
+  make_edge(off);
+
+  const auto first = edge_->handle(request(0.0));
+  const auto second = edge_->handle(request(1.0));
+  EXPECT_EQ(first.cache_status, logs::CacheStatus::kMiss);
+  EXPECT_EQ(second.cache_status, logs::CacheStatus::kHit);
+  EXPECT_FALSE(edge_->resilience().any_activity());
+  EXPECT_TRUE(edge_->breaker_timeline().empty());
+  EXPECT_EQ(origin_->faults_injected(), 0u);
+}
+
+// ---- CircuitBreaker state machine, driven directly ------------------------
+
+TEST(CircuitBreakerTest, TripsAfterConsecutiveFailuresOnly) {
+  faults::BreakerConfig config;
+  config.failure_threshold = 3;
+  faults::CircuitBreaker breaker(config);
+
+  breaker.record_failure(0.0);
+  breaker.record_failure(1.0);
+  breaker.record_success(2.0);  // resets the streak
+  breaker.record_failure(3.0);
+  breaker.record_failure(4.0);
+  EXPECT_EQ(breaker.state(4.0), faults::BreakerState::kClosed);
+  breaker.record_failure(5.0);
+  EXPECT_EQ(breaker.state(5.0), faults::BreakerState::kOpen);
+  EXPECT_EQ(breaker.trips(), 1u);
+}
+
+TEST(CircuitBreakerTest, OpenRefusesUntilCoolingOffThenProbes) {
+  faults::BreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_seconds = 10.0;
+  config.half_open_successes = 2;
+  faults::CircuitBreaker breaker(config);
+
+  breaker.record_failure(0.0);
+  EXPECT_FALSE(breaker.allow(5.0));
+  EXPECT_EQ(breaker.state(5.0), faults::BreakerState::kOpen);
+
+  // Cooling-off elapsed: probes allowed, state half-open.
+  EXPECT_TRUE(breaker.allow(10.5));
+  EXPECT_EQ(breaker.state(10.5), faults::BreakerState::kHalfOpen);
+
+  breaker.record_success(11.0);
+  EXPECT_EQ(breaker.state(11.0), faults::BreakerState::kHalfOpen);
+  breaker.record_success(11.5);
+  EXPECT_EQ(breaker.state(11.5), faults::BreakerState::kClosed);
+
+  const auto& timeline = breaker.timeline();
+  ASSERT_EQ(timeline.size(), 3u);
+  EXPECT_EQ(timeline[0].to, faults::BreakerState::kOpen);
+  EXPECT_EQ(timeline[1].to, faults::BreakerState::kHalfOpen);
+  EXPECT_EQ(timeline[2].to, faults::BreakerState::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenFailureReopensImmediately) {
+  faults::BreakerConfig config;
+  config.failure_threshold = 1;
+  config.open_seconds = 10.0;
+  faults::CircuitBreaker breaker(config);
+
+  breaker.record_failure(0.0);
+  ASSERT_TRUE(breaker.allow(10.5));  // half-open probe
+  breaker.record_failure(11.0);
+  EXPECT_EQ(breaker.state(11.0), faults::BreakerState::kOpen);
+  EXPECT_FALSE(breaker.allow(11.5));
+  EXPECT_EQ(breaker.trips(), 2u);
+}
+
+TEST(CircuitBreakerTest, RejectsSenselessConfig) {
+  faults::BreakerConfig config;
+  config.failure_threshold = 0;
+  EXPECT_THROW(faults::CircuitBreaker{config}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace jsoncdn::cdn

@@ -3,10 +3,17 @@
 //   jsoncdn-analyze FILE [--characterize] [--periodicity] [--ngram] [--all]
 //                   [--streaming] [--chunk-size N]
 //                   [--permutations N] [--threads N]
+//                   [--strict] [--quarantine FILE] [--max-error-share F]
 //
 // Consumes the TSV format written by jsoncdn-generate (or any producer of
 // the same schema) and prints the corresponding figures/tables. Exactly the
 // paper's situation: the analyst sees only the logs.
+//
+// Ingestion is hardened: by default malformed lines are skipped, counted
+// per reason, and (with --quarantine) preserved for inspection; the run
+// fails if the rejected share exceeds --max-error-share. --strict instead
+// aborts on the first bad line, naming it. An empty or unreadable log is
+// always an error — analyses over zero records are never silently printed.
 //
 // --streaming switches to the one-pass bounded-memory pipeline
 // (stream::StreamingStudy): the file is consumed in --chunk-size record
@@ -17,6 +24,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 #include <unordered_set>
 
@@ -36,7 +44,40 @@ void usage() {
                "usage: jsoncdn-analyze FILE [--characterize] [--periodicity]\n"
                "                       [--ngram] [--all] [--permutations N]\n"
                "                       [--streaming] [--chunk-size N]\n"
-               "                       [--threads N]  (0 = auto)\n");
+               "                       [--threads N]  (0 = auto)\n"
+               "                       [--strict] [--quarantine FILE]\n"
+               "                       [--max-error-share F]  (0..1)\n");
+}
+
+// Ingest-side knobs shared by the batch and streaming paths.
+struct IngestFlags {
+  bool strict = false;
+  std::string quarantine_path;
+  double max_error_share = 1.0;  // 1.0 = any amount of garbage tolerated
+};
+
+// Prints the ingest report (stderr — it is diagnostics, not analysis
+// output) and enforces the error budget. Returns false when the budget is
+// blown or nothing was ingested.
+bool check_ingest(const jsoncdn::logs::IngestReport& report,
+                  const IngestFlags& flags, const std::string& path) {
+  if (report.malformed > 0) {
+    std::fputs(jsoncdn::logs::render_ingest_report(report).c_str(), stderr);
+  }
+  if (report.records == 0) {
+    std::fprintf(stderr,
+                 "error: no records ingested from %s (empty or fully "
+                 "malformed log)\n",
+                 path.c_str());
+    return false;
+  }
+  if (report.error_share() > flags.max_error_share) {
+    std::fprintf(stderr,
+                 "error: ingest error share %.4f exceeds budget %.4f\n",
+                 report.error_share(), flags.max_error_share);
+    return false;
+  }
+  return true;
 }
 
 // One-pass streaming path: never materializes the full log. The periodicity
@@ -44,16 +85,17 @@ void usage() {
 // memory is bounded by the candidates' traffic, not the stream.
 int run_streaming(const std::string& path, bool periodicity,
                   std::size_t chunk_size, std::size_t permutations,
-                  std::size_t threads) {
+                  std::size_t threads, const IngestFlags& flags,
+                  const jsoncdn::logs::IngestOptions& options) {
   using namespace jsoncdn;
 
   stream::StreamingConfig config;
   config.threads = threads;
   stream::StreamingStudy study(config);
-  logs::FileReadStats stats;
+  logs::IngestReport report;
   try {
-    stats = logs::for_each_record(
-        path, chunk_size,
+    report = logs::ingest_for_each_record(
+        path, chunk_size, options,
         [&study](std::span<const logs::LogRecord> chunk) {
           study.ingest(chunk);
         });
@@ -61,10 +103,7 @@ int run_streaming(const std::string& path, bool periodicity,
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
-  if (stats.malformed > 0) {
-    std::fprintf(stderr, "warning: skipped %llu malformed lines\n",
-                 static_cast<unsigned long long>(stats.malformed));
-  }
+  if (!check_ingest(report, flags, path)) return 1;
   const auto summary = study.summary();
   std::printf("streamed %llu records (%llu JSON) from %s in chunks of %zu\n\n",
               static_cast<unsigned long long>(summary.total_records),
@@ -117,6 +156,7 @@ int main(int argc, char** argv) {
   bool periodicity = false;
   bool ngram = false;
   bool streaming = false;
+  IngestFlags flags;
   std::size_t chunk_size = 65536;
   std::size_t permutations = 100;
   std::size_t threads = 0;  // auto
@@ -139,6 +179,12 @@ int main(int argc, char** argv) {
       permutations = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--strict") {
+      flags.strict = true;
+    } else if (arg == "--quarantine" && i + 1 < argc) {
+      flags.quarantine_path = argv[++i];
+    } else if (arg == "--max-error-share" && i + 1 < argc) {
+      flags.max_error_share = std::atof(argv[++i]);
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       usage();
@@ -148,24 +194,37 @@ int main(int argc, char** argv) {
   if (!characterize && !periodicity && !ngram) characterize = true;
   const std::size_t effective_threads = jsoncdn::stats::resolve_threads(threads);
 
+  std::ofstream quarantine_stream;
+  std::optional<logs::StreamQuarantine> quarantine;
+  if (!flags.quarantine_path.empty()) {
+    quarantine_stream.open(flags.quarantine_path);
+    if (!quarantine_stream) {
+      std::fprintf(stderr, "error: cannot open quarantine file: %s\n",
+                   flags.quarantine_path.c_str());
+      return 2;
+    }
+    quarantine.emplace(quarantine_stream);
+  }
+  logs::IngestOptions options;
+  options.mode =
+      flags.strict ? logs::ParseMode::kStrict : logs::ParseMode::kPermissive;
+  options.quarantine = quarantine ? &*quarantine : nullptr;
+
   if (streaming) {
     return run_streaming(path, periodicity, chunk_size, permutations,
-                         effective_threads);
+                         effective_threads, flags, options);
   }
 
-  std::uint64_t malformed = 0;
+  logs::IngestReport report;
   logs::Dataset dataset;
   try {
-    dataset = logs::read_log_file(path, &malformed);
+    dataset = logs::ingest_log_file(path, options, &report);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
   }
   dataset.sort_by_time();
-  if (malformed > 0) {
-    std::fprintf(stderr, "warning: skipped %llu malformed lines\n",
-                 static_cast<unsigned long long>(malformed));
-  }
+  if (!check_ingest(report, flags, path)) return 1;
   const auto json = dataset.json_only();
   std::printf("loaded %zu records (%zu JSON) from %s\n", dataset.size(),
               json.size(), path.c_str());
@@ -204,6 +263,13 @@ int main(int argc, char** argv) {
                    .c_str(),
                stdout);
     std::printf("\n");
+    // Empty string (and so no output) on an error-free log.
+    const auto status_block = core::render_status(
+        core::characterize_status(dataset, effective_threads));
+    if (!status_block.empty()) {
+      std::fputs(status_block.c_str(), stdout);
+      std::printf("\n");
+    }
   }
 
   if (periodicity) {

@@ -2,18 +2,28 @@
 //
 //   jsoncdn-generate [--scenario short|long] [--scale S] [--seed N]
 //                    [--out FILE] [--json-only]
+//                    [--fault-rate F] [--fault-seed N] [--fault-outages N]
 //
 // Writes the TSV log format (logs/csv.h) that jsoncdn-analyze consumes, so
 // the full pipeline can be driven from the shell exactly like the paper's:
 // collect logs on the edge, analyze offline.
+//
+// --fault-rate enables deterministic origin fault injection: F is the total
+// per-request fault probability, split across errors, timeouts, truncated
+// bodies, and latency spikes. The fault seed defaults to JSONCDN_FAULT_SEED
+// (else the workload seed), so a fixed seed reproduces the incident
+// byte-for-byte — logs, resilience counters, and breaker timeline.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "cdn/network.h"
+#include "faults/plan.h"
 #include "logs/csv.h"
 #include "workload/scenario.h"
 
@@ -22,7 +32,12 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: jsoncdn-generate [--scenario short|long] [--scale S]\n"
-               "                        [--seed N] [--out FILE] [--json-only]\n");
+               "                        [--seed N] [--out FILE] [--json-only]\n"
+               "                        [--fault-rate F]    (0..1, default 0)\n"
+               "                        [--fault-seed N]    (default: "
+               "JSONCDN_FAULT_SEED, else --seed)\n"
+               "                        [--fault-outages N] (outage windows "
+               "per origin)\n");
 }
 
 }  // namespace
@@ -35,6 +50,9 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   std::string out_path = "jsoncdn.log";
   bool json_only = false;
+  double fault_rate = 0.0;
+  std::optional<std::uint64_t> fault_seed;
+  std::size_t fault_outages = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -55,6 +73,16 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--json-only") {
       json_only = true;
+    } else if (arg == "--fault-rate") {
+      fault_rate = std::atof(next());
+      if (fault_rate < 0.0 || fault_rate > 1.0) {
+        std::fprintf(stderr, "--fault-rate must be in [0, 1]\n");
+        return 2;
+      }
+    } else if (arg == "--fault-seed") {
+      fault_seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--fault-outages") {
+      fault_outages = static_cast<std::size_t>(std::atoll(next()));
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -80,9 +108,36 @@ int main(int argc, char** argv) {
                static_cast<unsigned long long>(seed));
   workload::WorkloadGenerator generator(config);
   const auto workload = generator.generate();
-  cdn::CdnNetwork network(generator.catalog().objects(), {});
+
+  cdn::NetworkParams params;
+  if (fault_rate > 0.0 || fault_outages > 0) {
+    auto& faults = params.faults;
+    faults.enabled = true;
+    faults.seed = fault_seed ? *fault_seed : faults::env_fault_seed(seed);
+    // Split the composite rate across the fault kinds in rough proportion to
+    // real origin incidents: mostly 5xx, some hangs, a few partial bodies
+    // and slowdowns.
+    faults.error_rate = 0.6 * fault_rate;
+    faults.timeout_rate = 0.2 * fault_rate;
+    faults.truncate_rate = 0.1 * fault_rate;
+    faults.latency_spike_rate = 0.1 * fault_rate;
+    faults.outages_per_origin = fault_outages;
+    double horizon = 0.0;
+    for (const auto& event : workload.events)
+      horizon = std::max(horizon, event.time);
+    faults.horizon_seconds = horizon + 1.0;
+    std::fprintf(stderr,
+                 "fault injection on: rate %g, seed %llu, %zu outages/origin\n",
+                 fault_rate, static_cast<unsigned long long>(faults.seed),
+                 fault_outages);
+  }
+  cdn::CdnNetwork network(generator.catalog().objects(), params);
   auto dataset = network.run(workload.events);
   if (json_only) dataset = dataset.json_only();
+  const auto resilience = network.total_resilience();
+  if (resilience.any_activity()) {
+    std::fputs(cdn::render_resilience(resilience).c_str(), stderr);
+  }
 
   std::ofstream out(out_path);
   if (!out) {
