@@ -1,0 +1,110 @@
+// Conformance harness: generate → serve → analyze → score, against bands.
+//
+// One conformance *case* is a seeded workload pushed through the CDN and
+// every analysis family, scored against its ground-truth sidecar, plus the
+// differential checks the pipeline guarantees by contract:
+//   - 1-thread and N-thread analysis runs must be bit-identical;
+//   - the streaming study's exact counters (methods, cacheability, status,
+//     per-device requests) must equal the batch aggregations.
+// The runner sweeps cases over seeds and collects every band violation as a
+// human-readable failure string — an empty list is a pass, so a test can
+// EXPECT the list empty and print it verbatim on failure.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logs/dataset.h"
+#include "oracle/ground_truth.h"
+#include "oracle/scorer.h"
+
+namespace jsoncdn::oracle {
+
+// Acceptance bands. Defaults are the paper-band invariants ISSUE'd for the
+// clean long-window workload: the detector must recover labelled periodic
+// flows nearly perfectly, marginals must sit close to the configured
+// populations, and the predictor must clear a usefulness floor.
+struct ConformanceTolerances {
+  double min_detector_precision = 0.90;
+  double min_detector_recall = 0.90;
+  double min_detector_f1 = 0.90;
+  double max_period_rel_error = 0.15;  // worst true-positive period error
+  double max_device_l1 = 0.20;
+  double max_class_l1 = 0.25;
+  double max_industry_l1 = 0.40;
+  double min_measured_top1 = 0.05;   // raw-URL accuracy@1 on the edge log
+  double min_skyline_top1 = 0.05;    // same protocol on the true chains
+  // The log path may *gain* accuracy over the session skyline (periodic
+  // machine flows are trivially predictable), but it must not lose more
+  // than this at K=1.
+  double max_skyline_gap_top1 = 0.50;
+};
+
+struct ConformanceConfig {
+  std::vector<std::uint64_t> seeds = {1, 7, 1337};
+  // Workload shape: the long-term scenario rescaled to a bounded window so
+  // a full sweep stays test-sized. n_clients = 0 keeps the scenario's own
+  // client count.
+  double scale = 0.001;
+  double duration_seconds = 2.0 * 3600.0;
+  std::size_t n_clients = 600;
+  // Thread counts swept by the determinism differential; the first entry is
+  // the count used for scoring. 0 = auto.
+  std::vector<std::size_t> thread_counts = {1, 0};
+  bool check_streaming = true;
+  std::size_t ngram_context = 1;
+  ConformanceTolerances tolerances;
+};
+
+// One generated workload, served through the CDN, with its sidecar.
+struct GeneratedCase {
+  std::uint64_t seed = 0;
+  logs::Dataset dataset;       // full edge log
+  logs::Dataset json;          // JSON-filtered view (the paper's input)
+  TruthSidecar truth;
+};
+
+[[nodiscard]] GeneratedCase generate_case(std::uint64_t seed,
+                                          const ConformanceConfig& config);
+
+struct CaseResult {
+  std::uint64_t seed = 0;
+  DetectorScore detector;
+  NgramScore ngram_raw;
+  NgramScore ngram_clustered;
+  MarginalScore marginals;
+  bool thread_invariant = true;
+  bool streaming_consistent = true;
+  std::vector<std::string> failures;  // empty = within every band
+
+  [[nodiscard]] bool passed() const noexcept { return failures.empty(); }
+};
+
+// Scores one prepared (log, sidecar) pair against the bands. `threads` is
+// the analysis thread count (0 = auto). Differential checks are the
+// sweep's job, not this function's.
+[[nodiscard]] CaseResult score_case(const logs::Dataset& dataset,
+                                    const logs::Dataset& json,
+                                    const TruthSidecar& truth,
+                                    std::uint64_t seed,
+                                    const ConformanceConfig& config,
+                                    std::size_t threads);
+
+struct ConformanceReport {
+  std::vector<CaseResult> cases;
+  [[nodiscard]] bool all_passed() const noexcept;
+  [[nodiscard]] std::size_t total_failures() const noexcept;
+};
+
+// The full sweep: every seed generated, scored, and differentially checked.
+[[nodiscard]] ConformanceReport run_conformance(const ConformanceConfig& config);
+
+// Plain-text renderings in the report.h house style.
+[[nodiscard]] std::string render_case(const CaseResult& result);
+[[nodiscard]] std::string render_conformance(const ConformanceReport& report);
+// The EXPERIMENTS.md detector table: one row per seed with P/R/F1, period
+// error, and marginal distances.
+[[nodiscard]] std::string render_detector_table(const ConformanceReport& report);
+
+}  // namespace jsoncdn::oracle

@@ -1,0 +1,261 @@
+#include "oracle/ground_truth.h"
+
+#include <algorithm>
+#include <charconv>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "http/device_db.h"
+#include "http/url.h"
+#include "workload/device_profiles.h"
+
+namespace jsoncdn::oracle {
+
+namespace {
+
+constexpr std::string_view kHeader = "#jsoncdn-truth-v1";
+
+// Same three-byte percent escaping as the log format, so a sidecar line can
+// never be broken by a tab/newline smuggled inside a UA string or URL.
+std::string escape(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (char c : field) {
+    switch (c) {
+      case '\t': out += "%09"; break;
+      case '\n': out += "%0A"; break;
+      case '\r': out += "%0D"; break;
+      case '%': out += "%25"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string unescape(std::string_view field) {
+  return http::url_decode(field);
+}
+
+std::vector<std::string_view> split_tabs(std::string_view line) {
+  std::vector<std::string_view> cols;
+  std::size_t start = 0;
+  while (true) {
+    const auto tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      cols.push_back(line.substr(start));
+      return cols;
+    }
+    cols.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+bool parse_u64(std::string_view s, std::uint64_t& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc{} && ptr == s.data() + s.size();
+}
+
+bool parse_double(std::string_view s, double& out) {
+  const std::string tmp(s);
+  char* end = nullptr;
+  out = std::strtod(tmp.c_str(), &end);
+  return !tmp.empty() && end == tmp.c_str() + tmp.size();
+}
+
+[[noreturn]] void bad_line(std::uint64_t line_number, std::string_view what) {
+  throw std::runtime_error("truth sidecar line " +
+                           std::to_string(line_number) + ": " +
+                           std::string(what));
+}
+
+}  // namespace
+
+std::string_view truth_header() noexcept { return kHeader; }
+
+TruthSidecar make_sidecar(const workload::GroundTruth& truth,
+                          const workload::GeneratorConfig& config,
+                          const logs::Anonymizer& anonymizer) {
+  TruthSidecar out;
+  auto key_of = [&](const std::string& address, const std::string& ua) {
+    return anonymizer.pseudonym(address) + "|" + ua;
+  };
+
+  out.clients.reserve(truth.clients.size());
+  for (const auto& c : truth.clients) {
+    TruthClient tc;
+    tc.client_key = key_of(c.address, c.user_agent);
+    tc.profile_class = std::string(workload::to_string(c.profile_class));
+    tc.device = std::string(http::to_string(c.device));
+    tc.agent = std::string(http::to_string(c.agent));
+    tc.runs_periodic_flow = c.runs_periodic_flow;
+    out.clients.push_back(std::move(tc));
+  }
+
+  out.periodic_flows.reserve(truth.periodic_flows.size());
+  for (const auto& f : truth.periodic_flows) {
+    TruthFlow tf;
+    tf.client_key = key_of(f.client_address, f.user_agent);
+    tf.url = f.url;
+    tf.period_seconds = f.period_seconds;
+    tf.request_count = f.request_count;
+    out.periodic_flows.push_back(std::move(tf));
+  }
+
+  out.sessions.reserve(truth.sessions.size());
+  for (const auto& s : truth.sessions) {
+    TruthSession ts;
+    ts.client_key = key_of(s.client_address, s.user_agent);
+    ts.urls = s.urls;
+    out.sessions.push_back(std::move(ts));
+  }
+
+  out.template_of_url.insert(truth.template_of_url.begin(),
+                             truth.template_of_url.end());
+  out.industry_of_domain.insert(truth.industry_of_domain.begin(),
+                                truth.industry_of_domain.end());
+
+  const auto& shares = config.shares;
+  out.population_shares = {
+      {"mobile-app", shares.mobile_app},
+      {"mobile-browser", shares.mobile_browser},
+      {"desktop-browser", shares.desktop_browser},
+      {"embedded", shares.embedded},
+      {"library", shares.library},
+      {"no-ua", shares.no_ua},
+      {"garbage-ua", shares.garbage_ua},
+  };
+  out.total_events = truth.total_events;
+  out.periodic_events = truth.periodic_events;
+  return out;
+}
+
+void write_truth(std::ostream& out, const TruthSidecar& sidecar) {
+  out << kHeader << '\n';
+  out << "stat\ttotal_events\t" << sidecar.total_events << '\n';
+  out << "stat\tperiodic_events\t" << sidecar.periodic_events << '\n';
+  for (const auto& [name, value] : sidecar.population_shares) {
+    out << "share\t" << escape(name) << '\t' << value << '\n';
+  }
+  for (const auto& c : sidecar.clients) {
+    out << "client\t" << escape(c.client_key) << '\t'
+        << escape(c.profile_class) << '\t' << escape(c.device) << '\t'
+        << escape(c.agent) << '\t' << (c.runs_periodic_flow ? 1 : 0) << '\n';
+  }
+  for (const auto& f : sidecar.periodic_flows) {
+    out << "flow\t" << escape(f.client_key) << '\t' << escape(f.url) << '\t'
+        << f.period_seconds << '\t' << f.request_count << '\n';
+  }
+  for (const auto& s : sidecar.sessions) {
+    out << "session\t" << escape(s.client_key);
+    for (const auto& url : s.urls) out << '\t' << escape(url);
+    out << '\n';
+  }
+  for (const auto& [url, key] : sidecar.template_of_url) {
+    out << "template\t" << escape(url) << '\t' << escape(key) << '\n';
+  }
+  for (const auto& [domain, industry] : sidecar.industry_of_domain) {
+    out << "industry\t" << escape(domain) << '\t' << escape(industry) << '\n';
+  }
+}
+
+TruthSidecar read_truth(std::istream& in) {
+  TruthSidecar out;
+  std::string line;
+  std::uint64_t line_number = 0;
+  bool header_seen = false;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (!header_seen) {
+      if (line != kHeader) {
+        throw std::runtime_error(
+            "truth sidecar: missing or unsupported header (expected \"" +
+            std::string(kHeader) + "\", got \"" + line + "\")");
+      }
+      header_seen = true;
+      continue;
+    }
+    const auto cols = split_tabs(line);
+    const auto kind = cols[0];
+    if (kind == "stat") {
+      if (cols.size() != 3) bad_line(line_number, "stat needs 3 columns");
+      std::uint64_t value = 0;
+      if (!parse_u64(cols[2], value)) bad_line(line_number, "bad stat value");
+      const auto name = unescape(cols[1]);
+      if (name == "total_events") {
+        out.total_events = value;
+      } else if (name == "periodic_events") {
+        out.periodic_events = value;
+      } else {
+        bad_line(line_number, "unknown stat name");
+      }
+    } else if (kind == "share") {
+      if (cols.size() != 3) bad_line(line_number, "share needs 3 columns");
+      double value = 0.0;
+      if (!parse_double(cols[2], value)) bad_line(line_number, "bad share");
+      out.population_shares.emplace(unescape(cols[1]), value);
+    } else if (kind == "client") {
+      if (cols.size() != 6) bad_line(line_number, "client needs 6 columns");
+      TruthClient c;
+      c.client_key = unescape(cols[1]);
+      c.profile_class = unescape(cols[2]);
+      c.device = unescape(cols[3]);
+      c.agent = unescape(cols[4]);
+      if (cols[5] != "0" && cols[5] != "1")
+        bad_line(line_number, "bad periodic flag");
+      c.runs_periodic_flow = cols[5] == "1";
+      out.clients.push_back(std::move(c));
+    } else if (kind == "flow") {
+      if (cols.size() != 5) bad_line(line_number, "flow needs 5 columns");
+      TruthFlow f;
+      f.client_key = unescape(cols[1]);
+      f.url = unescape(cols[2]);
+      if (!parse_double(cols[3], f.period_seconds) || f.period_seconds <= 0.0)
+        bad_line(line_number, "bad flow period");
+      if (!parse_u64(cols[4], f.request_count))
+        bad_line(line_number, "bad flow request count");
+      out.periodic_flows.push_back(std::move(f));
+    } else if (kind == "session") {
+      if (cols.size() < 2) bad_line(line_number, "session needs >= 2 columns");
+      TruthSession s;
+      s.client_key = unescape(cols[1]);
+      s.urls.reserve(cols.size() - 2);
+      for (std::size_t i = 2; i < cols.size(); ++i)
+        s.urls.push_back(unescape(cols[i]));
+      out.sessions.push_back(std::move(s));
+    } else if (kind == "template") {
+      if (cols.size() != 3) bad_line(line_number, "template needs 3 columns");
+      out.template_of_url.emplace(unescape(cols[1]), unescape(cols[2]));
+    } else if (kind == "industry") {
+      if (cols.size() != 3) bad_line(line_number, "industry needs 3 columns");
+      out.industry_of_domain.emplace(unescape(cols[1]), unescape(cols[2]));
+    } else {
+      bad_line(line_number, "unknown record type");
+    }
+  }
+  if (!header_seen)
+    throw std::runtime_error("truth sidecar: empty file (no header)");
+  return out;
+}
+
+void write_truth_file(const std::string& path, const TruthSidecar& sidecar) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("cannot open truth sidecar for writing: " + path);
+  write_truth(out, sidecar);
+  if (!out)
+    throw std::runtime_error("failed writing truth sidecar: " + path);
+}
+
+TruthSidecar read_truth_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("cannot open truth sidecar: " + path);
+  return read_truth(in);
+}
+
+}  // namespace jsoncdn::oracle

@@ -1,0 +1,87 @@
+// Ground-truth sidecar: the generator's labels, serialized next to the log.
+//
+// The whole point of substituting the paper's Akamai logs with a synthetic
+// workload is that every analysis can be scored against known ground truth —
+// this file closes that loop. `jsoncdn-generate --ground-truth` writes one
+// sidecar per log; the oracle scorer joins analysis output against it.
+//
+// The sidecar speaks the *log's* identity vocabulary, not the generator's:
+// client addresses are pseudonymized through the same salted hash the edge
+// applies (logs::Anonymizer), so truth rows join against log records by
+// client_key without ever exposing raw addresses. Format is line-oriented
+// TSV with a leading record-type column, percent-escaped like the log
+// itself, sorted sections — stable, diffable, and versioned by header.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "logs/anonymizer.h"
+#include "workload/generator.h"
+
+namespace jsoncdn::oracle {
+
+// One client of the population, keyed the way the log keys it.
+struct TruthClient {
+  std::string client_key;     // pseudonym "|" user_agent — LogRecord::client_key()
+  std::string profile_class;  // workload::to_string(ProfileClass)
+  std::string device;         // http::to_string(DeviceType)
+  std::string agent;          // http::to_string(AgentKind)
+  bool runs_periodic_flow = false;
+};
+
+// One labelled periodic machine-to-machine flow.
+struct TruthFlow {
+  std::string client_key;
+  std::string url;
+  double period_seconds = 0.0;
+  std::uint64_t request_count = 0;
+};
+
+// One interactive session's intended URL chain, in request order.
+struct TruthSession {
+  std::string client_key;
+  std::vector<std::string> urls;
+};
+
+struct TruthSidecar {
+  std::vector<TruthClient> clients;
+  std::vector<TruthFlow> periodic_flows;
+  std::vector<TruthSession> sessions;
+  // URL -> app-graph template key (ideal clustering for Table 3 scoring).
+  std::map<std::string, std::string> template_of_url;
+  // Domain -> industry label (the paper's categorization service, exact).
+  std::map<std::string, std::string> industry_of_domain;
+  // Configured population weights by profile-class name (unnormalized).
+  std::map<std::string, double> population_shares;
+  std::uint64_t total_events = 0;
+  std::uint64_t periodic_events = 0;
+};
+
+// Header line identifying the sidecar format version.
+[[nodiscard]] std::string_view truth_header() noexcept;
+
+// Builds the sidecar from the generator's truth, pseudonymizing every client
+// address through `anonymizer` — pass the same one the CDN network logged
+// with, or nothing will join.
+[[nodiscard]] TruthSidecar make_sidecar(const workload::GroundTruth& truth,
+                                        const workload::GeneratorConfig& config,
+                                        const logs::Anonymizer& anonymizer);
+
+// Serialization. write_truth emits the header plus one line per row;
+// read_truth parses a complete sidecar and throws std::runtime_error on a
+// missing/unsupported header or a malformed row (truth files are artifacts
+// we wrote ourselves — corruption is an error, never skipped silently).
+void write_truth(std::ostream& out, const TruthSidecar& sidecar);
+[[nodiscard]] TruthSidecar read_truth(std::istream& in);
+
+// File convenience wrappers; throw std::runtime_error when the file cannot
+// be opened.
+void write_truth_file(const std::string& path, const TruthSidecar& sidecar);
+[[nodiscard]] TruthSidecar read_truth_file(const std::string& path);
+
+}  // namespace jsoncdn::oracle

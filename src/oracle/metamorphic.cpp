@@ -1,0 +1,131 @@
+#include "oracle/metamorphic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/hash.h"
+#include "stats/rng.h"
+
+namespace jsoncdn::oracle {
+
+namespace {
+
+constexpr std::string_view kScheme = "https://";
+
+std::string insert_infix(const std::string& url, const std::string& infix) {
+  if (url.rfind(kScheme, 0) != 0) {
+    throw std::invalid_argument("rename_urls_order_preserving: URL without " +
+                                std::string(kScheme) + " scheme: " + url);
+  }
+  std::string out;
+  out.reserve(url.size() + infix.size());
+  out.append(kScheme);
+  out.append(infix);
+  out.append(url, kScheme.size(), std::string::npos);
+  return out;
+}
+
+}  // namespace
+
+logs::Dataset shift_time(const logs::Dataset& ds, double delta_seconds) {
+  std::vector<logs::LogRecord> records = ds.records();
+  for (auto& record : records) record.timestamp += delta_seconds;
+  return logs::Dataset(std::move(records));
+}
+
+logs::Dataset merge_datasets(const logs::Dataset& a, const logs::Dataset& b) {
+  std::vector<logs::LogRecord> records;
+  records.reserve(a.size() + b.size());
+  records.insert(records.end(), a.records().begin(), a.records().end());
+  records.insert(records.end(), b.records().begin(), b.records().end());
+  logs::Dataset merged(std::move(records));
+  merged.sort_by_time();
+  return merged;
+}
+
+logs::Dataset rename_disjoint(const logs::Dataset& ds,
+                              const std::string& tag) {
+  std::vector<logs::LogRecord> records = ds.records();
+  for (auto& record : records) {
+    record.client_id += tag;
+    record.url = insert_infix(record.url, tag + ".");
+    record.domain = tag + "." + record.domain;
+  }
+  return logs::Dataset(std::move(records));
+}
+
+logs::Dataset inject_benign_noise(const logs::Dataset& ds, std::size_t count,
+                                  std::uint64_t seed) {
+  const auto [t_min, t_max] = ds.time_range();
+  stats::Rng rng(stats::fnv1a64_mix(seed ^ 0x6e6f697365ULL));
+  std::vector<logs::LogRecord> records = ds.records();
+  records.reserve(records.size() + count);
+  for (std::size_t i = 0; i < count; ++i) {
+    logs::LogRecord noise;
+    noise.timestamp = t_min + rng.uniform() * std::max(t_max - t_min, 1.0);
+    noise.client_id = "noise-client-" + std::to_string(i);
+    noise.user_agent = "NoiseAgent/1.0";
+    noise.url = "https://noise-" + std::to_string(i) +
+                ".example/burst/" + std::to_string(i);
+    noise.domain = "noise-" + std::to_string(i) + ".example";
+    noise.content_type = "application/json";
+    noise.status = 200;
+    noise.response_bytes = 64;
+    noise.cache_status = logs::CacheStatus::kMiss;
+    records.push_back(std::move(noise));
+  }
+  logs::Dataset out(std::move(records));
+  out.sort_by_time();
+  return out;
+}
+
+logs::Dataset rename_urls_order_preserving(const logs::Dataset& ds,
+                                           const std::string& infix) {
+  std::vector<logs::LogRecord> records = ds.records();
+  for (auto& record : records) {
+    record.url = insert_infix(record.url, infix);
+    record.domain = infix + record.domain;
+  }
+  return logs::Dataset(std::move(records));
+}
+
+DetectionLabels detection_labels(const core::PeriodicityReport& report,
+                                 const std::string& url_strip_infix) {
+  DetectionLabels labels;
+  for (const auto& object : report.objects) {
+    std::string url = object.url;
+    if (!url_strip_infix.empty()) {
+      const auto pos = url.find(url_strip_infix);
+      if (pos != std::string::npos) url.erase(pos, url_strip_infix.size());
+    }
+    for (const auto& rec : object.clients) {
+      labels[{url, rec.client}] = {rec.periodic, rec.period_seconds};
+    }
+  }
+  return labels;
+}
+
+DetectionLabels restrict_labels(const DetectionLabels& labels,
+                                const DetectionLabels& reference) {
+  DetectionLabels out;
+  for (const auto& [key, value] : labels) {
+    if (reference.contains(key)) out.emplace(key, value);
+  }
+  return out;
+}
+
+bool labels_equivalent(const DetectionLabels& a, const DetectionLabels& b,
+                       double period_rel_tol) {
+  if (a.size() != b.size()) return false;
+  auto it = a.begin();
+  for (const auto& [key, vb] : b) {
+    const auto& [ka, va] = *it++;
+    if (ka != key || va.first != vb.first) return false;
+    const double ref = std::max(std::abs(va.second), std::abs(vb.second));
+    if (std::abs(va.second - vb.second) > period_rel_tol * ref) return false;
+  }
+  return true;
+}
+
+}  // namespace jsoncdn::oracle

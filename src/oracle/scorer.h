@@ -1,0 +1,98 @@
+// Oracle scorers: join analysis output against the ground-truth sidecar and
+// grade it.
+//
+// Three scorers, one per analysis family:
+//   - score_periodicity: precision / recall / F1 of the §5.1 detector over
+//     the sidecar's labelled periodic flows, with per-flow period error;
+//   - score_ngram: the §5.2 predictor's accuracy@K on the edge log next to
+//     its *skyline* — the same protocol run on the true session chains the
+//     generator intended — so the delta isolates what observing sessions
+//     through the CDN costs;
+//   - score_marginals: L1 distance of the characterization marginals
+//     (device mix, population mix, industry coverage) from the generator's
+//     configured / realized populations.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/characterization.h"
+#include "core/ngram.h"
+#include "core/periodicity.h"
+#include "logs/dataset.h"
+#include "oracle/ground_truth.h"
+
+namespace jsoncdn::oracle {
+
+// ---- Periodicity detector -------------------------------------------------
+
+struct DetectorScore {
+  std::size_t truth_flows = 0;     // labelled periodic flows in the sidecar
+  std::size_t eligible_truth = 0;  // truth flows the analysis examined (the
+                                   // rest fell to the >=10-requests /
+                                   // >=10-clients eligibility filter)
+  std::size_t analyzed_flows = 0;  // all client-object flows examined
+  std::size_t true_positives = 0;  // detected with the right period
+  std::size_t false_positives = 0; // detected where truth has no period (or
+                                   // the wrong one)
+  std::size_t false_negatives = 0; // eligible truth flows not recovered
+  // |detected - true| / true over the true positives.
+  std::vector<double> period_rel_errors;
+
+  [[nodiscard]] double precision() const noexcept;
+  [[nodiscard]] double recall() const noexcept;  // over eligible truth flows
+  [[nodiscard]] double f1() const noexcept;
+  // Share of truth flows the eligibility filter let through at all.
+  [[nodiscard]] double coverage() const noexcept;
+  [[nodiscard]] double max_period_rel_error() const noexcept;
+};
+
+// `period_tolerance`: relative tolerance for calling a detected period equal
+// to the true one (same convention as DetectorParams::period_match_tolerance).
+// A detection whose period misses the truth by more counts as FP *and* FN.
+[[nodiscard]] DetectorScore score_periodicity(
+    const core::PeriodicityReport& report, const TruthSidecar& truth,
+    double period_tolerance = 0.15);
+
+// ---- Ngram predictor ------------------------------------------------------
+
+struct NgramScore {
+  core::NgramAccuracy measured;  // evaluate_ngram over the edge log
+  core::NgramAccuracy skyline;   // same protocol over true session chains
+  // skyline accuracy minus measured accuracy per K (positive = the log path
+  // lost information relative to the intended chains).
+  [[nodiscard]] std::map<std::size_t, double> delta() const;
+};
+
+// `json` is the JSON-filtered dataset (the paper's protocol). The skyline
+// run honours config.context_len / ks / train_fraction / seed; its clustered
+// variant clusters through the sidecar's template map (the ideal clustering)
+// with core::cluster_url as fallback for off-graph URLs.
+[[nodiscard]] NgramScore score_ngram(const logs::Dataset& json,
+                                     const TruthSidecar& truth,
+                                     const core::NgramEvalConfig& config);
+
+// ---- Characterization marginals ------------------------------------------
+
+struct MarginalScore {
+  // L1 distance between the UA-classifier's device request shares and the
+  // truth device (request-weighted, joined per client).
+  double device_request_l1 = 0.0;
+  // L1 distance between the realized client-class population and the
+  // generator's configured shares (both normalized).
+  double class_population_l1 = 0.0;
+  // L1 distance between the per-industry share of distinct domains seen in
+  // the log and the configured uniform industry assignment.
+  double industry_domain_l1 = 0.0;
+  std::size_t joined_requests = 0;    // records matched to a truth client
+  std::size_t unmatched_requests = 0; // records with no truth client
+};
+
+// `ds` must be the dataset `source` was computed over.
+[[nodiscard]] MarginalScore score_marginals(const logs::Dataset& ds,
+                                            const core::SourceBreakdown& source,
+                                            const TruthSidecar& truth);
+
+}  // namespace jsoncdn::oracle

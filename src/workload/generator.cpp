@@ -100,6 +100,19 @@ Workload WorkloadGenerator::generate() const {
     for (auto& ev : events) out.events.push_back(std::move(ev));
   };
 
+  // Records an app session's true URL chain before appending its events.
+  auto append_session = [&](std::vector<RequestEvent>&& events) {
+    if (!events.empty()) {
+      SessionTruth st;
+      st.client_address = events.front().client_address;
+      st.user_agent = events.front().user_agent;
+      st.urls.reserve(events.size());
+      for (const auto& ev : events) st.urls.push_back(ev.url);
+      truth.sessions.push_back(std::move(st));
+    }
+    append(std::move(events));
+  };
+
   // Hybrid-app webview: after an app session, optionally load one HTML page
   // of the same domain (plus its template assets).
   auto maybe_webview = [&](const std::vector<RequestEvent>& session,
@@ -197,7 +210,7 @@ Workload WorkloadGenerator::generate() const {
                                               ua, t0, config_.app_session,
                                               rng);
           maybe_webview(session, favorite, rng);
-          append(std::move(session));
+          append_session(std::move(session));
         }
         if (rng.bernoulli(config_.periodic.mobile_app)) {
           ct.runs_periodic_flow = true;
@@ -230,9 +243,9 @@ Workload WorkloadGenerator::generate() const {
         } else {
           // Console / smart-TV app behaviour.
           for (double t0 : interactive_session_starts(rng)) {
-            append(generate_app_session(app_graphs_[favorite], address,
-                                        ua, t0,
-                                        config_.app_session, rng));
+            append_session(generate_app_session(app_graphs_[favorite], address,
+                                                ua, t0,
+                                                config_.app_session, rng));
           }
         }
         break;
@@ -261,9 +274,9 @@ Workload WorkloadGenerator::generate() const {
         // Unknown UAs hide a mix of app traffic and scripted beacons.
         if (rng.bernoulli(config_.unknown_app_like_share)) {
           for (double t0 : interactive_session_starts(rng)) {
-            append(generate_app_session(app_graphs_[favorite], address,
-                                        ua, t0,
-                                        config_.app_session, rng));
+            append_session(generate_app_session(app_graphs_[favorite], address,
+                                                ua, t0,
+                                                config_.app_session, rng));
           }
         } else {
           const auto& domain = domains[favorite];
@@ -304,6 +317,12 @@ Workload WorkloadGenerator::generate() const {
                      return a.time < b.time;
                    });
   truth.total_events = out.events.size();
+
+  // Domain -> industry label, straight from the catalog's assignment.
+  for (const auto& domain : domains) {
+    truth.industry_of_domain.emplace(domain.name,
+                                     std::string(to_string(domain.industry)));
+  }
 
   // URL -> template key map for clustered-prediction scoring.
   for (const auto& graph : app_graphs_) {

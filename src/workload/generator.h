@@ -103,13 +103,28 @@ struct PeriodicTruth {
   std::size_t request_count = 0;
 };
 
+// One interactive session's true URL chain, in request order, as the client
+// intended it — before CDN routing interleaves clients and before the window
+// clamp drops overrunning tails. The oracle's n-gram skyline trains on these
+// chains; the gap between skyline accuracy and log-measured accuracy is the
+// cost of observing sessions only through the edge log.
+struct SessionTruth {
+  std::string client_address;
+  std::string user_agent;
+  std::vector<std::string> urls;
+};
+
 struct GroundTruth {
   std::vector<ClientTruth> clients;
   std::vector<PeriodicTruth> periodic_flows;
+  std::vector<SessionTruth> sessions;  // app-graph-driven sessions
   std::size_t total_events = 0;
   std::size_t periodic_events = 0;   // events emitted by periodic flows
   // Template id per app-graph URL (for scoring clustered-URL prediction).
   std::unordered_map<std::string, std::string> template_of_url;
+  // Domain -> industry label (the categorization service the paper buys,
+  // exported so analyses' industry marginals can be graded exactly).
+  std::unordered_map<std::string, std::string> industry_of_domain;
 };
 
 struct Workload {

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "cdn/network.h"
 #include "stats/rng.h"
+#include "workload/scenario.h"
 
 namespace jsoncdn::cdn {
 namespace {
@@ -118,6 +122,88 @@ TEST(Scheduler, UnsortedArrivalsAreHandled) {
   const auto r = simulate_schedule(jobs, SchedulingPolicy::kFifo);
   EXPECT_EQ(r.human.count, 2u);
   EXPECT_DOUBLE_EQ(r.human.waiting.max, 0.0);  // no overlap after sorting
+}
+
+// --- jobs derived from a faulted edge log ----------------------------------
+
+// Turns a logged request into a scheduler job. Service time models where the
+// bytes came from: STALE serves and negative-cache ERRORs are memory reads
+// (the resilience layer's whole point is answering without the origin),
+// cache hits are nearly as fast, everything else pays an origin round trip.
+SchedulerJob job_from_record(const logs::LogRecord& record) {
+  double service = 0.050;  // origin fetch
+  switch (record.cache_status) {
+    case logs::CacheStatus::kHit:
+    case logs::CacheStatus::kRefreshHit:
+      service = 0.002;
+      break;
+    case logs::CacheStatus::kStale:
+    case logs::CacheStatus::kError:  // negative-cache short circuit
+      service = 0.001;
+      break;
+    default:
+      break;
+  }
+  // The §5.1 optimization deprioritizes traffic no human waits on; the
+  // resilience-path responses here are retries/monitors by construction.
+  const bool machine = record.cache_status == logs::CacheStatus::kStale ||
+                       record.cache_status == logs::CacheStatus::kError;
+  return {record.timestamp, service, machine};
+}
+
+TEST(Scheduler, HandlesStaleAndNegativeCacheJobsFromAFaultedRun) {
+  // Drive a workload through the PR-3 faulted network so the log contains
+  // real STALE serves and negative-cache ERROR records, then schedule the
+  // log. The prioritizer must accept resilience-path jobs like any others:
+  // nothing is dropped, the run is deterministic, and deprioritizing them
+  // never hurts the human class.
+  const auto wconfig = workload::short_term_scenario(0.001, 99);
+  workload::WorkloadGenerator generator(wconfig);
+  const auto workload = generator.generate();
+
+  NetworkParams params;
+  params.faults.enabled = true;
+  params.faults.seed = 1337;
+  params.faults.error_rate = 0.05;
+  params.faults.timeout_rate = 0.02;
+  params.faults.outages_per_origin = 1.0;
+  for (const auto& event : workload.events) {
+    params.faults.horizon_seconds =
+        std::max(params.faults.horizon_seconds, event.time + 1.0);
+  }
+  CdnNetwork network(generator.catalog().objects(), params);
+  const auto dataset = network.run(workload.events);
+
+  // The resilience paths actually fired — otherwise this test is vacuous.
+  const auto resilience = network.total_resilience();
+  ASSERT_GT(resilience.stale_served, 0u);
+  ASSERT_GT(resilience.negative_cache_hits, 0u);
+
+  std::vector<SchedulerJob> jobs;
+  std::size_t resilience_jobs = 0;
+  jobs.reserve(dataset.size());
+  for (const auto& record : dataset.records()) {
+    jobs.push_back(job_from_record(record));
+    if (jobs.back().machine) ++resilience_jobs;
+  }
+  ASSERT_GT(resilience_jobs, 0u);
+
+  const auto fifo = simulate_schedule(jobs, SchedulingPolicy::kFifo);
+  const auto prio = simulate_schedule(jobs, SchedulingPolicy::kHumanPriority);
+
+  // Conservation: every logged request is served under both policies, and
+  // the machine class is exactly the resilience-path records.
+  EXPECT_EQ(fifo.human.count + fifo.machine.count, dataset.size());
+  EXPECT_EQ(prio.human.count + prio.machine.count, dataset.size());
+  EXPECT_EQ(prio.machine.count, resilience_jobs);
+
+  // Deprioritizing resilience-path traffic never hurts the human class.
+  EXPECT_LE(prio.human.waiting.mean, fifo.human.waiting.mean + 1e-12);
+
+  // Deterministic: same log, same schedule.
+  const auto again = simulate_schedule(jobs, SchedulingPolicy::kHumanPriority);
+  EXPECT_DOUBLE_EQ(prio.human.waiting.mean, again.human.waiting.mean);
+  EXPECT_DOUBLE_EQ(prio.machine.sojourn.mean, again.machine.sojourn.mean);
 }
 
 }  // namespace

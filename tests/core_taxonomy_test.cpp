@@ -1,0 +1,107 @@
+#include "core/taxonomy.h"
+
+#include <gtest/gtest.h>
+
+namespace jsoncdn::core {
+namespace {
+
+constexpr std::string_view kMobileSafariUa =
+    "Mozilla/5.0 (iPhone; CPU iPhone OS 15_0 like Mac OS X) "
+    "AppleWebKit/605.1.15 (KHTML, like Gecko) Version/15.0 Mobile/15E148 "
+    "Safari/604.1";
+
+logs::LogRecord base_record() {
+  logs::LogRecord record;
+  record.timestamp = 1.0;
+  record.client_id = "abc";
+  record.user_agent = std::string(kMobileSafariUa);
+  record.method = http::Method::kGet;
+  record.url = "https://api.news-001.example/v1/feed";
+  record.domain = "api.news-001.example";
+  record.content_type = "application/json";
+  record.status = 200;
+  record.response_bytes = 900;
+  record.cache_status = logs::CacheStatus::kHit;
+  return record;
+}
+
+TEST(Taxonomy, RequestTypeNamesAreStable) {
+  EXPECT_EQ(to_string(RequestType::kDownload), "download");
+  EXPECT_EQ(to_string(RequestType::kUpload), "upload");
+  EXPECT_EQ(to_string(RequestType::kOther), "other");
+}
+
+TEST(Taxonomy, ClassifiesAllThreeAxesOfAJsonBrowserGet) {
+  const auto cls = classify(base_record());
+  EXPECT_TRUE(cls.is_json());
+  EXPECT_EQ(cls.content, http::ContentClass::kJson);
+  EXPECT_EQ(cls.device, http::DeviceType::kMobile);
+  EXPECT_TRUE(cls.is_browser());
+  EXPECT_EQ(cls.request, RequestType::kDownload);
+  EXPECT_TRUE(cls.cacheable_config);
+  EXPECT_EQ(cls.response_bytes, 900u);
+}
+
+TEST(Taxonomy, MapsMethodsOntoThePaperRequestTypes) {
+  auto record = base_record();
+  // §3.2: GET is download; POST (and other body-carrying methods) upload.
+  for (const auto method : {http::Method::kGet, http::Method::kHead}) {
+    record.method = method;
+    EXPECT_EQ(classify(record).request, RequestType::kDownload);
+  }
+  for (const auto method :
+       {http::Method::kPost, http::Method::kPut, http::Method::kPatch}) {
+    record.method = method;
+    EXPECT_EQ(classify(record).request, RequestType::kUpload);
+  }
+  for (const auto method : {http::Method::kDelete, http::Method::kOptions}) {
+    record.method = method;
+    EXPECT_EQ(classify(record).request, RequestType::kOther);
+  }
+}
+
+TEST(Taxonomy, CacheableConfigReflectsCacheStatus) {
+  auto record = base_record();
+  record.cache_status = logs::CacheStatus::kNotCacheable;
+  EXPECT_FALSE(classify(record).cacheable_config);
+  // Everything else — including STALE serves and origin ERRORs — means the
+  // customer's config allowed caching.
+  for (const auto status :
+       {logs::CacheStatus::kHit, logs::CacheStatus::kMiss,
+        logs::CacheStatus::kRefreshHit, logs::CacheStatus::kStale,
+        logs::CacheStatus::kError}) {
+    record.cache_status = status;
+    EXPECT_TRUE(classify(record).cacheable_config)
+        << logs::to_string(status);
+  }
+}
+
+TEST(Taxonomy, MissingUserAgentClassifiesAsUnknown) {
+  auto record = base_record();
+  record.user_agent.clear();
+  const auto cls = classify(record);
+  EXPECT_EQ(cls.device, http::DeviceType::kUnknown);
+  EXPECT_EQ(cls.agent, http::AgentKind::kUnknown);
+  EXPECT_FALSE(cls.is_browser());
+}
+
+TEST(Taxonomy, NonJsonContentIsNotJson) {
+  auto record = base_record();
+  record.content_type = "text/html; charset=utf-8";
+  EXPECT_FALSE(classify(record).is_json());
+}
+
+TEST(Taxonomy, IsAPureFunctionOfTheRecord) {
+  const auto record = base_record();
+  const auto a = classify(record);
+  const auto b = classify(record);
+  EXPECT_EQ(a.content, b.content);
+  EXPECT_EQ(a.device, b.device);
+  EXPECT_EQ(a.agent, b.agent);
+  EXPECT_EQ(a.request, b.request);
+  EXPECT_EQ(a.cacheable_config, b.cacheable_config);
+  EXPECT_EQ(a.response_bytes, b.response_bytes);
+}
+
+}  // namespace
+}  // namespace jsoncdn::core

@@ -1,12 +1,16 @@
 // jsoncdn-generate — produce a synthetic CDN edge log file.
 //
 //   jsoncdn-generate [--scenario short|long] [--scale S] [--seed N]
-//                    [--out FILE] [--json-only]
+//                    [--out FILE] [--json-only] [--ground-truth FILE]
 //                    [--fault-rate F] [--fault-seed N] [--fault-outages N]
 //
 // Writes the TSV log format (logs/csv.h) that jsoncdn-analyze consumes, so
 // the full pipeline can be driven from the shell exactly like the paper's:
 // collect logs on the edge, analyze offline.
+//
+// --ground-truth additionally writes the oracle sidecar (oracle/ground_truth.h)
+// holding the generator's labels keyed the way the log keys clients, so
+// jsoncdn-validate can score the analyses against known truth.
 //
 // --fault-rate enables deterministic origin fault injection: F is the total
 // per-request fault probability, split across errors, timeouts, truncated
@@ -25,6 +29,7 @@
 #include "cdn/network.h"
 #include "faults/plan.h"
 #include "logs/csv.h"
+#include "oracle/ground_truth.h"
 #include "workload/scenario.h"
 
 namespace {
@@ -33,6 +38,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: jsoncdn-generate [--scenario short|long] [--scale S]\n"
                "                        [--seed N] [--out FILE] [--json-only]\n"
+               "                        [--ground-truth FILE] (oracle "
+               "sidecar)\n"
                "                        [--fault-rate F]    (0..1, default 0)\n"
                "                        [--fault-seed N]    (default: "
                "JSONCDN_FAULT_SEED, else --seed)\n"
@@ -49,6 +56,7 @@ int main(int argc, char** argv) {
   double scale = 0.005;
   std::uint64_t seed = 42;
   std::string out_path = "jsoncdn.log";
+  std::string truth_path;
   bool json_only = false;
   double fault_rate = 0.0;
   std::optional<std::uint64_t> fault_seed;
@@ -71,6 +79,8 @@ int main(int argc, char** argv) {
       seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--ground-truth") {
+      truth_path = next();
     } else if (arg == "--json-only") {
       json_only = true;
     } else if (arg == "--fault-rate") {
@@ -149,5 +159,24 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "wrote %llu records to %s\n",
                static_cast<unsigned long long>(writer.written()),
                out_path.c_str());
+
+  if (!truth_path.empty()) {
+    // The sidecar speaks the log's identity vocabulary: client addresses are
+    // pseudonymized through the same anonymizer the network logged with.
+    try {
+      const auto sidecar = oracle::make_sidecar(workload.truth, config,
+                                                network.anonymizer());
+      oracle::write_truth_file(truth_path, sidecar);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ground truth: %s\n", e.what());
+      return 1;
+    }
+    std::fprintf(stderr,
+                 "wrote ground truth to %s (%zu clients, %zu periodic flows, "
+                 "%zu sessions)\n",
+                 truth_path.c_str(), workload.truth.clients.size(),
+                 workload.truth.periodic_flows.size(),
+                 workload.truth.sessions.size());
+  }
   return 0;
 }

@@ -1,0 +1,151 @@
+// jsoncdn-validate — score the analyses against ground truth.
+//
+// File mode (grade one captured pair):
+//   jsoncdn-validate --log FILE --truth FILE [--threads N] [--context N]
+//
+// Sweep mode (the conformance harness, end to end):
+//   jsoncdn-validate --seed-sweep 1,7,1337 [--clients N] [--duration S]
+//                    [--scale S] [--no-streaming] [--markdown]
+//
+// Both modes print detector precision/recall/F1, n-gram accuracy next to
+// its session-chain skyline, and the characterization marginal distances;
+// sweep mode additionally runs the thread-count and batch-vs-streaming
+// differential checks and exits non-zero on any band violation, so CI can
+// gate on it directly. --markdown appends the EXPERIMENTS.md detector table.
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "logs/csv.h"
+#include "oracle/conformance.h"
+#include "oracle/ground_truth.h"
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: jsoncdn-validate --log FILE --truth FILE [--threads N]\n"
+      "                        [--context N]\n"
+      "       jsoncdn-validate --seed-sweep S1,S2,... [--clients N]\n"
+      "                        [--duration SECONDS] [--scale S]\n"
+      "                        [--no-streaming] [--markdown]\n");
+}
+
+std::vector<std::uint64_t> parse_seed_list(const std::string& arg) {
+  std::vector<std::uint64_t> seeds;
+  std::size_t start = 0;
+  while (start <= arg.size()) {
+    const auto comma = arg.find(',', start);
+    const auto token = arg.substr(
+        start, comma == std::string::npos ? std::string::npos : comma - start);
+    if (token.empty()) {
+      seeds.clear();
+      return seeds;
+    }
+    seeds.push_back(static_cast<std::uint64_t>(std::strtoull(
+        token.c_str(), nullptr, 10)));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return seeds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace jsoncdn;
+
+  std::string log_path;
+  std::string truth_path;
+  oracle::ConformanceConfig config;
+  config.seeds.clear();
+  std::size_t threads = 0;
+  bool markdown = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--log") {
+      log_path = next();
+    } else if (arg == "--truth") {
+      truth_path = next();
+    } else if (arg == "--seed-sweep") {
+      config.seeds = parse_seed_list(next());
+      if (config.seeds.empty()) {
+        std::fprintf(stderr, "--seed-sweep needs a comma-separated list\n");
+        return 2;
+      }
+    } else if (arg == "--clients") {
+      config.n_clients = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--duration") {
+      config.duration_seconds = std::atof(next());
+    } else if (arg == "--scale") {
+      config.scale = std::atof(next());
+    } else if (arg == "--threads") {
+      threads = static_cast<std::size_t>(std::atoll(next()));
+      config.thread_counts = {threads};
+    } else if (arg == "--context") {
+      config.ngram_context = static_cast<std::size_t>(std::atoll(next()));
+    } else if (arg == "--no-streaming") {
+      config.check_streaming = false;
+    } else if (arg == "--markdown") {
+      markdown = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  try {
+    if (!config.seeds.empty()) {
+      const auto report = oracle::run_conformance(config);
+      std::fputs(oracle::render_conformance(report).c_str(), stdout);
+      if (markdown) std::fputs(oracle::render_detector_table(report).c_str(),
+                               stdout);
+      return report.all_passed() ? 0 : 1;
+    }
+
+    if (log_path.empty() || truth_path.empty()) {
+      usage();
+      return 2;
+    }
+    logs::IngestReport ingest;
+    const auto dataset =
+        logs::ingest_log_file(log_path, logs::IngestOptions{}, &ingest);
+    if (dataset.empty()) {
+      std::fprintf(stderr, "no records in %s\n", log_path.c_str());
+      return 1;
+    }
+    if (ingest.malformed > 0) {
+      std::fprintf(stderr, "warning: %llu malformed log line(s) skipped\n",
+                   static_cast<unsigned long long>(ingest.malformed));
+    }
+    const auto truth = oracle::read_truth_file(truth_path);
+    const auto json = dataset.json_only();
+    const auto result = oracle::score_case(dataset, json, truth,
+                                           /*seed=*/0, config, threads);
+    std::fputs(oracle::render_case(result).c_str(), stdout);
+    if (markdown) {
+      oracle::ConformanceReport report;
+      report.cases.push_back(result);
+      std::fputs(oracle::render_detector_table(report).c_str(), stdout);
+    }
+    return result.passed() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "jsoncdn-validate: %s\n", e.what());
+    return 1;
+  }
+}
