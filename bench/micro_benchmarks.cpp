@@ -6,7 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "cdn/cache.h"
@@ -18,6 +23,9 @@
 #include "http/device_db.h"
 #include "http/url.h"
 #include "logs/csv.h"
+#include "logs/jlog.h"
+#include "logs/table.h"
+#include "logs/zerocopy.h"
 #include "stats/autocorrelation.h"
 #include "stats/fft.h"
 #include "stats/parallel.h"
@@ -373,6 +381,329 @@ void report_streaming_vs_batch() {
       "batch state is the materialized datasets the exact analyses need");
 }
 
+// ---- Columnar ingest & group-by throughput --------------------------------
+
+// End-to-end comparison of the row pipeline (TSV -> Dataset -> string-keyed
+// flow grouping -> analyses) against the columnar one (zero-copy TSV ->
+// LogTable -> symbol-keyed grouping -> the same analyses), plus the .jlog
+// binary load. Emits machine-readable ratios to BENCH_ingest.json so CI can
+// gate on regressions with machine-independent numbers.
+
+// Synthetic log shaped like the paper's traffic: a periodic polling core
+// (which the flow filter keeps and the detector works on), a long random
+// tail, HTML for the size comparison, and realistic string cardinalities.
+void write_ingest_log(const std::string& path, std::size_t records) {
+  stats::Rng rng(8086);
+  std::vector<std::string> uas;
+  for (int i = 0; i < 40; ++i) {
+    uas.push_back(i % 3 == 0
+                      ? "NewsReader/5." + std::to_string(i) + " (iPhone; iOS 12)"
+                      : "Mozilla/5.0 (Linux; Android 9; Unit-" +
+                            std::to_string(i) + ") Chrome/76.0");
+  }
+  std::ofstream out(path);
+  logs::LogWriter writer(out);
+  logs::LogRecord r;
+  r.edge_id = 1;
+
+  // Periodic core: 20 poll objects x 12 clients x ~40 polls. Kept small so
+  // the detector's FFT+permutation work (identical compute in both
+  // pipelines) doesn't drown out the storage costs this section measures.
+  const std::size_t periodic = std::min<std::size_t>(records / 2, 9'600);
+  std::size_t written = 0;
+  for (std::size_t o = 0; written < periodic; ++o) {
+    const double period = 20.0 + static_cast<double>(o % 6) * 10.0;
+    r.url = "https://api.bench.example/poll/" + std::to_string(o % 100);
+    r.domain = "api.bench.example";
+    r.content_type = "application/json";
+    r.method = http::Method::kGet;
+    r.status = 200;
+    for (std::size_t c = 0; c < 12 && written < periodic; ++c) {
+      r.client_id = "poll-client-" + std::to_string(c + (o % 100) * 12);
+      r.user_agent = uas[(c + o) % uas.size()];
+      const double phase = rng.uniform(0.0, period);
+      for (std::size_t k = 0; k < 40 && written < periodic; ++k) {
+        r.timestamp = phase + static_cast<double>(k) * period +
+                      rng.normal(0.0, 0.2);
+        r.response_bytes = 700 + c;
+        r.cache_status = k % 2 == 0 ? logs::CacheStatus::kNotCacheable
+                                    : logs::CacheStatus::kMiss;
+        writer.write(r);
+        ++written;
+      }
+    }
+  }
+  // Random tail up to the target count.
+  for (; written < records; ++written) {
+    const auto i = written;
+    const bool json = i % 10 < 6;
+    r.timestamp = rng.uniform(0.0, 86'400.0);
+    r.client_id = "client-" + std::to_string(i % 5'000);
+    r.user_agent = uas[i % uas.size()];
+    r.method = i % 13 == 0 ? http::Method::kPost : http::Method::kGet;
+    r.url = (json ? "https://api.bench.example/v1/obj/"
+                  : "https://www.bench.example/page/") +
+            std::to_string(i % 2'000) + "?page=" + std::to_string(i % 7);
+    r.domain = json ? "api.bench.example" : "www.bench.example";
+    r.content_type = json ? "application/json; charset=utf-8"
+                          : "text/html; charset=utf-8";
+    r.status = i % 211 == 0 ? 503 : 200;
+    r.response_bytes = 256 + i % 4'096;
+    r.cache_status = static_cast<logs::CacheStatus>(i % 4);
+    writer.write(r);
+  }
+}
+
+struct PipelineTiming {
+  double ingest_s = 0.0;   // file -> in-memory store
+  double groupby_s = 0.0;  // object + client flow extraction
+  double analyze_s = 0.0;  // characterization + periodicity
+  std::size_t store_bytes = 0;
+  std::size_t flows = 0;  // sanity: both pipelines must agree
+  [[nodiscard]] double total_s() const {
+    return ingest_s + groupby_s + analyze_s;
+  }
+};
+
+core::PeriodicityConfig ingest_bench_periodicity(std::size_t threads) {
+  core::PeriodicityConfig config;
+  config.detector.permutations = 10;  // enough work, bounded wall clock
+  config.threads = threads;
+  return config;
+}
+
+PipelineTiming run_row_pipeline(const std::string& path, std::size_t threads) {
+  PipelineTiming t;
+  bench::Timer timer;
+  auto ds = logs::ingest_log_file(path, logs::IngestOptions{});
+  ds.sort_by_time();
+  t.ingest_s = timer.seconds();
+
+  const auto json = ds.json_only();
+  timer.reset();
+  const auto object_flows = logs::extract_object_flows(json);
+  const auto client_flows = logs::extract_client_flows(json);
+  t.groupby_s = timer.seconds();
+  t.flows = object_flows.size() + client_flows.size();
+
+  timer.reset();
+  benchmark::DoNotOptimize(core::characterize_source(json, threads));
+  benchmark::DoNotOptimize(core::characterize_methods(json, threads));
+  benchmark::DoNotOptimize(core::characterize_cacheability(json, threads));
+  benchmark::DoNotOptimize(core::compare_sizes(ds, threads));
+  benchmark::DoNotOptimize(core::characterize_status(ds, threads));
+  benchmark::DoNotOptimize(
+      core::analyze_periodicity(json, ingest_bench_periodicity(threads)));
+  t.analyze_s = timer.seconds();
+  t.store_bytes = dataset_bytes(ds) + dataset_bytes(json);
+  return t;
+}
+
+PipelineTiming run_columnar_pipeline(const std::string& path,
+                                     std::size_t threads, bool from_jlog) {
+  PipelineTiming t;
+  bench::Timer timer;
+  auto table = from_jlog ? logs::read_jlog(path)
+                         : logs::read_log_table(path, logs::IngestOptions{});
+  table.sort_by_time();
+  t.ingest_s = timer.seconds();
+
+  const auto json_indices = table.json_rows();
+  const logs::TableView json(table, json_indices);
+  const logs::TableView full(table);
+  timer.reset();
+  const auto object_flows = logs::extract_object_flows(json);
+  const auto client_flows = logs::extract_client_flows(json);
+  t.groupby_s = timer.seconds();
+  t.flows = object_flows.size() + client_flows.size();
+
+  timer.reset();
+  benchmark::DoNotOptimize(core::characterize_source(json, threads));
+  benchmark::DoNotOptimize(core::characterize_methods(json, threads));
+  benchmark::DoNotOptimize(core::characterize_cacheability(json, threads));
+  benchmark::DoNotOptimize(core::compare_sizes(full, threads));
+  benchmark::DoNotOptimize(core::characterize_status(full, threads));
+  benchmark::DoNotOptimize(
+      core::analyze_periodicity(json, ingest_bench_periodicity(threads)));
+  t.analyze_s = timer.seconds();
+  t.store_bytes = table.memory_bytes() +
+                  json_indices.size() * sizeof(logs::LogTable::RowIndex);
+  return t;
+}
+
+struct IngestBenchReport {
+  std::size_t records = 0;
+  PipelineTiming row1, col1, jlog1;  // 1 thread
+  PipelineTiming rowN, colN;         // n_threads
+  std::size_t n_threads = 4;
+
+  // Headline: the columnar store end-to-end (.jlog load + symbol-keyed
+  // group-by + analyses) against the TSV row pipeline. Parsing text happens
+  // once, at sidecar-write time; every analysis run after that starts from
+  // the binary columns.
+  [[nodiscard]] double speedup_total() const {
+    return row1.total_s() / jlog1.total_s();
+  }
+  // Same pipelines but both starting from the TSV text — isolates what
+  // zero-copy tokenization + interning buy before the sidecar exists.
+  [[nodiscard]] double speedup_total_tsv() const {
+    return row1.total_s() / col1.total_s();
+  }
+  [[nodiscard]] double speedup_ingest() const {
+    return row1.ingest_s / jlog1.ingest_s;
+  }
+  [[nodiscard]] double speedup_groupby() const {
+    return row1.groupby_s / col1.groupby_s;
+  }
+  [[nodiscard]] double memory_reduction() const {
+    return 1.0 - static_cast<double>(col1.store_bytes) /
+                     static_cast<double>(row1.store_bytes);
+  }
+};
+
+void print_pipeline(const char* name, const PipelineTiming& t) {
+  std::printf(
+      "  %-22s ingest %7.3f s   group-by %7.3f s   analyze %7.3f s   "
+      "total %7.3f s   store %8zu KiB\n",
+      name, t.ingest_s, t.groupby_s, t.analyze_s, t.total_s(),
+      t.store_bytes / 1024);
+}
+
+IngestBenchReport report_ingest_throughput(std::size_t records) {
+  bench::print_header(
+      "columnar ingest",
+      "TSV row pipeline vs zero-copy columnar vs .jlog binary, " +
+          std::to_string(records) + " records");
+  IngestBenchReport report;
+  report.records = records;
+  const std::string log_path = "/tmp/jsoncdn_bench_ingest.log";
+  const std::string jlog_path = "/tmp/jsoncdn_bench_ingest.jlog";
+  write_ingest_log(log_path, records);
+  logs::write_jlog(jlog_path, logs::read_log_table(log_path,
+                                                   logs::IngestOptions{}));
+
+  // Warm the page cache so the comparison measures parsing, not disk.
+  (void)logs::read_log_table(log_path, logs::IngestOptions{});
+
+  report.row1 = run_row_pipeline(log_path, 1);
+  report.col1 = run_columnar_pipeline(log_path, 1, /*from_jlog=*/false);
+  report.jlog1 = run_columnar_pipeline(jlog_path, 1, /*from_jlog=*/true);
+  report.rowN = run_row_pipeline(log_path, report.n_threads);
+  report.colN = run_columnar_pipeline(log_path, report.n_threads,
+                                      /*from_jlog=*/false);
+  if (report.row1.flows != report.col1.flows ||
+      report.col1.flows != report.jlog1.flows) {
+    bench::note("warning: pipelines disagree on flow counts");
+  }
+
+  print_pipeline("row (1 thread)", report.row1);
+  print_pipeline("columnar (1 thread)", report.col1);
+  print_pipeline(".jlog (1 thread)", report.jlog1);
+  print_pipeline("row (4 threads)", report.rowN);
+  print_pipeline("columnar (4 threads)", report.colN);
+  std::printf(
+      "  end-to-end speedup %.2fx (.jlog store; %.2fx from TSV)   "
+      "ingest %.2fx   group-by %.2fx   store reduction %.1f%%\n",
+      report.speedup_total(), report.speedup_total_tsv(),
+      report.speedup_ingest(), report.speedup_groupby(),
+      100.0 * report.memory_reduction());
+  std::remove(log_path.c_str());
+  std::remove(jlog_path.c_str());
+  return report;
+}
+
+void write_ingest_json(const IngestBenchReport& r, const std::string& path) {
+  std::ofstream out(path);
+  char buf[2048];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"records\": %zu,\n"
+      "  \"row_1t\": {\"ingest_s\": %.4f, \"groupby_s\": %.4f, "
+      "\"analyze_s\": %.4f, \"total_s\": %.4f, \"store_bytes\": %zu},\n"
+      "  \"columnar_1t\": {\"ingest_s\": %.4f, \"groupby_s\": %.4f, "
+      "\"analyze_s\": %.4f, \"total_s\": %.4f, \"store_bytes\": %zu},\n"
+      "  \"jlog_1t\": {\"ingest_s\": %.4f, \"total_s\": %.4f},\n"
+      "  \"row_4t_total_s\": %.4f,\n"
+      "  \"columnar_4t_total_s\": %.4f,\n"
+      "  \"speedup_total\": %.4f,\n"
+      "  \"speedup_total_tsv\": %.4f,\n"
+      "  \"speedup_ingest\": %.4f,\n"
+      "  \"speedup_groupby\": %.4f,\n"
+      "  \"memory_reduction\": %.4f\n"
+      "}\n",
+      r.records, r.row1.ingest_s, r.row1.groupby_s, r.row1.analyze_s,
+      r.row1.total_s(), r.row1.store_bytes, r.col1.ingest_s,
+      r.col1.groupby_s, r.col1.analyze_s, r.col1.total_s(),
+      r.col1.store_bytes, r.jlog1.ingest_s, r.jlog1.total_s(),
+      r.rowN.total_s(), r.colN.total_s(), r.speedup_total(),
+      r.speedup_total_tsv(), r.speedup_ingest(), r.speedup_groupby(),
+      r.memory_reduction());
+  out << buf;
+  bench::note("wrote " + path);
+}
+
+// Minimal key lookup for the fixed-format JSON this binary writes — no
+// dependency, no general parser.
+double json_number(const std::string& text, const std::string& key) {
+  const auto pos = text.find("\"" + key + "\"");
+  if (pos == std::string::npos) return -1.0;
+  const auto colon = text.find(':', pos);
+  if (colon == std::string::npos) return -1.0;
+  return std::atof(text.c_str() + colon + 1);
+}
+
+// Compares machine-independent ratios against the committed baseline; wall
+// clocks differ across machines, speedups should not. Returns false when a
+// ratio regressed by more than `tolerance` (relative).
+bool check_against_baseline(const IngestBenchReport& r,
+                            const std::string& baseline_path,
+                            double tolerance) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open baseline %s\n", baseline_path.c_str());
+    return false;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  bool ok = true;
+  const auto check = [&](const char* key, double current) {
+    const double base = json_number(text, key);
+    if (base <= 0.0) {
+      std::fprintf(stderr, "baseline missing %s\n", key);
+      ok = false;
+      return;
+    }
+    const double floor = base * (1.0 - tolerance);
+    const bool pass = current >= floor;
+    std::printf("  %-18s baseline %6.3f   current %6.3f   floor %6.3f   %s\n",
+                key, base, current, floor, pass ? "ok" : "REGRESSED");
+    if (!pass) ok = false;
+  };
+  bench::print_header("ingest regression check",
+                      baseline_path + " (tolerance " +
+                          std::to_string(static_cast<int>(tolerance * 100)) +
+                          "%)");
+  // The workload's periodic core is an absolute size, so the ratios shift
+  // with the record count; a comparison is only meaningful at the count the
+  // baseline was measured at.
+  const auto base_records =
+      static_cast<std::size_t>(json_number(text, "records"));
+  if (base_records != r.records) {
+    std::fprintf(stderr,
+                 "baseline was measured at %zu records, this run used %zu; "
+                 "rerun with --ingest-records=%zu\n",
+                 base_records, r.records, base_records);
+    return false;
+  }
+  check("speedup_total", r.speedup_total());
+  check("speedup_total_tsv", r.speedup_total_tsv());
+  check("speedup_ingest", r.speedup_ingest());
+  check("speedup_groupby", r.speedup_groupby());
+  check("memory_reduction", r.memory_reduction());
+  return ok;
+}
+
 // ---- Edge throughput under origin faults ----------------------------------
 
 // The resilience layer (retry/backoff, stale-if-error, negative cache,
@@ -433,12 +764,52 @@ void report_fault_resilience() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  report_parallel_speedup();
-  report_streaming_vs_batch();
-  report_fault_resilience();
+  // Custom ingest-bench flags, stripped before google-benchmark sees argv:
+  //   --ingest-json=PATH     write BENCH_ingest.json-style results to PATH
+  //   --ingest-check=PATH    compare ratios against a committed baseline,
+  //                          exit non-zero on a >25% regression
+  //   --ingest-records=N     workload size (default 1,000,000)
+  //   --ingest-only          skip the microbenchmark suite & other reports
+  std::string ingest_json_path;
+  std::string ingest_check_path;
+  std::size_t ingest_records = 1'000'000;
+  bool ingest_only = false;
+  {
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--ingest-json=", 0) == 0) {
+        ingest_json_path = arg.substr(std::strlen("--ingest-json="));
+      } else if (arg.rfind("--ingest-check=", 0) == 0) {
+        ingest_check_path = arg.substr(std::strlen("--ingest-check="));
+      } else if (arg.rfind("--ingest-records=", 0) == 0) {
+        ingest_records = static_cast<std::size_t>(
+            std::atoll(arg.c_str() + std::strlen("--ingest-records=")));
+      } else if (arg == "--ingest-only") {
+        ingest_only = true;
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+  }
+
+  if (!ingest_only) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    report_parallel_speedup();
+    report_streaming_vs_batch();
+    report_fault_resilience();
+  }
+
+  const auto ingest_report = report_ingest_throughput(ingest_records);
+  if (!ingest_json_path.empty())
+    write_ingest_json(ingest_report, ingest_json_path);
+  if (!ingest_check_path.empty() &&
+      !check_against_baseline(ingest_report, ingest_check_path,
+                              /*tolerance=*/0.25))
+    return 1;
   return 0;
 }

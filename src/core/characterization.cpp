@@ -77,6 +77,61 @@ struct SourceShard {
 
 }  // namespace
 
+SourceBreakdown characterize_source(const logs::TableView& view,
+                                    std::size_t threads) {
+  const auto& table = view.table();
+  // Classify each distinct UA once, up front: the dictionary is tiny next to
+  // the row count, and shards then index a flat array instead of probing a
+  // per-shard string-keyed cache.
+  const auto& uas = table.user_agents();
+  std::vector<http::DeviceClassification> cls_by_sym(uas.size());
+  for (std::size_t s = 0; s < uas.size(); ++s) {
+    cls_by_sym[s] = http::classify_device(
+        uas.view(static_cast<logs::StringInterner::Symbol>(s)));
+  }
+
+  struct Shard {
+    SourceBreakdown breakdown;
+    std::vector<std::uint8_t> ua_seen;  // per UA symbol
+    void merge(const Shard& other) {
+      breakdown.merge(other.breakdown);
+      if (ua_seen.size() < other.ua_seen.size())
+        ua_seen.resize(other.ua_seen.size(), 0);
+      for (std::size_t s = 0; s < other.ua_seen.size(); ++s)
+        ua_seen[s] |= other.ua_seen[s];
+    }
+  };
+  stats::ThreadPool pool(threads);
+  const auto shard = stats::parallel_reduce<Shard>(
+      pool, view.size(), [&](Shard& acc, std::size_t begin, std::size_t end) {
+        acc.ua_seen.resize(uas.size(), 0);
+        auto& out = acc.breakdown;
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto row = view[i];
+          const auto sym = table.user_agent_sym(row);
+          acc.ua_seen[sym] = 1;
+          const auto& cls = cls_by_sym[sym];
+          ++out.total_requests;
+          ++out.requests_by_device[device_index(cls.device)];
+          if (cls.is_browser()) {
+            ++out.browser_requests;
+            if (cls.device == http::DeviceType::kMobile)
+              ++out.mobile_browser_requests;
+          }
+          if (table.user_agent(row).empty()) ++out.missing_ua_requests;
+        }
+      });
+  SourceBreakdown out = shard.breakdown;
+  for (std::size_t s = 0; s < shard.ua_seen.size(); ++s) {
+    if (!shard.ua_seen[s]) continue;
+    if (uas.view(static_cast<logs::StringInterner::Symbol>(s)).empty())
+      continue;  // a missing header is not a UA string
+    ++out.total_ua_strings;
+    ++out.ua_strings_by_device[device_index(cls_by_sym[s].device)];
+  }
+  return out;
+}
+
 SourceBreakdown characterize_source(const logs::Dataset& ds,
                                     std::size_t threads) {
   const auto& records = ds.records();
@@ -139,6 +194,24 @@ void MethodMix::merge(const MethodMix& shard) noexcept {
   total += shard.total;
 }
 
+MethodMix characterize_methods(const logs::TableView& view,
+                               std::size_t threads) {
+  const auto& table = view.table();
+  stats::ThreadPool pool(threads);
+  return stats::parallel_reduce<MethodMix>(
+      pool, view.size(),
+      [&](MethodMix& out, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          ++out.total;
+          switch (table.method(view[i])) {
+            case http::Method::kGet: ++out.get; break;
+            case http::Method::kPost: ++out.post; break;
+            default: ++out.other; break;
+          }
+        }
+      });
+}
+
 MethodMix characterize_methods(const logs::Dataset& ds, std::size_t threads) {
   const auto& records = ds.records();
   stats::ThreadPool pool(threads);
@@ -173,6 +246,44 @@ void CacheabilityStats::merge(const CacheabilityStats& shard) noexcept {
   cacheable += shard.cacheable;
   uncacheable += shard.uncacheable;
   hits += shard.hits;
+}
+
+namespace {
+
+// The shared cacheability bucketing (see the Dataset overload's comments).
+inline void count_cache_status(CacheabilityStats& out,
+                               logs::CacheStatus status) noexcept {
+  switch (status) {
+    case logs::CacheStatus::kError:
+      break;
+    case logs::CacheStatus::kNotCacheable:
+      ++out.uncacheable;
+      break;
+    case logs::CacheStatus::kHit:
+    case logs::CacheStatus::kStale:
+      ++out.cacheable;
+      ++out.hits;
+      break;
+    case logs::CacheStatus::kMiss:
+    case logs::CacheStatus::kRefreshHit:
+      ++out.cacheable;
+      break;
+  }
+}
+
+}  // namespace
+
+CacheabilityStats characterize_cacheability(const logs::TableView& view,
+                                            std::size_t threads) {
+  const auto& table = view.table();
+  stats::ThreadPool pool(threads);
+  return stats::parallel_reduce<CacheabilityStats>(
+      pool, view.size(),
+      [&](CacheabilityStats& out, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          count_cache_status(out, table.cache_status(view[i]));
+        }
+      });
 }
 
 CacheabilityStats characterize_cacheability(const logs::Dataset& ds,
@@ -225,6 +336,34 @@ void StatusBreakdown::merge(const StatusBreakdown& shard) noexcept {
   gateway_timeout_504 += shard.gateway_timeout_504;
   stale_served += shard.stale_served;
   error_cache_status += shard.error_cache_status;
+}
+
+StatusBreakdown characterize_status(const logs::TableView& view,
+                                    std::size_t threads) {
+  const auto& table = view.table();
+  stats::ThreadPool pool(threads);
+  return stats::parallel_reduce<StatusBreakdown>(
+      pool, view.size(),
+      [&](StatusBreakdown& out, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto row = view[i];
+          const int status = table.status(row);
+          ++out.total;
+          if (status >= 500) {
+            ++out.server_error_5xx;
+            if (status == 504) ++out.gateway_timeout_504;
+          } else if (status >= 400) {
+            ++out.client_error_4xx;
+          } else if (status >= 300) {
+            ++out.redirect_3xx;
+          } else if (status >= 200) {
+            ++out.ok_2xx;
+          }
+          const auto cache = table.cache_status(row);
+          if (cache == logs::CacheStatus::kStale) ++out.stale_served;
+          if (cache == logs::CacheStatus::kError) ++out.error_cache_status;
+        }
+      });
 }
 
 StatusBreakdown characterize_status(const logs::Dataset& ds,
@@ -281,6 +420,38 @@ struct SizeShard {
 
 }  // namespace
 
+SizeComparison compare_sizes(const logs::TableView& view,
+                             std::size_t threads) {
+  const auto& table = view.table();
+  // One classification per distinct content-type symbol.
+  const auto& ctypes = table.content_types();
+  std::vector<http::ContentClass> class_by_sym(ctypes.size());
+  for (std::size_t s = 0; s < ctypes.size(); ++s) {
+    class_by_sym[s] = http::classify_content(
+        ctypes.view(static_cast<logs::StringInterner::Symbol>(s)));
+  }
+  stats::ThreadPool pool(threads);
+  const auto shard = stats::parallel_reduce<SizeShard>(
+      pool, view.size(),
+      [&](SizeShard& acc, std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto row = view[i];
+          const auto content = class_by_sym[table.content_type_sym(row)];
+          if (content == http::ContentClass::kJson) {
+            acc.json_sizes.push_back(
+                static_cast<double>(table.response_bytes(row)));
+          } else if (content == http::ContentClass::kHtml) {
+            acc.html_sizes.push_back(
+                static_cast<double>(table.response_bytes(row)));
+          }
+        }
+      });
+  SizeComparison out;
+  out.json = stats::summarize(shard.json_sizes);
+  out.html = stats::summarize(shard.html_sizes);
+  return out;
+}
+
 SizeComparison compare_sizes(const logs::Dataset& ds, std::size_t threads) {
   const auto& records = ds.records();
   stats::ThreadPool pool(threads);
@@ -302,6 +473,70 @@ SizeComparison compare_sizes(const logs::Dataset& ds, std::size_t threads) {
   SizeComparison out;
   out.json = stats::summarize(shard.json_sizes);
   out.html = stats::summarize(shard.html_sizes);
+  return out;
+}
+
+std::vector<DomainCacheability> domain_cacheability(
+    const logs::TableView& view, const IndustryLookup& industry_of,
+    std::size_t threads) {
+  if (!industry_of)
+    throw std::invalid_argument("domain_cacheability: null industry lookup");
+  const auto& table = view.table();
+  const auto& domains = table.domains();
+  struct Acc {
+    std::uint64_t requests = 0;
+    std::uint64_t cacheable = 0;
+  };
+  struct DomainShard {
+    std::vector<Acc> by_sym;  // flat per-domain-symbol accumulators
+    void merge(const DomainShard& other) {
+      if (by_sym.size() < other.by_sym.size()) by_sym.resize(other.by_sym.size());
+      for (std::size_t s = 0; s < other.by_sym.size(); ++s) {
+        by_sym[s].requests += other.by_sym[s].requests;
+        by_sym[s].cacheable += other.by_sym[s].cacheable;
+      }
+    }
+  };
+  stats::ThreadPool pool(threads);
+  const auto merged = stats::parallel_reduce<DomainShard>(
+      pool, view.size(),
+      [&](DomainShard& shard, std::size_t begin, std::size_t end) {
+        shard.by_sym.resize(domains.size());
+        for (std::size_t i = begin; i < end; ++i) {
+          const auto row = view[i];
+          // Same filters as the Dataset overload: download traffic only,
+          // ERROR records carry no cacheability signal.
+          if (!http::is_download(table.method(row))) continue;
+          const auto cache = table.cache_status(row);
+          if (cache == logs::CacheStatus::kError) continue;
+          auto& acc = shard.by_sym[table.domain_sym(row)];
+          ++acc.requests;
+          if (cache != logs::CacheStatus::kNotCacheable) ++acc.cacheable;
+        }
+      });
+  // Emit in domain-string order — the order the Dataset overload's ordered
+  // map iterates in.
+  std::vector<logs::StringInterner::Symbol> present;
+  for (std::size_t s = 0; s < merged.by_sym.size(); ++s) {
+    if (merged.by_sym[s].requests > 0)
+      present.push_back(static_cast<logs::StringInterner::Symbol>(s));
+  }
+  std::sort(present.begin(), present.end(),
+            [&](logs::StringInterner::Symbol a, logs::StringInterner::Symbol b) {
+              return domains.view(a) < domains.view(b);
+            });
+  std::vector<DomainCacheability> out;
+  out.reserve(present.size());
+  for (const auto sym : present) {
+    const auto& acc = merged.by_sym[sym];
+    DomainCacheability dc;
+    dc.domain = std::string(domains.view(sym));
+    dc.category = industry_of(dc.domain);
+    dc.requests = acc.requests;
+    dc.cacheable_share = static_cast<double>(acc.cacheable) /
+                         static_cast<double>(acc.requests);
+    out.push_back(std::move(dc));
+  }
   return out;
 }
 

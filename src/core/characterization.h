@@ -12,6 +12,7 @@
 
 #include "core/taxonomy.h"
 #include "logs/dataset.h"
+#include "logs/table.h"
 #include "stats/descriptive.h"
 
 namespace jsoncdn::core {
@@ -46,6 +47,10 @@ struct SourceBreakdown {
 // result is bit-identical for any thread count.
 [[nodiscard]] SourceBreakdown characterize_source(const logs::Dataset& ds,
                                                   std::size_t threads = 1);
+// Columnar variant: device classification runs once per distinct interned UA
+// symbol instead of per distinct string per shard. Bit-identical output.
+[[nodiscard]] SourceBreakdown characterize_source(const logs::TableView& view,
+                                                  std::size_t threads = 1);
 
 // ---- Request type ---------------------------------------------------------
 
@@ -64,6 +69,8 @@ struct MethodMix {
 };
 
 [[nodiscard]] MethodMix characterize_methods(const logs::Dataset& ds,
+                                             std::size_t threads = 1);
+[[nodiscard]] MethodMix characterize_methods(const logs::TableView& view,
                                              std::size_t threads = 1);
 
 // ---- Response type --------------------------------------------------------
@@ -85,6 +92,8 @@ struct CacheabilityStats {
 // rules, so batch and streaming agree exactly.
 [[nodiscard]] CacheabilityStats characterize_cacheability(
     const logs::Dataset& ds, std::size_t threads = 1);
+[[nodiscard]] CacheabilityStats characterize_cacheability(
+    const logs::TableView& view, std::size_t threads = 1);
 
 // ---- Response status / error share ---------------------------------------
 
@@ -111,6 +120,8 @@ struct StatusBreakdown {
 
 [[nodiscard]] StatusBreakdown characterize_status(const logs::Dataset& ds,
                                                   std::size_t threads = 1);
+[[nodiscard]] StatusBreakdown characterize_status(const logs::TableView& view,
+                                                  std::size_t threads = 1);
 
 // JSON vs HTML response sizes over an (unfiltered) dataset.
 struct SizeComparison {
@@ -123,6 +134,10 @@ struct SizeComparison {
 };
 
 [[nodiscard]] SizeComparison compare_sizes(const logs::Dataset& ds,
+                                           std::size_t threads = 1);
+// Columnar variant: content classification runs once per distinct interned
+// content-type symbol, then rows reduce over a precomputed class column.
+[[nodiscard]] SizeComparison compare_sizes(const logs::TableView& view,
                                            std::size_t threads = 1);
 
 // ---- Domain cacheability heatmap (Fig. 4) -------------------------------
@@ -143,6 +158,12 @@ struct DomainCacheability {
 // the sharded per-record aggregation), so it need not be thread-safe.
 [[nodiscard]] std::vector<DomainCacheability> domain_cacheability(
     const logs::Dataset& ds, const IndustryLookup& industry_of,
+    std::size_t threads = 1);
+// Columnar variant: shards accumulate into flat per-domain-symbol arrays
+// (no string hashing or tree walks); output order is by domain string, same
+// as the Dataset overload's ordered-map iteration.
+[[nodiscard]] std::vector<DomainCacheability> domain_cacheability(
+    const logs::TableView& view, const IndustryLookup& industry_of,
     std::size_t threads = 1);
 
 struct CacheabilityHeatmap {

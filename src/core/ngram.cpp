@@ -24,7 +24,7 @@ NgramModel::NgramModel(std::size_t max_context) : max_context_(max_context) {
 }
 
 NgramModel::TokenId NgramModel::intern(std::string_view token) {
-  const auto it = vocab_.find(std::string(token));
+  const auto it = vocab_.find(token);  // heterogeneous: no temporary string
   if (it != vocab_.end()) return it->second;
   const auto id = static_cast<TokenId>(token_names_.size());
   token_names_.emplace_back(token);
@@ -150,7 +150,15 @@ std::vector<NgramModel::Prediction> NgramModel::predict(
   return out;
 }
 
-NgramAccuracy evaluate_ngram(const logs::Dataset& ds,
+namespace {
+
+// Shared evaluation driver over extracted client flows. `url_of(idx)`
+// resolves a flow record index to its URL — the only input access the
+// protocol needs — so the row (Dataset) and columnar (TableView) entry
+// points produce bit-identical accuracy by construction.
+template <typename UrlOf>
+NgramAccuracy evaluate_flows(const std::vector<logs::ClientFlow>& flows,
+                             const UrlOf& url_of,
                              const NgramEvalConfig& config) {
   if (config.train_fraction <= 0.0 || config.train_fraction >= 1.0)
     throw std::invalid_argument("evaluate_ngram: train_fraction outside (0,1)");
@@ -161,15 +169,12 @@ NgramAccuracy evaluate_ngram(const logs::Dataset& ds,
   result.context_len = config.context_len;
   result.clustered = config.clustered;
 
-  const auto flows = logs::extract_client_flows(ds, config.min_flow_requests);
-  const auto& records = ds.records();
-
   auto tokens_of = [&](const logs::ClientFlow& flow) {
     std::vector<std::string> tokens;
     tokens.reserve(flow.record_indices.size());
     for (const auto idx : flow.record_indices) {
-      const auto& url = records[idx].url;
-      tokens.push_back(config.clustered ? cluster_url(url) : url);
+      const std::string_view url = url_of(idx);
+      tokens.push_back(config.clustered ? cluster_url(url) : std::string(url));
     }
     return tokens;
   };
@@ -269,6 +274,30 @@ NgramAccuracy evaluate_ngram(const logs::Dataset& ds,
                   static_cast<double>(result.predictions);
   }
   return result;
+}
+
+}  // namespace
+
+NgramAccuracy evaluate_ngram(const logs::Dataset& ds,
+                             const NgramEvalConfig& config) {
+  const auto flows = logs::extract_client_flows(ds, config.min_flow_requests);
+  const auto& records = ds.records();
+  return evaluate_flows(
+      flows,
+      [&](std::size_t idx) -> std::string_view { return records[idx].url; },
+      config);
+}
+
+NgramAccuracy evaluate_ngram(const logs::TableView& view,
+                             const NgramEvalConfig& config) {
+  const auto flows = logs::extract_client_flows(view, config.min_flow_requests);
+  return evaluate_flows(
+      flows,
+      // Flow indices are view positions; tokens come from the dictionary.
+      [&](std::size_t idx) -> std::string_view {
+        return view.table().url(view[idx]);
+      },
+      config);
 }
 
 }  // namespace jsoncdn::core

@@ -16,6 +16,8 @@
 #include <vector>
 
 #include "logs/dataset.h"
+#include "logs/table.h"
+#include "stats/hash.h"
 #include "stats/rng.h"
 
 namespace jsoncdn::core {
@@ -48,9 +50,10 @@ class NgramModel {
   [[nodiscard]] std::size_t vocabulary_size() const noexcept {
     return vocab_.size();
   }
-  // True if the token was ever observed during training.
+  // True if the token was ever observed during training. Heterogeneous
+  // lookup: no temporary std::string.
   [[nodiscard]] bool knows(std::string_view token) const {
-    return vocab_.contains(std::string(token));
+    return vocab_.find(token) != vocab_.end();
   }
   [[nodiscard]] std::size_t max_context() const noexcept {
     return max_context_;
@@ -67,7 +70,11 @@ class NgramModel {
   [[nodiscard]] std::string context_key(std::span<const TokenId> context) const;
 
   std::size_t max_context_;
-  std::unordered_map<std::string, TokenId> vocab_;
+  // Transparent hashing: interning and prediction look tokens up by
+  // string_view without materializing a std::string per probe.
+  std::unordered_map<std::string, TokenId, stats::TransparentStringHash,
+                     std::equal_to<>>
+      vocab_;
   std::vector<std::string> token_names_;
   // One table per context length; contexts serialized to byte-string keys.
   std::vector<std::unordered_map<std::string, CountMap>> tables_;
@@ -103,6 +110,12 @@ struct NgramAccuracy {
 // exactly the paper's protocol (client-level split, per-client request
 // flows, URL features; clustered variant applies cluster_url()).
 [[nodiscard]] NgramAccuracy evaluate_ngram(const logs::Dataset& ds,
+                                           const NgramEvalConfig& config);
+
+// Columnar variant: client flows group on interned symbols and URL tokens
+// come straight from the table's dictionary. Accuracy figures are
+// bit-identical to the Dataset overload on the equivalent rows.
+[[nodiscard]] NgramAccuracy evaluate_ngram(const logs::TableView& view,
                                            const NgramEvalConfig& config);
 
 }  // namespace jsoncdn::core

@@ -322,18 +322,19 @@ ObjectPeriodicity analyze_object_flow(const PeriodicityDetector& detector,
   return obj;
 }
 
-}  // namespace
-
-PeriodicityReport analyze_periodicity(const logs::Dataset& ds,
-                                      const PeriodicityConfig& config) {
+// Shared driver: the whole analysis after flow extraction depends only on
+// the ObjectFlow values, so the row (Dataset) and columnar (TableView)
+// entry points below produce bit-identical reports by construction.
+PeriodicityReport analyze_flows(const std::vector<logs::ObjectFlow>& flows,
+                                std::size_t input_requests,
+                                const PeriodicityConfig& config) {
   PeriodicityDetector detector(config.detector);
-  const auto flows = logs::extract_object_flows(ds, config.flow_filter);
   const stats::Rng root(config.seed);
 
   PeriodicityReport report;
   report.total_requests = config.total_requests_override > 0
                               ? config.total_requests_override
-                              : ds.size();
+                              : input_requests;
 
   // Fan out one task per object flow with index-ordered placement; the
   // sequential merge below then visits objects in the same order as the
@@ -381,6 +382,20 @@ PeriodicityReport analyze_periodicity(const logs::Dataset& ds,
         static_cast<double>(report.periodic_requests);
   }
   return report;
+}
+
+}  // namespace
+
+PeriodicityReport analyze_periodicity(const logs::Dataset& ds,
+                                      const PeriodicityConfig& config) {
+  return analyze_flows(logs::extract_object_flows(ds, config.flow_filter),
+                       ds.size(), config);
+}
+
+PeriodicityReport analyze_periodicity(const logs::TableView& view,
+                                      const PeriodicityConfig& config) {
+  return analyze_flows(logs::extract_object_flows(view, config.flow_filter),
+                       view.size(), config);
 }
 
 }  // namespace jsoncdn::core

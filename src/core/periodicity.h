@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "logs/dataset.h"
+#include "logs/table.h"
 #include "stats/autocorrelation.h"
 #include "stats/rng.h"
 
@@ -166,5 +167,12 @@ struct PeriodicityReport {
 // dataset to match the paper).
 [[nodiscard]] PeriodicityReport analyze_periodicity(
     const logs::Dataset& ds, const PeriodicityConfig& config);
+
+// Columnar variant: same pipeline over a LogTable view (callers pass the
+// JSON-row selection). Flow grouping keys on interned u32 symbols instead of
+// hashing strings per record; the report is bit-identical to the Dataset
+// overload on the equivalent rows.
+[[nodiscard]] PeriodicityReport analyze_periodicity(
+    const logs::TableView& view, const PeriodicityConfig& config);
 
 }  // namespace jsoncdn::core

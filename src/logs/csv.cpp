@@ -1,6 +1,8 @@
 #include "logs/csv.h"
 
+#include <array>
 #include <charconv>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iomanip>
@@ -49,7 +51,14 @@ bool parse_number(std::string_view s, T& out) {
 }
 
 bool parse_double(std::string_view s, double& out) {
-  // from_chars for double is not universally available; strtod via string.
+#if defined(__cpp_lib_to_chars)
+  // Fast path: from_chars parses straight off the view, no temporary.
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  if (ec == std::errc{} && ptr == s.data() + s.size()) return true;
+#endif
+  // Slow path for the inputs strtod accepts but from_chars does not (leading
+  // whitespace or '+', hex floats) — acceptance must stay exactly strtod's so
+  // malformed-line classification is unchanged.
   const std::string tmp(s);
   char* end = nullptr;
   out = std::strtod(tmp.c_str(), &end);
@@ -72,45 +81,65 @@ std::string to_line(const LogRecord& r) {
   return out.str();
 }
 
-std::optional<LogRecord> from_line(std::string_view line,
-                                   std::string* reason) {
-  const auto fail = [reason](const char* why) -> std::optional<LogRecord> {
+bool parse_line(std::string_view line, LineFields& out, std::string* reason) {
+  const auto fail = [reason](const char* why) {
     if (reason != nullptr) *reason = why;
-    return std::nullopt;
+    return false;
   };
   // Tolerate CRLF line endings (files written on Windows or fetched over
   // HTTP): getline leaves the '\r' on, and it would corrupt the last column.
   if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
-  std::vector<std::string_view> cols;
-  cols.reserve(kColumns);
+  // Fixed-size split: a well-formed line has exactly kColumns fields, so a
+  // stack array replaces the per-line vector the old parser allocated.
+  std::array<std::string_view, kColumns> cols;
+  std::size_t ncols = 0;
   while (true) {
     const auto tab = line.find('\t');
-    if (tab == std::string_view::npos) {
-      cols.push_back(line);
-      break;
-    }
-    cols.push_back(line.substr(0, tab));
+    const auto col = tab == std::string_view::npos ? line : line.substr(0, tab);
+    if (ncols == kColumns) return fail("column-count");  // too many fields
+    cols[ncols++] = col;
+    if (tab == std::string_view::npos) break;
     line = line.substr(tab + 1);
   }
-  if (cols.size() != kColumns) return fail("column-count");
+  if (ncols != kColumns) return fail("column-count");
 
-  LogRecord r;
-  if (!parse_double(cols[0], r.timestamp)) return fail("bad-timestamp");
-  r.client_id = unescape(cols[1]);
-  r.user_agent = unescape(cols[2]);
+  if (!parse_double(cols[0], out.timestamp)) return fail("bad-timestamp");
+  out.client_id = cols[1];
+  out.user_agent = cols[2];
   const auto method = http::parse_method(cols[3]);
   if (!method) return fail("bad-method");
-  r.method = *method;
-  r.url = unescape(cols[4]);
-  r.domain = unescape(cols[5]);
-  r.content_type = unescape(cols[6]);
-  if (!parse_number(cols[7], r.status)) return fail("bad-status");
-  if (!parse_number(cols[8], r.response_bytes))
+  out.method = *method;
+  out.url = cols[4];
+  out.domain = cols[5];
+  out.content_type = cols[6];
+  if (!parse_number(cols[7], out.status)) return fail("bad-status");
+  if (!parse_number(cols[8], out.response_bytes))
     return fail("bad-response-bytes");
-  if (!parse_number(cols[9], r.request_bytes)) return fail("bad-request-bytes");
-  if (!parse_cache_status(cols[10], r.cache_status))
+  if (!parse_number(cols[9], out.request_bytes))
+    return fail("bad-request-bytes");
+  if (!parse_cache_status(cols[10], out.cache_status))
     return fail("bad-cache-status");
-  if (!parse_number(cols[11], r.edge_id)) return fail("bad-edge-id");
+  if (!parse_number(cols[11], out.edge_id)) return fail("bad-edge-id");
+  return true;
+}
+
+std::optional<LogRecord> from_line(std::string_view line,
+                                   std::string* reason) {
+  LineFields f;
+  if (!parse_line(line, f, reason)) return std::nullopt;
+  LogRecord r;
+  r.timestamp = f.timestamp;
+  r.client_id = unescape(f.client_id);
+  r.user_agent = unescape(f.user_agent);
+  r.method = f.method;
+  r.url = unescape(f.url);
+  r.domain = unescape(f.domain);
+  r.content_type = unescape(f.content_type);
+  r.status = f.status;
+  r.response_bytes = f.response_bytes;
+  r.request_bytes = f.request_bytes;
+  r.cache_status = f.cache_status;
+  r.edge_id = f.edge_id;
   return r;
 }
 

@@ -41,6 +41,34 @@ namespace jsoncdn::logs {
 [[nodiscard]] std::optional<LogRecord> from_line(std::string_view line,
                                                  std::string* reason);
 
+// One validated line with the string fields still *escaped*: views into the
+// caller's line buffer, zero copies. This is the parse layer shared by
+// from_line (which unescapes into an owning LogRecord) and the zero-copy
+// columnar ingest (which unescapes straight into the interner, skipping the
+// copy entirely when a field contains no escape bytes). Numeric and enum
+// fields are fully validated and parsed.
+struct LineFields {
+  double timestamp = 0.0;
+  std::string_view client_id;    // escaped
+  std::string_view user_agent;   // escaped
+  http::Method method = http::Method::kGet;
+  std::string_view url;          // escaped
+  std::string_view domain;       // escaped
+  std::string_view content_type; // escaped
+  int status = 200;
+  std::uint64_t response_bytes = 0;
+  std::uint64_t request_bytes = 0;
+  CacheStatus cache_status = CacheStatus::kNotCacheable;
+  std::uint32_t edge_id = 0;
+};
+
+// Parses one line into `out` (tolerating a trailing '\r'), applying exactly
+// the validation order and failure reasons documented on from_line. Returns
+// false and sets *reason (when non-null) on malformed input. Allocates only
+// into *reason (a reused buffer amortizes that to zero).
+[[nodiscard]] bool parse_line(std::string_view line, LineFields& out,
+                              std::string* reason);
+
 // How an ingest run treats malformed lines.
 enum class ParseMode {
   kPermissive,  // skip, count, optionally quarantine — analysis proceeds

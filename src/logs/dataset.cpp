@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "http/mime.h"
+#include "stats/hash.h"
 
 namespace jsoncdn::logs {
 
@@ -60,8 +61,14 @@ std::size_t Dataset::distinct_objects() const {
 }
 
 std::size_t Dataset::distinct_clients() const {
-  std::unordered_set<std::string> seen;
-  for (const auto& r : records_) seen.insert(r.client_key());
+  std::unordered_set<std::string, stats::TransparentStringHash, std::equal_to<>>
+      seen;
+  std::string key;
+  for (const auto& r : records_) {
+    r.client_key_into(key);
+    // Heterogeneous probe first: only distinct clients pay the insert copy.
+    if (seen.find(std::string_view(key)) == seen.end()) seen.insert(key);
+  }
   return seen.size();
 }
 
@@ -82,20 +89,28 @@ std::vector<ObjectFlow> extract_object_flows(const Dataset& dataset,
       return records[a].timestamp < records[b].timestamp;
     });
 
-    std::unordered_map<std::string, ClientObjectFlow> by_client;
+    std::unordered_map<std::string, ClientObjectFlow,
+                       stats::TransparentStringHash, std::equal_to<>>
+        by_client;
     ObjectFlow flow;
     flow.url = std::string(url);
     flow.total_requests = indices.size();
     flow.times.reserve(indices.size());
     std::size_t uncacheable = 0;
     std::size_t uploads = 0;
+    std::string key;  // reused: no per-record client_key() allocation
     for (std::size_t idx : indices) {
       const auto& r = records[idx];
       flow.times.push_back(r.timestamp);
       if (r.cache_status == CacheStatus::kNotCacheable) ++uncacheable;
       if (http::is_upload(r.method)) ++uploads;
-      auto& cof = by_client[r.client_key()];
-      if (cof.client.empty()) cof.client = r.client_key();
+      r.client_key_into(key);
+      auto it = by_client.find(std::string_view(key));
+      if (it == by_client.end()) {
+        it = by_client.emplace(key, ClientObjectFlow{}).first;
+        it->second.client = key;
+      }
+      auto& cof = it->second;
       cof.times.push_back(r.timestamp);
       cof.record_indices.push_back(idx);
     }
@@ -128,12 +143,19 @@ std::vector<ObjectFlow> extract_object_flows(const Dataset& dataset,
 
 std::vector<ClientFlow> extract_client_flows(const Dataset& dataset,
                                              std::size_t min_requests) {
-  std::unordered_map<std::string, ClientFlow> by_client;
+  std::unordered_map<std::string, ClientFlow, stats::TransparentStringHash,
+                     std::equal_to<>>
+      by_client;
   const auto& records = dataset.records();
+  std::string key;  // reused: no per-record client_key() allocation
   for (std::size_t i = 0; i < records.size(); ++i) {
-    auto& flow = by_client[records[i].client_key()];
-    if (flow.client.empty()) flow.client = records[i].client_key();
-    flow.record_indices.push_back(i);
+    records[i].client_key_into(key);
+    auto it = by_client.find(std::string_view(key));
+    if (it == by_client.end()) {
+      it = by_client.emplace(key, ClientFlow{}).first;
+      it->second.client = key;
+    }
+    it->second.record_indices.push_back(i);
   }
   std::vector<ClientFlow> out;
   out.reserve(by_client.size());

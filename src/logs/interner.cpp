@@ -1,0 +1,47 @@
+#include "logs/interner.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace jsoncdn::logs {
+
+std::string_view StringInterner::arena_store(std::string_view s) {
+  if (s.empty()) return std::string_view();
+  if (block_used_ + s.size() > block_capacity_) {
+    const std::size_t cap = std::max(kBlockBytes, s.size());
+    blocks_.push_back(std::make_unique<char[]>(cap));
+    block_used_ = 0;
+    block_capacity_ = cap;
+    arena_bytes_ += cap;
+  }
+  char* dst = blocks_.back().get() + block_used_;
+  std::memcpy(dst, s.data(), s.size());
+  block_used_ += s.size();
+  return std::string_view(dst, s.size());
+}
+
+StringInterner::Symbol StringInterner::intern(std::string_view s) {
+  const auto it = map_.find(s);
+  if (it != map_.end()) return it->second;
+  if (views_.size() >= static_cast<std::size_t>(kNoSymbol)) {
+    throw std::length_error("StringInterner: symbol space exhausted");
+  }
+  const auto id = static_cast<Symbol>(views_.size());
+  const auto stable = arena_store(s);
+  views_.push_back(stable);
+  map_.emplace(stable, id);
+  return id;
+}
+
+void StringInterner::reserve(std::size_t symbols) {
+  views_.reserve(symbols);
+  map_.reserve(symbols);
+}
+
+std::size_t StringInterner::memory_bytes() const noexcept {
+  return arena_bytes_ + views_.capacity() * sizeof(std::string_view) +
+         map_.bucket_count() *
+             (sizeof(std::string_view) + sizeof(Symbol) + sizeof(void*));
+}
+
+}  // namespace jsoncdn::logs

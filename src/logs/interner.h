@@ -1,0 +1,79 @@
+// Arena-backed string interning: the dictionary half of the columnar log
+// store. Every distinct string is stored exactly once in a bump-allocated
+// arena and identified by a dense, stable u32 symbol. Lookups are
+// string_view-keyed (no allocation); views returned by view() point into the
+// arena and stay valid for the interner's lifetime — arena blocks are never
+// moved or freed, so growth invalidates nothing.
+//
+// Symbols are assigned in first-intern order, so an interner built by a
+// single-threaded scan over a record stream is a pure function of the
+// distinct-string order of that stream. The interner itself is not
+// thread-safe; parallel consumers share a *built* (const) interner freely.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace jsoncdn::logs {
+
+class StringInterner {
+ public:
+  using Symbol = std::uint32_t;
+  // Returned by find() for strings never interned. Never a valid symbol:
+  // intern() throws before the table could reach 2^32 - 1 entries.
+  static constexpr Symbol kNoSymbol = 0xffffffffu;
+
+  StringInterner() = default;
+
+  // Not copyable (the map's keys point into the arena); movable.
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+  StringInterner(StringInterner&&) = default;
+  StringInterner& operator=(StringInterner&&) = default;
+
+  // Returns the existing symbol for `s`, or copies `s` into the arena and
+  // assigns the next dense symbol. O(1) amortized; allocates only for
+  // strings never seen before.
+  Symbol intern(std::string_view s);
+
+  // Symbol of `s` if it was ever interned, else kNoSymbol. Never allocates.
+  [[nodiscard]] Symbol find(std::string_view s) const noexcept {
+    const auto it = map_.find(s);
+    return it == map_.end() ? kNoSymbol : it->second;
+  }
+
+  // The interned string for a symbol. Valid for the interner's lifetime.
+  [[nodiscard]] std::string_view view(Symbol id) const noexcept {
+    return views_[id];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return views_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return views_.empty(); }
+
+  void reserve(std::size_t symbols);
+
+  // Approximate heap footprint: arena blocks + symbol table + view index.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  static constexpr std::size_t kBlockBytes = 1 << 16;  // 64 KiB arena blocks
+
+  // Copies `s` into the arena, returning a stable view.
+  std::string_view arena_store(std::string_view s);
+
+  std::vector<std::unique_ptr<char[]>> blocks_;
+  std::size_t block_used_ = 0;      // bytes used in blocks_.back()
+  std::size_t block_capacity_ = 0;  // capacity of blocks_.back()
+  std::size_t arena_bytes_ = 0;     // total capacity across blocks
+
+  std::vector<std::string_view> views_;  // symbol -> arena view
+  // Keys are views into the arena (stable); string_view keying makes every
+  // lookup heterogeneous by construction.
+  std::unordered_map<std::string_view, Symbol> map_;
+};
+
+}  // namespace jsoncdn::logs

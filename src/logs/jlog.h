@@ -1,0 +1,51 @@
+// `.jlog` v1 — compact binary sidecar of a LogTable for fast reloads in
+// bench/validate sweeps: parse a CSV log once, write the columnar image,
+// and every later run deserializes dictionaries + columns with no
+// tokenizing, unescaping, or hashing.
+//
+// Layout (all integers little-endian, no padding):
+//   magic          8 bytes  "jlogcdn1"
+//   row_count      u64
+//   6 dictionaries, in order url, client_id, user_agent, domain,
+//   content_type, client_key:
+//     count        u32
+//     lengths      u32 × count
+//     bytes        concatenation of the strings (sum of lengths)
+//   7 value columns, row_count entries each:
+//     timestamp f64 · method u8 · status i32 · response_bytes u64 ·
+//     request_bytes u64 · cache_status u8 · edge_id u32
+//   6 symbol columns, row_count × u32 each, same dictionary order
+//
+// The reader is fully bounds-checked: a truncated file, bad magic, or any
+// out-of-range symbol/enum value throws std::runtime_error before any row
+// becomes visible — binary corruption is structural, so unlike CSV there is
+// no per-line permissive skip. On success the IngestReport is filled as if
+// a clean CSV of the same rows had been ingested (header_seen, records ==
+// row count), so tools report ingest state uniformly across both formats.
+#pragma once
+
+#include <string>
+
+#include "logs/csv.h"
+#include "logs/table.h"
+
+namespace jsoncdn::logs {
+
+// Magic tag opening every .jlog file.
+[[nodiscard]] std::string_view jlog_magic() noexcept;
+
+// Writes the table's dictionaries and columns to `path`. Throws
+// std::runtime_error when the file cannot be created or written.
+void write_jlog(const std::string& path, const LogTable& table);
+
+// Reads a .jlog file back into a LogTable. Throws std::runtime_error on
+// open failure, bad magic, truncation, or corrupt symbol/enum values;
+// fills *report (records, lines, header_seen) on success.
+[[nodiscard]] LogTable read_jlog(const std::string& path,
+                                 IngestReport* report = nullptr);
+
+// True when `path` names a .jlog file (by magic, not extension) — lets
+// tools accept either format through one flag.
+[[nodiscard]] bool is_jlog_file(const std::string& path);
+
+}  // namespace jsoncdn::logs

@@ -60,6 +60,16 @@ struct LogRecord {
   [[nodiscard]] std::string client_key() const {
     return client_id + "|" + user_agent;
   }
+  // Allocation-free variant for hot loops: rebuilds the key into a caller
+  // buffer whose capacity amortizes to zero across records. (The columnar
+  // LogTable goes further and interns the pair once per distinct client.)
+  void client_key_into(std::string& out) const {
+    out.clear();
+    out.reserve(client_id.size() + 1 + user_agent.size());
+    out.append(client_id);
+    out.push_back('|');
+    out.append(user_agent);
+  }
 };
 
 }  // namespace jsoncdn::logs

@@ -1,0 +1,287 @@
+#include "logs/table.h"
+
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "http/mime.h"
+
+namespace jsoncdn::logs {
+
+namespace {
+
+// Applies a row permutation to one column: out[k] = col[perm[k]].
+template <typename T>
+void gather(std::vector<T>& col, const std::vector<std::uint32_t>& perm) {
+  std::vector<T> out(col.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) out[k] = col[perm[k]];
+  col = std::move(out);
+}
+
+}  // namespace
+
+void LogTable::reserve(std::size_t rows) {
+  ts_.reserve(rows);
+  method_.reserve(rows);
+  status_.reserve(rows);
+  resp_bytes_.reserve(rows);
+  req_bytes_.reserve(rows);
+  cache_.reserve(rows);
+  edge_.reserve(rows);
+  url_.reserve(rows);
+  client_id_.reserve(rows);
+  ua_.reserve(rows);
+  domain_.reserve(rows);
+  ctype_.reserve(rows);
+  client_.reserve(rows);
+}
+
+LogTable::RowIndex LogTable::append_fields(
+    double timestamp, std::string_view client_id, std::string_view user_agent,
+    http::Method method, std::string_view url, std::string_view domain,
+    std::string_view content_type, int status, std::uint64_t response_bytes,
+    std::uint64_t request_bytes, CacheStatus cache_status,
+    std::uint32_t edge_id) {
+  const auto index = static_cast<RowIndex>(ts_.size());
+  ts_.push_back(timestamp);
+  method_.push_back(method);
+  status_.push_back(status);
+  resp_bytes_.push_back(response_bytes);
+  req_bytes_.push_back(request_bytes);
+  cache_.push_back(cache_status);
+  edge_.push_back(edge_id);
+
+  const Symbol cid = client_id_dict_.intern(client_id);
+  const Symbol uas = ua_dict_.intern(user_agent);
+  url_.push_back(url_dict_.intern(url));
+  client_id_.push_back(cid);
+  ua_.push_back(uas);
+  domain_.push_back(domain_dict_.intern(domain));
+  ctype_.push_back(ctype_dict_.intern(content_type));
+
+  const std::uint64_t pair =
+      (static_cast<std::uint64_t>(cid) << 32) | static_cast<std::uint64_t>(uas);
+  auto [it, inserted] = client_pair_cache_.try_emplace(pair, Symbol{0});
+  if (inserted) {
+    key_scratch_.clear();
+    key_scratch_.append(client_id);
+    key_scratch_.push_back('|');
+    key_scratch_.append(user_agent);
+    it->second = client_dict_.intern(key_scratch_);
+  }
+  client_.push_back(it->second);
+  return index;
+}
+
+void LogTable::append(const LogRecord& record) {
+  append_fields(record.timestamp, record.client_id, record.user_agent,
+                record.method, record.url, record.domain, record.content_type,
+                record.status, record.response_bytes, record.request_bytes,
+                record.cache_status, record.edge_id);
+}
+
+LogRecord LogTable::Row::materialize() const {
+  LogRecord r;
+  r.timestamp = timestamp();
+  r.client_id = std::string(client_id());
+  r.user_agent = std::string(user_agent());
+  r.method = method();
+  r.url = std::string(url());
+  r.domain = std::string(domain());
+  r.content_type = std::string(content_type());
+  r.status = status();
+  r.response_bytes = response_bytes();
+  r.request_bytes = request_bytes();
+  r.cache_status = cache_status();
+  r.edge_id = edge_id();
+  return r;
+}
+
+LogTable LogTable::from_dataset(const Dataset& dataset) {
+  LogTable table;
+  table.reserve(dataset.size());
+  for (const auto& r : dataset.records()) table.append(r);
+  return table;
+}
+
+Dataset LogTable::to_dataset() const {
+  Dataset out;
+  out.reserve(size());
+  for (std::size_t i = 0; i < size(); ++i) {
+    out.add(record(static_cast<RowIndex>(i)));
+  }
+  return out;
+}
+
+void LogTable::sort_by_time() {
+  std::vector<std::uint32_t> perm(size());
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::stable_sort(perm.begin(), perm.end(),
+                   [this](std::uint32_t a, std::uint32_t b) {
+                     return ts_[a] < ts_[b];
+                   });
+  gather(ts_, perm);
+  gather(method_, perm);
+  gather(status_, perm);
+  gather(resp_bytes_, perm);
+  gather(req_bytes_, perm);
+  gather(cache_, perm);
+  gather(edge_, perm);
+  gather(url_, perm);
+  gather(client_id_, perm);
+  gather(ua_, perm);
+  gather(domain_, perm);
+  gather(ctype_, perm);
+  gather(client_, perm);
+}
+
+std::vector<LogTable::RowIndex> LogTable::json_rows() const {
+  std::vector<char> sym_is_json(ctype_dict_.size(), 0);
+  for (std::size_t s = 0; s < ctype_dict_.size(); ++s) {
+    sym_is_json[s] =
+        http::is_json(ctype_dict_.view(static_cast<Symbol>(s))) ? 1 : 0;
+  }
+  std::vector<RowIndex> out;
+  for (std::size_t i = 0; i < ctype_.size(); ++i) {
+    if (sym_is_json[ctype_[i]]) out.push_back(static_cast<RowIndex>(i));
+  }
+  return out;
+}
+
+std::pair<double, double> LogTable::time_range() const {
+  if (ts_.empty()) return {0.0, 0.0};
+  double lo = ts_.front();
+  double hi = lo;
+  for (double t : ts_) {
+    lo = std::min(lo, t);
+    hi = std::max(hi, t);
+  }
+  return {lo, hi};
+}
+
+std::size_t LogTable::memory_bytes() const noexcept {
+  std::size_t bytes = 0;
+  bytes += ts_.capacity() * sizeof(double);
+  bytes += method_.capacity() * sizeof(http::Method);
+  bytes += status_.capacity() * sizeof(std::int32_t);
+  bytes += resp_bytes_.capacity() * sizeof(std::uint64_t);
+  bytes += req_bytes_.capacity() * sizeof(std::uint64_t);
+  bytes += cache_.capacity() * sizeof(CacheStatus);
+  bytes += edge_.capacity() * sizeof(std::uint32_t);
+  bytes += (url_.capacity() + client_id_.capacity() + ua_.capacity() +
+            domain_.capacity() + ctype_.capacity() + client_.capacity()) *
+           sizeof(Symbol);
+  bytes += url_dict_.memory_bytes() + client_id_dict_.memory_bytes() +
+           ua_dict_.memory_bytes() + domain_dict_.memory_bytes() +
+           ctype_dict_.memory_bytes() + client_dict_.memory_bytes();
+  bytes += client_pair_cache_.bucket_count() *
+           (sizeof(std::uint64_t) + sizeof(Symbol) + sizeof(void*));
+  return bytes;
+}
+
+// Flow indices are positions *within the view* (0..view.size()-1), matching
+// the record indices the Dataset overload produces on the equivalent filtered
+// dataset; consumers map back to table rows with view[idx].
+std::vector<ObjectFlow> extract_object_flows(const TableView& view,
+                                             const FlowFilter& filter) {
+  const LogTable& table = view.table();
+  const std::size_t n = view.size();
+
+  // Bucket view positions by url symbol. Symbols are dense, so a flat
+  // vector of buckets replaces the string-keyed hash map of the row path.
+  std::vector<std::vector<std::uint32_t>> by_url(table.urls().size());
+  for (std::size_t k = 0; k < n; ++k) {
+    by_url[table.url_sym(view[k])].push_back(static_cast<std::uint32_t>(k));
+  }
+
+  std::vector<ObjectFlow> out;
+  std::unordered_map<std::uint64_t, ClientObjectFlow> by_client;
+  for (std::size_t sym = 0; sym < by_url.size(); ++sym) {
+    auto& indices = by_url[sym];
+    if (indices.empty()) continue;  // url not present in this view
+
+    // Same defensive time sort as the Dataset path: identical comparator on
+    // the identical input sequence, so equal-timestamp ties break the same
+    // way even though std::sort is not stable.
+    std::sort(indices.begin(), indices.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return table.timestamp(view[a]) < table.timestamp(view[b]);
+              });
+
+    by_client.clear();
+    ObjectFlow flow;
+    flow.url = std::string(table.urls().view(
+        static_cast<LogTable::Symbol>(sym)));
+    flow.total_requests = indices.size();
+    flow.times.reserve(indices.size());
+    std::size_t uncacheable = 0;
+    std::size_t uploads = 0;
+    for (std::uint32_t k : indices) {
+      const LogTable::RowIndex row = view[k];
+      const double t = table.timestamp(row);
+      flow.times.push_back(t);
+      if (table.cache_status(row) == CacheStatus::kNotCacheable) ++uncacheable;
+      if (http::is_upload(table.method(row))) ++uploads;
+      auto& cof = by_client[table.client_sym(row)];
+      if (cof.client.empty()) cof.client = std::string(table.client_key(row));
+      cof.times.push_back(t);
+      cof.record_indices.push_back(k);
+    }
+    flow.uncacheable_share =
+        static_cast<double>(uncacheable) / static_cast<double>(indices.size());
+    flow.upload_share =
+        static_cast<double>(uploads) / static_cast<double>(indices.size());
+
+    if (by_client.size() < filter.min_object_clients) continue;
+
+    flow.clients.reserve(by_client.size());
+    for (auto& [client_sym, cof] : by_client) {
+      if (cof.times.size() >= filter.min_client_flow_requests) {
+        flow.clients.push_back(std::move(cof));
+      }
+    }
+    std::sort(flow.clients.begin(), flow.clients.end(),
+              [](const ClientObjectFlow& a, const ClientObjectFlow& b) {
+                return a.client < b.client;
+              });
+    out.push_back(std::move(flow));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ObjectFlow& a, const ObjectFlow& b) {
+              return a.url < b.url;
+            });
+  return out;
+}
+
+std::vector<ClientFlow> extract_client_flows(const TableView& view,
+                                             std::size_t min_requests) {
+  const LogTable& table = view.table();
+  const std::size_t n = view.size();
+
+  std::vector<std::vector<std::size_t>> by_client(table.client_keys().size());
+  for (std::size_t k = 0; k < n; ++k) {
+    by_client[table.client_sym(view[k])].push_back(k);
+  }
+
+  std::vector<ClientFlow> out;
+  for (std::size_t sym = 0; sym < by_client.size(); ++sym) {
+    auto& indices = by_client[sym];
+    if (indices.size() < min_requests) continue;
+    std::sort(indices.begin(), indices.end(),
+              [&](std::size_t a, std::size_t b) {
+                return table.timestamp(view[a]) < table.timestamp(view[b]);
+              });
+    ClientFlow flow;
+    flow.client = std::string(
+        table.client_keys().view(static_cast<LogTable::Symbol>(sym)));
+    flow.record_indices = std::move(indices);
+    out.push_back(std::move(flow));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ClientFlow& a, const ClientFlow& b) {
+              return a.client < b.client;
+            });
+  return out;
+}
+
+}  // namespace jsoncdn::logs

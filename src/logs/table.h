@@ -1,0 +1,317 @@
+// Columnar, dictionary-encoded log storage — the high-throughput counterpart
+// of the row-oriented Dataset.
+//
+// A LogTable keeps each LogRecord field in its own contiguous column;
+// the five string fields (url, client_id, user_agent, domain, content_type)
+// are dictionary-encoded through per-column StringInterners, so a column
+// holds one u32 symbol per row and each distinct string exists once. A sixth
+// dictionary interns the paper's *client key* — the "client_id|user_agent"
+// pair that defines a client (§5.1) — so the flow-grouping hot paths key on
+// a precomputed u32 symbol instead of concatenating strings per record, and
+// the packed (client_sym << 32 | url_sym) u64 identifies a client-object
+// flow in one integer compare.
+//
+// Determinism contract: a LogTable built by appending the records of a
+// Dataset in order contains the same rows in the same order; symbols are
+// assigned in first-seen order; sort_by_time() applies the same stable
+// timestamp sort as Dataset::sort_by_time(). Every analysis that consumes a
+// TableView instead of a Dataset produces bit-identical reports (covered by
+// logs_columnar_equivalence_test).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "http/method.h"
+#include "logs/dataset.h"
+#include "logs/interner.h"
+#include "logs/record.h"
+
+namespace jsoncdn::logs {
+
+class LogTable {
+ public:
+  using RowIndex = std::uint32_t;
+  using Symbol = StringInterner::Symbol;
+
+  LogTable() = default;
+  LogTable(const LogTable&) = delete;
+  LogTable& operator=(const LogTable&) = delete;
+  LogTable(LogTable&&) = default;
+  LogTable& operator=(LogTable&&) = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return ts_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return ts_.empty(); }
+  void reserve(std::size_t rows);
+
+  // Appends one row from individual (still-escaped-free) field values; the
+  // zero-copy ingest path calls this straight off string_views into the
+  // mapped file. Returns the new row's index.
+  RowIndex append_fields(double timestamp, std::string_view client_id,
+                         std::string_view user_agent, http::Method method,
+                         std::string_view url, std::string_view domain,
+                         std::string_view content_type, int status,
+                         std::uint64_t response_bytes,
+                         std::uint64_t request_bytes, CacheStatus cache_status,
+                         std::uint32_t edge_id);
+
+  void append(const LogRecord& record);
+
+  // ---- Column access ------------------------------------------------------
+  [[nodiscard]] std::span<const double> timestamps() const noexcept {
+    return ts_;
+  }
+  [[nodiscard]] double timestamp(RowIndex i) const noexcept { return ts_[i]; }
+  [[nodiscard]] http::Method method(RowIndex i) const noexcept {
+    return method_[i];
+  }
+  [[nodiscard]] int status(RowIndex i) const noexcept { return status_[i]; }
+  [[nodiscard]] std::uint64_t response_bytes(RowIndex i) const noexcept {
+    return resp_bytes_[i];
+  }
+  [[nodiscard]] std::uint64_t request_bytes(RowIndex i) const noexcept {
+    return req_bytes_[i];
+  }
+  [[nodiscard]] CacheStatus cache_status(RowIndex i) const noexcept {
+    return cache_[i];
+  }
+  [[nodiscard]] std::uint32_t edge_id(RowIndex i) const noexcept {
+    return edge_[i];
+  }
+
+  [[nodiscard]] Symbol url_sym(RowIndex i) const noexcept { return url_[i]; }
+  [[nodiscard]] Symbol client_id_sym(RowIndex i) const noexcept {
+    return client_id_[i];
+  }
+  [[nodiscard]] Symbol user_agent_sym(RowIndex i) const noexcept {
+    return ua_[i];
+  }
+  [[nodiscard]] Symbol domain_sym(RowIndex i) const noexcept {
+    return domain_[i];
+  }
+  [[nodiscard]] Symbol content_type_sym(RowIndex i) const noexcept {
+    return ctype_[i];
+  }
+  // Symbol of the interned "client_id|user_agent" pair.
+  [[nodiscard]] Symbol client_sym(RowIndex i) const noexcept {
+    return client_[i];
+  }
+
+  // Client-object flow identity as one integer (§5.1's client-object flow).
+  [[nodiscard]] std::uint64_t flow_key(RowIndex i) const noexcept {
+    return (static_cast<std::uint64_t>(client_[i]) << 32) |
+           static_cast<std::uint64_t>(url_[i]);
+  }
+
+  [[nodiscard]] std::string_view url(RowIndex i) const noexcept {
+    return url_dict_.view(url_[i]);
+  }
+  [[nodiscard]] std::string_view client_id(RowIndex i) const noexcept {
+    return client_id_dict_.view(client_id_[i]);
+  }
+  [[nodiscard]] std::string_view user_agent(RowIndex i) const noexcept {
+    return ua_dict_.view(ua_[i]);
+  }
+  [[nodiscard]] std::string_view domain(RowIndex i) const noexcept {
+    return domain_dict_.view(domain_[i]);
+  }
+  [[nodiscard]] std::string_view content_type(RowIndex i) const noexcept {
+    return ctype_dict_.view(ctype_[i]);
+  }
+  // The "client_id|user_agent" string LogRecord::client_key() would build —
+  // already materialized in the client dictionary, so reading it is free.
+  [[nodiscard]] std::string_view client_key(RowIndex i) const noexcept {
+    return client_dict_.view(client_[i]);
+  }
+
+  [[nodiscard]] const StringInterner& urls() const noexcept {
+    return url_dict_;
+  }
+  [[nodiscard]] const StringInterner& client_ids() const noexcept {
+    return client_id_dict_;
+  }
+  [[nodiscard]] const StringInterner& user_agents() const noexcept {
+    return ua_dict_;
+  }
+  [[nodiscard]] const StringInterner& domains() const noexcept {
+    return domain_dict_;
+  }
+  [[nodiscard]] const StringInterner& content_types() const noexcept {
+    return ctype_dict_;
+  }
+  [[nodiscard]] const StringInterner& client_keys() const noexcept {
+    return client_dict_;
+  }
+
+  // ---- Row proxy ----------------------------------------------------------
+  // A borrowed view of one row with LogRecord-shaped accessors, so call
+  // sites migrate incrementally without materializing strings.
+  class Row {
+   public:
+    Row(const LogTable& table, RowIndex index) noexcept
+        : table_(&table), index_(index) {}
+
+    [[nodiscard]] RowIndex index() const noexcept { return index_; }
+    [[nodiscard]] double timestamp() const noexcept {
+      return table_->timestamp(index_);
+    }
+    [[nodiscard]] std::string_view client_id() const noexcept {
+      return table_->client_id(index_);
+    }
+    [[nodiscard]] std::string_view user_agent() const noexcept {
+      return table_->user_agent(index_);
+    }
+    [[nodiscard]] http::Method method() const noexcept {
+      return table_->method(index_);
+    }
+    [[nodiscard]] std::string_view url() const noexcept {
+      return table_->url(index_);
+    }
+    [[nodiscard]] std::string_view domain() const noexcept {
+      return table_->domain(index_);
+    }
+    [[nodiscard]] std::string_view content_type() const noexcept {
+      return table_->content_type(index_);
+    }
+    [[nodiscard]] int status() const noexcept {
+      return table_->status(index_);
+    }
+    [[nodiscard]] std::uint64_t response_bytes() const noexcept {
+      return table_->response_bytes(index_);
+    }
+    [[nodiscard]] std::uint64_t request_bytes() const noexcept {
+      return table_->request_bytes(index_);
+    }
+    [[nodiscard]] CacheStatus cache_status() const noexcept {
+      return table_->cache_status(index_);
+    }
+    [[nodiscard]] std::uint32_t edge_id() const noexcept {
+      return table_->edge_id(index_);
+    }
+    [[nodiscard]] std::string_view object_key() const noexcept {
+      return table_->url(index_);
+    }
+    // Zero-allocation counterpart of LogRecord::client_key().
+    [[nodiscard]] std::string_view client_key() const noexcept {
+      return table_->client_key(index_);
+    }
+    // Materializes a legacy LogRecord (copies the strings).
+    [[nodiscard]] LogRecord materialize() const;
+
+   private:
+    const LogTable* table_;
+    RowIndex index_;
+  };
+
+  [[nodiscard]] Row row(RowIndex i) const noexcept { return Row(*this, i); }
+  [[nodiscard]] LogRecord record(RowIndex i) const {
+    return row(i).materialize();
+  }
+
+  // ---- Conversions & maintenance ------------------------------------------
+  [[nodiscard]] static LogTable from_dataset(const Dataset& dataset);
+  [[nodiscard]] Dataset to_dataset() const;
+
+  // Stable ascending-time sort of all columns — the same permutation
+  // Dataset::sort_by_time() applies to its records.
+  void sort_by_time();
+
+  // Row indices whose response content-type is application/json (the
+  // paper's JSON filter). Content classification runs once per distinct
+  // content-type symbol, not per row.
+  [[nodiscard]] std::vector<RowIndex> json_rows() const;
+
+  // [min, max] timestamp; {0, 0} when empty.
+  [[nodiscard]] std::pair<double, double> time_range() const;
+
+  // Exact distinct counts — free: every dictionary entry is referenced by
+  // at least one row.
+  [[nodiscard]] std::size_t distinct_domains() const noexcept {
+    return domain_dict_.size();
+  }
+  [[nodiscard]] std::size_t distinct_objects() const noexcept {
+    return url_dict_.size();
+  }
+  [[nodiscard]] std::size_t distinct_clients() const noexcept {
+    return client_dict_.size();
+  }
+
+  // Approximate heap footprint (columns + dictionaries) — comparable to the
+  // per-record string capacities a Dataset carries.
+  [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+ private:
+  std::vector<double> ts_;
+  std::vector<http::Method> method_;
+  std::vector<std::int32_t> status_;
+  std::vector<std::uint64_t> resp_bytes_;
+  std::vector<std::uint64_t> req_bytes_;
+  std::vector<CacheStatus> cache_;
+  std::vector<std::uint32_t> edge_;
+
+  std::vector<Symbol> url_;
+  std::vector<Symbol> client_id_;
+  std::vector<Symbol> ua_;
+  std::vector<Symbol> domain_;
+  std::vector<Symbol> ctype_;
+  std::vector<Symbol> client_;
+
+  StringInterner url_dict_;
+  StringInterner client_id_dict_;
+  StringInterner ua_dict_;
+  StringInterner domain_dict_;
+  StringInterner ctype_dict_;
+  StringInterner client_dict_;
+
+  // (client_id_sym, ua_sym) -> client_sym: skips rebuilding the "id|ua"
+  // string for every row of an already-seen pair.
+  std::unordered_map<std::uint64_t, Symbol> client_pair_cache_;
+  std::string key_scratch_;  // reused buffer for new pairs
+
+  friend class JlogReader;  // the .jlog reader fills columns directly
+};
+
+// Non-owning selection of rows of one LogTable, in selection order. The
+// common cases are "all rows" and "the JSON-only rows"; analyses take a
+// TableView so the filtered and unfiltered paths share one implementation.
+// The view does not own the row-index storage — keep the vector alive.
+class TableView {
+ public:
+  // All rows, in table order.
+  explicit TableView(const LogTable& table) noexcept
+      : table_(&table), all_(true) {}
+  // The given rows, in span order.
+  TableView(const LogTable& table,
+            std::span<const LogTable::RowIndex> rows) noexcept
+      : table_(&table), rows_(rows), all_(false) {}
+
+  [[nodiscard]] const LogTable& table() const noexcept { return *table_; }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return all_ ? table_->size() : rows_.size();
+  }
+  [[nodiscard]] bool empty() const noexcept { return size() == 0; }
+  // Table row index of the k-th selected row.
+  [[nodiscard]] LogTable::RowIndex operator[](std::size_t k) const noexcept {
+    return all_ ? static_cast<LogTable::RowIndex>(k) : rows_[k];
+  }
+
+ private:
+  const LogTable* table_;
+  std::span<const LogTable::RowIndex> rows_;
+  bool all_;
+};
+
+// Columnar flow extraction: groups rows by url symbol (objects) and packed
+// flow key (client-object subflows) instead of hashing strings per record.
+// Output is identical to the Dataset overloads on the same rows — flows
+// sorted by url, client subflows sorted by client key, same filter
+// semantics — so every downstream analysis is unchanged.
+[[nodiscard]] std::vector<ObjectFlow> extract_object_flows(
+    const TableView& view, const FlowFilter& filter = {});
+
+[[nodiscard]] std::vector<ClientFlow> extract_client_flows(
+    const TableView& view, std::size_t min_requests = 2);
+
+}  // namespace jsoncdn::logs

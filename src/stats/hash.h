@@ -37,4 +37,15 @@ inline constexpr std::uint64_t kFnvPrime64 = 0x100000001b3ULL;
 // Renders a 64-bit hash as 16 lowercase hex digits (stable textual IDs).
 [[nodiscard]] std::string to_hex64(std::uint64_t value);
 
+// Heterogeneous ("transparent") hashing for std::string-keyed hash maps:
+// lets find()/contains() take a std::string_view without materializing a
+// std::string, so lookups on hot paths never allocate. Use together with
+// std::equal_to<> as the key-equality functor.
+struct TransparentStringHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
 }  // namespace jsoncdn::stats

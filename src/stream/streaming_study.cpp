@@ -42,13 +42,32 @@ StreamingAccumulator::StreamingAccumulator(const StreamingConfig& config)
       triage_(config.triage) {}
 
 void StreamingAccumulator::offer(const logs::LogRecord& record) {
+  record.client_key_into(key_scratch_);
+  offer_fields(record.timestamp, key_scratch_, record.user_agent,
+               record.method, record.url, record.domain, record.content_type,
+               record.status, record.response_bytes, record.cache_status);
+}
+
+void StreamingAccumulator::offer(const logs::LogTable& table,
+                                 logs::LogTable::RowIndex row) {
+  offer_fields(table.timestamp(row), table.client_key(row),
+               table.user_agent(row), table.method(row), table.url(row),
+               table.domain(row), table.content_type(row), table.status(row),
+               table.response_bytes(row), table.cache_status(row));
+}
+
+void StreamingAccumulator::offer_fields(
+    double timestamp, std::string_view client_key, std::string_view user_agent,
+    http::Method method, std::string_view url, std::string_view domain,
+    std::string_view content_type, int status, std::uint64_t response_bytes,
+    logs::CacheStatus cache_status) {
   ++total_records_;
-  first_ts_ = std::min(first_ts_, record.timestamp);
-  last_ts_ = std::max(last_ts_, record.timestamp);
+  first_ts_ = std::min(first_ts_, timestamp);
+  last_ts_ = std::max(last_ts_, timestamp);
 
   // §4 size comparison runs over the full stream (all content types).
-  const auto content = http::classify_content(record.content_type);
-  const auto bytes = static_cast<double>(record.response_bytes);
+  const auto content = http::classify_content(content_type);
+  const auto bytes = static_cast<double>(response_bytes);
   if (content == http::ContentClass::kJson) {
     json_sizes_.add(bytes);
     json_moments_.add(bytes);
@@ -64,18 +83,18 @@ void StreamingAccumulator::offer(const logs::LogRecord& record) {
   // Status mix is a delivery-health view over the whole stream (exact
   // counters, mirroring core::characterize_status record for record).
   ++status_.total;
-  if (record.status >= 500) {
+  if (status >= 500) {
     ++status_.server_error_5xx;
-    if (record.status == 504) ++status_.gateway_timeout_504;
-  } else if (record.status >= 400) {
+    if (status == 504) ++status_.gateway_timeout_504;
+  } else if (status >= 400) {
     ++status_.client_error_4xx;
-  } else if (record.status >= 300) {
+  } else if (status >= 300) {
     ++status_.redirect_3xx;
-  } else if (record.status >= 200) {
+  } else if (status >= 200) {
     ++status_.ok_2xx;
   }
-  if (record.cache_status == logs::CacheStatus::kStale) ++status_.stale_served;
-  if (record.cache_status == logs::CacheStatus::kError)
+  if (cache_status == logs::CacheStatus::kStale) ++status_.stale_served;
+  if (cache_status == logs::CacheStatus::kError)
     ++status_.error_cache_status;
 
   // Everything below mirrors the batch pipeline's JSON-only analyses.
@@ -83,7 +102,7 @@ void StreamingAccumulator::offer(const logs::LogRecord& record) {
   ++json_records_;
 
   ++methods_.total;
-  switch (record.method) {
+  switch (method) {
     case http::Method::kGet: ++methods_.get; break;
     case http::Method::kPost: ++methods_.post; break;
     default: ++methods_.other; break;
@@ -91,7 +110,7 @@ void StreamingAccumulator::offer(const logs::LogRecord& record) {
 
   // Same rules as core::characterize_cacheability: ERROR carries no
   // cacheability signal, STALE is a hit served from CDN storage.
-  switch (record.cache_status) {
+  switch (cache_status) {
     case logs::CacheStatus::kError:
       break;
     case logs::CacheStatus::kNotCacheable:
@@ -109,12 +128,12 @@ void StreamingAccumulator::offer(const logs::LogRecord& record) {
   }
 
   http::DeviceClassification cls;
-  if (const auto it = ua_cache_.find(record.user_agent);
-      it != ua_cache_.end()) {
+  if (const auto it = ua_cache_.find(user_agent); it != ua_cache_.end()) {
     cls = it->second;
   } else {
-    cls = http::classify_device(record.user_agent);
-    if (ua_cache_.size() < kUaCacheCap) ua_cache_.emplace(record.user_agent, cls);
+    cls = http::classify_device(user_agent);
+    if (ua_cache_.size() < kUaCacheCap)
+      ua_cache_.emplace(std::string(user_agent), cls);
   }
   ++source_.total_requests;
   ++source_.requests_by_device[device_index(cls.device)];
@@ -123,25 +142,24 @@ void StreamingAccumulator::offer(const logs::LogRecord& record) {
     if (cls.device == http::DeviceType::kMobile)
       ++source_.mobile_browser_requests;
   }
-  if (record.user_agent.empty()) {
+  if (user_agent.empty()) {
     ++source_.missing_ua_requests;
   } else {
-    const std::uint64_t ua_hash = stats::fnv1a64(record.user_agent);
+    const std::uint64_t ua_hash = stats::fnv1a64(user_agent);
     ua_strings_.add(ua_hash);
     ua_by_device_[device_index(cls.device)].add(ua_hash);
   }
 
-  const std::uint64_t url_hash = stats::fnv1a64(record.url);
-  const std::string client_key = record.client_key();
+  const std::uint64_t url_hash = stats::fnv1a64(url);
   const std::uint64_t client_hash = stats::fnv1a64(client_key);
   urls_.add(url_hash);
   clients_.add(client_hash);
-  domains_.add(stats::fnv1a64(record.domain));
+  domains_.add(stats::fnv1a64(domain));
   url_counts_.add(url_hash);
   client_counts_.add(client_hash);
-  top_urls_.offer(record.url);
+  top_urls_.offer(url);
   top_clients_.offer(client_key);
-  triage_.offer(record.url, client_hash, record.timestamp);
+  triage_.offer(url, client_hash, timestamp);
 }
 
 void StreamingAccumulator::merge(const StreamingAccumulator& later) {
@@ -288,6 +306,25 @@ void StreamingStudy::ingest(std::span<const logs::LogRecord> chunk) {
   pool_.run(threads_, [&](std::size_t s) {
     const auto [begin, end] = stats::chunk_range(chunk.size(), threads_, s);
     for (std::size_t i = begin; i < end; ++i) shards[s].offer(chunk[i]);
+  });
+  for (const auto& shard : shards) state_.merge(shard);
+}
+
+void StreamingStudy::ingest(const logs::LogTable& table,
+                            std::span<const logs::LogTable::RowIndex> rows) {
+  ingested_ += rows.size();
+  // Identical shard geometry to the record-span overload: same inline
+  // threshold, same chunk_range partition, same merge order — so streaming
+  // a table produces the same summary as streaming the equivalent records.
+  if (threads_ <= 1 || rows.size() < threads_ * 256) {
+    for (const auto row : rows) state_.offer(table, row);
+    return;
+  }
+  std::vector<StreamingAccumulator> shards(threads_,
+                                           StreamingAccumulator(config_));
+  pool_.run(threads_, [&](std::size_t s) {
+    const auto [begin, end] = stats::chunk_range(rows.size(), threads_, s);
+    for (std::size_t i = begin; i < end; ++i) shards[s].offer(table, rows[i]);
   });
   for (const auto& shard : shards) state_.merge(shard);
 }

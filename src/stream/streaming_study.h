@@ -36,6 +36,8 @@
 
 #include "core/characterization.h"
 #include "logs/record.h"
+#include "logs/table.h"
+#include "stats/hash.h"
 #include "stats/descriptive.h"
 #include "stats/parallel.h"
 #include "stream/countmin.h"
@@ -125,6 +127,10 @@ class StreamingAccumulator {
   explicit StreamingAccumulator(const StreamingConfig& config);
 
   void offer(const logs::LogRecord& record);
+  // Columnar variant: fields stream out of the table's columns and the
+  // interned client-key dictionary replaces the per-record concatenation.
+  // Same record values => same sketch state as the LogRecord overload.
+  void offer(const logs::LogTable& table, logs::LogTable::RowIndex row);
   void merge(const StreamingAccumulator& later);
 
   [[nodiscard]] StreamingSummary summarize() const;
@@ -165,9 +171,22 @@ class StreamingAccumulator {
 
   InterarrivalTriage triage_;
 
+  // All field access funnels here; both offer() overloads are thin
+  // adapters, so the row and columnar paths cannot drift apart.
+  void offer_fields(double timestamp, std::string_view client_key,
+                    std::string_view user_agent, http::Method method,
+                    std::string_view url, std::string_view domain,
+                    std::string_view content_type, int status,
+                    std::uint64_t response_bytes,
+                    logs::CacheStatus cache_status);
+
   // Per-accumulator UA classification cache (same trick as the batch
   // characterize_source); bounded so adversarial UA floods cannot grow it.
-  std::unordered_map<std::string, http::DeviceClassification> ua_cache_;
+  // Transparent hashing: lookups by string_view never allocate.
+  std::unordered_map<std::string, http::DeviceClassification,
+                     stats::TransparentStringHash, std::equal_to<>>
+      ua_cache_;
+  std::string key_scratch_;  // reused client-key buffer for the record path
 };
 
 // One-pass driver: offer records singly or ingest chunks; chunks are
@@ -178,6 +197,11 @@ class StreamingStudy {
 
   void offer(const logs::LogRecord& record);
   void ingest(std::span<const logs::LogRecord> chunk);
+  // Columnar chunk ingest: shards the row range exactly like the record-span
+  // overload (same chunk_range / merge order), so a table streamed with the
+  // same chunk size and thread count yields an identical summary.
+  void ingest(const logs::LogTable& table,
+              std::span<const logs::LogTable::RowIndex> rows);
 
   [[nodiscard]] StreamingSummary summary() const { return state_.summarize(); }
   [[nodiscard]] std::uint64_t records_ingested() const noexcept {

@@ -1,0 +1,278 @@
+// The columnar determinism contract, end to end: every analysis that takes a
+// TableView must render byte-for-byte the same report as the Dataset overload
+// on the same records — flow extraction, characterization, periodicity,
+// n-gram accuracy, and the streaming pipeline. This is what lets the tools
+// swap ingestion paths without changing a single published figure.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/characterization.h"
+#include "core/ngram.h"
+#include "core/periodicity.h"
+#include "core/report.h"
+#include "logs/dataset.h"
+#include "logs/table.h"
+#include "stats/rng.h"
+#include "stream/streaming_study.h"
+
+namespace jsoncdn {
+namespace {
+
+logs::LogRecord make_record(double ts, const std::string& client,
+                            const std::string& ua, const std::string& url,
+                            const std::string& domain, bool json,
+                            std::uint64_t bytes, logs::CacheStatus cache,
+                            http::Method method, int status) {
+  logs::LogRecord r;
+  r.timestamp = ts;
+  r.client_id = client;
+  r.user_agent = ua;
+  r.method = method;
+  r.url = url;
+  r.domain = domain;
+  r.content_type =
+      json ? "application/json; charset=utf-8" : "text/html; charset=utf-8";
+  r.status = status;
+  r.response_bytes = bytes;
+  r.request_bytes = method == http::Method::kPost ? 300 : 0;
+  r.cache_status = cache;
+  r.edge_id = 1;
+  return r;
+}
+
+// Structured traffic: periodic polling flows (so the detector finds real
+// periods), a heavy aperiodic flow, a long tail, mixed UAs (so the source
+// breakdown has several device classes), HTML traffic, and some errors.
+logs::Dataset make_traffic() {
+  logs::Dataset ds;
+  stats::Rng rng(515);
+  const std::vector<std::string> uas = {
+      "NewsReader/5.2.1 (iPhone; iOS 12.4.1)",
+      "Mozilla/5.0 (Windows NT 10.0; Win64; x64) Chrome/76.0",
+      "Mozilla/5.0 (Linux; Android 9; SM-G960F) Mobile Safari/537.36",
+      "python-requests/2.22.0",
+      "",
+  };
+  for (int flow = 0; flow < 3; ++flow) {
+    const std::string url =
+        "https://api.equiv.example/poll/" + std::to_string(flow);
+    std::vector<double> phase(16);
+    for (auto& p : phase) p = rng.uniform(0.0, 30.0);
+    for (int tick = 0; tick < 24; ++tick) {
+      for (int c = 0; c < 16; ++c) {
+        ds.add(make_record(
+            30.0 * tick + phase[c] + rng.uniform(-0.25, 0.25),
+            "client-" + std::to_string(c), uas[c % uas.size()], url,
+            "api.equiv.example", true, 800 + c,
+            tick % 3 == 0 ? logs::CacheStatus::kNotCacheable
+                          : logs::CacheStatus::kMiss,
+            c % 5 == 0 ? http::Method::kPost : http::Method::kGet,
+            tick == 7 && c == 3 ? 504 : 200));
+      }
+    }
+  }
+  for (int c = 0; c < 10; ++c) {
+    double ts = rng.uniform(0.0, 4.0);
+    for (int i = 0; i < 40; ++i) {
+      ts += rng.exponential(1.0 / 15.0);
+      ds.add(make_record(ts, "hot-" + std::to_string(c), uas[c % uas.size()],
+                         "https://api.equiv.example/hot", "api.equiv.example",
+                         true,
+                         static_cast<std::uint64_t>(std::exp(rng.normal(7, 1))),
+                         logs::CacheStatus::kHit, http::Method::kGet, 200));
+    }
+  }
+  for (int u = 0; u < 60; ++u) {
+    for (int i = 0; i < 5; ++i) {
+      ds.add(make_record(rng.uniform(0.0, 700.0),
+                         "tail-" + std::to_string(u % 21),
+                         uas[(u + i) % uas.size()],
+                         "https://api.equiv.example/obj/" + std::to_string(u),
+                         "api.equiv.example", true,
+                         static_cast<std::uint64_t>(std::exp(rng.normal(6, 1))),
+                         logs::CacheStatus::kMiss, http::Method::kGet, 200));
+    }
+  }
+  for (int i = 0; i < 1500; ++i) {
+    ds.add(make_record(
+        rng.uniform(0.0, 700.0), "web-" + std::to_string(i % 30),
+        uas[i % uas.size()],
+        "https://www.equiv.example/page/" + std::to_string(i % 40),
+        "www.equiv.example", false,
+        static_cast<std::uint64_t>(std::exp(rng.normal(9, 1.2))),
+        logs::CacheStatus::kHit, http::Method::kGet, i % 90 == 0 ? 503 : 200));
+  }
+  ds.sort_by_time();
+  return ds;
+}
+
+struct Fixture {
+  logs::Dataset full;
+  logs::Dataset json;
+  logs::LogTable table;
+  std::vector<logs::LogTable::RowIndex> json_indices;
+
+  Fixture()
+      : full(make_traffic()),
+        json(full.json_only()),
+        table(logs::LogTable::from_dataset(full)),
+        json_indices(table.json_rows()) {}
+
+  [[nodiscard]] logs::TableView full_view() const {
+    return logs::TableView(table);
+  }
+  [[nodiscard]] logs::TableView json_view() const {
+    return logs::TableView(table, json_indices);
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture* f = new Fixture();
+  return *f;
+}
+
+TEST(ColumnarEquivalence, ObjectFlowsAreIdentical) {
+  const auto& f = fixture();
+  const auto row_flows = logs::extract_object_flows(f.json);
+  const auto col_flows = logs::extract_object_flows(f.json_view());
+  ASSERT_EQ(row_flows.size(), col_flows.size());
+  for (std::size_t i = 0; i < row_flows.size(); ++i) {
+    const auto& a = row_flows[i];
+    const auto& b = col_flows[i];
+    ASSERT_EQ(a.url, b.url);
+    ASSERT_EQ(a.times, b.times);
+    ASSERT_EQ(a.total_requests, b.total_requests);
+    ASSERT_EQ(a.uncacheable_share, b.uncacheable_share);
+    ASSERT_EQ(a.upload_share, b.upload_share);
+    ASSERT_EQ(a.clients.size(), b.clients.size());
+    for (std::size_t c = 0; c < a.clients.size(); ++c) {
+      ASSERT_EQ(a.clients[c].client, b.clients[c].client);
+      ASSERT_EQ(a.clients[c].times, b.clients[c].times);
+      // Both paths index into the same (json-filtered, time-sorted) row
+      // sequence, so even the indices agree.
+      ASSERT_EQ(a.clients[c].record_indices, b.clients[c].record_indices);
+    }
+  }
+}
+
+TEST(ColumnarEquivalence, ClientFlowsAreIdentical) {
+  const auto& f = fixture();
+  const auto row_flows = logs::extract_client_flows(f.json);
+  const auto col_flows = logs::extract_client_flows(f.json_view());
+  ASSERT_EQ(row_flows.size(), col_flows.size());
+  for (std::size_t i = 0; i < row_flows.size(); ++i) {
+    ASSERT_EQ(row_flows[i].client, col_flows[i].client);
+    ASSERT_EQ(row_flows[i].record_indices, col_flows[i].record_indices);
+  }
+}
+
+TEST(ColumnarEquivalence, CharacterizationRendersIdentically) {
+  const auto& f = fixture();
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    EXPECT_EQ(core::render_source(core::characterize_source(f.json, threads)),
+              core::render_source(
+                  core::characterize_source(f.json_view(), threads)))
+        << threads;
+    EXPECT_EQ(
+        core::render_headline(core::characterize_methods(f.json, threads),
+                              core::characterize_cacheability(f.json, threads),
+                              core::compare_sizes(f.full, threads)),
+        core::render_headline(
+            core::characterize_methods(f.json_view(), threads),
+            core::characterize_cacheability(f.json_view(), threads),
+            core::compare_sizes(f.full_view(), threads)))
+        << threads;
+    EXPECT_EQ(
+        core::render_status(core::characterize_status(f.full, threads)),
+        core::render_status(core::characterize_status(f.full_view(), threads)))
+        << threads;
+
+    const core::IndustryLookup lookup = [](std::string_view domain) {
+      return std::string(domain.substr(0, domain.find('.')));
+    };
+    EXPECT_EQ(core::render_heatmap(core::cacheability_heatmap(
+                  core::domain_cacheability(f.json, lookup, threads))),
+              core::render_heatmap(core::cacheability_heatmap(
+                  core::domain_cacheability(f.json_view(), lookup, threads))))
+        << threads;
+  }
+}
+
+TEST(ColumnarEquivalence, PeriodicityRendersIdentically) {
+  const auto& f = fixture();
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    core::PeriodicityConfig config;
+    config.detector.permutations = 25;
+    config.threads = threads;
+    const auto row_report = core::analyze_periodicity(f.json, config);
+    const auto col_report = core::analyze_periodicity(f.json_view(), config);
+    EXPECT_EQ(core::render_periodicity_summary(row_report),
+              core::render_periodicity_summary(col_report))
+        << threads;
+    EXPECT_EQ(core::render_period_histogram(row_report.object_periods),
+              core::render_period_histogram(col_report.object_periods))
+        << threads;
+    EXPECT_EQ(
+        core::render_periodic_client_cdf(row_report.periodic_client_shares),
+        core::render_periodic_client_cdf(col_report.periodic_client_shares))
+        << threads;
+  }
+}
+
+TEST(ColumnarEquivalence, NgramRendersIdentically) {
+  const auto& f = fixture();
+  for (const bool clustered : {false, true}) {
+    core::NgramEvalConfig config;
+    config.clustered = clustered;
+    config.threads = 2;
+    const auto row = core::evaluate_ngram(f.json, config);
+    const auto col = core::evaluate_ngram(f.json_view(), config);
+    EXPECT_EQ(core::render_ngram_table({row}),
+              core::render_ngram_table({col}))
+        << clustered;
+    EXPECT_EQ(row.train_clients, col.train_clients);
+    EXPECT_EQ(row.test_clients, col.test_clients);
+    EXPECT_EQ(row.predictions, col.predictions);
+    EXPECT_EQ(row.accuracy_at, col.accuracy_at);
+  }
+}
+
+TEST(ColumnarEquivalence, StreamingSummaryRendersIdentically) {
+  const auto& f = fixture();
+  constexpr std::size_t kChunk = 512;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+    stream::StreamingConfig config;
+    config.threads = threads;
+
+    stream::StreamingStudy from_records(config);
+    const auto& records = f.full.records();
+    for (std::size_t begin = 0; begin < records.size(); begin += kChunk) {
+      const auto count = std::min(kChunk, records.size() - begin);
+      from_records.ingest(
+          std::span<const logs::LogRecord>(&records[begin], count));
+    }
+
+    stream::StreamingStudy from_table(config);
+    std::vector<logs::LogTable::RowIndex> order(f.table.size());
+    std::iota(order.begin(), order.end(), logs::LogTable::RowIndex{0});
+    for (std::size_t begin = 0; begin < order.size(); begin += kChunk) {
+      const auto count = std::min(kChunk, order.size() - begin);
+      from_table.ingest(
+          f.table,
+          std::span<const logs::LogTable::RowIndex>(&order[begin], count));
+    }
+
+    EXPECT_EQ(stream::render_streaming_summary(from_records.summary()),
+              stream::render_streaming_summary(from_table.summary()))
+        << threads;
+  }
+}
+
+}  // namespace
+}  // namespace jsoncdn

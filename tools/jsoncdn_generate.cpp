@@ -2,11 +2,16 @@
 //
 //   jsoncdn-generate [--scenario short|long] [--scale S] [--seed N]
 //                    [--out FILE] [--json-only] [--ground-truth FILE]
+//                    [--jlog FILE]
 //                    [--fault-rate F] [--fault-seed N] [--fault-outages N]
 //
 // Writes the TSV log format (logs/csv.h) that jsoncdn-analyze consumes, so
 // the full pipeline can be driven from the shell exactly like the paper's:
 // collect logs on the edge, analyze offline.
+//
+// --jlog additionally writes the columnar binary sidecar (logs/jlog.h) of
+// the same records; jsoncdn-analyze loads it directly, skipping the TSV
+// parse entirely.
 //
 // --ground-truth additionally writes the oracle sidecar (oracle/ground_truth.h)
 // holding the generator's labels keyed the way the log keys clients, so
@@ -29,6 +34,8 @@
 #include "cdn/network.h"
 #include "faults/plan.h"
 #include "logs/csv.h"
+#include "logs/jlog.h"
+#include "logs/table.h"
 #include "oracle/ground_truth.h"
 #include "workload/scenario.h"
 
@@ -39,6 +46,8 @@ void usage() {
                "usage: jsoncdn-generate [--scenario short|long] [--scale S]\n"
                "                        [--seed N] [--out FILE] [--json-only]\n"
                "                        [--ground-truth FILE] (oracle "
+               "sidecar)\n"
+               "                        [--jlog FILE]       (columnar binary "
                "sidecar)\n"
                "                        [--fault-rate F]    (0..1, default 0)\n"
                "                        [--fault-seed N]    (default: "
@@ -57,6 +66,7 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 42;
   std::string out_path = "jsoncdn.log";
   std::string truth_path;
+  std::string jlog_path;
   bool json_only = false;
   double fault_rate = 0.0;
   std::optional<std::uint64_t> fault_seed;
@@ -81,6 +91,8 @@ int main(int argc, char** argv) {
       out_path = next();
     } else if (arg == "--ground-truth") {
       truth_path = next();
+    } else if (arg == "--jlog") {
+      jlog_path = next();
     } else if (arg == "--json-only") {
       json_only = true;
     } else if (arg == "--fault-rate") {
@@ -159,6 +171,16 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "wrote %llu records to %s\n",
                static_cast<unsigned long long>(writer.written()),
                out_path.c_str());
+
+  if (!jlog_path.empty()) {
+    try {
+      logs::write_jlog(jlog_path, logs::LogTable::from_dataset(dataset));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "jlog: %s\n", e.what());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote columnar sidecar to %s\n", jlog_path.c_str());
+  }
 
   if (!truth_path.empty()) {
     // The sidecar speaks the log's identity vocabulary: client addresses are

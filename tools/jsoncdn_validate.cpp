@@ -19,6 +19,9 @@
 #include <vector>
 
 #include "logs/csv.h"
+#include "logs/jlog.h"
+#include "logs/table.h"
+#include "logs/zerocopy.h"
 #include "oracle/conformance.h"
 #include "oracle/ground_truth.h"
 
@@ -123,8 +126,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     logs::IngestReport ingest;
-    const auto dataset =
-        logs::ingest_log_file(log_path, logs::IngestOptions{}, &ingest);
+    // Zero-copy columnar ingest (or a direct .jlog load), then materialize
+    // the Dataset the oracle scorer consumes — same records either way.
+    const auto table = logs::is_jlog_file(log_path)
+                           ? logs::read_jlog(log_path, &ingest)
+                           : logs::read_log_table(log_path,
+                                                  logs::IngestOptions{},
+                                                  &ingest);
+    const auto dataset = table.to_dataset();
     if (dataset.empty()) {
       std::fprintf(stderr, "no records in %s\n", log_path.c_str());
       return 1;
