@@ -6,9 +6,12 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +29,9 @@
 #include "logs/jlog.h"
 #include "logs/table.h"
 #include "logs/zerocopy.h"
+#include "shard/reader.h"
+#include "shard/synth.h"
+#include "shard/writer.h"
 #include "stats/autocorrelation.h"
 #include "stats/fft.h"
 #include "stats/parallel.h"
@@ -503,7 +509,7 @@ PipelineTiming run_columnar_pipeline(const std::string& path,
                                      std::size_t threads, bool from_jlog) {
   PipelineTiming t;
   bench::Timer timer;
-  auto table = from_jlog ? logs::read_jlog(path)
+  auto table = from_jlog ? shard::load_table_auto(path)
                          : logs::read_log_table(path, logs::IngestOptions{});
   table.sort_by_time();
   t.ingest_s = timer.seconds();
@@ -704,6 +710,220 @@ bool check_against_baseline(const IngestBenchReport& r,
   return ok;
 }
 
+// ---- Out-of-core scale (.jlog v2 chunk store) -----------------------------
+
+// End-to-end scaling of the sharded store: synthesize N records straight
+// into a v2 chunk store (never materializing the table), decode it back with
+// a full scan, run the out-of-core streaming study over it, and measure how
+// much of the file a quarter-length time window lets the zone maps skip.
+// The machine-independent ratios (compression vs v1, bytes/row, prune
+// fraction) are what the committed baseline gates on; the throughputs are
+// informational.
+struct ScaleBenchReport {
+  std::size_t records = 0;
+  std::uint32_t chunk_rows = 0;
+  std::uint64_t v1_bytes = 0;
+  std::uint64_t v2_bytes = 0;
+  double write_s = 0.0;   // synth stream -> v2 store on disk
+  double decode_s = 0.0;  // full scan, no consumer (pure codec cost)
+  double e2e_s = 0.0;     // scan -> StreamingStudy summary
+  std::uint32_t chunks_total = 0;
+  std::uint32_t chunks_pruned = 0;  // quarter-window scan
+
+  [[nodiscard]] double compression_ratio() const {
+    return v2_bytes == 0 ? 0.0 : static_cast<double>(v1_bytes) /
+                                     static_cast<double>(v2_bytes);
+  }
+  [[nodiscard]] double bytes_per_row() const {
+    return records == 0 ? 0.0 : static_cast<double>(v2_bytes) /
+                                    static_cast<double>(records);
+  }
+  [[nodiscard]] double prune_fraction() const {
+    return chunks_total == 0 ? 0.0 : static_cast<double>(chunks_pruned) /
+                                         static_cast<double>(chunks_total);
+  }
+  [[nodiscard]] double mrec_s(double seconds) const {
+    return seconds <= 0.0 ? 0.0
+                          : static_cast<double>(records) / seconds / 1e6;
+  }
+};
+
+ScaleBenchReport report_scale(std::size_t records) {
+  bench::print_header(
+      "out-of-core scale",
+      ".jlog v2 write/decode/stream + zone-map pruning, " +
+          std::to_string(records) + " records");
+  ScaleBenchReport r;
+  r.records = records;
+  const std::string v2_path = "/tmp/jsoncdn_bench_scale_v2.jlog";
+  const std::string v1_path = "/tmp/jsoncdn_bench_scale_v1.jlog";
+
+  shard::SynthOptions synth;
+  synth.records = records;
+  synth.seed = 4242;
+
+  {
+    shard::ShardWriterOptions options;
+    shard::ShardWriter writer(v2_path, options);
+    r.chunk_rows = options.chunk_rows;
+    bench::Timer timer;
+    shard::synth_records(synth, [&](const shard::SynthFields& f) {
+      writer.append_fields(f.timestamp, f.client_id, f.user_agent, f.method,
+                           f.url, f.domain, f.content_type, f.status,
+                           f.response_bytes, f.request_bytes, f.cache_status,
+                           f.edge_id);
+    });
+    const auto stats = writer.finalize();
+    r.write_s = timer.seconds();
+    r.v2_bytes = stats.file_bytes;
+    r.chunks_total = static_cast<std::uint32_t>(stats.chunks);
+  }
+
+  {
+    // The same rows as a v1 row-image sidecar, for the size comparison.
+    shard::ShardReader reader(v2_path);
+    logs::write_jlog(v1_path, reader.read_all());
+    r.v1_bytes = std::filesystem::file_size(v1_path);
+  }
+
+  {
+    shard::ShardReader reader(v2_path);
+    bench::Timer timer;
+    const auto stats = reader.scan(
+        shard::ScanPredicate{},
+        [](const logs::LogTable&, std::span<const std::uint32_t>) {});
+    r.decode_s = timer.seconds();
+    if (stats.rows_scanned != records)
+      bench::note("warning: full scan decoded an unexpected row count");
+  }
+
+  {
+    shard::ShardReader reader(v2_path);
+    stream::StreamingStudy study{stream::StreamingConfig{}};
+    bench::Timer timer;
+    reader.scan(shard::ScanPredicate{},
+                [&](const logs::LogTable& chunk,
+                    std::span<const std::uint32_t> selected) {
+                  study.ingest(chunk, selected);
+                });
+    const auto summary = study.summary();
+    r.e2e_s = timer.seconds();
+    if (summary.total_records != records)
+      bench::note("warning: streaming study saw an unexpected row count");
+  }
+
+  {
+    shard::ShardReader reader(v2_path);
+    shard::ScanPredicate window;
+    window.min_time = synth.start_time;
+    window.max_time = synth.start_time + synth.duration / 4.0;
+    const auto stats = reader.scan(
+        window, [](const logs::LogTable&, std::span<const std::uint32_t>) {});
+    r.chunks_total = stats.chunks_total;
+    r.chunks_pruned = stats.chunks_pruned;
+  }
+
+  std::printf(
+      "  v1 %8.1f MiB   v2 %8.1f MiB   compression %5.2fx   %5.1f B/row\n",
+      static_cast<double>(r.v1_bytes) / (1024.0 * 1024.0),
+      static_cast<double>(r.v2_bytes) / (1024.0 * 1024.0),
+      r.compression_ratio(), r.bytes_per_row());
+  std::printf(
+      "  write %6.2f Mrec/s   decode %6.2f Mrec/s   stream %6.2f Mrec/s\n",
+      r.mrec_s(r.write_s), r.mrec_s(r.decode_s), r.mrec_s(r.e2e_s));
+  std::printf(
+      "  quarter window pruned %u of %u chunks (%.1f%%) without decoding\n",
+      r.chunks_pruned, r.chunks_total, 100.0 * r.prune_fraction());
+  std::remove(v1_path.c_str());
+  std::remove(v2_path.c_str());
+  return r;
+}
+
+void write_scale_json(const ScaleBenchReport& r, const std::string& path) {
+  std::ofstream out(path);
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\n"
+      "  \"records\": %zu,\n"
+      "  \"chunk_rows\": %u,\n"
+      "  \"v1_bytes\": %llu,\n"
+      "  \"v2_bytes\": %llu,\n"
+      "  \"compression_ratio\": %.4f,\n"
+      "  \"bytes_per_row\": %.4f,\n"
+      "  \"prune_fraction\": %.4f,\n"
+      "  \"write_mrec_s\": %.4f,\n"
+      "  \"decode_mrec_s\": %.4f,\n"
+      "  \"stream_mrec_s\": %.4f\n"
+      "}\n",
+      r.records, r.chunk_rows,
+      static_cast<unsigned long long>(r.v1_bytes),
+      static_cast<unsigned long long>(r.v2_bytes), r.compression_ratio(),
+      r.bytes_per_row(), r.prune_fraction(), r.mrec_s(r.write_s),
+      r.mrec_s(r.decode_s), r.mrec_s(r.e2e_s));
+  out << buf;
+  bench::note("wrote " + path);
+}
+
+// Gates on the machine-independent ratios only: compression and pruning are
+// properties of the format and the workload, not of the machine. Throughputs
+// are reported but never gated.
+bool check_scale_baseline(const ScaleBenchReport& r,
+                          const std::string& baseline_path, double tolerance) {
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open baseline %s\n", baseline_path.c_str());
+    return false;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  bench::print_header("scale regression check",
+                      baseline_path + " (tolerance " +
+                          std::to_string(static_cast<int>(tolerance * 100)) +
+                          "%)");
+  const auto base_records =
+      static_cast<std::size_t>(json_number(text, "records"));
+  if (base_records != r.records) {
+    std::fprintf(stderr,
+                 "baseline was measured at %zu records, this run used %zu; "
+                 "rerun with --scale-records=%zu\n",
+                 base_records, r.records, base_records);
+    return false;
+  }
+  bool ok = true;
+  const auto check_min = [&](const char* key, double current) {
+    const double base = json_number(text, key);
+    if (base <= 0.0) {
+      std::fprintf(stderr, "baseline missing %s\n", key);
+      ok = false;
+      return;
+    }
+    const double floor = base * (1.0 - tolerance);
+    const bool pass = current >= floor;
+    std::printf("  %-18s baseline %6.3f   current %6.3f   floor %6.3f   %s\n",
+                key, base, current, floor, pass ? "ok" : "REGRESSED");
+    if (!pass) ok = false;
+  };
+  const auto check_max = [&](const char* key, double current) {
+    const double base = json_number(text, key);
+    if (base <= 0.0) {
+      std::fprintf(stderr, "baseline missing %s\n", key);
+      ok = false;
+      return;
+    }
+    const double ceiling = base * (1.0 + tolerance);
+    const bool pass = current <= ceiling;
+    std::printf(
+        "  %-18s baseline %6.3f   current %6.3f   ceiling %6.3f   %s\n", key,
+        base, current, ceiling, pass ? "ok" : "REGRESSED");
+    if (!pass) ok = false;
+  };
+  check_min("compression_ratio", r.compression_ratio());
+  check_min("prune_fraction", r.prune_fraction());
+  check_max("bytes_per_row", r.bytes_per_row());
+  return ok;
+}
+
 // ---- Edge throughput under origin faults ----------------------------------
 
 // The resilience layer (retry/backoff, stale-if-error, negative cache,
@@ -770,10 +990,21 @@ int main(int argc, char** argv) {
   //                          exit non-zero on a >25% regression
   //   --ingest-records=N     workload size (default 1,000,000)
   //   --ingest-only          skip the microbenchmark suite & other reports
+  // Out-of-core scale flags (same pattern, .jlog v2 chunk store):
+  //   --scale                run the out-of-core scale section
+  //   --scale-json=PATH      write BENCH_scale.json-style results to PATH
+  //   --scale-check=PATH     compare format ratios against a baseline
+  //   --scale-records=N      workload size (default 2,000,000)
+  //   --scale-only           run only the scale section
   std::string ingest_json_path;
   std::string ingest_check_path;
   std::size_t ingest_records = 1'000'000;
   bool ingest_only = false;
+  std::string scale_json_path;
+  std::string scale_check_path;
+  std::size_t scale_records = 2'000'000;
+  bool scale_enabled = false;
+  bool scale_only = false;
   {
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
@@ -787,6 +1018,21 @@ int main(int argc, char** argv) {
             std::atoll(arg.c_str() + std::strlen("--ingest-records=")));
       } else if (arg == "--ingest-only") {
         ingest_only = true;
+      } else if (arg == "--scale") {
+        scale_enabled = true;
+      } else if (arg.rfind("--scale-json=", 0) == 0) {
+        scale_json_path = arg.substr(std::strlen("--scale-json="));
+        scale_enabled = true;
+      } else if (arg.rfind("--scale-check=", 0) == 0) {
+        scale_check_path = arg.substr(std::strlen("--scale-check="));
+        scale_enabled = true;
+      } else if (arg.rfind("--scale-records=", 0) == 0) {
+        scale_records = static_cast<std::size_t>(
+            std::atoll(arg.c_str() + std::strlen("--scale-records=")));
+        scale_enabled = true;
+      } else if (arg == "--scale-only") {
+        scale_enabled = true;
+        scale_only = true;
       } else {
         argv[kept++] = argv[i];
       }
@@ -794,7 +1040,7 @@ int main(int argc, char** argv) {
     argc = kept;
   }
 
-  if (!ingest_only) {
+  if (!ingest_only && !scale_only) {
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
     benchmark::RunSpecifiedBenchmarks();
@@ -804,12 +1050,24 @@ int main(int argc, char** argv) {
     report_fault_resilience();
   }
 
-  const auto ingest_report = report_ingest_throughput(ingest_records);
-  if (!ingest_json_path.empty())
-    write_ingest_json(ingest_report, ingest_json_path);
-  if (!ingest_check_path.empty() &&
-      !check_against_baseline(ingest_report, ingest_check_path,
+  if (!scale_only) {
+    const auto ingest_report = report_ingest_throughput(ingest_records);
+    if (!ingest_json_path.empty())
+      write_ingest_json(ingest_report, ingest_json_path);
+    if (!ingest_check_path.empty() &&
+        !check_against_baseline(ingest_report, ingest_check_path,
+                                /*tolerance=*/0.25))
+      return 1;
+  }
+
+  if (scale_enabled) {
+    const auto scale_report = report_scale(scale_records);
+    if (!scale_json_path.empty())
+      write_scale_json(scale_report, scale_json_path);
+    if (!scale_check_path.empty() &&
+        !check_scale_baseline(scale_report, scale_check_path,
                               /*tolerance=*/0.25))
-    return 1;
+      return 1;
+  }
   return 0;
 }

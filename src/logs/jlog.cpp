@@ -1,84 +1,43 @@
 #include "logs/jlog.h"
 
-#include <cstring>
 #include <fstream>
-#include <iterator>
+#include <memory>
 #include <stdexcept>
+
+#include "logs/zerocopy.h"
 
 namespace jsoncdn::logs {
 
 namespace {
 
-constexpr std::string_view kJlogMagic = "jlogcdn1";  // 8 bytes
+constexpr std::string_view kJlogMagic = "jlogcdn1";    // 8 bytes
+constexpr std::string_view kJlogV2Magic = "jlogcdn2";  // 8 bytes
 constexpr std::size_t kMethodCount = 7;  // http::Method enumerator count
 
-[[noreturn]] void corrupt(const std::string& path, const char* what) {
+}  // namespace
+
+void jlog_corrupt(const std::string& path, const char* what) {
   throw std::runtime_error("corrupt .jlog file " + path + ": " + what);
 }
 
-// Buffered little-endian plain-old-data writer.
-class Out {
- public:
-  explicit Out(std::ostream& os) : os_(os) {}
-  template <typename T>
-  void pod(T v) {
-    raw(&v, sizeof(T));
-  }
-  template <typename T>
-  void column(const std::vector<T>& col) {
-    raw(col.data(), col.size() * sizeof(T));
-  }
-  void raw(const void* p, std::size_t n) {
-    if (n == 0) return;
-    os_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
-  }
+std::string_view jlog_magic() noexcept { return kJlogMagic; }
+std::string_view jlog_v2_magic() noexcept { return kJlogV2Magic; }
 
- private:
-  std::ostream& os_;
-};
-
-// Bounds-checked reader over the whole file image.
-class In {
- public:
-  In(const std::string& bytes, const std::string& path)
-      : data_(bytes.data()), size_(bytes.size()), path_(path) {}
-
-  template <typename T>
-  T pod() {
-    T v;
-    need(sizeof(T), "truncated scalar");
-    std::memcpy(&v, data_ + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return v;
+LogFormat detect_log_format(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return LogFormat::kText;
+  char head[8] = {};
+  is.read(head, sizeof(head));
+  if (is.gcount() != static_cast<std::streamsize>(kJlogMagic.size())) {
+    return LogFormat::kText;
   }
-  template <typename T>
-  std::vector<T> column(std::size_t count) {
-    // Division-form bound is overflow-safe for attacker-chosen counts.
-    if (count > (size_ - pos_) / sizeof(T)) corrupt(path_, "truncated column");
-    std::vector<T> col(count);
-    if (count > 0) std::memcpy(col.data(), data_ + pos_, count * sizeof(T));
-    pos_ += count * sizeof(T);
-    return col;
-  }
-  std::string_view bytes(std::size_t n) {
-    need(n, "truncated dictionary bytes");
-    const std::string_view v(data_ + pos_, n);
-    pos_ += n;
-    return v;
-  }
-  [[nodiscard]] bool exhausted() const noexcept { return pos_ == size_; }
-  void need(std::size_t n, const char* what) const {
-    if (n > size_ - pos_) corrupt(path_, what);
-  }
+  const std::string_view magic(head, kJlogMagic.size());
+  if (magic == kJlogMagic) return LogFormat::kJlogV1;
+  if (magic == kJlogV2Magic) return LogFormat::kJlogV2;
+  return LogFormat::kText;
+}
 
- private:
-  const char* data_;
-  std::size_t size_;
-  std::size_t pos_ = 0;
-  const std::string& path_;
-};
-
-void write_dictionary(Out& out, const StringInterner& dict) {
+void write_jlog_dictionary(BinaryWriter& out, const StringInterner& dict) {
   out.pod<std::uint32_t>(static_cast<std::uint32_t>(dict.size()));
   for (std::size_t s = 0; s < dict.size(); ++s) {
     out.pod<std::uint32_t>(static_cast<std::uint32_t>(
@@ -90,7 +49,8 @@ void write_dictionary(Out& out, const StringInterner& dict) {
   }
 }
 
-void read_dictionary(In& in, StringInterner& dict, const std::string& path) {
+void read_jlog_dictionary(BinaryReader& in, StringInterner& dict,
+                          const std::string& path) {
   const auto count = in.pod<std::uint32_t>();
   const auto lengths = in.column<std::uint32_t>(count);
   dict.reserve(count);
@@ -99,26 +59,24 @@ void read_dictionary(In& in, StringInterner& dict, const std::string& path) {
     dict.intern(in.bytes(lengths[s]));
     // Symbols must come out dense and in file order; a duplicate entry
     // would silently remap every row that references the later copy.
-    if (dict.size() != before + 1) corrupt(path, "duplicate dictionary entry");
+    if (dict.size() != before + 1) {
+      jlog_corrupt(path, "duplicate dictionary entry");
+    }
   }
 }
-
-}  // namespace
-
-std::string_view jlog_magic() noexcept { return kJlogMagic; }
 
 // Friend of LogTable: moves columns in/out without per-row accessors.
 class JlogReader {
  public:
-  static void write(Out& out, const LogTable& t) {
+  static void write(BinaryWriter& out, const LogTable& t) {
     out.raw(kJlogMagic.data(), kJlogMagic.size());
     out.pod<std::uint64_t>(t.size());
-    write_dictionary(out, t.url_dict_);
-    write_dictionary(out, t.client_id_dict_);
-    write_dictionary(out, t.ua_dict_);
-    write_dictionary(out, t.domain_dict_);
-    write_dictionary(out, t.ctype_dict_);
-    write_dictionary(out, t.client_dict_);
+    write_jlog_dictionary(out, t.url_dict_);
+    write_jlog_dictionary(out, t.client_id_dict_);
+    write_jlog_dictionary(out, t.ua_dict_);
+    write_jlog_dictionary(out, t.domain_dict_);
+    write_jlog_dictionary(out, t.ctype_dict_);
+    write_jlog_dictionary(out, t.client_dict_);
     out.column(t.ts_);
     write_enum_column(out, t.method_);
     out.column(t.status_);
@@ -134,18 +92,18 @@ class JlogReader {
     out.column(t.client_);
   }
 
-  static LogTable read(In& in, const std::string& path) {
+  static LogTable read(BinaryReader& in, const std::string& path) {
     const auto n64 = in.pod<std::uint64_t>();
-    if (n64 > 0xffffffffULL) corrupt(path, "row count exceeds u32 range");
+    if (n64 > 0xffffffffULL) jlog_corrupt(path, "row count exceeds u32 range");
     const auto n = static_cast<std::size_t>(n64);
 
     LogTable t;
-    read_dictionary(in, t.url_dict_, path);
-    read_dictionary(in, t.client_id_dict_, path);
-    read_dictionary(in, t.ua_dict_, path);
-    read_dictionary(in, t.domain_dict_, path);
-    read_dictionary(in, t.ctype_dict_, path);
-    read_dictionary(in, t.client_dict_, path);
+    read_jlog_dictionary(in, t.url_dict_, path);
+    read_jlog_dictionary(in, t.client_id_dict_, path);
+    read_jlog_dictionary(in, t.ua_dict_, path);
+    read_jlog_dictionary(in, t.domain_dict_, path);
+    read_jlog_dictionary(in, t.ctype_dict_, path);
+    read_jlog_dictionary(in, t.client_dict_, path);
 
     t.ts_ = in.column<double>(n);
     t.method_ = read_enum_column<http::Method>(in, n, kMethodCount, path,
@@ -162,13 +120,13 @@ class JlogReader {
     t.domain_ = read_symbol_column(in, n, t.domain_dict_, path);
     t.ctype_ = read_symbol_column(in, n, t.ctype_dict_, path);
     t.client_ = read_symbol_column(in, n, t.client_dict_, path);
-    if (!in.exhausted()) corrupt(path, "trailing bytes after columns");
+    if (!in.exhausted()) jlog_corrupt(path, "trailing bytes after columns");
     return t;
   }
 
  private:
   template <typename E>
-  static void write_enum_column(Out& out, const std::vector<E>& col) {
+  static void write_enum_column(BinaryWriter& out, const std::vector<E>& col) {
     std::vector<std::uint8_t> packed(col.size());
     for (std::size_t i = 0; i < col.size(); ++i) {
       packed[i] = static_cast<std::uint8_t>(col[i]);
@@ -177,25 +135,27 @@ class JlogReader {
   }
 
   template <typename E>
-  static std::vector<E> read_enum_column(In& in, std::size_t n,
+  static std::vector<E> read_enum_column(BinaryReader& in, std::size_t n,
                                          std::size_t limit,
                                          const std::string& path,
                                          const char* what) {
     const auto packed = in.column<std::uint8_t>(n);
     std::vector<E> col(n);
     for (std::size_t i = 0; i < n; ++i) {
-      if (packed[i] >= limit) corrupt(path, what);
+      if (packed[i] >= limit) jlog_corrupt(path, what);
       col[i] = static_cast<E>(packed[i]);
     }
     return col;
   }
 
   static std::vector<StringInterner::Symbol> read_symbol_column(
-      In& in, std::size_t n, const StringInterner& dict,
+      BinaryReader& in, std::size_t n, const StringInterner& dict,
       const std::string& path) {
     auto col = in.column<StringInterner::Symbol>(n);
     for (const auto sym : col) {
-      if (sym >= dict.size()) corrupt(path, "symbol out of dictionary range");
+      if (sym >= dict.size()) {
+        jlog_corrupt(path, "symbol out of dictionary range");
+      }
     }
     return col;
   }
@@ -204,21 +164,26 @@ class JlogReader {
 void write_jlog(const std::string& path, const LogTable& table) {
   std::ofstream os(path, std::ios::binary | std::ios::trunc);
   if (!os) throw std::runtime_error("cannot create .jlog file: " + path);
-  Out out(os);
+  BinaryWriter out(os);
   JlogReader::write(out, table);
   os.flush();
   if (!os) throw std::runtime_error("cannot write .jlog file: " + path);
 }
 
 LogTable read_jlog(const std::string& path, IngestReport* report) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) throw std::runtime_error("cannot open .jlog file: " + path);
-  std::string bytes((std::istreambuf_iterator<char>(is)),
-                    std::istreambuf_iterator<char>());
-  In in(bytes, path);
+  // Same mapping machinery as the zero-copy TSV path: the kernel pages the
+  // image in as the bulk column copies walk it, with a whole-file read
+  // fallback where mmap is unavailable.
+  std::unique_ptr<MappedFile> file;
+  try {
+    file = std::make_unique<MappedFile>(path);
+  } catch (const std::exception&) {
+    throw std::runtime_error("cannot open .jlog file: " + path);
+  }
+  BinaryReader in(file->view(), path);
   in.need(kJlogMagic.size(), "file shorter than magic");
   if (in.bytes(kJlogMagic.size()) != kJlogMagic) {
-    corrupt(path, "bad magic (not a .jlog v1 file)");
+    jlog_corrupt(path, "bad magic (not a .jlog v1 file)");
   }
   LogTable table = JlogReader::read(in, path);
   if (report != nullptr) {
@@ -232,12 +197,7 @@ LogTable read_jlog(const std::string& path, IngestReport* report) {
 }
 
 bool is_jlog_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return false;
-  char head[8] = {};
-  is.read(head, sizeof(head));
-  return is.gcount() == static_cast<std::streamsize>(kJlogMagic.size()) &&
-         std::string_view(head, kJlogMagic.size()) == kJlogMagic;
+  return detect_log_format(path) == LogFormat::kJlogV1;
 }
 
 }  // namespace jsoncdn::logs

@@ -1,51 +1,156 @@
-// `.jlog` v1 — compact binary sidecar of a LogTable for fast reloads in
-// bench/validate sweeps: parse a CSV log once, write the columnar image,
-// and every later run deserializes dictionaries + columns with no
-// tokenizing, unescaping, or hashing.
+// `.jlog` binary sidecars of a LogTable for fast reloads in bench/validate
+// sweeps: parse a CSV log once, write the columnar image, and every later
+// run deserializes dictionaries + columns with no tokenizing, unescaping,
+// or hashing.
 //
-// Layout (all integers little-endian, no padding):
-//   magic          8 bytes  "jlogcdn1"
-//   row_count      u64
-//   6 dictionaries, in order url, client_id, user_agent, domain,
-//   content_type, client_key:
-//     count        u32
-//     lengths      u32 × count
-//     bytes        concatenation of the strings (sum of lengths)
-//   7 value columns, row_count entries each:
-//     timestamp f64 · method u8 · status i32 · response_bytes u64 ·
-//     request_bytes u64 · cache_status u8 · edge_id u32
-//   6 symbol columns, row_count × u32 each, same dictionary order
+// Two on-disk versions share the first 8 bytes as a magic tag:
 //
-// The reader is fully bounds-checked: a truncated file, bad magic, or any
+//   "jlogcdn1" — v1, this file: one uncompressed image of the whole table.
+//     Layout (all integers little-endian, no padding):
+//       magic          8 bytes  "jlogcdn1"
+//       row_count      u64
+//       6 dictionaries, in order url, client_id, user_agent, domain,
+//       content_type, client_key:
+//         count        u32
+//         lengths      u32 × count
+//         bytes        concatenation of the strings (sum of lengths)
+//       7 value columns, row_count entries each:
+//         timestamp f64 · method u8 · status i32 · response_bytes u64 ·
+//         request_bytes u64 · cache_status u8 · edge_id u32
+//       6 symbol columns, row_count × u32 each, same dictionary order
+//
+//   "jlogcdn2" — v2, the tiered chunk store (src/shard): compressed column
+//     chunks with zone maps for out-of-core scans. The format lives in
+//     shard/format.h; this header only knows its magic so every tool can
+//     dispatch on version through one detect_log_format() call.
+//
+// Both readers are fully bounds-checked: a truncated file, bad magic, or any
 // out-of-range symbol/enum value throws std::runtime_error before any row
 // becomes visible — binary corruption is structural, so unlike CSV there is
 // no per-line permissive skip. On success the IngestReport is filled as if
 // a clean CSV of the same rows had been ingested (header_seen, records ==
-// row count), so tools report ingest state uniformly across both formats.
+// row count), so tools report ingest state uniformly across formats.
 #pragma once
 
+#include <cstdint>
+#include <cstring>
+#include <ostream>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "logs/csv.h"
 #include "logs/table.h"
 
 namespace jsoncdn::logs {
 
-// Magic tag opening every .jlog file.
-[[nodiscard]] std::string_view jlog_magic() noexcept;
+// Magic tags opening .jlog files, by version.
+[[nodiscard]] std::string_view jlog_magic() noexcept;     // v1 "jlogcdn1"
+[[nodiscard]] std::string_view jlog_v2_magic() noexcept;  // v2 "jlogcdn2"
 
-// Writes the table's dictionaries and columns to `path`. Throws
+// What kind of log file `path` holds, decided by leading magic (never by
+// extension). Anything unreadable, shorter than a magic, or without a known
+// magic is kText — the TSV reader then produces the authoritative error.
+enum class LogFormat { kText, kJlogV1, kJlogV2 };
+[[nodiscard]] LogFormat detect_log_format(const std::string& path);
+
+// Throws the uniform corruption error every .jlog reader uses.
+[[noreturn]] void jlog_corrupt(const std::string& path, const char* what);
+
+// Bounds-checked little-endian cursor over an in-memory byte image (an
+// mmapped file in practice) — the one read path v1 and the v2 chunk store
+// share. Every accessor throws via jlog_corrupt() instead of reading out of
+// range.
+class BinaryReader {
+ public:
+  BinaryReader(std::string_view bytes, const std::string& path) noexcept
+      : data_(bytes.data()), size_(bytes.size()), path_(path) {}
+
+  template <typename T>
+  T pod() {
+    T v;
+    need(sizeof(T), "truncated scalar");
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+  template <typename T>
+  std::vector<T> column(std::size_t count) {
+    // Division-form bound is overflow-safe for attacker-chosen counts.
+    if (count > (size_ - pos_) / sizeof(T)) {
+      jlog_corrupt(path_, "truncated column");
+    }
+    std::vector<T> col(count);
+    if (count > 0) std::memcpy(col.data(), data_ + pos_, count * sizeof(T));
+    pos_ += count * sizeof(T);
+    return col;
+  }
+  std::string_view bytes(std::size_t n) {
+    need(n, "truncated dictionary bytes");
+    const std::string_view v(data_ + pos_, n);
+    pos_ += n;
+    return v;
+  }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == size_; }
+  void need(std::size_t n, const char* what) const {
+    if (n > size_ - pos_) jlog_corrupt(path_, what);
+  }
+
+ private:
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+  const std::string& path_;
+};
+
+// Buffered little-endian plain-old-data writer — the shared write path.
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& os) noexcept : os_(os) {}
+  template <typename T>
+  void pod(T v) {
+    raw(&v, sizeof(T));
+  }
+  template <typename T>
+  void column(const std::vector<T>& col) {
+    raw(col.data(), col.size() * sizeof(T));
+  }
+  void raw(const void* p, std::size_t n) {
+    if (n == 0) return;
+    os_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    written_ += n;
+  }
+  [[nodiscard]] std::uint64_t written() const noexcept { return written_; }
+
+ private:
+  std::ostream& os_;
+  std::uint64_t written_ = 0;
+};
+
+// Dictionary block (count, lengths, bytes) — one encoding for v1 bodies and
+// the v2 footer. The reader enforces that entries come out dense, unique,
+// and in file order; a duplicate would silently remap every row referencing
+// the later copy.
+void write_jlog_dictionary(BinaryWriter& out, const StringInterner& dict);
+void read_jlog_dictionary(BinaryReader& in, StringInterner& dict,
+                          const std::string& path);
+
+// Writes the table's dictionaries and columns to `path` (v1). Throws
 // std::runtime_error when the file cannot be created or written.
 void write_jlog(const std::string& path, const LogTable& table);
 
-// Reads a .jlog file back into a LogTable. Throws std::runtime_error on
-// open failure, bad magic, truncation, or corrupt symbol/enum values;
-// fills *report (records, lines, header_seen) on success.
+// Reads a v1 .jlog file back into a LogTable through one shared mmap +
+// bounds-check path (logs::MappedFile + BinaryReader). Throws
+// std::runtime_error on open failure, bad magic, truncation, or corrupt
+// symbol/enum values; fills *report (records, lines, header_seen) on
+// success.
 [[nodiscard]] LogTable read_jlog(const std::string& path,
                                  IngestReport* report = nullptr);
 
-// True when `path` names a .jlog file (by magic, not extension) — lets
-// tools accept either format through one flag.
+// True when `path` names a v1 .jlog file (by magic, not extension).
+// Prefer detect_log_format() in new code — it also recognizes v2.
 [[nodiscard]] bool is_jlog_file(const std::string& path);
 
 }  // namespace jsoncdn::logs

@@ -36,6 +36,22 @@ void LogTable::reserve(std::size_t rows) {
   client_.reserve(rows);
 }
 
+void LogTable::clear_rows() noexcept {
+  ts_.clear();
+  method_.clear();
+  status_.clear();
+  resp_bytes_.clear();
+  req_bytes_.clear();
+  cache_.clear();
+  edge_.clear();
+  url_.clear();
+  client_id_.clear();
+  ua_.clear();
+  domain_.clear();
+  ctype_.clear();
+  client_.clear();
+}
+
 LogTable::RowIndex LogTable::append_fields(
     double timestamp, std::string_view client_id, std::string_view user_agent,
     http::Method method, std::string_view url, std::string_view domain,

@@ -29,6 +29,10 @@
 #include "logs/interner.h"
 #include "logs/record.h"
 
+namespace jsoncdn::shard {
+class ChunkCodec;  // shard/chunk.h — fills columns directly, like JlogReader
+}  // namespace jsoncdn::shard
+
 namespace jsoncdn::logs {
 
 class LogTable {
@@ -45,6 +49,13 @@ class LogTable {
   [[nodiscard]] std::size_t size() const noexcept { return ts_.size(); }
   [[nodiscard]] bool empty() const noexcept { return ts_.empty(); }
   void reserve(std::size_t rows);
+
+  // Drops every row but keeps the dictionaries (and the client-pair cache,
+  // whose symbols stay valid) and the columns' capacity. This is what makes
+  // a LogTable reusable as a decode scratch: the shard reader loads the
+  // file dictionaries once, then overwrites the row columns chunk by chunk
+  // without reallocating or re-interning anything.
+  void clear_rows() noexcept;
 
   // Appends one row from individual (still-escaped-free) field values; the
   // zero-copy ingest path calls this straight off string_views into the
@@ -270,7 +281,8 @@ class LogTable {
   std::unordered_map<std::uint64_t, Symbol> client_pair_cache_;
   std::string key_scratch_;  // reused buffer for new pairs
 
-  friend class JlogReader;  // the .jlog reader fills columns directly
+  friend class JlogReader;  // the .jlog v1 reader fills columns directly
+  friend class jsoncdn::shard::ChunkCodec;  // the v2 chunk codec, likewise
 };
 
 // Non-owning selection of rows of one LogTable, in selection order. The

@@ -1,0 +1,95 @@
+// On-disk layout of the `.jlog` v2 tiered chunk store (magic "jlogcdn2").
+//
+// The file is write-once, append-friendly, and readable with one mmap:
+//
+//   magic            8 bytes  "jlogcdn2"
+//   chunk payloads   back-to-back compressed column chunks (see chunk.h)
+//   footer           written last, once every dictionary is known:
+//     6 dictionaries     v1 encoding (count, lengths, bytes), in order
+//                        url, client_id, user_agent, domain, content_type,
+//                        client_key — symbols are file-global
+//     chunk_target_rows  u32   rows per full chunk (last chunk may be short)
+//     chunk_count        u32
+//     chunk directory    chunk_count × ChunkMeta (fixed 92 bytes each):
+//                          offset u64 · payload_bytes u64 · checksum u64 ·
+//                          row_count u32 · min_ts f64 · max_ts f64 ·
+//                          6 × (min_sym u32, max_sym u32)
+//     row_count          u64   total rows (must equal the directory sum)
+//   trailer          fixed 24 bytes closing the file:
+//     footer_offset      u64   byte offset of the footer
+//     footer_checksum    u64   fnv1a64 over the footer bytes
+//     tail magic         8 bytes "jlogend2"
+//
+// Dictionaries and the chunk directory live in the *footer* so a writer can
+// stream chunks without knowing the final dictionaries up front — writer
+// memory is the dictionaries plus one pending chunk, never the table. A
+// reader seeks to the trailer, verifies the footer checksum, loads
+// dictionaries + directory, and then touches only the chunk payloads its
+// zone-map predicate selects.
+//
+// Every byte of the file is covered by some check: the leading and tail
+// magics, each payload's fnv1a64 in the (checksummed) directory, and the
+// footer checksum — a single flipped bit anywhere fails the read.
+//
+// The ChunkMeta zone map is what predicate pushdown evaluates without
+// decoding: a chunk can be skipped when its [min_ts, max_ts] misses the
+// time window or when no wanted symbol falls inside a keyed column's
+// [min_sym, max_sym]. Pruning is conservative — a surviving chunk may still
+// contain zero matching rows; the row-level predicate re-filters after
+// decode, so pruned and unpruned scans select identical rows.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "stats/hash.h"
+
+namespace jsoncdn::shard {
+
+// Tail magic closing a complete v2 file ("jlogcdn2" opens it; see
+// logs::jlog_v2_magic()).
+inline constexpr std::string_view kJlogV2TailMagic = "jlogend2";
+
+// Trailer: footer_offset u64 + footer_checksum u64 + tail magic.
+inline constexpr std::size_t kTrailerBytes = 8 + 8 + 8;
+
+// Indices into ChunkMeta::symbols — the dictionary order every .jlog
+// version shares.
+inline constexpr std::size_t kSymUrl = 0;
+inline constexpr std::size_t kSymClientId = 1;
+inline constexpr std::size_t kSymUserAgent = 2;
+inline constexpr std::size_t kSymDomain = 3;
+inline constexpr std::size_t kSymContentType = 4;
+inline constexpr std::size_t kSymClientKey = 5;
+inline constexpr std::size_t kSymbolColumns = 6;
+
+// Inclusive symbol range of one keyed column within a chunk; {0, 0} for an
+// empty chunk.
+struct SymbolRange {
+  std::uint32_t min_sym = 0;
+  std::uint32_t max_sym = 0;
+};
+
+// One chunk-directory entry: where the payload lives plus the zone map the
+// scan prunes against. Serialized field-by-field (fixed 92 bytes), never by
+// struct memcpy — padding must not reach the file.
+struct ChunkMeta {
+  std::uint64_t offset = 0;         // payload start, from file byte 0
+  std::uint64_t payload_bytes = 0;  // encoded length
+  std::uint64_t checksum = 0;       // fnv1a64 over the payload bytes
+  std::uint32_t row_count = 0;
+  double min_ts = 0.0;  // zone map: inclusive timestamp range
+  double max_ts = 0.0;
+  std::array<SymbolRange, kSymbolColumns> symbols{};
+};
+
+inline constexpr std::size_t kChunkMetaBytes =
+    8 + 8 + 8 + 4 + 8 + 8 + kSymbolColumns * 8;
+
+// Payload checksum — FNV-1a 64 like every other stable hash in the repo.
+[[nodiscard]] inline std::uint64_t payload_checksum(
+    std::string_view bytes) noexcept {
+  return stats::fnv1a64(bytes);
+}
+
+}  // namespace jsoncdn::shard

@@ -1,0 +1,253 @@
+#include "shard/reader.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define JSONCDN_SHARD_HAVE_MADVISE 1
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
+
+#include "logs/jlog.h"
+#include "shard/chunk.h"
+
+namespace jsoncdn::shard {
+
+namespace {
+
+// Whether the sorted wanted-symbol set intersects the chunk's inclusive
+// [min_sym, max_sym] range — one lower_bound, no decode.
+bool range_intersects(const std::vector<std::uint32_t>& wanted,
+                      const SymbolRange& range) noexcept {
+  const auto it = std::lower_bound(wanted.begin(), wanted.end(), range.min_sym);
+  return it != wanted.end() && *it <= range.max_sym;
+}
+
+bool contains(const std::vector<std::uint32_t>& sorted,
+              std::uint32_t sym) noexcept {
+  return std::binary_search(sorted.begin(), sorted.end(), sym);
+}
+
+}  // namespace
+
+bool ScanPredicate::selects(const ChunkMeta& meta) const noexcept {
+  if (meta.row_count == 0) return false;
+  if (meta.max_ts < min_time || meta.min_ts > max_time) return false;
+  if (!url_symbols.empty() &&
+      !range_intersects(url_symbols, meta.symbols[kSymUrl])) {
+    return false;
+  }
+  if (!ctype_symbols.empty() &&
+      !range_intersects(ctype_symbols, meta.symbols[kSymContentType])) {
+    return false;
+  }
+  return true;
+}
+
+bool ScanPredicate::selects_row(const logs::LogTable& chunk,
+                                std::uint32_t row) const noexcept {
+  const double t = chunk.timestamp(row);
+  if (t < min_time || t > max_time) return false;
+  if (!url_symbols.empty() && !contains(url_symbols, chunk.url_sym(row))) {
+    return false;
+  }
+  if (!ctype_symbols.empty() &&
+      !contains(ctype_symbols, chunk.content_type_sym(row))) {
+    return false;
+  }
+  return true;
+}
+
+ShardReader::ShardReader(const std::string& path,
+                         std::uint64_t max_memory_bytes)
+    : path_(path) {
+  try {
+    file_ = std::make_unique<logs::MappedFile>(path_);
+  } catch (const std::exception&) {
+    throw std::runtime_error("cannot open .jlog file: " + path_);
+  }
+  const std::string_view bytes = file_->view();
+  const auto magic = logs::jlog_v2_magic();
+  if (bytes.size() < magic.size() + kTrailerBytes) {
+    logs::jlog_corrupt(path_, "file shorter than v2 magic + trailer");
+  }
+  if (bytes.substr(0, magic.size()) != magic) {
+    logs::jlog_corrupt(path_, "bad magic (not a .jlog v2 file)");
+  }
+  if (bytes.substr(bytes.size() - kJlogV2TailMagic.size()) !=
+      kJlogV2TailMagic) {
+    logs::jlog_corrupt(path_, "bad tail magic (truncated v2 file)");
+  }
+
+  logs::BinaryReader trailer(bytes.substr(bytes.size() - kTrailerBytes),
+                             path_);
+  footer_offset_ = trailer.pod<std::uint64_t>();
+  const auto footer_checksum = trailer.pod<std::uint64_t>();
+  if (footer_offset_ < magic.size() ||
+      footer_offset_ > bytes.size() - kTrailerBytes) {
+    logs::jlog_corrupt(path_, "footer offset out of range");
+  }
+  const std::string_view footer_bytes = bytes.substr(
+      footer_offset_, bytes.size() - kTrailerBytes - footer_offset_);
+  if (payload_checksum(footer_bytes) != footer_checksum) {
+    logs::jlog_corrupt(path_, "footer checksum mismatch");
+  }
+
+  logs::BinaryReader footer(footer_bytes, path_);
+  ChunkCodec::read_dictionaries(footer, scratch_, path_);
+  chunk_target_rows_ = footer.pod<std::uint32_t>();
+  const auto chunk_count = footer.pod<std::uint32_t>();
+  directory_.reserve(chunk_count);
+  // The directory size is bounds-checked up front so a huge forged count
+  // fails fast instead of looping through pod() throws.
+  footer.need(static_cast<std::size_t>(chunk_count) * kChunkMetaBytes,
+              "truncated chunk directory");
+  for (std::uint32_t c = 0; c < chunk_count; ++c) {
+    directory_.push_back(read_chunk_meta(footer));
+  }
+  row_count_ = footer.pod<std::uint64_t>();
+  if (!footer.exhausted()) {
+    logs::jlog_corrupt(path_, "trailing bytes in footer");
+  }
+  if (chunk_count > 0 && chunk_target_rows_ == 0) {
+    logs::jlog_corrupt(path_, "chunk target rows is zero");
+  }
+
+  // Chunk payloads must tile [magic, footer) exactly: no gaps (bytes no
+  // checksum covers), no overlaps, in file order.
+  std::uint64_t expected = magic.size();
+  std::uint64_t rows = 0;
+  for (const auto& meta : directory_) {
+    if (meta.offset != expected) {
+      logs::jlog_corrupt(path_, "chunk directory does not tile the file");
+    }
+    if (meta.payload_bytes > footer_offset_ - expected) {
+      logs::jlog_corrupt(path_, "chunk payload exceeds file bounds");
+    }
+    expected += meta.payload_bytes;
+    rows += meta.row_count;
+  }
+  if (expected != footer_offset_) {
+    logs::jlog_corrupt(path_, "chunk payloads do not reach the footer");
+  }
+  if (rows != row_count_) {
+    logs::jlog_corrupt(path_, "directory row sum does not match row count");
+  }
+
+  // Page-release cadence: default every 64 MiB of scanned payload; a tight
+  // --max-memory budget shrinks the interval so the scan never carries more
+  // than a fraction of the budget in scanned-past pages.
+  if (file_->is_mapped()) {
+    constexpr std::uint64_t kDefaultInterval = 64ull << 20;
+    advise_interval_ = kDefaultInterval;
+    if (max_memory_bytes > 0) {
+      advise_interval_ = std::clamp<std::uint64_t>(max_memory_bytes / 8,
+                                                   1ull << 20, kDefaultInterval);
+    }
+  }
+  advise_mark_ = magic.size();
+}
+
+void ShardReader::release_scanned_pages(std::uint64_t scanned_up_to) {
+#if JSONCDN_SHARD_HAVE_MADVISE
+  if (advise_interval_ == 0 || scanned_up_to < advise_mark_ ||
+      scanned_up_to - advise_mark_ < advise_interval_) {
+    return;
+  }
+  const auto page =
+      static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+  const std::uintptr_t base = reinterpret_cast<std::uintptr_t>(file_->data());
+  // Round the release range to whole pages inside [advise_mark_,
+  // scanned_up_to): never touch the page the next chunk starts in.
+  const std::uintptr_t lo = (base + advise_mark_ + page - 1) / page * page;
+  const std::uintptr_t hi = (base + scanned_up_to) / page * page;
+  if (hi > lo) {
+    // Advisory only — a failure just means pages stay resident longer.
+    ::madvise(reinterpret_cast<void*>(lo), hi - lo, MADV_DONTNEED);
+  }
+  advise_mark_ = scanned_up_to;
+#else
+  (void)scanned_up_to;
+#endif
+}
+
+ScanStats ShardReader::scan(
+    const ScanPredicate& predicate,
+    const std::function<void(const logs::LogTable& chunk,
+                             std::span<const std::uint32_t> selected)>& fn) {
+  ScanStats stats;
+  stats.chunks_total = chunk_count();
+  const std::string_view bytes = file_->view();
+  for (const auto& meta : directory_) {
+    if (predicate.use_zone_maps && !predicate.selects(meta)) {
+      ++stats.chunks_pruned;
+      continue;
+    }
+    const std::string_view payload =
+        bytes.substr(meta.offset, meta.payload_bytes);
+    scratch_.clear_rows();
+    ChunkCodec::decode(payload, meta, scratch_, path_);
+    ++stats.chunks_scanned;
+    stats.rows_scanned += meta.row_count;
+    stats.bytes_decoded += meta.payload_bytes;
+
+    selected_.clear();
+    for (std::uint32_t row = 0; row < meta.row_count; ++row) {
+      if (predicate.selects_row(scratch_, row)) selected_.push_back(row);
+    }
+    stats.rows_selected += selected_.size();
+    fn(scratch_, selected_);
+    release_scanned_pages(meta.offset + meta.payload_bytes);
+  }
+  return stats;
+}
+
+logs::LogTable ShardReader::read_all(logs::IngestReport* report) {
+  if (row_count_ > 0xffffffffULL) {
+    logs::jlog_corrupt(path_, "row count exceeds u32 range");
+  }
+  // A fresh table needs its own dictionaries (interners are not copyable):
+  // re-parse them from the footer, then append every chunk.
+  logs::LogTable table;
+  const std::string_view bytes = file_->view();
+  logs::BinaryReader footer(
+      bytes.substr(footer_offset_,
+                   bytes.size() - kTrailerBytes - footer_offset_),
+      path_);
+  ChunkCodec::read_dictionaries(footer, table, path_);
+  table.reserve(static_cast<std::size_t>(row_count_));
+  for (const auto& meta : directory_) {
+    ChunkCodec::decode(bytes.substr(meta.offset, meta.payload_bytes), meta,
+                       table, path_);
+  }
+  if (report != nullptr) {
+    logs::IngestReport r;
+    r.lines = table.size();
+    r.records = table.size();
+    r.header_seen = true;  // the magic is the binary format's header
+    *report = std::move(r);
+  }
+  return table;
+}
+
+std::size_t ShardReader::resident_bytes() const noexcept {
+  return scratch_.memory_bytes() + directory_.capacity() * sizeof(ChunkMeta) +
+         selected_.capacity() * sizeof(std::uint32_t);
+}
+
+logs::LogTable load_table_auto(const std::string& path,
+                               const logs::IngestOptions& options,
+                               logs::IngestReport* report) {
+  switch (logs::detect_log_format(path)) {
+    case logs::LogFormat::kJlogV1:
+      return logs::read_jlog(path, report);
+    case logs::LogFormat::kJlogV2:
+      return ShardReader(path).read_all(report);
+    case logs::LogFormat::kText:
+      break;
+  }
+  return logs::read_log_table(path, options, report);
+}
+
+}  // namespace jsoncdn::shard

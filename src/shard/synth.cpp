@@ -1,0 +1,153 @@
+#include "shard/synth.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace jsoncdn::shard {
+
+namespace {
+
+// splitmix64 — the minimal deterministic PRNG; good enough for workload
+// shaping, and a pure function of the seed.
+std::uint64_t mix(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+double unit(std::uint64_t& state) {
+  return static_cast<double>(mix(state) >> 11) * 0x1.0p-53;
+}
+
+// Quadratic popularity bias: low indices are drawn far more often, giving
+// the skewed head heavy-hitter analyses expect.
+std::uint32_t skewed_index(std::uint64_t& state, std::uint32_t n) {
+  const double u = unit(state);
+  auto idx = static_cast<std::uint32_t>(u * u * n);
+  return std::min(idx, n - 1);
+}
+
+std::string format_indexed(const char* pattern, std::uint32_t i) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), pattern, i);
+  return std::string(buf);
+}
+
+// Non-JSON object types, cycled per object; index 0 is reserved for JSON.
+constexpr std::string_view kContentTypes[] = {
+    "application/json",
+    "text/html; charset=utf-8",
+    "image/png",
+    "application/octet-stream",
+    "text/css",
+    "application/javascript",
+};
+
+}  // namespace
+
+SynthStream::SynthStream(const SynthOptions& options)
+    : options_(options), state_(options.seed * 0x9e3779b97f4a7c15ULL + 1) {
+  if (options_.clients == 0) options_.clients = 1;
+  if (options_.user_agents == 0) options_.user_agents = 1;
+  if (options_.urls == 0) options_.urls = 1;
+  if (options_.domains == 0) options_.domains = 1;
+  if (options_.edges == 0) options_.edges = 1;
+  dt_ = options_.records > 0
+            ? options_.duration / static_cast<double>(options_.records)
+            : 0.0;
+
+  clients_.reserve(options_.clients);
+  for (std::uint32_t i = 0; i < options_.clients; ++i) {
+    clients_.push_back(format_indexed("client-%07u", i));
+  }
+  user_agents_.reserve(options_.user_agents);
+  for (std::uint32_t i = 0; i < options_.user_agents; ++i) {
+    user_agents_.push_back(format_indexed("synth-agent/%u.0", i));
+  }
+  domains_.reserve(options_.domains);
+  for (std::uint32_t i = 0; i < options_.domains; ++i) {
+    domains_.push_back(format_indexed("d%04u.api-synth.example", i));
+  }
+  urls_.reserve(options_.urls);
+  url_domain_.reserve(options_.urls);
+  url_ctype_.reserve(options_.urls);
+  // Per-object attributes are drawn from a fork of the seed so record
+  // generation below never perturbs them.
+  std::uint64_t object_state = state_ ^ 0xa5a5a5a5a5a5a5a5ULL;
+  for (std::uint32_t i = 0; i < options_.urls; ++i) {
+    urls_.push_back(format_indexed("/api/v1/object/%06u", i));
+    url_domain_.push_back(i % options_.domains);
+    const bool json = unit(object_state) < options_.json_share;
+    url_ctype_.push_back(
+        json ? 0
+             : static_cast<std::uint8_t>(
+                   1 + mix(object_state) %
+                           (std::size(kContentTypes) - 1)));
+  }
+}
+
+bool SynthStream::next(SynthFields& out) {
+  if (produced_ >= options_.records) return false;
+  const std::uint64_t i = produced_++;
+
+  out.timestamp =
+      options_.start_time + (static_cast<double>(i) + unit(state_)) * dt_;
+
+  const std::uint32_t client = skewed_index(state_, options_.clients);
+  const std::uint32_t url = skewed_index(state_, options_.urls);
+  out.client_id = clients_[client];
+  out.user_agent = user_agents_[client % options_.user_agents];
+  out.url = urls_[url];
+  out.domain = domains_[url_domain_[url]];
+  out.content_type = kContentTypes[url_ctype_[url]];
+  out.edge_id = static_cast<std::uint32_t>(mix(state_) % options_.edges);
+
+  const std::uint64_t roll = mix(state_) % 100;
+  out.method = roll < 90   ? http::Method::kGet
+               : roll < 96 ? http::Method::kPost
+               : roll < 98 ? http::Method::kPut
+                           : http::Method::kHead;
+
+  const std::uint64_t cache_roll = mix(state_) % 100;
+  if (cache_roll < 70) {
+    out.cache_status = logs::CacheStatus::kHit;
+    out.status = 200;
+  } else if (cache_roll < 85) {
+    out.cache_status = logs::CacheStatus::kMiss;
+    out.status = 200;
+  } else if (cache_roll < 92) {
+    out.cache_status = logs::CacheStatus::kRefreshHit;
+    out.status = 200;
+  } else if (cache_roll < 99) {
+    out.cache_status = logs::CacheStatus::kNotCacheable;
+    out.status = 200;
+  } else {
+    out.cache_status = logs::CacheStatus::kError;
+    out.status = 503;
+  }
+
+  // Response sizes: JSON objects are small (hundreds of bytes to a few KB),
+  // static objects span a wider range — both skewed toward small.
+  const double size_u = unit(state_);
+  const bool is_json = url_ctype_[url] == 0;
+  const double base = is_json ? 256.0 : 1024.0;
+  const double spread = is_json ? 8192.0 : 262144.0;
+  out.response_bytes =
+      static_cast<std::uint64_t>(base + size_u * size_u * spread);
+  out.request_bytes =
+      out.method == http::Method::kPost || out.method == http::Method::kPut
+          ? 128 + mix(state_) % 2048
+          : 0;
+  return true;
+}
+
+void synth_records(const SynthOptions& options,
+                   const std::function<void(const SynthFields&)>& fn) {
+  SynthStream stream(options);
+  SynthFields fields;
+  while (stream.next(fields)) fn(fields);
+}
+
+}  // namespace jsoncdn::shard

@@ -1,0 +1,91 @@
+// Deterministic synthetic scale workload: a pure function of (options,
+// seed) that streams any number of records in nondecreasing time order with
+// bounded string cardinalities — the driver for out-of-core scale tests and
+// benchmarks, where the full workload generator (workload/scenario.h) would
+// be too slow and too memory-hungry at 100M records.
+//
+// Properties the scale harness relies on:
+//   - record i's timestamp lies in [start + i·dt, start + (i+1)·dt), so the
+//     stream is time-sorted by construction and chunk zone maps are tight —
+//     a half-window time query prunes roughly half the chunks;
+//   - all six dictionaries are bounded by the options (user agent is a pure
+//     function of client, so the client-key dictionary is bounded too),
+//     keeping writer/reader memory flat no matter how many records stream;
+//   - object popularity and client activity are skewed (quadratic bias), so
+//     heavy-hitter sketches see a realistic head;
+//   - content type is a pure function of the object, with json_share of
+//     objects serving JSON — time windows and content-type predicates
+//     correlate with chunks the way CDN logs do.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/method.h"
+#include "logs/record.h"
+
+namespace jsoncdn::shard {
+
+struct SynthOptions {
+  std::uint64_t records = 0;
+  std::uint64_t seed = 42;
+  std::uint32_t clients = 100000;
+  std::uint32_t user_agents = 64;
+  std::uint32_t urls = 20000;
+  std::uint32_t domains = 128;
+  std::uint32_t edges = 16;
+  double start_time = 0.0;
+  double duration = 86400.0;      // one synthetic day
+  double json_share = 0.55;       // share of *objects* serving JSON
+};
+
+// One synthetic record; the string_views point into the stream's interned
+// pools and stay valid for the stream's lifetime.
+struct SynthFields {
+  double timestamp = 0.0;
+  std::string_view client_id;
+  std::string_view user_agent;
+  http::Method method = http::Method::kGet;
+  std::string_view url;
+  std::string_view domain;
+  std::string_view content_type;
+  int status = 200;
+  std::uint64_t response_bytes = 0;
+  std::uint64_t request_bytes = 0;
+  logs::CacheStatus cache_status = logs::CacheStatus::kHit;
+  std::uint32_t edge_id = 0;
+};
+
+class SynthStream {
+ public:
+  explicit SynthStream(const SynthOptions& options);
+
+  // Fills `out` with the next record; false once `records` have streamed.
+  [[nodiscard]] bool next(SynthFields& out);
+
+  [[nodiscard]] std::uint64_t produced() const noexcept { return produced_; }
+
+ private:
+  SynthOptions options_;
+  std::uint64_t state_;  // splitmix64 state — all randomness forks from here
+  std::uint64_t produced_ = 0;
+  double dt_ = 0.0;
+  // Pre-rendered string pools (a few MB at the default cardinalities) so
+  // next() is pure RNG + indexing — no formatting per record.
+  std::vector<std::string> clients_;
+  std::vector<std::string> user_agents_;
+  std::vector<std::string> urls_;
+  std::vector<std::string> domains_;
+  std::vector<std::uint32_t> url_domain_;  // url index -> domain index
+  std::vector<std::uint8_t> url_ctype_;    // url index -> content-type index
+};
+
+// Drives the whole stream through `fn` — the shared loop of
+// `jsoncdn-jlog synth` and the scale benchmark.
+void synth_records(const SynthOptions& options,
+                   const std::function<void(const SynthFields&)>& fn);
+
+}  // namespace jsoncdn::shard

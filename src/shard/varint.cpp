@@ -1,0 +1,69 @@
+#include "shard/varint.h"
+
+namespace jsoncdn::shard {
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+bool get_varint(std::string_view buf, std::size_t& pos,
+                std::uint64_t& out) noexcept {
+  std::uint64_t value = 0;
+  unsigned shift = 0;
+  std::size_t p = pos;
+  while (p < buf.size()) {
+    const auto byte = static_cast<std::uint8_t>(buf[p++]);
+    if (shift == 63 && byte > 1) return false;  // bits beyond the 64th
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      pos = p;
+      out = value;
+      return true;
+    }
+    shift += 7;
+    if (shift > 63) return false;  // longer than 10 bytes
+  }
+  return false;  // truncated mid-varint
+}
+
+void pack3(std::string& out, const std::uint8_t* values, std::size_t n) {
+  std::uint32_t acc = 0;
+  unsigned bits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc |= static_cast<std::uint32_t>(values[i] & 0x7u) << bits;
+    bits += 3;
+    while (bits >= 8) {
+      out.push_back(static_cast<char>(acc & 0xff));
+      acc >>= 8;
+      bits -= 8;
+    }
+  }
+  if (bits > 0) out.push_back(static_cast<char>(acc & 0xff));
+}
+
+bool unpack3(std::string_view buf, std::size_t& pos, std::uint8_t* values,
+             std::size_t n) noexcept {
+  const std::size_t need = (3 * n + 7) / 8;
+  if (pos > buf.size() || need > buf.size() - pos) return false;
+  std::uint32_t acc = 0;
+  unsigned bits = 0;
+  std::size_t p = pos;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (bits < 3) {
+      acc |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(buf[p++]))
+             << bits;
+      bits += 8;
+    }
+    values[i] = static_cast<std::uint8_t>(acc & 0x7u);
+    acc >>= 3;
+    bits -= 3;
+  }
+  pos += need;
+  return true;
+}
+
+}  // namespace jsoncdn::shard

@@ -1,0 +1,82 @@
+// Byte-level codec primitives for the `.jlog` v2 chunk store: LEB128-style
+// varints, zigzag signed mapping, and 3-bit packing for the small enums.
+//
+// Every decoder is bounds-checked against the caller's buffer and returns
+// false instead of reading past the end or accepting an overlong encoding —
+// the chunk decoder maps false onto the uniform jlog_corrupt() error. All
+// encodings are canonical (one byte sequence per value), so a re-encode of
+// decoded data is byte-identical; the round-trip tests rely on this.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace jsoncdn::shard {
+
+// Maximum encoded size of a varint u64: ceil(64 / 7) bytes.
+inline constexpr std::size_t kMaxVarintBytes = 10;
+
+// Appends the LEB128 encoding of `v` (7 value bits per byte, high bit =
+// continuation) to `out`.
+void put_varint(std::string& out, std::uint64_t v);
+
+// Decodes one varint at `pos`, advancing `pos` past it. Returns false on a
+// truncated buffer, an encoding longer than 10 bytes, or set bits beyond
+// the 64th (a non-canonical final byte).
+[[nodiscard]] bool get_varint(std::string_view buf, std::size_t& pos,
+                              std::uint64_t& out) noexcept;
+
+// Zigzag maps signed deltas onto small unsigned varints: 0, -1, 1, -2, ...
+// become 0, 1, 2, 3, ... C++20 mandates two's complement and arithmetic
+// right shift, so both directions are exact for the full int64 range.
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+// Appends `n` 3-bit values (each must be < 8) packed little-endian-first
+// into ceil(3n/8) bytes. n == 0 appends nothing.
+void pack3(std::string& out, const std::uint8_t* values, std::size_t n);
+
+// Unpacks `n` 3-bit values written by pack3, advancing `pos` past the
+// packed bytes. Returns false when the buffer holds fewer than ceil(3n/8)
+// bytes at `pos`. Values come back in [0, 8); semantic range checks (enum
+// limits) are the caller's.
+[[nodiscard]] bool unpack3(std::string_view buf, std::size_t& pos,
+                           std::uint8_t* values, std::size_t n) noexcept;
+
+// Running delta encoder/decoder over u64 values (timestamp bit patterns,
+// byte counts, symbols): deltas are computed in modular u64 arithmetic and
+// zigzag-coded, so *any* u64 sequence round-trips, including jumps past
+// 2^63 and u64 max.
+class DeltaEncoder {
+ public:
+  void put(std::string& out, std::uint64_t v) {
+    put_varint(out, zigzag_encode(static_cast<std::int64_t>(v - prev_)));
+    prev_ = v;
+  }
+
+ private:
+  std::uint64_t prev_ = 0;
+};
+
+class DeltaDecoder {
+ public:
+  [[nodiscard]] bool get(std::string_view buf, std::size_t& pos,
+                         std::uint64_t& out) noexcept {
+    std::uint64_t z = 0;
+    if (!get_varint(buf, pos, z)) return false;
+    prev_ += static_cast<std::uint64_t>(zigzag_decode(z));
+    out = prev_;
+    return true;
+  }
+
+ private:
+  std::uint64_t prev_ = 0;
+};
+
+}  // namespace jsoncdn::shard

@@ -1,0 +1,296 @@
+// Unit tests for the v2 codec primitives (shard/varint.h) and the chunk
+// codec (shard/chunk.h): canonical round trips across the full u64 range,
+// rejection of truncated/overlong encodings, zone-map derivation, and
+// corrupt-payload rejection.
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "logs/record.h"
+#include "logs/table.h"
+#include "shard/chunk.h"
+#include "shard/format.h"
+#include "shard/varint.h"
+
+namespace {
+
+using jsoncdn::logs::CacheStatus;
+using jsoncdn::logs::LogRecord;
+using jsoncdn::logs::LogTable;
+using jsoncdn::shard::ChunkCodec;
+using jsoncdn::shard::ChunkMeta;
+using jsoncdn::shard::DeltaDecoder;
+using jsoncdn::shard::DeltaEncoder;
+using jsoncdn::shard::get_varint;
+using jsoncdn::shard::pack3;
+using jsoncdn::shard::put_varint;
+using jsoncdn::shard::unpack3;
+using jsoncdn::shard::zigzag_decode;
+using jsoncdn::shard::zigzag_encode;
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  const std::uint64_t values[] = {
+      0,     1,     127,        128,
+      16383, 16384, 0xffffffffu, 0x100000000ull,
+      std::numeric_limits<std::uint64_t>::max() - 1,
+      std::numeric_limits<std::uint64_t>::max(),
+  };
+  for (const auto v : values) {
+    std::string buf;
+    put_varint(buf, v);
+    ASSERT_LE(buf.size(), jsoncdn::shard::kMaxVarintBytes);
+    std::size_t pos = 0;
+    std::uint64_t out = 0;
+    ASSERT_TRUE(get_varint(buf, pos, out)) << v;
+    EXPECT_EQ(out, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Varint, RejectsTruncation) {
+  std::string buf;
+  put_varint(buf, 0x1234567890abcdefull);
+  for (std::size_t len = 0; len < buf.size(); ++len) {
+    std::size_t pos = 0;
+    std::uint64_t out = 0;
+    EXPECT_FALSE(get_varint(std::string_view(buf).substr(0, len), pos, out))
+        << "accepted a " << len << "-byte prefix";
+  }
+}
+
+TEST(Varint, RejectsOverlongAndOverflowingEncodings) {
+  // Eleven continuation bytes: longer than any canonical u64 encoding.
+  std::string overlong(11, '\x80');
+  overlong.push_back('\x01');
+  std::size_t pos = 0;
+  std::uint64_t out = 0;
+  EXPECT_FALSE(get_varint(overlong, pos, out));
+
+  // Ten bytes whose final byte carries bits beyond the 64th.
+  std::string overflow(9, '\x80');
+  overflow.push_back('\x02');
+  pos = 0;
+  EXPECT_FALSE(get_varint(overflow, pos, out));
+}
+
+TEST(Zigzag, RoundTripsFullRange) {
+  const std::int64_t values[] = {
+      0, -1, 1, -2, 2, std::numeric_limits<std::int64_t>::min(),
+      std::numeric_limits<std::int64_t>::max()};
+  for (const auto v : values) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+}
+
+TEST(DeltaCodec, RoundTripsModularSequencesIncludingU64Max) {
+  const std::vector<std::uint64_t> values = {
+      0,
+      std::numeric_limits<std::uint64_t>::max(),
+      1,
+      1ull << 63,
+      0,
+      42,
+      std::numeric_limits<std::uint64_t>::max() - 7,
+  };
+  std::string buf;
+  DeltaEncoder enc;
+  for (const auto v : values) enc.put(buf, v);
+  DeltaDecoder dec;
+  std::size_t pos = 0;
+  for (const auto v : values) {
+    std::uint64_t out = 0;
+    ASSERT_TRUE(dec.get(buf, pos, out));
+    EXPECT_EQ(out, v);
+  }
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Pack3, RoundTripsAllValuesAndOddCounts) {
+  for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                        std::size_t{7}, std::size_t{8}, std::size_t{41}}) {
+    std::vector<std::uint8_t> values(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      values[i] = static_cast<std::uint8_t>(i % 8);
+    }
+    std::string buf;
+    pack3(buf, values.data(), n);
+    EXPECT_EQ(buf.size(), (3 * n + 7) / 8);
+    std::vector<std::uint8_t> out(n);
+    std::size_t pos = 0;
+    ASSERT_TRUE(unpack3(buf, pos, out.data(), n));
+    EXPECT_EQ(out, values);
+    EXPECT_EQ(pos, buf.size());
+
+    if (n > 0) {
+      // One byte short must be rejected, not read out of bounds.
+      std::size_t short_pos = 0;
+      EXPECT_FALSE(unpack3(std::string_view(buf).substr(0, buf.size() - 1),
+                           short_pos, out.data(), n));
+    }
+  }
+}
+
+LogRecord make_record(double ts, const std::string& url, int status,
+                      std::uint64_t resp) {
+  LogRecord r;
+  r.timestamp = ts;
+  r.client_id = "client-a";
+  r.user_agent = "agent/1.0";
+  r.method = jsoncdn::http::Method::kGet;
+  r.url = url;
+  r.domain = "d.example";
+  r.content_type = "application/json";
+  r.status = status;
+  r.response_bytes = resp;
+  r.request_bytes = 0;
+  r.cache_status = CacheStatus::kHit;
+  r.edge_id = 3;
+  return r;
+}
+
+TEST(ChunkCodec, RoundTripsRowsAndZoneMap) {
+  LogTable table;
+  table.append(make_record(10.5, "/a", 200, 100));
+  table.append(make_record(11.0, "/b", 404, 0));
+  table.append(
+      make_record(9.25, "/a", 200,
+                  std::numeric_limits<std::uint64_t>::max()));
+
+  std::string payload;
+  const ChunkMeta meta =
+      ChunkCodec::encode(table, 0, static_cast<std::uint32_t>(table.size()),
+                         payload);
+  EXPECT_EQ(meta.row_count, 3u);
+  EXPECT_EQ(meta.min_ts, 9.25);
+  EXPECT_EQ(meta.max_ts, 11.0);
+  EXPECT_EQ(meta.symbols[jsoncdn::shard::kSymUrl].min_sym, 0u);
+  EXPECT_EQ(meta.symbols[jsoncdn::shard::kSymUrl].max_sym, 1u);
+  EXPECT_EQ(meta.payload_bytes, payload.size());
+
+  // Decode into a scratch table holding the same dictionaries.
+  LogTable scratch;
+  scratch.append(make_record(0, "/a", 200, 0));
+  scratch.append(make_record(0, "/b", 200, 0));
+  scratch.clear_rows();
+  ChunkCodec::decode(payload, meta, scratch, "test");
+  ASSERT_EQ(scratch.size(), 3u);
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(scratch.timestamp(i), table.timestamp(i));
+    EXPECT_EQ(scratch.url(i), table.url(i));
+    EXPECT_EQ(scratch.status(i), table.status(i));
+    EXPECT_EQ(scratch.response_bytes(i), table.response_bytes(i));
+    EXPECT_EQ(scratch.cache_status(i), table.cache_status(i));
+    EXPECT_EQ(scratch.edge_id(i), table.edge_id(i));
+  }
+}
+
+TEST(ChunkCodec, SingleRecordAndZeroRowChunks) {
+  LogTable table;
+  table.append(make_record(1.0, "/solo", 200, 7));
+
+  std::string payload;
+  const ChunkMeta one = ChunkCodec::encode(table, 0, 1, payload);
+  EXPECT_EQ(one.row_count, 1u);
+  EXPECT_EQ(one.min_ts, 1.0);
+  EXPECT_EQ(one.max_ts, 1.0);
+
+  std::string empty_payload;
+  const ChunkMeta zero = ChunkCodec::encode(table, 1, 1, empty_payload);
+  EXPECT_EQ(zero.row_count, 0u);
+  EXPECT_TRUE(empty_payload.empty());
+  EXPECT_EQ(zero.min_ts, 0.0);
+  EXPECT_EQ(zero.max_ts, 0.0);
+
+  LogTable scratch;
+  scratch.append(make_record(0, "/solo", 200, 0));
+  scratch.clear_rows();
+  ChunkCodec::decode(payload, one, scratch, "test");
+  EXPECT_EQ(scratch.size(), 1u);
+  scratch.clear_rows();
+  ChunkCodec::decode(empty_payload, zero, scratch, "test");
+  EXPECT_EQ(scratch.size(), 0u);
+}
+
+TEST(ChunkCodec, RejectsEverySingleByteFlip) {
+  LogTable table;
+  for (int i = 0; i < 16; ++i) {
+    table.append(make_record(1.0 + i, i % 2 ? "/x" : "/y", 200, 100 + i));
+  }
+  std::string payload;
+  const ChunkMeta meta = ChunkCodec::encode(
+      table, 0, static_cast<std::uint32_t>(table.size()), payload);
+
+  for (std::size_t byte = 0; byte < payload.size(); ++byte) {
+    std::string corrupt = payload;
+    corrupt[byte] = static_cast<char>(corrupt[byte] ^ 0x40);
+    LogTable scratch;
+    scratch.append(make_record(0, "/y", 200, 0));
+    scratch.append(make_record(0, "/x", 200, 0));
+    scratch.clear_rows();
+    // The checksum catches every flip before decode even starts.
+    EXPECT_THROW(ChunkCodec::decode(corrupt, meta, scratch, "test"),
+                 std::runtime_error)
+        << "flip at byte " << byte << " was accepted";
+  }
+}
+
+TEST(ChunkCodec, RejectsLyingZoneMap) {
+  LogTable table;
+  table.append(make_record(5.0, "/a", 200, 10));
+  std::string payload;
+  ChunkMeta meta = ChunkCodec::encode(table, 0, 1, payload);
+  // A zone map claiming a different time range (checksum intact) must be
+  // rejected — pruning decisions have to be trustworthy.
+  meta.min_ts = 100.0;
+  meta.max_ts = 200.0;
+  LogTable scratch;
+  scratch.append(make_record(0, "/a", 200, 0));
+  scratch.clear_rows();
+  EXPECT_THROW(ChunkCodec::decode(payload, meta, scratch, "test"),
+               std::runtime_error);
+}
+
+TEST(ChunkCodec, RejectsTruncatedPayload) {
+  LogTable table;
+  for (int i = 0; i < 8; ++i) {
+    table.append(make_record(1.0 + i, "/a", 200, 50));
+  }
+  std::string payload;
+  ChunkMeta meta = ChunkCodec::encode(
+      table, 0, static_cast<std::uint32_t>(table.size()), payload);
+  for (const std::size_t keep :
+       {std::size_t{0}, payload.size() / 2, payload.size() - 1}) {
+    LogTable scratch;
+    scratch.append(make_record(0, "/a", 200, 0));
+    scratch.clear_rows();
+    EXPECT_THROW(
+        ChunkCodec::decode(std::string_view(payload).substr(0, keep), meta,
+                           scratch, "test"),
+        std::runtime_error);
+  }
+}
+
+TEST(ChunkCodec, RejectsOutOfDictionarySymbols) {
+  LogTable table;
+  table.append(make_record(1.0, "/a", 200, 10));
+  table.append(make_record(2.0, "/b", 200, 20));
+  std::string payload;
+  const ChunkMeta meta = ChunkCodec::encode(table, 0, 2, payload);
+
+  // A scratch table whose url dictionary is *smaller* than the encoder's
+  // must reject the out-of-range symbol.
+  LogTable scratch;
+  scratch.append(make_record(0, "/a", 200, 0));
+  scratch.clear_rows();
+  EXPECT_THROW(ChunkCodec::decode(payload, meta, scratch, "test"),
+               std::runtime_error);
+}
+
+}  // namespace

@@ -25,17 +25,34 @@
 // (stream::StreamingStudy): the table is consumed in --chunk-size record
 // chunks, sketches replace exact tables, and the periodicity detector runs
 // a targeted second pass over triage-selected candidate flows only.
+//
+// A `.jlog` v2 chunk store (shard/format.h) combined with --streaming runs
+// fully out of core: chunks are decoded one at a time into a reusable
+// scratch table, zone maps prune chunks outside --time-from/--time-to, and
+// the periodicity second pass re-scans only the chunks holding candidate
+// URLs — the whole table is never materialized, so peak memory is flat in
+// file size (tunable with --max-memory, checkable with --assert-max-rss).
+// The report matches the in-memory streaming run over the same records
+// whenever --chunk-size divides the file's chunk row count (the default 64Ki
+// geometry on both sides) — scan statistics go to stderr so stdout diffs
+// clean against the in-memory run.
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <numeric>
 #include <optional>
 #include <span>
 #include <string>
 #include <unordered_set>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define JSONCDN_HAVE_GETRUSAGE 1
+#include <sys/resource.h>
+#endif
 
 #include "core/characterization.h"
 #include "core/ngram.h"
@@ -46,6 +63,7 @@
 #include "logs/jlog.h"
 #include "logs/table.h"
 #include "logs/zerocopy.h"
+#include "shard/reader.h"
 #include "stats/parallel.h"
 #include "stream/streaming_study.h"
 
@@ -58,7 +76,36 @@ void usage() {
                "                       [--streaming] [--chunk-size N]\n"
                "                       [--threads N]  (0 = auto)\n"
                "                       [--strict] [--quarantine FILE]\n"
-               "                       [--max-error-share F]  (0..1)\n");
+               "                       [--max-error-share F]  (0..1)\n"
+               "                       [--time-from T] [--time-to T]\n"
+               "                       (streaming only: analyze [T_from, "
+               "T_to])\n"
+               "                       [--max-memory SIZE]  (v2 out-of-core "
+               "page budget, e.g. 1g)\n"
+               "                       [--no-zone-maps]     (v2: decode every "
+               "chunk)\n"
+               "                       [--assert-max-rss SIZE] (fail if peak "
+               "RSS exceeds SIZE)\n");
+}
+
+// Parses "4096", "64k", "512m", "1g" (case-insensitive suffixes, powers of
+// 1024) into bytes. Returns false on anything else.
+bool parse_size(const char* text, std::uint64_t& out) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || value < 0) return false;
+  std::uint64_t unit = 1;
+  if (*end != '\0') {
+    switch (*end | 0x20) {
+      case 'k': unit = 1ull << 10; break;
+      case 'm': unit = 1ull << 20; break;
+      case 'g': unit = 1ull << 30; break;
+      default: return false;
+    }
+    if (end[1] != '\0') return false;
+  }
+  out = static_cast<std::uint64_t>(value * static_cast<double>(unit));
+  return true;
 }
 
 // Ingest-side knobs shared by the batch and streaming paths.
@@ -92,6 +139,22 @@ bool check_ingest(const jsoncdn::logs::IngestReport& report,
   return true;
 }
 
+// Analysis window shared by the streaming paths: the in-memory path drops
+// out-of-window rows when building its ingest order; the v2 out-of-core
+// path pushes the same bounds into the chunk scan's zone-map predicate.
+// Both select exactly the same rows.
+struct TimeWindow {
+  double from = -std::numeric_limits<double>::infinity();
+  double to = std::numeric_limits<double>::infinity();
+  [[nodiscard]] bool bounded() const noexcept {
+    return from != -std::numeric_limits<double>::infinity() ||
+           to != std::numeric_limits<double>::infinity();
+  }
+  [[nodiscard]] bool contains(double t) const noexcept {
+    return t >= from && t <= to;
+  }
+};
+
 // One-pass streaming path over the already-loaded table, consumed in file
 // order (the order the stream would arrive) in --chunk-size chunks — the
 // same chunk geometry the old parse-as-you-go path produced, so summaries
@@ -100,7 +163,7 @@ bool check_ingest(const jsoncdn::logs::IngestReport& report,
 int run_streaming(const jsoncdn::logs::LogTable& table,
                   const std::string& path, bool periodicity,
                   std::size_t chunk_size, std::size_t permutations,
-                  std::size_t threads) {
+                  std::size_t threads, const TimeWindow& window) {
   using namespace jsoncdn;
   using RowIndex = logs::LogTable::RowIndex;
 
@@ -108,8 +171,12 @@ int run_streaming(const jsoncdn::logs::LogTable& table,
   config.threads = threads;
   stream::StreamingStudy study(config);
 
-  std::vector<RowIndex> order(table.size());
-  std::iota(order.begin(), order.end(), RowIndex{0});
+  std::vector<RowIndex> order;
+  order.reserve(table.size());
+  for (std::size_t i = 0; i < table.size(); ++i) {
+    const auto row = static_cast<RowIndex>(i);
+    if (window.contains(table.timestamp(row))) order.push_back(row);
+  }
   for (std::size_t begin = 0; begin < order.size(); begin += chunk_size) {
     const std::size_t len = std::min(chunk_size, order.size() - begin);
     study.ingest(table, std::span<const RowIndex>(&order[begin], len));
@@ -127,7 +194,8 @@ int run_streaming(const jsoncdn::logs::LogTable& table,
       candidates.insert(c.key);
     std::vector<RowIndex> subset;
     for (RowIndex i = 0; i < table.size(); ++i) {
-      if (http::is_json(table.content_type(i)) &&
+      if (window.contains(table.timestamp(i)) &&
+          http::is_json(table.content_type(i)) &&
           candidates.contains(table.url(i)))
         subset.push_back(i);
     }
@@ -154,6 +222,144 @@ int run_streaming(const jsoncdn::logs::LogTable& table,
   return 0;
 }
 
+void print_scan_stats(const char* label, const jsoncdn::shard::ScanStats& s) {
+  std::fprintf(stderr,
+               "v2 %s: %u/%u chunks decoded (%u pruned), %llu rows decoded, "
+               "%llu selected, %.1f MiB payload\n",
+               label, s.chunks_scanned, s.chunks_total, s.chunks_pruned,
+               static_cast<unsigned long long>(s.rows_scanned),
+               static_cast<unsigned long long>(s.rows_selected),
+               static_cast<double>(s.bytes_decoded) / (1 << 20));
+}
+
+// Out-of-core streaming over a .jlog v2 chunk store: same StreamingStudy,
+// fed chunk by chunk from the shard reader's scratch table. Within every
+// decoded chunk the selected rows are ingested in --chunk-size sub-spans,
+// so with the default geometry (chunk_size == the file's chunk row count,
+// no window) every ingest call sees exactly the rows the in-memory path's
+// would — the stdout report is identical. Scan statistics go to stderr.
+int run_streaming_v2(jsoncdn::shard::ShardReader& reader,
+                     const std::string& path, bool periodicity,
+                     std::size_t chunk_size, std::size_t permutations,
+                     std::size_t threads, const TimeWindow& window,
+                     bool use_zone_maps) {
+  using namespace jsoncdn;
+  using RowIndex = logs::LogTable::RowIndex;
+
+  shard::ScanPredicate predicate;
+  predicate.min_time = window.from;
+  predicate.max_time = window.to;
+  predicate.use_zone_maps = use_zone_maps;
+
+  stream::StreamingConfig config;
+  config.threads = threads;
+  stream::StreamingStudy study(config);
+  const auto stats = reader.scan(
+      predicate, [&](const logs::LogTable& chunk,
+                     std::span<const std::uint32_t> selected) {
+        for (std::size_t begin = 0; begin < selected.size();
+             begin += chunk_size) {
+          const std::size_t len = std::min(chunk_size, selected.size() - begin);
+          study.ingest(chunk, std::span<const RowIndex>(
+                                  selected.data() + begin, len));
+        }
+      });
+  print_scan_stats("scan", stats);
+
+  const auto summary = study.summary();
+  std::printf("streamed %llu records (%llu JSON) from %s in chunks of %zu\n\n",
+              static_cast<unsigned long long>(summary.total_records),
+              static_cast<unsigned long long>(summary.json_records),
+              path.c_str(), chunk_size);
+  std::fputs(stream::render_streaming_summary(summary).c_str(), stdout);
+
+  if (periodicity && !summary.periodic_candidates.empty()) {
+    // Targeted second pass: resolve the candidate URLs (and the JSON
+    // content types) to file-global symbols and re-scan — zone maps skip
+    // every chunk holding no candidate, and only the matching rows are
+    // materialized into a small table for the exact detector.
+    const auto& dicts = reader.dictionaries();
+    shard::ScanPredicate second = predicate;
+    for (const auto& c : summary.periodic_candidates) {
+      const auto sym = dicts.urls().find(c.key);
+      if (sym != logs::StringInterner::kNoSymbol) {
+        second.url_symbols.push_back(sym);
+      }
+    }
+    std::sort(second.url_symbols.begin(), second.url_symbols.end());
+    second.url_symbols.erase(
+        std::unique(second.url_symbols.begin(), second.url_symbols.end()),
+        second.url_symbols.end());
+    for (std::size_t s = 0; s < dicts.content_types().size(); ++s) {
+      if (http::is_json(dicts.content_types().view(
+              static_cast<logs::LogTable::Symbol>(s)))) {
+        second.ctype_symbols.push_back(static_cast<std::uint32_t>(s));
+      }
+    }
+
+    logs::LogTable subset;
+    const auto second_stats = reader.scan(
+        second, [&](const logs::LogTable& chunk,
+                    std::span<const std::uint32_t> selected) {
+          for (const auto row : selected) {
+            subset.append_fields(
+                chunk.timestamp(row), chunk.client_id(row),
+                chunk.user_agent(row), chunk.method(row), chunk.url(row),
+                chunk.domain(row), chunk.content_type(row), chunk.status(row),
+                chunk.response_bytes(row), chunk.request_bytes(row),
+                chunk.cache_status(row), chunk.edge_id(row));
+          }
+        });
+    print_scan_stats("periodicity pass", second_stats);
+    // Same stable time order the in-memory path gives its subset: rows
+    // arrive in file order, and sort_by_time() is stable.
+    subset.sort_by_time();
+
+    core::PeriodicityConfig pconfig;
+    pconfig.detector.permutations = permutations;
+    pconfig.threads = threads;
+    pconfig.total_requests_override =
+        static_cast<std::size_t>(summary.json_records);
+    const auto report =
+        core::analyze_periodicity(logs::TableView(subset), pconfig);
+    std::printf("\nperiodicity (targeted pass over %zu candidate flows, "
+                "%zu records):\n",
+                summary.periodic_candidates.size(), subset.size());
+    std::fputs(core::render_periodicity_summary(report).c_str(), stdout);
+    std::fputs(core::render_period_histogram(report.object_periods).c_str(),
+               stdout);
+  }
+  return 0;
+}
+
+// Enforces --assert-max-rss: compares the process's peak resident set
+// against the budget. Returns false (after a stderr diagnostic) on breach
+// or where peak RSS cannot be read.
+bool check_max_rss(std::uint64_t budget_bytes) {
+#if JSONCDN_HAVE_GETRUSAGE
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) {
+    std::fprintf(stderr, "error: getrusage failed; cannot assert peak RSS\n");
+    return false;
+  }
+  // ru_maxrss is KiB on Linux (bytes on macOS — stricter, never lenient).
+  const auto peak = static_cast<std::uint64_t>(usage.ru_maxrss) * 1024ull;
+  std::fprintf(stderr, "peak RSS: %.1f MiB (budget %.1f MiB)\n",
+               static_cast<double>(peak) / (1 << 20),
+               static_cast<double>(budget_bytes) / (1 << 20));
+  if (peak > budget_bytes) {
+    std::fprintf(stderr, "error: peak RSS exceeds --assert-max-rss budget\n");
+    return false;
+  }
+  return true;
+#else
+  (void)budget_bytes;
+  std::fprintf(stderr,
+               "error: --assert-max-rss unsupported on this platform\n");
+  return false;
+#endif
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -172,6 +378,10 @@ int main(int argc, char** argv) {
   std::size_t chunk_size = 65536;
   std::size_t permutations = 100;
   std::size_t threads = 0;  // auto
+  TimeWindow window;
+  std::uint64_t max_memory = 0;       // 0 = default paging behaviour
+  std::uint64_t assert_max_rss = 0;   // 0 = no assertion
+  bool use_zone_maps = true;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--characterize") {
@@ -197,6 +407,22 @@ int main(int argc, char** argv) {
       flags.quarantine_path = argv[++i];
     } else if (arg == "--max-error-share" && i + 1 < argc) {
       flags.max_error_share = std::atof(argv[++i]);
+    } else if (arg == "--time-from" && i + 1 < argc) {
+      window.from = std::atof(argv[++i]);
+    } else if (arg == "--time-to" && i + 1 < argc) {
+      window.to = std::atof(argv[++i]);
+    } else if (arg == "--max-memory" && i + 1 < argc) {
+      if (!parse_size(argv[++i], max_memory)) {
+        std::fprintf(stderr, "bad --max-memory size: %s\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--assert-max-rss" && i + 1 < argc) {
+      if (!parse_size(argv[++i], assert_max_rss)) {
+        std::fprintf(stderr, "bad --assert-max-rss size: %s\n", argv[i]);
+        return 2;
+      }
+    } else if (arg == "--no-zone-maps") {
+      use_zone_maps = false;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       usage();
@@ -204,6 +430,12 @@ int main(int argc, char** argv) {
     }
   }
   if (!characterize && !periodicity && !ngram) characterize = true;
+  if (window.bounded() && !streaming) {
+    std::fprintf(stderr,
+                 "error: --time-from/--time-to require --streaming (batch "
+                 "analyses always cover the whole log)\n");
+    return 2;
+  }
   const std::size_t effective_threads = jsoncdn::stats::resolve_threads(threads);
 
   std::ofstream quarantine_stream;
@@ -222,14 +454,37 @@ int main(int argc, char** argv) {
       flags.strict ? logs::ParseMode::kStrict : logs::ParseMode::kPermissive;
   options.quarantine = quarantine ? &*quarantine : nullptr;
 
-  // Single ingest for every mode: zero-copy TSV parse into the columnar
-  // table, or a direct .jlog load when the file carries the binary magic.
+  // A v2 chunk store under --streaming never materializes the table: the
+  // shard reader feeds the study chunk by chunk, out of core.
+  if (streaming && logs::detect_log_format(path) == logs::LogFormat::kJlogV2) {
+    try {
+      shard::ShardReader reader(path, max_memory);
+      if (reader.row_count() == 0) {
+        std::fprintf(stderr,
+                     "error: no records ingested from %s (empty or fully "
+                     "malformed log)\n",
+                     path.c_str());
+        return 1;
+      }
+      const int rc =
+          run_streaming_v2(reader, path, periodicity, chunk_size, permutations,
+                           effective_threads, window, use_zone_maps);
+      if (rc != 0) return rc;
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 1;
+    }
+    if (assert_max_rss > 0 && !check_max_rss(assert_max_rss)) return 1;
+    return 0;
+  }
+
+  // Single ingest for every other mode, dispatched on the leading magic:
+  // zero-copy TSV parse into the columnar table, or a direct binary load
+  // (v1 image, or v2 materialized through its chunk reader).
   logs::IngestReport report;
   logs::LogTable table;
   try {
-    table = logs::is_jlog_file(path) ? logs::read_jlog(path, &report)
-                                     : logs::read_log_table(path, options,
-                                                            &report);
+    table = shard::load_table_auto(path, options, &report);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "%s\n", e.what());
     return 1;
@@ -237,8 +492,11 @@ int main(int argc, char** argv) {
   if (!check_ingest(report, flags, path)) return 1;
 
   if (streaming) {
-    return run_streaming(table, path, periodicity, chunk_size, permutations,
-                         effective_threads);
+    const int rc = run_streaming(table, path, periodicity, chunk_size,
+                                 permutations, effective_threads, window);
+    if (rc != 0) return rc;
+    if (assert_max_rss > 0 && !check_max_rss(assert_max_rss)) return 1;
+    return 0;
   }
 
   table.sort_by_time();
@@ -316,5 +574,6 @@ int main(int argc, char** argv) {
     }
     std::fputs(core::render_ngram_table(rows).c_str(), stdout);
   }
+  if (assert_max_rss > 0 && !check_max_rss(assert_max_rss)) return 1;
   return 0;
 }

@@ -11,7 +11,9 @@
 //
 // --jlog additionally writes the columnar binary sidecar (logs/jlog.h) of
 // the same records; jsoncdn-analyze loads it directly, skipping the TSV
-// parse entirely.
+// parse entirely. --jlog-v2 writes the compressed chunk store instead
+// (shard/format.h) — smaller on disk, and analyzable out of core with
+// jsoncdn-analyze --streaming; --jlog-chunk-rows tunes its chunk geometry.
 //
 // --ground-truth additionally writes the oracle sidecar (oracle/ground_truth.h)
 // holding the generator's labels keyed the way the log keys clients, so
@@ -37,6 +39,7 @@
 #include "logs/jlog.h"
 #include "logs/table.h"
 #include "oracle/ground_truth.h"
+#include "shard/writer.h"
 #include "workload/scenario.h"
 
 namespace {
@@ -49,6 +52,10 @@ void usage() {
                "sidecar)\n"
                "                        [--jlog FILE]       (columnar binary "
                "sidecar)\n"
+               "                        [--jlog-v2 FILE]    (compressed chunk "
+               "store sidecar)\n"
+               "                        [--jlog-chunk-rows N] (v2 rows per "
+               "chunk, default 65536)\n"
                "                        [--fault-rate F]    (0..1, default 0)\n"
                "                        [--fault-seed N]    (default: "
                "JSONCDN_FAULT_SEED, else --seed)\n"
@@ -67,6 +74,8 @@ int main(int argc, char** argv) {
   std::string out_path = "jsoncdn.log";
   std::string truth_path;
   std::string jlog_path;
+  std::string jlog_v2_path;
+  std::uint32_t jlog_chunk_rows = 65536;
   bool json_only = false;
   double fault_rate = 0.0;
   std::optional<std::uint64_t> fault_seed;
@@ -93,6 +102,14 @@ int main(int argc, char** argv) {
       truth_path = next();
     } else if (arg == "--jlog") {
       jlog_path = next();
+    } else if (arg == "--jlog-v2") {
+      jlog_v2_path = next();
+    } else if (arg == "--jlog-chunk-rows") {
+      jlog_chunk_rows = static_cast<std::uint32_t>(std::atoll(next()));
+      if (jlog_chunk_rows == 0) {
+        std::fprintf(stderr, "--jlog-chunk-rows must be positive\n");
+        return 2;
+      }
     } else if (arg == "--json-only") {
       json_only = true;
     } else if (arg == "--fault-rate") {
@@ -180,6 +197,23 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::fprintf(stderr, "wrote columnar sidecar to %s\n", jlog_path.c_str());
+  }
+
+  if (!jlog_v2_path.empty()) {
+    try {
+      shard::ShardWriterOptions v2_options;
+      v2_options.chunk_rows = jlog_chunk_rows;
+      shard::ShardWriter writer(jlog_v2_path, v2_options);
+      for (const auto& record : dataset.records()) writer.append(record);
+      const auto stats = writer.finalize();
+      std::fprintf(stderr,
+                   "wrote chunk store sidecar to %s (%u chunks, %.1f MiB)\n",
+                   jlog_v2_path.c_str(), stats.chunks,
+                   static_cast<double>(stats.file_bytes) / (1 << 20));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "jlog-v2: %s\n", e.what());
+      return 1;
+    }
   }
 
   if (!truth_path.empty()) {

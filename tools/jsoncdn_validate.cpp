@@ -23,6 +23,7 @@
 #include "logs/table.h"
 #include "logs/zerocopy.h"
 #include "oracle/conformance.h"
+#include "shard/reader.h"
 #include "oracle/ground_truth.h"
 
 namespace {
@@ -126,13 +127,11 @@ int main(int argc, char** argv) {
       return 2;
     }
     logs::IngestReport ingest;
-    // Zero-copy columnar ingest (or a direct .jlog load), then materialize
-    // the Dataset the oracle scorer consumes — same records either way.
-    const auto table = logs::is_jlog_file(log_path)
-                           ? logs::read_jlog(log_path, &ingest)
-                           : logs::read_log_table(log_path,
-                                                  logs::IngestOptions{},
-                                                  &ingest);
+    // Zero-copy columnar ingest (or a direct .jlog v1/v2 load — dispatched
+    // on the leading magic), then materialize the Dataset the oracle scorer
+    // consumes — same records in every format.
+    const auto table =
+        shard::load_table_auto(log_path, logs::IngestOptions{}, &ingest);
     const auto dataset = table.to_dataset();
     if (dataset.empty()) {
       std::fprintf(stderr, "no records in %s\n", log_path.c_str());
