@@ -11,7 +11,16 @@ EdgeServer::EdgeServer(std::uint32_t id, const Origin& origin,
       origin_(origin),
       anonymizer_(anonymizer),
       params_(params),
-      cache_(params.cache_capacity_bytes) {}
+      cache_(params.cache_capacity_bytes),
+      overload_(params.overload) {}
+
+bool EdgeServer::is_machine(const std::string& user_agent) {
+  const auto it = ua_machine_.find(user_agent);
+  if (it != ua_machine_.end()) return it->second;
+  const bool machine = machine_class(user_agent);
+  ua_machine_.emplace(user_agent, machine);
+  return machine;
+}
 
 EdgeServer::OriginOutcome EdgeServer::contact_origin(const std::string& url,
                                                      const std::string& domain,
@@ -70,7 +79,75 @@ EdgeServer::OriginOutcome EdgeServer::contact_origin(const std::string& url,
 
 logs::LogRecord EdgeServer::handle(const workload::RequestEvent& event,
                                    PrefetchPolicy* policy) {
+  if (!params_.overload.model_capacity) {
+    // Overload protection off: the request path is untouched, so runs are
+    // bit-identical to builds without an admission layer.
+    return serve(event, policy, /*queue_wait=*/0.0);
+  }
+
   const double now = event.time;
+  const bool machine = is_machine(event.user_agent);
+  const auto decision = overload_.admit(event.client_address, machine, now);
+  auto& cls = machine ? two_class_.machine : two_class_.human;
+  ++cls.requests;
+
+  if (!decision.admitted()) {
+    logs::LogRecord record;
+    record.timestamp = now;
+    record.client_id = anonymizer_.pseudonym(event.client_address);
+    record.user_agent = event.user_agent;
+    record.method = event.method;
+    record.url = event.url;
+    record.request_bytes = event.request_bytes;
+    record.edge_id = id_;
+    record.content_type = "text/plain";
+    record.response_bytes = 0;
+    if (const auto* object = origin_.describe(event.url)) {
+      record.domain = object->domain;
+    }
+    if (decision.outcome == AdmitOutcome::kThrottled) {
+      record.status = 429;
+      record.cache_status = logs::CacheStatus::kThrottled;
+      ++resilience_.throttled;
+      ++cls.throttled;
+    } else {
+      record.status = 503;
+      record.cache_status = logs::CacheStatus::kShed;
+      if (decision.outcome == AdmitOutcome::kShedQueueFull) {
+        ++resilience_.shed_queue_full;
+      } else {
+        ++resilience_.shed_overload;
+      }
+      ++cls.shed;
+    }
+    metrics_.record_rejected();
+    return record;
+  }
+
+  resilience_.queue_wait_seconds += decision.queue_wait;
+  auto record = serve(event, policy, decision.queue_wait);
+  // The worker is occupied for the transfer time of whatever body was sent
+  // (floored in complete()), so oversized responses hold a slot longer.
+  overload_.complete(now, static_cast<double>(record.response_bytes) /
+                              params_.edge_bandwidth_bytes_per_s);
+  ++cls.served;
+  if (record.cache_status == logs::CacheStatus::kHit ||
+      record.cache_status == logs::CacheStatus::kRefreshHit ||
+      record.cache_status == logs::CacheStatus::kStale) {
+    ++cls.hits;
+  }
+  // serve() pushes exactly one latency per request; reuse it rather than
+  // threading a second return value through every exit path.
+  cls.latencies.push_back(metrics_.latencies().back());
+  return record;
+}
+
+logs::LogRecord EdgeServer::serve(const workload::RequestEvent& event,
+                                  PrefetchPolicy* policy, double queue_wait) {
+  const double now = event.time;
+  // Client-perceived floor for anything the edge answers itself: the RTT
+  // plus however long the request waited for a worker.
+  const double rtt = params_.client_rtt_seconds + queue_wait;
 
   logs::LogRecord record;
   record.timestamp = now;
@@ -105,13 +182,13 @@ logs::LogRecord EdgeServer::handle(const workload::RequestEvent& event,
                                                 : origin_result.status;
       record.cache_status = logs::CacheStatus::kError;
       ++resilience_.error_responses;
-      metrics_.record_error(params_.client_rtt_seconds + origin_latency);
+      metrics_.record_error(rtt + origin_latency);
       return record;
     }
     record.status = 404;
     record.cache_status = logs::CacheStatus::kNotCacheable;
     metrics_.record(/*cacheable=*/false, /*hit=*/false, 0,
-                    params_.client_rtt_seconds + origin_result.latency_seconds);
+                    rtt + origin_result.latency_seconds);
     return record;
   }
 
@@ -145,7 +222,7 @@ logs::LogRecord EdgeServer::handle(const workload::RequestEvent& event,
     }
   }
 
-  double latency = params_.client_rtt_seconds + transfer;
+  double latency = rtt + transfer;
   bool hit = false;
   // Snapshot any expired copy before lookup() — lookup erases expired
   // entries, and both revalidation and stale-if-error need the copy.
@@ -171,7 +248,7 @@ logs::LogRecord EdgeServer::handle(const workload::RequestEvent& event,
       record.cache_status = logs::CacheStatus::kError;
       record.response_bytes = 0;
       ++resilience_.error_responses;
-      metrics_.record_error(params_.client_rtt_seconds + outcome.latency);
+      metrics_.record_error(rtt + outcome.latency);
       return record;
     }
     record.cache_status = logs::CacheStatus::kNotCacheable;
@@ -207,7 +284,7 @@ logs::LogRecord EdgeServer::handle(const workload::RequestEvent& event,
         record.cache_status = logs::CacheStatus::kError;
         record.response_bytes = 0;
         ++resilience_.error_responses;
-        metrics_.record_error(params_.client_rtt_seconds);
+        metrics_.record_error(rtt);
         return record;
       }
       negative_cache_.erase(neg);
@@ -254,7 +331,7 @@ logs::LogRecord EdgeServer::handle(const workload::RequestEvent& event,
       record.cache_status = logs::CacheStatus::kError;
       record.response_bytes = 0;
       ++resilience_.error_responses;
-      metrics_.record_error(params_.client_rtt_seconds + outcome.latency);
+      metrics_.record_error(rtt + outcome.latency);
       return record;
     }
   }
@@ -318,9 +395,13 @@ void EdgeServer::maybe_prefetch(const logs::LogRecord& served,
       }
     }
   }
-  // Bound push-table memory: drop expired entries opportunistically once it
-  // grows large.
-  if (pushed_.size() > 200'000) {
+  // Bound push-table memory: drop expired entries once the table grows past
+  // the configured size, or periodically on simulated time. Both triggers
+  // only remove entries whose expiry has passed — entries a later request
+  // could never consume — so sweeping cannot change any served response.
+  if (pushed_.size() > params_.push_table_sweep_entries ||
+      now - last_push_sweep_ >= params_.push_table_sweep_seconds) {
+    last_push_sweep_ = now;
     std::erase_if(pushed_, [now](const auto& kv) { return kv.second <= now; });
   }
 }

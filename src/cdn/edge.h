@@ -16,6 +16,7 @@
 #include "cdn/cache.h"
 #include "cdn/metrics.h"
 #include "cdn/origin.h"
+#include "cdn/overload.h"
 #include "faults/breaker.h"
 #include "faults/retry.h"
 #include "logs/anonymizer.h"
@@ -73,7 +74,18 @@ struct EdgeParams {
   // origin to validate it (If-None-Match -> 304) instead of re-transferring
   // the body. Cheaper than a full miss; logged as REFRESH.
   bool enable_revalidation = false;
+  // Push-table hygiene: expired entries are swept once the table exceeds
+  // `push_table_sweep_entries`, or when `push_table_sweep_seconds` of
+  // simulated time has passed since the last sweep — whichever comes first.
+  // Both triggers depend only on event time and table size, so sweeps replay
+  // identically; sweeping only drops entries that could no longer be used.
+  std::size_t push_table_sweep_entries = 200'000;
+  double push_table_sweep_seconds = 300.0;
   ResilienceParams resilience;
+  // Admission control, rate limiting, and load shedding. Inert by default
+  // (model_capacity == false): the edge behaves bit-identically to builds
+  // that predate overload protection.
+  OverloadParams overload;
 };
 
 class EdgeServer {
@@ -93,7 +105,15 @@ class EdgeServer {
   [[nodiscard]] const ResilienceMetrics& resilience() const noexcept {
     return resilience_;
   }
+  // Human/machine delivery split; empty unless overload.model_capacity.
+  [[nodiscard]] const TwoClassDelivery& two_class() const noexcept {
+    return two_class_;
+  }
   [[nodiscard]] const LruCache& cache() const noexcept { return cache_; }
+  // Live push-table entries (sweep instrumentation; tests assert the bound).
+  [[nodiscard]] std::size_t push_table_size() const noexcept {
+    return pushed_.size();
+  }
 
   // Every breaker state change on this edge, sorted by (time, domain).
   [[nodiscard]] std::vector<BreakerEvent> breaker_timeline() const;
@@ -112,6 +132,16 @@ class EdgeServer {
   OriginOutcome contact_origin(const std::string& url,
                                const std::string& domain, double now,
                                bool revalidate_only);
+
+  // The pre-overload request path: cache/origin resolution for an admitted
+  // request. `queue_wait` (simulated time spent waiting for a worker) is
+  // added to every client-perceived latency.
+  [[nodiscard]] logs::LogRecord serve(const workload::RequestEvent& event,
+                                      PrefetchPolicy* policy,
+                                      double queue_wait);
+
+  // Cached two-class split (machine_class() parses the UA once per string).
+  [[nodiscard]] bool is_machine(const std::string& user_agent);
 
   void maybe_prefetch(const logs::LogRecord& served, PrefetchPolicy* policy,
                       double now);
@@ -136,6 +166,12 @@ class EdgeServer {
   std::unordered_set<std::string> pending_prefetches_;
   // (client_key \x1f url) -> push expiry time.
   std::unordered_map<std::string, double> pushed_;
+  // Simulated time of the last push-table sweep.
+  double last_push_sweep_ = 0.0;
+  // Overload protection state and per-class delivery accounting.
+  OverloadController overload_;
+  TwoClassDelivery two_class_;
+  std::unordered_map<std::string, bool> ua_machine_;
 };
 
 }  // namespace jsoncdn::cdn

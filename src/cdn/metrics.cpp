@@ -16,13 +16,18 @@ void ResilienceMetrics::merge(const ResilienceMetrics& other) {
   breaker_trips += other.breaker_trips;
   error_responses += other.error_responses;
   backoff_seconds += other.backoff_seconds;
+  shed_queue_full += other.shed_queue_full;
+  shed_overload += other.shed_overload;
+  throttled += other.throttled;
+  queue_wait_seconds += other.queue_wait_seconds;
 }
 
 bool ResilienceMetrics::any_activity() const noexcept {
   return origin_errors != 0 || timeouts != 0 || truncated_bodies != 0 ||
          retries != 0 || stale_served != 0 || negative_cache_hits != 0 ||
          breaker_short_circuits != 0 || breaker_trips != 0 ||
-         error_responses != 0;
+         error_responses != 0 || rejected() != 0 ||
+         queue_wait_seconds != 0.0;
 }
 
 std::string render_resilience(const ResilienceMetrics& m) {
@@ -39,6 +44,58 @@ std::string render_resilience(const ResilienceMetrics& m) {
   out << "  circuit breaker: " << m.breaker_trips << " trips, "
       << m.breaker_short_circuits << " short-circuited requests\n";
   out << "  error responses to clients: " << m.error_responses << "\n";
+  if (m.rejected() != 0 || m.queue_wait_seconds != 0.0) {
+    out << "  overload protection: " << m.shed_queue_full
+        << " shed (queue full), " << m.shed_overload << " shed (overload), "
+        << m.throttled << " throttled\n";
+    out << "  simulated worker-queue wait: " << m.queue_wait_seconds
+        << " s total\n";
+  }
+  return out.str();
+}
+
+double ClassDelivery::hit_ratio() const noexcept {
+  return served == 0 ? 0.0
+                     : static_cast<double>(hits) / static_cast<double>(served);
+}
+
+double ClassDelivery::rejected_share() const noexcept {
+  return requests == 0 ? 0.0
+                       : static_cast<double>(shed + throttled) /
+                             static_cast<double>(requests);
+}
+
+stats::Summary ClassDelivery::latency_summary() const {
+  return stats::summarize(latencies);
+}
+
+void ClassDelivery::merge(const ClassDelivery& other) {
+  requests += other.requests;
+  hits += other.hits;
+  served += other.served;
+  shed += other.shed;
+  throttled += other.throttled;
+  latencies.insert(latencies.end(), other.latencies.begin(),
+                   other.latencies.end());
+}
+
+void TwoClassDelivery::merge(const TwoClassDelivery& other) {
+  human.merge(other.human);
+  machine.merge(other.machine);
+}
+
+std::string render_two_class(const TwoClassDelivery& d) {
+  std::ostringstream out;
+  out << "Two-class delivery (overload capacity model)\n";
+  const auto row = [&](const char* name, const ClassDelivery& c) {
+    const auto summary = c.latency_summary();
+    out << "  " << name << ": " << c.requests << " requests, " << c.shed
+        << " shed, " << c.throttled << " throttled, hit ratio "
+        << c.hit_ratio() << ", served p50 " << summary.p50 << " s, p99 "
+        << summary.p99 << " s\n";
+  };
+  row("human  ", d.human);
+  row("machine", d.machine);
   return out.str();
 }
 
@@ -60,6 +117,11 @@ void DeliveryMetrics::record_error(double latency_seconds) {
   ++requests_;
   ++errors_;
   latencies_.push_back(latency_seconds);
+}
+
+void DeliveryMetrics::record_rejected() {
+  ++requests_;
+  ++rejected_;
 }
 
 void DeliveryMetrics::record_prefetch(std::uint64_t bytes) {
@@ -118,6 +180,7 @@ void DeliveryMetrics::merge(const DeliveryMetrics& other) {
   misses_ += other.misses_;
   uncacheable_ += other.uncacheable_;
   errors_ += other.errors_;
+  rejected_ += other.rejected_;
   bytes_ += other.bytes_;
   prefetches_ += other.prefetches_;
   prefetch_bytes_ += other.prefetch_bytes_;

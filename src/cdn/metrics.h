@@ -29,8 +29,19 @@ struct ResilienceMetrics {
   std::uint64_t error_responses = 0;   // 5xx actually returned to clients
   double backoff_seconds = 0.0;        // total simulated backoff delay
 
+  // Overload protection (cdn::OverloadController). All zero unless the
+  // capacity model is on, so default runs are unchanged.
+  std::uint64_t shed_queue_full = 0;   // 503: bounded admission queue overflow
+  std::uint64_t shed_overload = 0;     // 503: CoDel queue-delay shedding
+  std::uint64_t throttled = 0;         // 429: per-client token bucket empty
+  double queue_wait_seconds = 0.0;     // total simulated worker-queue wait
+
+  [[nodiscard]] std::uint64_t rejected() const noexcept {
+    return shed_queue_full + shed_overload + throttled;
+  }
+
   void merge(const ResilienceMetrics& other);
-  // True when any fault-path counter moved — i.e. the run saw faults.
+  // True when any fault-path or overload counter moved.
   [[nodiscard]] bool any_activity() const noexcept;
 };
 
@@ -44,6 +55,37 @@ struct BreakerEvent {
 // Plain-text block for tools and benches.
 [[nodiscard]] std::string render_resilience(const ResilienceMetrics& m);
 
+// Delivery outcomes for one side of the prioritizer's two-class split.
+// Latencies cover served responses only (rejections return instantly and
+// would otherwise flatter the percentiles they exist to protect).
+struct ClassDelivery {
+  std::uint64_t requests = 0;   // arrivals, including rejected ones
+  std::uint64_t hits = 0;       // served from edge cache
+  std::uint64_t served = 0;     // responses that carried a body (non-rejected)
+  std::uint64_t shed = 0;       // rejected with SHED (503)
+  std::uint64_t throttled = 0;  // rejected with THROTTLED (429)
+  std::vector<double> latencies;
+
+  [[nodiscard]] double hit_ratio() const noexcept;
+  [[nodiscard]] double rejected_share() const noexcept;
+  [[nodiscard]] stats::Summary latency_summary() const;
+  void merge(const ClassDelivery& other);
+};
+
+// Human-class vs machine-class delivery, populated only when the overload
+// capacity model is on. The headline overload experiment reads human.p99.
+struct TwoClassDelivery {
+  ClassDelivery human;
+  ClassDelivery machine;
+
+  [[nodiscard]] bool any() const noexcept {
+    return human.requests != 0 || machine.requests != 0;
+  }
+  void merge(const TwoClassDelivery& other);
+};
+
+[[nodiscard]] std::string render_two_class(const TwoClassDelivery& d);
+
 class DeliveryMetrics {
  public:
   void record(bool cacheable, bool hit, std::uint64_t bytes,
@@ -52,6 +94,10 @@ class DeliveryMetrics {
   // mechanism could absorb): counted in requests/latency but in none of the
   // hit/miss/uncacheable buckets.
   void record_error(double latency_seconds);
+  // A request rejected by overload protection (SHED or THROTTLED): counted
+  // in requests but deliberately NOT in the latency sample — rejections
+  // return instantly and would flatter the percentiles shedding protects.
+  void record_rejected();
   void record_prefetch(std::uint64_t bytes);
   // Called when a previously prefetched object gets its first hit.
   void mark_prefetch_useful();
@@ -70,6 +116,7 @@ class DeliveryMetrics {
     return uncacheable_;
   }
   [[nodiscard]] std::uint64_t errors() const noexcept { return errors_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
   [[nodiscard]] std::uint64_t bytes_served() const noexcept { return bytes_; }
   [[nodiscard]] std::uint64_t prefetches_issued() const noexcept {
     return prefetches_;
@@ -117,6 +164,7 @@ class DeliveryMetrics {
   std::uint64_t misses_ = 0;
   std::uint64_t uncacheable_ = 0;
   std::uint64_t errors_ = 0;
+  std::uint64_t rejected_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t prefetches_ = 0;
   std::uint64_t prefetch_bytes_ = 0;

@@ -51,6 +51,12 @@ ResilienceMetrics CdnNetwork::total_resilience() const {
   return total;
 }
 
+TwoClassDelivery CdnNetwork::total_two_class() const {
+  TwoClassDelivery total;
+  for (const auto& edge : edges_) total.merge(edge.two_class());
+  return total;
+}
+
 std::vector<BreakerEvent> CdnNetwork::breaker_timeline() const {
   std::vector<BreakerEvent> events;
   for (const auto& edge : edges_) {

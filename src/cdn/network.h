@@ -43,6 +43,9 @@ class CdnNetwork {
   [[nodiscard]] DeliveryMetrics total_metrics() const;
   // Aggregate resilience counters across all edges.
   [[nodiscard]] ResilienceMetrics total_resilience() const;
+  // Aggregate human/machine delivery split (empty unless the overload
+  // capacity model is on).
+  [[nodiscard]] TwoClassDelivery total_two_class() const;
   // Every breaker state change on any edge, sorted by (time, edge, domain) —
   // the replayable incident timeline two identically-seeded runs must agree
   // on byte-for-byte.

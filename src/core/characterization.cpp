@@ -255,6 +255,8 @@ inline void count_cache_status(CacheabilityStats& out,
                                logs::CacheStatus status) noexcept {
   switch (status) {
     case logs::CacheStatus::kError:
+    case logs::CacheStatus::kShed:
+    case logs::CacheStatus::kThrottled:
       break;
     case logs::CacheStatus::kNotCacheable:
       ++out.uncacheable;
@@ -296,7 +298,9 @@ CacheabilityStats characterize_cacheability(const logs::Dataset& ds,
         for (std::size_t i = begin; i < end; ++i) {
           switch (records[i].cache_status) {
             case logs::CacheStatus::kError:
-              // An unabsorbed origin failure carries no cacheability signal.
+            case logs::CacheStatus::kShed:
+            case logs::CacheStatus::kThrottled:
+              // Failures and overload rejections carry no cacheability signal.
               break;
             case logs::CacheStatus::kNotCacheable:
               ++out.uncacheable;
@@ -327,6 +331,12 @@ double StatusBreakdown::absorbed_share() const noexcept {
                           static_cast<double>(total);
 }
 
+double StatusBreakdown::rejected_share() const noexcept {
+  return total == 0 ? 0.0
+                    : static_cast<double>(shed + throttled) /
+                          static_cast<double>(total);
+}
+
 void StatusBreakdown::merge(const StatusBreakdown& shard) noexcept {
   total += shard.total;
   ok_2xx += shard.ok_2xx;
@@ -336,6 +346,8 @@ void StatusBreakdown::merge(const StatusBreakdown& shard) noexcept {
   gateway_timeout_504 += shard.gateway_timeout_504;
   stale_served += shard.stale_served;
   error_cache_status += shard.error_cache_status;
+  shed += shard.shed;
+  throttled += shard.throttled;
 }
 
 StatusBreakdown characterize_status(const logs::TableView& view,
@@ -362,6 +374,8 @@ StatusBreakdown characterize_status(const logs::TableView& view,
           const auto cache = table.cache_status(row);
           if (cache == logs::CacheStatus::kStale) ++out.stale_served;
           if (cache == logs::CacheStatus::kError) ++out.error_cache_status;
+          if (cache == logs::CacheStatus::kShed) ++out.shed;
+          if (cache == logs::CacheStatus::kThrottled) ++out.throttled;
         }
       });
 }
@@ -390,6 +404,9 @@ StatusBreakdown characterize_status(const logs::Dataset& ds,
             ++out.stale_served;
           if (record.cache_status == logs::CacheStatus::kError)
             ++out.error_cache_status;
+          if (record.cache_status == logs::CacheStatus::kShed) ++out.shed;
+          if (record.cache_status == logs::CacheStatus::kThrottled)
+            ++out.throttled;
         }
       });
 }

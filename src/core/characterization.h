@@ -109,11 +109,15 @@ struct StatusBreakdown {
   std::uint64_t gateway_timeout_504 = 0;  // subset of server_error_5xx
   std::uint64_t stale_served = 0;         // 200s served via stale-if-error
   std::uint64_t error_cache_status = 0;   // records logged ERROR
+  std::uint64_t shed = 0;                 // records logged SHED (load shed)
+  std::uint64_t throttled = 0;            // records logged THROTTLED (429)
 
   // Share of requests answered with a server error.
   [[nodiscard]] double error_share() const noexcept;
   // Share of requests a resilience mechanism visibly absorbed (stale serves).
   [[nodiscard]] double absorbed_share() const noexcept;
+  // Share of requests rejected by overload protection (shed + throttled).
+  [[nodiscard]] double rejected_share() const noexcept;
 
   void merge(const StatusBreakdown& other) noexcept;
 };

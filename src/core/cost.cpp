@@ -40,7 +40,10 @@ CostReport analyze_costs(const logs::Dataset& ds, const CostModel& model) {
     const double kb = static_cast<double>(record.response_bytes) / 1024.0;
     acc.cpu_cost += model.cpu_per_request + model.cpu_per_kilobyte * kb;
     acc.network_cost += model.network_per_kilobyte * kb;
-    if (record.cache_status != logs::CacheStatus::kHit) {
+    // Overload rejections are answered at the edge without an origin trip.
+    if (record.cache_status != logs::CacheStatus::kHit &&
+        record.cache_status != logs::CacheStatus::kShed &&
+        record.cache_status != logs::CacheStatus::kThrottled) {
       acc.origin_cost += model.origin_per_request;
     }
   }

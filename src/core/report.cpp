@@ -92,7 +92,8 @@ std::string render_headline(const MethodMix& methods,
 std::string render_status(const StatusBreakdown& status) {
   const bool error_free = status.server_error_5xx == 0 &&
                           status.stale_served == 0 &&
-                          status.error_cache_status == 0;
+                          status.error_cache_status == 0 &&
+                          status.shed == 0 && status.throttled == 0;
   if (error_free) return "";
   std::ostringstream out;
   out << "Response status mix (origin faults visible in the log)\n"
@@ -104,6 +105,11 @@ std::string render_status(const StatusBreakdown& status) {
       << "  stale-if-error responses:  " << status.stale_served << " ("
       << pct(status.absorbed_share()) << " of requests)\n"
       << "  records logged ERROR:      " << status.error_cache_status << "\n";
+  if (status.shed != 0 || status.throttled != 0) {
+    out << "  overload rejections:       " << status.shed << " shed, "
+        << status.throttled << " throttled ("
+        << pct(status.rejected_share()) << " of requests)\n";
+  }
   return out.str();
 }
 

@@ -12,7 +12,7 @@
 #include <stdexcept>
 #include <utility>
 
-#include "http/url.h"
+#include "http/method.h"
 
 namespace jsoncdn::logs {
 
@@ -40,10 +40,6 @@ std::string escape(std::string_view field) {
   return out;
 }
 
-std::string unescape(std::string_view field) {
-  return http::url_decode(field);
-}
-
 template <typename T>
 bool parse_number(std::string_view s, T& out) {
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
@@ -68,6 +64,30 @@ bool parse_double(std::string_view s, double& out) {
 }  // namespace
 
 std::string_view log_header() noexcept { return kHeader; }
+
+std::string unescape_field(std::string_view field) {
+  const auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    if (field[i] == '%' && i + 2 < field.size()) {
+      const int hi = hex(field[i + 1]);
+      const int lo = hex(field[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(field[i]);
+  }
+  return out;
+}
 
 std::string to_line(const LogRecord& r) {
   std::ostringstream out;
@@ -129,12 +149,12 @@ std::optional<LogRecord> from_line(std::string_view line,
   if (!parse_line(line, f, reason)) return std::nullopt;
   LogRecord r;
   r.timestamp = f.timestamp;
-  r.client_id = unescape(f.client_id);
-  r.user_agent = unescape(f.user_agent);
+  r.client_id = unescape_field(f.client_id);
+  r.user_agent = unescape_field(f.user_agent);
   r.method = f.method;
-  r.url = unescape(f.url);
-  r.domain = unescape(f.domain);
-  r.content_type = unescape(f.content_type);
+  r.url = unescape_field(f.url);
+  r.domain = unescape_field(f.domain);
+  r.content_type = unescape_field(f.content_type);
   r.status = f.status;
   r.response_bytes = f.response_bytes;
   r.request_bytes = f.request_bytes;

@@ -26,6 +26,13 @@ namespace jsoncdn::logs {
 // Serializes one record to a single line (no trailing newline).
 [[nodiscard]] std::string to_line(const LogRecord& record);
 
+// Decodes one escaped field back to its raw bytes: the exact inverse of the
+// writer's escaping (%XX only). Deliberately NOT http::url_decode — form
+// decoding also folds '+' to space, which would corrupt legitimate '+' bytes
+// in UA strings like "Scrapy/2.11.0 (+https://scrapy.org)" and break joins
+// against the truth sidecar's client keys.
+[[nodiscard]] std::string unescape_field(std::string_view field);
+
 // Parses one line. Returns nullopt on malformed input (wrong column count,
 // non-numeric numerics, unknown enums) — malformed log lines are data errors,
 // skipped and counted by the reader, never exceptions. A trailing '\r'

@@ -8,6 +8,7 @@ all_cache_statuses() noexcept {
       CacheStatus::kHit,        CacheStatus::kMiss,
       CacheStatus::kRefreshHit, CacheStatus::kNotCacheable,
       CacheStatus::kStale,      CacheStatus::kError,
+      CacheStatus::kShed,       CacheStatus::kThrottled,
   };
   return kAll;
 }
@@ -22,6 +23,8 @@ std::string_view to_string(CacheStatus s) noexcept {
     case CacheStatus::kNotCacheable: return "NOCACHE";
     case CacheStatus::kStale: return "STALE";
     case CacheStatus::kError: return "ERROR";
+    case CacheStatus::kShed: return "SHED";
+    case CacheStatus::kThrottled: return "THROTTLED";
   }
   return "NOCACHE";
 }
@@ -49,6 +52,14 @@ bool parse_cache_status(std::string_view token, CacheStatus& out) noexcept {
   }
   if (token == "ERROR") {
     out = CacheStatus::kError;
+    return true;
+  }
+  if (token == "SHED") {
+    out = CacheStatus::kShed;
+    return true;
+  }
+  if (token == "THROTTLED") {
+    out = CacheStatus::kThrottled;
     return true;
   }
   return false;

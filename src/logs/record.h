@@ -23,12 +23,15 @@ enum class CacheStatus {
   kNotCacheable,  // customer config forbids caching; tunneled to origin
   kStale,         // expired copy served because the origin failed (RFC 5861)
   kError,         // origin failure no resilience mechanism could absorb (5xx)
+  kShed,          // rejected by edge overload protection (load shed, 503)
+  kThrottled,     // rejected by per-client rate limiting (429)
 };
 
 // Number of CacheStatus values. The serialization coverage test
 // static_asserts against this so adding an enumerator without extending
-// to_string/parse_cache_status fails the build, not the field.
-inline constexpr std::size_t kCacheStatusCount = 6;
+// to_string/parse_cache_status fails the build, not the field. The .jlog v2
+// chunk format packs this enum in 3 bits, so the count must stay <= 8.
+inline constexpr std::size_t kCacheStatusCount = 8;
 // Every status, in declaration order — lets tests and renderers iterate
 // exhaustively.
 [[nodiscard]] const std::array<CacheStatus, kCacheStatusCount>&

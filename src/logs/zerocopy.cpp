@@ -11,8 +11,6 @@
 #include <unistd.h>
 #endif
 
-#include "http/url.h"
-
 namespace jsoncdn::logs {
 
 namespace {
@@ -73,17 +71,18 @@ MappedFile::~MappedFile() {
 
 namespace {
 
-// True when unescaping would change the field: '%' starts an escape and
-// http::url_decode also maps '+' to ' '. Fields without either byte intern
-// directly off the mapped file — the common case by far.
+// True when unescaping could change the field: only '%' starts an escape
+// (unescape_field is the exact inverse of the writer — no '+' folding).
+// Fields without that byte intern directly off the mapped file — the common
+// case by far.
 inline bool needs_unescape(std::string_view field) noexcept {
-  return field.find_first_of("%+") != std::string_view::npos;
+  return field.find('%') != std::string_view::npos;
 }
 
 inline std::string_view unescape_into(std::string_view field,
                                       std::string& scratch) {
   if (!needs_unescape(field)) return field;
-  scratch = http::url_decode(field);
+  scratch = unescape_field(field);
   return scratch;
 }
 

@@ -1,5 +1,6 @@
 #include "oracle/conformance.h"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 
@@ -69,7 +70,8 @@ bool same_counters(const stream::StreamingSummary& streaming,
       ss.server_error_5xx != status.server_error_5xx ||
       ss.gateway_timeout_504 != status.gateway_timeout_504 ||
       ss.stale_served != status.stale_served ||
-      ss.error_cache_status != status.error_cache_status) {
+      ss.error_cache_status != status.error_cache_status ||
+      ss.shed != status.shed || ss.throttled != status.throttled) {
     return false;
   }
   // Request-side device counters are exact in the streaming study; the
@@ -84,7 +86,10 @@ bool same_counters(const stream::StreamingSummary& streaming,
 
 GeneratedCase generate_case(std::uint64_t seed,
                             const ConformanceConfig& config) {
-  auto wconfig = workload::long_term_scenario(config.scale, seed);
+  auto wconfig =
+      workload::scenario_by_name(config.scenario, config.scale, seed);
+  if (config.hostile_share >= 0.0)
+    wconfig.hostile.hostile_share = config.hostile_share;
   if (config.duration_seconds > 0.0)
     wconfig.duration_seconds = config.duration_seconds;
   if (config.n_clients > 0) wconfig.n_clients = config.n_clients;
@@ -239,8 +244,10 @@ std::string render_case(const CaseResult& result) {
       << "\n";
   out << "  detector: P " << det.precision() << "  R " << det.recall()
       << "  F1 " << det.f1() << "  (TP " << det.true_positives << ", FP "
-      << det.false_positives << ", FN " << det.false_negatives
-      << "; eligible " << det.eligible_truth << "/" << det.truth_flows
+      << det.false_positives << ", FN " << det.false_negatives;
+  if (det.hostile_detections > 0)
+    out << ", hostile " << det.hostile_detections;
+  out << "; eligible " << det.eligible_truth << "/" << det.truth_flows
       << " truth flows, max period err " << det.max_period_rel_error()
       << ")\n";
   auto acc = [](const core::NgramAccuracy& a, std::size_t k) {
@@ -256,7 +263,10 @@ std::string render_case(const CaseResult& result) {
   out << "  marginals: device L1 " << marg.device_request_l1 << "  class L1 "
       << marg.class_population_l1 << "  industry L1 "
       << marg.industry_domain_l1 << "  (joined " << marg.joined_requests
-      << ", unmatched " << marg.unmatched_requests << ")\n";
+      << ", unmatched " << marg.unmatched_requests;
+  if (marg.hostile_requests > 0)
+    out << ", hostile " << marg.hostile_requests;
+  out << ")\n";
   out << "  differentials: threads "
       << (result.thread_invariant ? "identical" : "DIVERGED") << ", streaming "
       << (result.streaming_consistent ? "identical" : "DIVERGED") << "\n";
@@ -274,6 +284,123 @@ std::string render_conformance(const ConformanceReport& report) {
               ? "all seeds within bands\n"
               : std::to_string(report.total_failures()) +
                     " band violation(s)\n");
+  return out.str();
+}
+
+OverloadExperiment run_overload_experiment(
+    const OverloadExperimentConfig& config) {
+  auto wconfig = workload::flash_crowd_scenario(config.scale, config.seed);
+  if (config.hostile_share >= 0.0)
+    wconfig.hostile.hostile_share = config.hostile_share;
+  if (config.duration_seconds > 0.0)
+    wconfig.duration_seconds = config.duration_seconds;
+  if (config.n_clients > 0) wconfig.n_clients = config.n_clients;
+
+  const workload::WorkloadGenerator generator(wconfig);
+  const auto workload = generator.generate();
+
+  const auto run_arm = [&](cdn::OverloadParams params) {
+    // Both arms share the edge sizing; only the protections differ.
+    params.model_capacity = true;
+    params.concurrency = config.concurrency;
+    params.service_floor_seconds = config.service_floor_seconds;
+    cdn::NetworkParams network_params;
+    network_params.edge.overload = params;
+    cdn::CdnNetwork network(generator.catalog().objects(), network_params);
+    (void)network.run(workload.events);
+
+    OverloadArm arm;
+    arm.classes = network.total_two_class();
+    arm.resilience = network.total_resilience();
+    arm.human_p99 = arm.classes.human.latency_summary().p99;
+    arm.human_hit_ratio = arm.classes.human.hit_ratio();
+    arm.human_rejected_share = arm.classes.human.rejected_share();
+    arm.machine_p99 = arm.classes.machine.latency_summary().p99;
+    arm.machine_rejected_share = arm.classes.machine.rejected_share();
+    return arm;
+  };
+
+  OverloadExperiment out;
+  out.seed = config.seed;
+  out.protected_arm = run_arm(config.protected_params);
+  out.unprotected_arm = run_arm(config.unprotected_params);
+
+  auto& failures = out.failures;
+  const auto& prot = out.protected_arm;
+  const auto& unprot = out.unprotected_arm;
+  check_band(failures, prot.human_p99 <= config.max_human_p99_seconds,
+             "protected human p99 " + fmt(prot.human_p99) + " s > " +
+                 fmt(config.max_human_p99_seconds) + " s");
+  check_band(failures, prot.human_hit_ratio >= config.min_human_hit_ratio,
+             "protected human hit ratio " + fmt(prot.human_hit_ratio) +
+                 " < " + fmt(config.min_human_hit_ratio));
+  check_band(failures,
+             prot.human_rejected_share <= config.max_human_rejected_share,
+             "protected human rejected share " +
+                 fmt(prot.human_rejected_share) + " > " +
+                 fmt(config.max_human_rejected_share));
+  // The whole point of the protections: the same traffic through an
+  // unprotected edge must visibly collapse.
+  check_band(failures, unprot.human_p99 > config.max_human_p99_seconds,
+             "unprotected human p99 " + fmt(unprot.human_p99) +
+                 " s stayed within the protected band — no overload "
+                 "materialized");
+  check_band(
+      failures,
+      unprot.human_p99 >=
+          config.min_collapse_factor * std::max(prot.human_p99, 1e-9),
+      "unprotected human p99 " + fmt(unprot.human_p99) + " s is not " +
+          fmt(config.min_collapse_factor) + "x the protected " +
+          fmt(prot.human_p99) + " s");
+  return out;
+}
+
+namespace {
+
+std::string render_arm(const char* name, const OverloadArm& arm) {
+  std::ostringstream out;
+  out.precision(4);
+  out << "  " << name << ": human p99 " << arm.human_p99 << " s, hit ratio "
+      << arm.human_hit_ratio << ", rejected " << arm.human_rejected_share
+      << "  |  machine p99 " << arm.machine_p99 << " s, rejected "
+      << arm.machine_rejected_share << "\n";
+  out << "    rejections: " << arm.resilience.shed_queue_full
+      << " shed (queue full), " << arm.resilience.shed_overload
+      << " shed (overload), " << arm.resilience.throttled << " throttled\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::string render_overload(const OverloadExperiment& experiment) {
+  std::ostringstream out;
+  out << "== Overload experiment (flash crowd + scrapers, seed "
+      << experiment.seed << ") =="
+      << (experiment.passed() ? "  [pass]" : "  [FAIL]") << "\n";
+  out << render_arm("protected  ", experiment.protected_arm);
+  out << render_arm("unprotected", experiment.unprotected_arm);
+  for (const auto& failure : experiment.failures) {
+    out << "  band violation: " << failure << "\n";
+  }
+  return out.str();
+}
+
+std::string render_overload_table(const OverloadExperiment& experiment) {
+  std::ostringstream out;
+  out.precision(3);
+  out << "| arm | human p99 (s) | human hit ratio | human rejected | "
+         "machine rejected | shed | throttled |\n";
+  out << "|-----|--------------:|----------------:|---------------:|"
+         "-----------------:|-----:|----------:|\n";
+  const auto row = [&](const char* name, const OverloadArm& arm) {
+    out << "| " << name << " | " << arm.human_p99 << " | "
+        << arm.human_hit_ratio << " | " << arm.human_rejected_share << " | "
+        << arm.machine_rejected_share << " | "
+        << arm.resilience.shed_queue_full + arm.resilience.shed_overload
+        << " | " << arm.resilience.throttled << " |\n";
+  };
+  row("protected", experiment.protected_arm);
+  row("unprotected", experiment.unprotected_arm);
   return out.str();
 }
 

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "cdn/metrics.h"
+#include "cdn/overload.h"
 #include "logs/dataset.h"
 #include "oracle/ground_truth.h"
 #include "oracle/scorer.h"
@@ -43,9 +45,14 @@ struct ConformanceTolerances {
 
 struct ConformanceConfig {
   std::vector<std::uint64_t> seeds = {1, 7, 1337};
-  // Workload shape: the long-term scenario rescaled to a bounded window so
-  // a full sweep stays test-sized. n_clients = 0 keeps the scenario's own
-  // client count.
+  // Named scenario the sweep generates from (workload::scenario_by_name);
+  // hostile scenarios exercise the detectors under adversarial load.
+  std::string scenario = "long-term";
+  // Overrides the scenario's hostile share when >= 0 (0 turns attacks off).
+  double hostile_share = -1.0;
+  // Workload shape: the scenario rescaled to a bounded window so a full
+  // sweep stays test-sized. n_clients = 0 keeps the scenario's own client
+  // count.
   double scale = 0.001;
   double duration_seconds = 2.0 * 3600.0;
   std::size_t n_clients = 600;
@@ -106,5 +113,70 @@ struct ConformanceReport {
 // The EXPERIMENTS.md detector table: one row per seed with P/R/F1, period
 // error, and marginal distances.
 [[nodiscard]] std::string render_detector_table(const ConformanceReport& report);
+
+// --- Overload-protection experiment ---------------------------------------
+//
+// The headline robustness claim: under a flash crowd with a scraper
+// underlay, an edge with admission control + rate limiting + CoDel shedding
+// keeps human-class p99 latency and hit ratio within bands, while the same
+// workload through an unprotected (capacity-model-only) edge collapses.
+// Both arms run the SAME workload events through identically-sized edges;
+// only the protections differ.
+
+struct OverloadExperimentConfig {
+  std::uint64_t seed = 1;
+  // Workload: the flash-crowd scenario (scraper underlay included).
+  double scale = 0.004;
+  double duration_seconds = 600.0;
+  std::size_t n_clients = 0;      // 0 keeps the scenario's client count
+  double hostile_share = -1.0;    // < 0 keeps the scenario default (0.35)
+  // Edge sizing shared by both arms: capacity must sit above the benign
+  // baseline but below the spike, or overload never materializes. At the
+  // default scale the benign load is ~60 req/s per edge and the flash peak
+  // ~250 req/s per edge; 2 workers at a 20 ms floor give 100 req/s.
+  std::size_t concurrency = 2;
+  double service_floor_seconds = 0.02;
+  // Protection parameter sets for the two arms.
+  cdn::OverloadParams protected_params = cdn::OverloadParams::protected_defaults();
+  cdn::OverloadParams unprotected_params =
+      cdn::OverloadParams::unprotected_defaults();
+
+  // Bands the protected arm must hold...
+  double max_human_p99_seconds = 0.40;
+  double min_human_hit_ratio = 0.25;
+  double max_human_rejected_share = 0.10;
+  // ...and the collapse the unprotected arm must exhibit: its human p99
+  // must exceed the protected arm's by at least this factor AND break the
+  // protected band.
+  double min_collapse_factor = 3.0;
+};
+
+// One arm's outcome (aggregated across edges).
+struct OverloadArm {
+  cdn::TwoClassDelivery classes;
+  cdn::ResilienceMetrics resilience;
+  double human_p99 = 0.0;
+  double human_hit_ratio = 0.0;
+  double human_rejected_share = 0.0;
+  double machine_p99 = 0.0;
+  double machine_rejected_share = 0.0;
+};
+
+struct OverloadExperiment {
+  std::uint64_t seed = 0;
+  OverloadArm protected_arm;
+  OverloadArm unprotected_arm;
+  std::vector<std::string> failures;  // empty = protected held, unprotected collapsed
+  [[nodiscard]] bool passed() const noexcept { return failures.empty(); }
+};
+
+// Runs both arms and grades them against the bands.
+[[nodiscard]] OverloadExperiment run_overload_experiment(
+    const OverloadExperimentConfig& config);
+
+// Plain-text and EXPERIMENTS.md-table renderings.
+[[nodiscard]] std::string render_overload(const OverloadExperiment& experiment);
+[[nodiscard]] std::string render_overload_table(
+    const OverloadExperiment& experiment);
 
 }  // namespace jsoncdn::oracle

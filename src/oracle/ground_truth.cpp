@@ -9,7 +9,7 @@
 #include <stdexcept>
 
 #include "http/device_db.h"
-#include "http/url.h"
+#include "logs/csv.h"
 #include "workload/device_profiles.h"
 
 namespace jsoncdn::oracle {
@@ -35,8 +35,11 @@ std::string escape(std::string_view field) {
   return out;
 }
 
+// Exact inverse of escape(): decode %XX only. http::url_decode is NOT the
+// inverse — it also folds '+' to space (form encoding), which mangles UA
+// strings like "Scrapy/2.11.0 (+https://scrapy.org)" on the way back in.
 std::string unescape(std::string_view field) {
-  return http::url_decode(field);
+  return logs::unescape_field(field);
 }
 
 std::vector<std::string_view> split_tabs(std::string_view line) {
@@ -112,6 +115,15 @@ TruthSidecar make_sidecar(const workload::GroundTruth& truth,
     out.sessions.push_back(std::move(ts));
   }
 
+  out.attackers.reserve(truth.attackers.size());
+  for (const auto& a : truth.attackers) {
+    TruthAttacker ta;
+    ta.client_key = key_of(a.client_address, a.user_agent);
+    ta.kind = std::string(workload::to_string(a.kind));
+    ta.request_count = a.request_count;
+    out.attackers.push_back(std::move(ta));
+  }
+
   out.template_of_url.insert(truth.template_of_url.begin(),
                              truth.template_of_url.end());
   out.industry_of_domain.insert(truth.industry_of_domain.begin(),
@@ -129,6 +141,7 @@ TruthSidecar make_sidecar(const workload::GroundTruth& truth,
   };
   out.total_events = truth.total_events;
   out.periodic_events = truth.periodic_events;
+  out.hostile_events = truth.hostile_events;
   return out;
 }
 
@@ -136,6 +149,11 @@ void write_truth(std::ostream& out, const TruthSidecar& sidecar) {
   out << kHeader << '\n';
   out << "stat\ttotal_events\t" << sidecar.total_events << '\n';
   out << "stat\tperiodic_events\t" << sidecar.periodic_events << '\n';
+  // Additive v1 rows: only emitted for hostile workloads, so sidecars of
+  // benign runs are byte-identical to those of earlier builds.
+  if (sidecar.hostile_events != 0 || !sidecar.attackers.empty()) {
+    out << "stat\thostile_events\t" << sidecar.hostile_events << '\n';
+  }
   for (const auto& [name, value] : sidecar.population_shares) {
     out << "share\t" << escape(name) << '\t' << value << '\n';
   }
@@ -152,6 +170,10 @@ void write_truth(std::ostream& out, const TruthSidecar& sidecar) {
     out << "session\t" << escape(s.client_key);
     for (const auto& url : s.urls) out << '\t' << escape(url);
     out << '\n';
+  }
+  for (const auto& a : sidecar.attackers) {
+    out << "attacker\t" << escape(a.client_key) << '\t' << escape(a.kind)
+        << '\t' << a.request_count << '\n';
   }
   for (const auto& [url, key] : sidecar.template_of_url) {
     out << "template\t" << escape(url) << '\t' << escape(key) << '\n';
@@ -190,6 +212,8 @@ TruthSidecar read_truth(std::istream& in) {
         out.total_events = value;
       } else if (name == "periodic_events") {
         out.periodic_events = value;
+      } else if (name == "hostile_events") {
+        out.hostile_events = value;
       } else {
         bad_line(line_number, "unknown stat name");
       }
@@ -227,6 +251,17 @@ TruthSidecar read_truth(std::istream& in) {
       for (std::size_t i = 2; i < cols.size(); ++i)
         s.urls.push_back(unescape(cols[i]));
       out.sessions.push_back(std::move(s));
+    } else if (kind == "attacker") {
+      if (cols.size() != 4) bad_line(line_number, "attacker needs 4 columns");
+      TruthAttacker a;
+      a.client_key = unescape(cols[1]);
+      a.kind = unescape(cols[2]);
+      workload::AttackKind parsed{};
+      if (!workload::parse_attack_kind(a.kind, parsed))
+        bad_line(line_number, "unknown attack kind");
+      if (!parse_u64(cols[3], a.request_count))
+        bad_line(line_number, "bad attacker request count");
+      out.attackers.push_back(std::move(a));
     } else if (kind == "template") {
       if (cols.size() != 3) bad_line(line_number, "template needs 3 columns");
       out.template_of_url.emplace(unescape(cols[1]), unescape(cols[2]));

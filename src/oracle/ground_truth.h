@@ -48,10 +48,21 @@ struct TruthSession {
   std::vector<std::string> urls;
 };
 
+// One hostile client with its attack class. Rows are additive to the v1
+// format: a log-side join on client_key labels every hostile request,
+// because attackers use dedicated addresses the benign population never
+// draws.
+struct TruthAttacker {
+  std::string client_key;
+  std::string kind;  // workload::to_string(AttackKind)
+  std::uint64_t request_count = 0;
+};
+
 struct TruthSidecar {
   std::vector<TruthClient> clients;
   std::vector<TruthFlow> periodic_flows;
   std::vector<TruthSession> sessions;
+  std::vector<TruthAttacker> attackers;
   // URL -> app-graph template key (ideal clustering for Table 3 scoring).
   std::map<std::string, std::string> template_of_url;
   // Domain -> industry label (the paper's categorization service, exact).
@@ -60,6 +71,7 @@ struct TruthSidecar {
   std::map<std::string, double> population_shares;
   std::uint64_t total_events = 0;
   std::uint64_t periodic_events = 0;
+  std::uint64_t hostile_events = 0;
 };
 
 // Header line identifying the sidecar format version.

@@ -101,9 +101,20 @@ DetectorScore score_periodicity(const core::PeriodicityReport& report,
     entries.push_back({flow.period_seconds, false, false});
   }
 
+  // Flows of labeled attackers score as neither TP nor FP (see the
+  // hostile_detections comment in the header). Empty for benign sidecars.
+  std::unordered_set<std::string> hostile_clients;
+  hostile_clients.reserve(truth.attackers.size());
+  for (const auto& a : truth.attackers) hostile_clients.insert(a.client_key);
+
   for (const auto& object : report.objects) {
     for (const auto& rec : object.clients) {
       ++score.analyzed_flows;
+      if (!hostile_clients.empty() &&
+          hostile_clients.count(rec.client) != 0) {
+        if (rec.periodic) ++score.hostile_detections;
+        continue;
+      }
       const auto it = by_key.find(flow_key(object.url, rec.client));
       if (it != by_key.end()) {
         for (const auto idx : it->second) entries[idx].eligible = true;
@@ -259,8 +270,42 @@ MarginalScore score_marginals(const logs::Dataset& ds,
       device_of_client.emplace(client.client_key, it->second);
   }
 
+  // Labeled attackers are excluded from both sides of the comparison: the
+  // marginal grades recovery of the benign population, and hostile UAs
+  // (scraper/stuffing bots) would otherwise shift the measured device mix
+  // against a truth that only describes benign clients. When the sidecar
+  // carries attackers the measured shares are recomputed over the benign
+  // records with the same classifier the characterization uses; benign
+  // sidecars take the untouched `source` path bit-for-bit.
+  std::unordered_set<std::string> attacker_keys;
+  attacker_keys.reserve(truth.attackers.size());
+  for (const auto& a : truth.attackers) attacker_keys.insert(a.client_key);
+
   std::array<std::uint64_t, 4> truth_requests{};
+  std::array<std::uint64_t, 4> benign_requests{};
+  std::uint64_t benign_total = 0;
+  std::unordered_map<std::string, std::size_t> ua_device_cache;
   for (const auto& record : ds.records()) {
+    if (!attacker_keys.empty() &&
+        attacker_keys.count(record.client_key()) != 0) {
+      ++score.hostile_requests;
+      continue;
+    }
+    if (!attacker_keys.empty()) {
+      const auto [ua_it, inserted] =
+          ua_device_cache.try_emplace(record.user_agent, kDevices.size() - 1);
+      if (inserted) {
+        const auto device = http::classify_device(record.user_agent).device;
+        for (std::size_t d = 0; d < kDevices.size(); ++d) {
+          if (kDevices[d] == device) {
+            ua_it->second = d;
+            break;
+          }
+        }
+      }
+      ++benign_requests[ua_it->second];
+      ++benign_total;
+    }
     const auto it = device_of_client.find(record.client_key());
     if (it == device_of_client.end()) {
       ++score.unmatched_requests;
@@ -274,7 +319,11 @@ MarginalScore score_marginals(const logs::Dataset& ds,
     for (std::size_t d = 0; d < kDevices.size(); ++d) {
       const double truth_share =
           ratio(truth_requests[d], score.joined_requests);
-      l1 += std::abs(source.device_share(kDevices[d]) - truth_share);
+      const double measured_share =
+          attacker_keys.empty()
+              ? source.device_share(kDevices[d])
+              : ratio(benign_requests[d], benign_total);
+      l1 += std::abs(measured_share - truth_share);
     }
     score.device_request_l1 = l1;
   }

@@ -38,6 +38,12 @@ struct DetectorScore {
   std::size_t false_positives = 0; // detected where truth has no period (or
                                    // the wrong one)
   std::size_t false_negatives = 0; // eligible truth flows not recovered
+  // Detections on flows of labeled attackers (sidecar `attacker` rows).
+  // Neither TP nor FP: rate-limited bots genuinely emit periodic cadence
+  // (a scraper re-walking a URL space revisits each URL every T seconds),
+  // but the truth only models *intended* periodic flows, so the oracle can
+  // call these detections neither right nor wrong. Zero on benign runs.
+  std::size_t hostile_detections = 0;
   // |detected - true| / true over the true positives.
   std::vector<double> period_rel_errors;
 
@@ -88,6 +94,11 @@ struct MarginalScore {
   double industry_domain_l1 = 0.0;
   std::size_t joined_requests = 0;    // records matched to a truth client
   std::size_t unmatched_requests = 0; // records with no truth client
+  // Records keyed to a labeled attacker. Hostile traffic is excluded from
+  // both sides of the marginal comparison: the marginals grade recovery of
+  // the benign population parameters, and the sidecar labels make the
+  // exclusion exact. Zero for benign sidecars.
+  std::size_t hostile_requests = 0;
 };
 
 // `ds` must be the dataset `source` was computed over.

@@ -96,6 +96,8 @@ void StreamingAccumulator::offer_fields(
   if (cache_status == logs::CacheStatus::kStale) ++status_.stale_served;
   if (cache_status == logs::CacheStatus::kError)
     ++status_.error_cache_status;
+  if (cache_status == logs::CacheStatus::kShed) ++status_.shed;
+  if (cache_status == logs::CacheStatus::kThrottled) ++status_.throttled;
 
   // Everything below mirrors the batch pipeline's JSON-only analyses.
   if (content != http::ContentClass::kJson) return;
@@ -112,6 +114,8 @@ void StreamingAccumulator::offer_fields(
   // cacheability signal, STALE is a hit served from CDN storage.
   switch (cache_status) {
     case logs::CacheStatus::kError:
+    case logs::CacheStatus::kShed:
+    case logs::CacheStatus::kThrottled:
       break;
     case logs::CacheStatus::kNotCacheable:
       ++cacheability_.uncacheable;

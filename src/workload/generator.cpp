@@ -307,6 +307,17 @@ Workload WorkloadGenerator::generate() const {
     truth.clients.push_back(std::move(ct));
   }
 
+  // Adversarial traffic rides on top of the benign stream. The benign
+  // event count is measured post-clamp so the hostile share targets what
+  // the CDN will actually see; hostile events are emitted in-window.
+  if (config_.hostile.hostile_share > 0.0) {
+    std::erase_if(out.events, [&](const RequestEvent& ev) {
+      return ev.time < 0.0 || ev.time >= window;
+    });
+    inject_hostile_traffic(out, *catalog_, config_.hostile, window,
+                           out.events.size(), root.fork("hostile"));
+  }
+
   // Clamp to the window (sessions started near the end may overrun) and
   // establish global time order.
   std::erase_if(out.events, [&](const RequestEvent& ev) {

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "workload/adversary.h"
 #include "workload/app_graph.h"
 #include "workload/catalog.h"
 #include "workload/device_profiles.h"
@@ -82,6 +83,10 @@ struct GeneratorConfig {
   // (drives the Fig. 6 share of period-matching clients per object).
   double canonical_period_adherence_lo = 0.20;
   double canonical_period_adherence_hi = 0.80;
+  // Adversarial traffic layered on top of the benign population (inert at
+  // hostile_share == 0: no events, no attacker truth, benign stream
+  // unchanged).
+  HostileConfig hostile;
 };
 
 // Ground-truth labels, kept separate from the log stream: the analyses never
@@ -118,8 +123,13 @@ struct GroundTruth {
   std::vector<ClientTruth> clients;
   std::vector<PeriodicTruth> periodic_flows;
   std::vector<SessionTruth> sessions;  // app-graph-driven sessions
+  // Hostile clients with their attack class (workload/adversary.h). A join
+  // on client_address labels every hostile request: attackers use dedicated
+  // addresses the benign population never draws.
+  std::vector<AttackerTruth> attackers;
   std::size_t total_events = 0;
   std::size_t periodic_events = 0;   // events emitted by periodic flows
+  std::size_t hostile_events = 0;    // events emitted by attackers
   // Template id per app-graph URL (for scoring clustered-URL prediction).
   std::unordered_map<std::string, std::string> template_of_url;
   // Domain -> industry label (the categorization service the paper buys,

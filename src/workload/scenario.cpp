@@ -52,4 +52,67 @@ GeneratorConfig long_term_scenario(double scale, std::uint64_t seed) {
   return config;
 }
 
+GeneratorConfig scraper_scenario(double scale, std::uint64_t seed) {
+  auto config = short_term_scenario(scale, seed);
+  config.hostile.hostile_share = 0.25;
+  config.hostile.scraper_weight = 1.0;
+  config.hostile.stuffing_weight = 0.0;
+  config.hostile.flash_crowd_weight = 0.0;
+  config.hostile.oversized_weight = 0.0;
+  return config;
+}
+
+GeneratorConfig stuffing_scenario(double scale, std::uint64_t seed) {
+  auto config = short_term_scenario(scale, seed);
+  config.hostile.hostile_share = 0.20;
+  config.hostile.scraper_weight = 0.0;
+  config.hostile.stuffing_weight = 1.0;
+  config.hostile.flash_crowd_weight = 0.0;
+  config.hostile.oversized_weight = 0.0;
+  return config;
+}
+
+GeneratorConfig flash_crowd_scenario(double scale, std::uint64_t seed) {
+  auto config = short_term_scenario(scale, seed);
+  // The headline overload experiment: a human flash crowd with a scraper
+  // underlay, so shedding has machine-class traffic to sacrifice first.
+  config.hostile.hostile_share = 0.35;
+  config.hostile.scraper_weight = 0.35;
+  config.hostile.stuffing_weight = 0.0;
+  config.hostile.flash_crowd_weight = 0.65;
+  config.hostile.oversized_weight = 0.0;
+  return config;
+}
+
+GeneratorConfig hostile_mix_scenario(double scale, std::uint64_t seed) {
+  auto config = short_term_scenario(scale, seed);
+  config.hostile.hostile_share = 0.30;  // default class weights
+  return config;
+}
+
+const std::vector<ScenarioInfo>& scenario_registry() {
+  static const std::vector<ScenarioInfo> kRegistry = {
+      {"short-term", "10-minute whole-network capture (paper Table 2)"},
+      {"long-term", "24-hour three-vantage capture, periodic-flow heavy"},
+      {"scraper", "short-term + URL-space-walking bots (25% hostile)"},
+      {"stuffing", "short-term + credential-stuffing bursts (20% hostile)"},
+      {"flash-crowd",
+       "short-term + correlated browser spike over a scraper underlay "
+       "(35% hostile)"},
+      {"hostile-mix", "short-term + all four attack classes (30% hostile)"},
+  };
+  return kRegistry;
+}
+
+GeneratorConfig scenario_by_name(std::string_view name, double scale,
+                                 std::uint64_t seed) {
+  if (name == "short-term") return short_term_scenario(scale, seed);
+  if (name == "long-term") return long_term_scenario(scale, seed);
+  if (name == "scraper") return scraper_scenario(scale, seed);
+  if (name == "stuffing") return stuffing_scenario(scale, seed);
+  if (name == "flash-crowd") return flash_crowd_scenario(scale, seed);
+  if (name == "hostile-mix") return hostile_mix_scenario(scale, seed);
+  throw std::invalid_argument("unknown scenario: " + std::string(name));
+}
+
 }  // namespace jsoncdn::workload

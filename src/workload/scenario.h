@@ -10,6 +10,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "workload/generator.h"
 
@@ -24,5 +27,36 @@ namespace jsoncdn::workload {
 // app-session traffic. scale=0.01 yields roughly 100 K logs.
 [[nodiscard]] GeneratorConfig long_term_scenario(double scale = 0.01,
                                                  std::uint64_t seed = 43);
+
+// --- Hostile presets (workload/adversary.h) ------------------------------
+// Each is the short-term scenario plus one attack class at a default
+// hostile share; override `config.hostile.hostile_share` to sweep it.
+
+// Bot scrapers walking domain URL spaces at machine cadence (default 25%
+// hostile share).
+[[nodiscard]] GeneratorConfig scraper_scenario(double scale = 0.01,
+                                               std::uint64_t seed = 44);
+// Credential-stuffing POST bursts against auth endpoints (default 20%).
+[[nodiscard]] GeneratorConfig stuffing_scenario(double scale = 0.01,
+                                                std::uint64_t seed = 45);
+// Correlated flash-crowd spike of real browser sessions, with a scraper
+// underlay — the headline overload-protection experiment (default 35%).
+[[nodiscard]] GeneratorConfig flash_crowd_scenario(double scale = 0.01,
+                                                   std::uint64_t seed = 46);
+// All four attack classes at their default weights (default 30%).
+[[nodiscard]] GeneratorConfig hostile_mix_scenario(double scale = 0.01,
+                                                   std::uint64_t seed = 47);
+
+// --- Name registry (CLI `--scenario`) ------------------------------------
+struct ScenarioInfo {
+  std::string name;
+  std::string summary;
+};
+// Every named scenario, in listing order.
+[[nodiscard]] const std::vector<ScenarioInfo>& scenario_registry();
+// Builds a named scenario; throws std::invalid_argument on unknown names.
+[[nodiscard]] GeneratorConfig scenario_by_name(std::string_view name,
+                                               double scale,
+                                               std::uint64_t seed);
 
 }  // namespace jsoncdn::workload

@@ -104,6 +104,49 @@ TEST_F(PushFixture, WasteAccounting) {
   EXPECT_GT(edge_->metrics().push_bytes(), 0u);
 }
 
+// ---- Push-table sweep (memory hygiene) ------------------------------------
+
+TEST_F(PushFixture, SizeTriggeredSweepDropsOnlyExpiredEntries) {
+  EdgeParams params;
+  params.enable_push = true;
+  params.push_validity_seconds = 30.0;
+  params.push_table_sweep_entries = 2;        // sweep once the table holds 3
+  params.push_table_sweep_seconds = 1e9;      // isolate the size trigger
+  EdgeServer edge(0, origin_, anonymizer_, params);
+  PredictB policy;
+
+  // Three pushes to distinct clients; by the third, the first has expired.
+  (void)edge.handle(request("c1", "https://d/a", 0.0), &policy);
+  (void)edge.handle(request("c2", "https://d/a", 20.0), &policy);
+  EXPECT_EQ(edge.push_table_size(), 2u);
+  (void)edge.handle(request("c3", "https://d/a", 40.0), &policy);
+  // The sweep fired (3 > 2) and dropped only c1's expired entry.
+  EXPECT_EQ(edge.push_table_size(), 2u);
+
+  // The surviving fresh entries still answer locally: sweeping is invisible
+  // to served traffic.
+  (void)edge.handle(request("c2", "https://d/b", 41.0));
+  (void)edge.handle(request("c3", "https://d/b", 42.0));
+  EXPECT_EQ(edge.metrics().pushes_used(), 2u);
+}
+
+TEST_F(PushFixture, TimeTriggeredSweepBoundsIdleTable) {
+  EdgeParams params;
+  params.enable_push = true;
+  params.push_validity_seconds = 30.0;
+  params.push_table_sweep_entries = 1'000'000;  // never by size
+  params.push_table_sweep_seconds = 60.0;
+  EdgeServer edge(0, origin_, anonymizer_, params);
+  PredictB policy;
+
+  (void)edge.handle(request("c1", "https://d/a", 0.0), &policy);
+  EXPECT_EQ(edge.push_table_size(), 1u);
+  // c1 never returns; its entry expires at t=30. A later request from
+  // another client crosses the sweep period and collects it.
+  (void)edge.handle(request("c2", "https://d/a", 70.0), &policy);
+  EXPECT_EQ(edge.push_table_size(), 1u);  // only c2's fresh push remains
+}
+
 TEST_F(PushFixture, DisabledPushNeverPushes) {
   EdgeParams params;  // enable_push defaults to false
   EdgeServer plain(1, origin_, anonymizer_, params);

@@ -5,10 +5,13 @@
 
 #include <cstdio>
 #include <fstream>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "cdn/network.h"
 #include "core/characterization.h"
 #include "logs/csv.h"
+#include "oracle/ground_truth.h"
 #include "workload/scenario.h"
 
 namespace jsoncdn {
@@ -17,7 +20,10 @@ namespace {
 class FilePipelineTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "jsoncdn_pipeline_test.log";
+    // Per-test filename: parallel ctest processes race on a shared path.
+    path_ = ::testing::TempDir() + "jsoncdn_pipeline_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".log";
   }
   void TearDown() override { std::remove(path_.c_str()); }
   std::string path_;
@@ -60,6 +66,47 @@ TEST_F(FilePipelineTest, WriteReadAnalyzeAgrees) {
   EXPECT_EQ(direct_source.total_requests, disk_source.total_requests);
   EXPECT_EQ(direct_source.browser_requests, disk_source.browser_requests);
   EXPECT_EQ(direct_source.total_ua_strings, disk_source.total_ua_strings);
+}
+
+// The jsoncdn-generate --scenario scraper --ground-truth path: a hostile
+// scenario's truth sidecar must carry per-attacker labels that survive the
+// disk round trip and join back onto the anonymized log by client key.
+TEST_F(FilePipelineTest, HostileScenarioSidecarCarriesAttackerLabels) {
+  const auto config = workload::scenario_by_name("scraper", 0.001, 44);
+  ASSERT_GT(config.hostile.hostile_share, 0.0);
+  workload::WorkloadGenerator generator(config);
+  const auto workload = generator.generate();
+  ASSERT_FALSE(workload.truth.attackers.empty());
+  ASSERT_GT(workload.truth.hostile_events, 0u);
+
+  cdn::CdnNetwork network(generator.catalog().objects(), {});
+  const auto dataset = network.run(workload.events);
+  const auto sidecar =
+      oracle::make_sidecar(workload.truth, config, network.anonymizer());
+  oracle::write_truth_file(path_, sidecar);
+  const auto loaded = oracle::read_truth_file(path_);
+
+  ASSERT_EQ(loaded.attackers.size(), workload.truth.attackers.size());
+  EXPECT_EQ(loaded.hostile_events, workload.truth.hostile_events);
+  std::unordered_map<std::string, std::uint64_t> truth_count;
+  for (const auto& a : loaded.attackers) {
+    workload::AttackKind kind{};
+    ASSERT_TRUE(workload::parse_attack_kind(a.kind, kind)) << a.kind;
+    EXPECT_GT(a.request_count, 0u);
+    truth_count.emplace(a.client_key, a.request_count);
+  }
+
+  // Every attacker key joins records in the served log (pseudonymized the
+  // same way), and the per-request label count matches the truth.
+  std::unordered_map<std::string, std::uint64_t> log_count;
+  for (const auto& record : dataset.records()) {
+    const auto it = truth_count.find(record.client_key());
+    if (it != truth_count.end()) ++log_count[it->first];
+  }
+  EXPECT_EQ(log_count.size(), truth_count.size());
+  for (const auto& [key, count] : truth_count) {
+    EXPECT_EQ(log_count[key], count) << "attacker key " << key;
+  }
 }
 
 TEST_F(FilePipelineTest, TruncatedFileDegradesGracefully) {

@@ -3,6 +3,7 @@
 // modes, the error budget, and header-version rejection.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -18,7 +19,7 @@ namespace {
 // Adding a CacheStatus enumerator must extend the count, the array, and the
 // (to_string, parse) pair together; the switch in to_string has no default,
 // so the compiler enforces the rest.
-static_assert(kCacheStatusCount == 6,
+static_assert(kCacheStatusCount == 8,
               "update all_cache_statuses/to_string/parse_cache_status and "
               "this test when adding a CacheStatus");
 
@@ -105,7 +106,11 @@ TEST(FromLineReasons, EachMalformationNamesItsField) {
 class IngestFileTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    path_ = ::testing::TempDir() + "jsoncdn_ingest_test.log";
+    // Per-test filename: ctest runs tests as separate parallel processes,
+    // and a shared path races (one test's write clobbers another's read).
+    path_ = ::testing::TempDir() + "jsoncdn_ingest_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+            ".log";
   }
   void TearDown() override { std::remove(path_.c_str()); }
 
@@ -215,6 +220,95 @@ TEST_F(IngestFileTest, ChunkedIngestMatchesWholeFile) {
   for (std::size_t i = 0; i < streamed.size(); ++i) {
     EXPECT_EQ(to_line(streamed[i]), to_line(dataset.records()[i]));
   }
+}
+
+// ---- Oversized rows (adversarial ingest) ----------------------------------
+//
+// Malformed/oversized JSON traffic leaves multi-megabyte artifacts in real
+// edge logs: huge URLs from buffer-stuffing clients, rows that are one giant
+// field with no delimiters at all. Ingest must take them in stride — parse
+// the valid ones, quarantine the invalid ones whole, and stay linear.
+
+TEST_F(IngestFileTest, MultiMegabyteFieldRoundTrips) {
+  LogRecord record;
+  record.timestamp = 1.0;
+  record.client_id = "c";
+  record.url = "https://d/" + std::string(3u << 20, 'a');  // 3 MiB URL
+  record.user_agent = std::string(1u << 20, 'u');          // 1 MiB UA
+  record.domain = "d";
+  record.content_type = "application/json";
+  write_file({good_line(0.5), to_line(record), good_line(2.0)});
+
+  IngestReport report;
+  const auto dataset = ingest_log_file(path_, IngestOptions{}, &report);
+  ASSERT_EQ(dataset.size(), 3u);
+  EXPECT_EQ(report.malformed, 0u);
+  EXPECT_EQ(dataset.records()[1].url.size(), record.url.size());
+  EXPECT_EQ(dataset.records()[1].user_agent, record.user_agent);
+
+  // Strict mode accepts the same file: oversized is not malformed.
+  IngestOptions strict;
+  strict.mode = ParseMode::kStrict;
+  EXPECT_EQ(ingest_log_file(path_, strict).size(), 3u);
+}
+
+TEST_F(IngestFileTest, OversizedSingleFieldRowQuarantinedWhole) {
+  // One giant field, no tabs: the classic garbage row an attacker's broken
+  // client writes. 4 MiB of it must cost one malformed count, not a crash.
+  const std::string giant(4u << 20, 'x');
+  write_file({good_line(1.0), giant, good_line(2.0)});
+
+  std::ostringstream quarantined;
+  StreamQuarantine sink(quarantined);
+  IngestOptions options;
+  options.quarantine = &sink;
+  IngestReport report;
+  const auto dataset = ingest_log_file(path_, options, &report);
+
+  EXPECT_EQ(dataset.size(), 2u);
+  EXPECT_EQ(report.malformed, 1u);
+  EXPECT_EQ(report.reasons.at("column-count"), 1u);
+  // The quarantined row is preserved byte-for-byte, giant field included.
+  EXPECT_EQ(sink.count(), 1u);
+  EXPECT_NE(quarantined.str().find(giant), std::string::npos);
+
+  // Strict mode refuses it, naming the line, without the error budget.
+  IngestOptions strict;
+  strict.mode = ParseMode::kStrict;
+  try {
+    (void)ingest_log_file(path_, strict);
+    FAIL() << "expected strict mode to throw";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+  }
+}
+
+TEST_F(IngestFileTest, OversizedRowsIngestLinearly) {
+  // 24 rows of ~1 MiB each. A parser that concatenates per character (or
+  // re-scans the line per field) would go quadratic in the field size and
+  // blow far past this generous wall-clock bound; linear ingest clears it
+  // with an order of magnitude to spare even on slow CI.
+  std::vector<std::string> lines;
+  for (int i = 0; i < 24; ++i) {
+    LogRecord record;
+    record.timestamp = i;
+    record.client_id = "c";
+    record.url = "https://d/" + std::string(1u << 20, 'a' + (i % 26));
+    record.domain = "d";
+    record.content_type = "application/json";
+    lines.push_back(to_line(record));
+  }
+  write_file(lines);
+
+  const auto start = std::chrono::steady_clock::now();
+  IngestReport report;
+  const auto dataset = ingest_log_file(path_, IngestOptions{}, &report);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - start);
+
+  EXPECT_EQ(dataset.size(), 24u);
+  EXPECT_EQ(report.malformed, 0u);
+  EXPECT_LT(elapsed.count(), 20'000) << "oversized-row ingest is not linear";
 }
 
 TEST_F(IngestFileTest, MissingFileThrows) {

@@ -74,6 +74,18 @@ TEST(LogLine, RoundTripsNastyFieldBytes) {
   expect_equal(*parsed, r);
 }
 
+TEST(LogLine, RoundTripsLiteralPlusUnchanged) {
+  // '+' is a legitimate byte in UA strings and URLs; unescape_field must be
+  // the exact inverse of the writer's escaping, not form decoding (which
+  // would fold '+' to space and break joins against truth-sidecar keys).
+  auto r = sample_record();
+  r.user_agent = "Scrapy/2.11.0 (+https://scrapy.org)";
+  r.url = "https://h/search?q=a+b";
+  const auto parsed = from_line(to_line(r));
+  ASSERT_TRUE(parsed.has_value());
+  expect_equal(*parsed, r);
+}
+
 TEST(LogLine, RoundTripsEmptyFields) {
   auto r = sample_record();
   r.user_agent = "";

@@ -65,6 +65,24 @@ TEST(ScorePeriodicity, DetectionWithoutLabelIsFalsePositive) {
   EXPECT_DOUBLE_EQ(score.precision(), 0.0);
 }
 
+TEST(ScorePeriodicity, LabeledAttackerDetectionIsNeitherTpNorFp) {
+  // A rate-limited scraper genuinely emits periodic cadence; the truth
+  // labels the client hostile but models no periodic flow for it. The
+  // detection must not burn precision — it lands in hostile_detections.
+  core::PeriodicityReport report;
+  report.objects.push_back(object_with(
+      "u1", {client_record("bot", true, 10.0), client_record("c1", true, 30.0)}));
+  TruthSidecar truth;
+  truth.periodic_flows = {truth_flow("c1", "u1", 30.0)};
+  truth.attackers.push_back({"bot", "scraper", 400});
+
+  const auto score = score_periodicity(report, truth);
+  EXPECT_EQ(score.true_positives, 1u);
+  EXPECT_EQ(score.false_positives, 0u);
+  EXPECT_EQ(score.hostile_detections, 1u);
+  EXPECT_DOUBLE_EQ(score.precision(), 1.0);
+}
+
 TEST(ScorePeriodicity, MissedEligibleLabelIsFalseNegative) {
   core::PeriodicityReport report;
   report.objects.push_back(
@@ -271,6 +289,48 @@ TEST(ScoreMarginals, CountsRecordsWithoutTruthRowAsUnmatched) {
   const auto score = score_marginals(ds, source, TruthSidecar{});
   EXPECT_EQ(score.joined_requests, 0u);
   EXPECT_EQ(score.unmatched_requests, 1u);
+}
+
+TEST(ScoreMarginals, HostileRecordsAreExcludedFromTheDeviceMarginal) {
+  // Benign clients agree with truth exactly; a labeled bot whose UA
+  // classifies nothing like the benign mix floods the log. With the
+  // attacker row present the device marginal must ignore its records on
+  // both sides and stay at zero, counting them as hostile instead.
+  const std::string mobile_ua =
+      "Mozilla/5.0 (iPhone; CPU iPhone OS 15_0 like Mac OS X) "
+      "AppleWebKit/605.1.15 (KHTML, like Gecko) Version/15.0 Mobile/15E148 "
+      "Safari/604.1";
+  const std::string bot_ua = "python-requests/2.31.0";
+  std::vector<logs::LogRecord> records;
+  TruthSidecar truth;
+  for (int c = 0; c < 4; ++c) {
+    const std::string id = "m" + std::to_string(c);
+    records.push_back(json_record(static_cast<double>(c), id, mobile_ua,
+                                  "https://a.example/v1/poll"));
+    truth.clients.push_back({id + "|" + mobile_ua, "mobile-app",
+                             std::string(http::to_string(
+                                 http::DeviceType::kMobile)),
+                             "native-app", false});
+  }
+  for (int r = 0; r < 12; ++r) {
+    records.push_back(json_record(10.0 + r, "bot", bot_ua,
+                                  "https://a.example/page/" +
+                                      std::to_string(r)));
+  }
+  truth.attackers.push_back({"bot|" + bot_ua, "scraper", 12});
+  truth.population_shares = {{"mobile-app", 1.0}};
+
+  logs::Dataset ds(std::move(records));
+  ds.sort_by_time();
+  const auto source = core::characterize_source(ds, 1);
+  // Sanity: the whole-log device mix really is skewed by the bot.
+  EXPECT_LT(source.device_share(http::DeviceType::kMobile), 0.5);
+
+  const auto score = score_marginals(ds, source, truth);
+  EXPECT_EQ(score.joined_requests, 4u);
+  EXPECT_EQ(score.unmatched_requests, 0u);
+  EXPECT_EQ(score.hostile_requests, 12u);
+  EXPECT_NEAR(score.device_request_l1, 0.0, 1e-12);
 }
 
 TEST(ScoreMarginals, DeviceMismatchShowsUpAsDistance) {

@@ -29,6 +29,11 @@ TruthSidecar sample_sidecar() {
   truth.template_of_url = {
       {"https://a.example/article/99", "https://a.example/article/{id}"}};
   truth.industry_of_domain = {{"api.fin-001.example", "Financial Services"}};
+  // The '+' is load-bearing: unescape must not fold it to a space the way
+  // form decoding would, or attacker keys stop joining the log.
+  truth.attackers.push_back(
+      {"fee1dead|Scrapy/2.11.0 (+https://scrapy.org)", "scraper", 352});
+  truth.hostile_events = 352;
   return truth;
 }
 
@@ -61,6 +66,11 @@ TEST(OracleTruth, RoundTripsThroughStream) {
   EXPECT_EQ(loaded.sessions[0].urls, truth.sessions[0].urls);
   EXPECT_EQ(loaded.template_of_url, truth.template_of_url);
   EXPECT_EQ(loaded.industry_of_domain, truth.industry_of_domain);
+  ASSERT_EQ(loaded.attackers.size(), 1u);
+  EXPECT_EQ(loaded.attackers[0].client_key, truth.attackers[0].client_key);
+  EXPECT_EQ(loaded.attackers[0].kind, "scraper");
+  EXPECT_EQ(loaded.attackers[0].request_count, 352u);
+  EXPECT_EQ(loaded.hostile_events, 352u);
 }
 
 TEST(OracleTruth, HeaderIsVersioned) {

@@ -1,0 +1,226 @@
+// Adversarial workload injection: deterministic hostile traffic classes
+// layered on the benign population, with per-attacker ground truth. The
+// tests pin the contracts the overload experiment and the oracle rely on:
+// determinism, the hostile-share budget, address disjointness, and truth
+// bookkeeping that matches the emitted events exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+#include "workload/adversary.h"
+#include "workload/generator.h"
+#include "workload/scenario.h"
+
+namespace jsoncdn::workload {
+namespace {
+
+GeneratorConfig small_config(double hostile_share) {
+  GeneratorConfig config;
+  config.seed = 7;
+  config.duration_seconds = 600.0;
+  config.n_clients = 300;
+  config.catalog.domains_per_industry = 2;
+  config.hostile.hostile_share = hostile_share;
+  return config;
+}
+
+TEST(AttackKindTest, RoundTripsThroughStrings) {
+  for (std::size_t i = 0; i < kAttackKindCount; ++i) {
+    const auto kind = static_cast<AttackKind>(i);
+    AttackKind parsed{};
+    ASSERT_TRUE(parse_attack_kind(to_string(kind), parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  AttackKind parsed{};
+  EXPECT_FALSE(parse_attack_kind("ddos", parsed));
+  EXPECT_FALSE(parse_attack_kind("", parsed));
+}
+
+TEST(AdversaryTest, ZeroShareIsCompletelyInert) {
+  const WorkloadGenerator benign(small_config(0.0));
+  const auto workload = benign.generate();
+  EXPECT_TRUE(workload.truth.attackers.empty());
+  EXPECT_EQ(workload.truth.hostile_events, 0u);
+  for (const auto& event : workload.events) {
+    EXPECT_NE(event.client_address.rfind("203.0.", 0), 0u)
+        << "attacker address in a benign workload: " << event.client_address;
+  }
+}
+
+TEST(AdversaryTest, SameSeedReplaysBitIdentically) {
+  const auto run = [] {
+    const WorkloadGenerator generator(small_config(0.30));
+    return generator.generate();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.events[i].time, b.events[i].time);
+    EXPECT_EQ(a.events[i].client_address, b.events[i].client_address);
+    EXPECT_EQ(a.events[i].url, b.events[i].url);
+  }
+  ASSERT_EQ(a.truth.attackers.size(), b.truth.attackers.size());
+  for (std::size_t i = 0; i < a.truth.attackers.size(); ++i) {
+    EXPECT_EQ(a.truth.attackers[i].client_address,
+              b.truth.attackers[i].client_address);
+    EXPECT_EQ(a.truth.attackers[i].kind, b.truth.attackers[i].kind);
+    EXPECT_EQ(a.truth.attackers[i].request_count,
+              b.truth.attackers[i].request_count);
+  }
+}
+
+TEST(AdversaryTest, HostileShareApproximatesTarget) {
+  const WorkloadGenerator generator(small_config(0.30));
+  const auto workload = generator.generate();
+  ASSERT_GT(workload.truth.hostile_events, 0u);
+  const double share = static_cast<double>(workload.truth.hostile_events) /
+                       static_cast<double>(workload.events.size());
+  // The budget is integral and per-class generators overshoot by at most one
+  // attacker's tail, so the realized share lands near the target.
+  EXPECT_GT(share, 0.20);
+  EXPECT_LT(share, 0.45);
+}
+
+TEST(AdversaryTest, AttackerAddressesDisjointFromBenign) {
+  const WorkloadGenerator generator(small_config(0.30));
+  const auto workload = generator.generate();
+  ASSERT_FALSE(workload.truth.attackers.empty());
+
+  std::unordered_map<std::string, AttackKind> attacker_of;
+  for (const auto& a : workload.truth.attackers) {
+    EXPECT_EQ(a.client_address.rfind("203.0.", 0), 0u)
+        << "attacker outside the TEST-NET range: " << a.client_address;
+    attacker_of.emplace(a.client_address, a.kind);
+  }
+  for (const auto& c : workload.truth.clients) {
+    EXPECT_EQ(attacker_of.count(c.address), 0u)
+        << "benign client shares an attacker address: " << c.address;
+  }
+
+  // The client-address join labels every event unambiguously, and the truth
+  // counts match the emitted events per attacker.
+  std::unordered_map<std::string, std::size_t> events_of;
+  std::size_t hostile_seen = 0;
+  for (const auto& event : workload.events) {
+    if (attacker_of.count(event.client_address) != 0) {
+      ++events_of[event.client_address];
+      ++hostile_seen;
+    }
+  }
+  EXPECT_EQ(hostile_seen, workload.truth.hostile_events);
+  for (const auto& a : workload.truth.attackers) {
+    EXPECT_EQ(events_of[a.client_address], a.request_count)
+        << "truth request_count mismatch for " << a.client_address;
+  }
+}
+
+TEST(AdversaryTest, EventsStayInsideTheWindow) {
+  const auto config = small_config(0.35);
+  const WorkloadGenerator generator(config);
+  const auto workload = generator.generate();
+  for (const auto& event : workload.events) {
+    EXPECT_GE(event.time, 0.0);
+    EXPECT_LT(event.time, config.duration_seconds);
+  }
+  // The merged stream is still time-sorted (the analyses assume it).
+  EXPECT_TRUE(std::is_sorted(
+      workload.events.begin(), workload.events.end(),
+      [](const auto& a, const auto& b) { return a.time < b.time; }));
+}
+
+TEST(AdversaryTest, ClassWeightsSelectAttackClasses) {
+  auto config = small_config(0.25);
+  config.hostile.scraper_weight = 1.0;
+  config.hostile.stuffing_weight = 0.0;
+  config.hostile.flash_crowd_weight = 0.0;
+  config.hostile.oversized_weight = 0.0;
+  const WorkloadGenerator generator(config);
+  const auto workload = generator.generate();
+  ASSERT_FALSE(workload.truth.attackers.empty());
+  for (const auto& a : workload.truth.attackers) {
+    EXPECT_EQ(a.kind, AttackKind::kScraper);
+  }
+}
+
+TEST(AdversaryTest, StuffingTargetsAuthEndpointWithPosts) {
+  auto config = small_config(0.20);
+  config.hostile.scraper_weight = 0.0;
+  config.hostile.stuffing_weight = 1.0;
+  config.hostile.flash_crowd_weight = 0.0;
+  config.hostile.oversized_weight = 0.0;
+  const WorkloadGenerator generator(config);
+  const auto workload = generator.generate();
+
+  std::unordered_map<std::string, AttackKind> attacker_of;
+  for (const auto& a : workload.truth.attackers) {
+    EXPECT_EQ(a.kind, AttackKind::kStuffing);
+    attacker_of.emplace(a.client_address, a.kind);
+  }
+  ASSERT_FALSE(attacker_of.empty());
+  std::size_t stuffing_events = 0;
+  for (const auto& event : workload.events) {
+    if (attacker_of.count(event.client_address) == 0) continue;
+    ++stuffing_events;
+    EXPECT_EQ(event.method, http::Method::kPost);
+    EXPECT_NE(event.url.find("/api/v1/login"), std::string::npos);
+    EXPECT_GT(event.request_bytes, 0u);
+  }
+  EXPECT_GT(stuffing_events, 0u);
+}
+
+TEST(AdversaryTest, FlashCrowdConcentratesAroundTheSpike) {
+  auto config = small_config(0.35);
+  config.hostile.scraper_weight = 0.0;
+  config.hostile.stuffing_weight = 0.0;
+  config.hostile.flash_crowd_weight = 1.0;
+  config.hostile.oversized_weight = 0.0;
+  const WorkloadGenerator generator(config);
+  const auto workload = generator.generate();
+
+  std::unordered_map<std::string, AttackKind> attacker_of;
+  for (const auto& a : workload.truth.attackers) {
+    EXPECT_EQ(a.kind, AttackKind::kFlashCrowd);
+    attacker_of.emplace(a.client_address, a.kind);
+  }
+  std::vector<double> times;
+  for (const auto& event : workload.events) {
+    if (attacker_of.count(event.client_address) != 0)
+      times.push_back(event.time);
+  }
+  ASSERT_GT(times.size(), 100u);
+  // Most of the crowd lands within a few stddevs of the spike moment; the
+  // middle 90% of arrivals must span far less than the full window.
+  std::sort(times.begin(), times.end());
+  const double lo = times[times.size() / 20];
+  const double hi = times[times.size() - 1 - times.size() / 20];
+  EXPECT_LT(hi - lo, 0.6 * config.duration_seconds);
+}
+
+TEST(ScenarioRegistryTest, ListsAndResolvesEveryScenario) {
+  const auto& registry = scenario_registry();
+  ASSERT_GE(registry.size(), 6u);
+  for (const auto& info : registry) {
+    const auto config = scenario_by_name(info.name, 0.001, 9);
+    EXPECT_EQ(config.seed, 9u) << info.name;
+  }
+  EXPECT_THROW((void)scenario_by_name("no-such", 1.0, 1),
+               std::invalid_argument);
+}
+
+TEST(ScenarioRegistryTest, HostileScenariosCarryHostileShares) {
+  EXPECT_DOUBLE_EQ(scenario_by_name("short-term", 0.01, 1)
+                       .hostile.hostile_share, 0.0);
+  EXPECT_GT(scenario_by_name("scraper", 0.01, 1).hostile.hostile_share, 0.0);
+  EXPECT_GT(scenario_by_name("stuffing", 0.01, 1).hostile.hostile_share, 0.0);
+  EXPECT_GT(scenario_by_name("flash-crowd", 0.01, 1).hostile.hostile_share,
+            0.0);
+  EXPECT_GT(scenario_by_name("hostile-mix", 0.01, 1).hostile.hostile_share,
+            0.0);
+}
+
+}  // namespace
+}  // namespace jsoncdn::workload

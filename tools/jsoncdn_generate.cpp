@@ -46,7 +46,10 @@ namespace {
 
 void usage() {
   std::fprintf(stderr,
-               "usage: jsoncdn-generate [--scenario short|long] [--scale S]\n"
+               "usage: jsoncdn-generate [--scenario NAME] [--list-scenarios]\n"
+               "                        [--hostile-share H] (0..1 override "
+               "of the scenario's hostile share)\n"
+               "                        [--scale S]\n"
                "                        [--seed N] [--out FILE] [--json-only]\n"
                "                        [--ground-truth FILE] (oracle "
                "sidecar)\n"
@@ -68,7 +71,8 @@ void usage() {
 int main(int argc, char** argv) {
   using namespace jsoncdn;
 
-  std::string scenario = "short";
+  std::string scenario = "short-term";
+  double hostile_share = -1.0;
   double scale = 0.005;
   std::uint64_t seed = 42;
   std::string out_path = "jsoncdn.log";
@@ -92,6 +96,18 @@ int main(int argc, char** argv) {
     };
     if (arg == "--scenario") {
       scenario = next();
+    } else if (arg == "--list-scenarios") {
+      for (const auto& info : workload::scenario_registry()) {
+        std::fprintf(stdout, "%-12s %s\n", info.name.c_str(),
+                     info.summary.c_str());
+      }
+      return 0;
+    } else if (arg == "--hostile-share") {
+      hostile_share = std::atof(next());
+      if (hostile_share < 0.0 || hostile_share >= 1.0) {
+        std::fprintf(stderr, "--hostile-share must be in [0, 1)\n");
+        return 2;
+      }
     } else if (arg == "--scale") {
       scale = std::atof(next());
     } else if (arg == "--seed") {
@@ -132,19 +148,24 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Historical aliases for the two paper scenarios.
+  if (scenario == "short") scenario = "short-term";
+  if (scenario == "long") scenario = "long-term";
+
   workload::GeneratorConfig config;
-  if (scenario == "short") {
-    config = workload::short_term_scenario(scale, seed);
-  } else if (scenario == "long") {
-    config = workload::long_term_scenario(scale, seed);
-  } else {
-    std::fprintf(stderr, "unknown scenario: %s\n", scenario.c_str());
+  try {
+    config = workload::scenario_by_name(scenario, scale, seed);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s (try --list-scenarios)\n", e.what());
     return 2;
   }
+  if (hostile_share >= 0.0) config.hostile.hostile_share = hostile_share;
 
-  std::fprintf(stderr, "generating %s-term scenario at scale %g (seed %llu)\n",
-               scenario.c_str(), scale,
-               static_cast<unsigned long long>(seed));
+  std::fprintf(stderr,
+               "generating %s scenario at scale %g (seed %llu, hostile "
+               "share %g)\n",
+               scenario.c_str(), scale, static_cast<unsigned long long>(seed),
+               config.hostile.hostile_share);
   workload::WorkloadGenerator generator(config);
   const auto workload = generator.generate();
 
@@ -229,10 +250,11 @@ int main(int argc, char** argv) {
     }
     std::fprintf(stderr,
                  "wrote ground truth to %s (%zu clients, %zu periodic flows, "
-                 "%zu sessions)\n",
+                 "%zu sessions, %zu attackers)\n",
                  truth_path.c_str(), workload.truth.clients.size(),
                  workload.truth.periodic_flows.size(),
-                 workload.truth.sessions.size());
+                 workload.truth.sessions.size(),
+                 workload.truth.attackers.size());
   }
   return 0;
 }

@@ -5,7 +5,13 @@
 //
 // Sweep mode (the conformance harness, end to end):
 //   jsoncdn-validate --seed-sweep 1,7,1337 [--clients N] [--duration S]
-//                    [--scale S] [--no-streaming] [--markdown]
+//                    [--scale S] [--scenario NAME] [--hostile-share H]
+//                    [--no-streaming] [--markdown]
+//
+// Overload experiment mode (flash crowd + scrapers, protected vs
+// unprotected edge, graded against latency/hit-ratio bands):
+//   jsoncdn-validate --overload [--seed N] [--scale S] [--clients N]
+//                    [--hostile-share H] [--markdown]
 //
 // Both modes print detector precision/recall/F1, n-gram accuracy next to
 // its session-chain skyline, and the characterization marginal distances;
@@ -35,7 +41,11 @@ void usage() {
       "                        [--context N]\n"
       "       jsoncdn-validate --seed-sweep S1,S2,... [--clients N]\n"
       "                        [--duration SECONDS] [--scale S]\n"
-      "                        [--no-streaming] [--markdown]\n");
+      "                        [--scenario NAME] [--hostile-share H]\n"
+      "                        [--no-streaming] [--markdown]\n"
+      "       jsoncdn-validate --overload [--seed N] [--scale S]\n"
+      "                        [--clients N] [--hostile-share H] "
+      "[--markdown]\n");
 }
 
 std::vector<std::uint64_t> parse_seed_list(const std::string& arg) {
@@ -66,6 +76,9 @@ int main(int argc, char** argv) {
   std::string truth_path;
   oracle::ConformanceConfig config;
   config.seeds.clear();
+  oracle::OverloadExperimentConfig overload_config;
+  bool overload = false;
+  std::uint64_t seed = 1;
   std::size_t threads = 0;
   bool markdown = false;
 
@@ -88,12 +101,29 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--seed-sweep needs a comma-separated list\n");
         return 2;
       }
+    } else if (arg == "--overload") {
+      overload = true;
+    } else if (arg == "--seed") {
+      seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--scenario") {
+      config.scenario = next();
+    } else if (arg == "--hostile-share") {
+      const double share = std::atof(next());
+      if (share < 0.0 || share >= 1.0) {
+        std::fprintf(stderr, "--hostile-share must be in [0, 1)\n");
+        return 2;
+      }
+      config.hostile_share = share;
+      overload_config.hostile_share = share;
     } else if (arg == "--clients") {
       config.n_clients = static_cast<std::size_t>(std::atoll(next()));
+      overload_config.n_clients = config.n_clients;
     } else if (arg == "--duration") {
       config.duration_seconds = std::atof(next());
+      overload_config.duration_seconds = config.duration_seconds;
     } else if (arg == "--scale") {
       config.scale = std::atof(next());
+      overload_config.scale = config.scale;
     } else if (arg == "--threads") {
       threads = static_cast<std::size_t>(std::atoll(next()));
       config.thread_counts = {threads};
@@ -114,6 +144,16 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (overload) {
+      overload_config.seed = seed;
+      const auto experiment =
+          oracle::run_overload_experiment(overload_config);
+      std::fputs(oracle::render_overload(experiment).c_str(), stdout);
+      if (markdown)
+        std::fputs(oracle::render_overload_table(experiment).c_str(), stdout);
+      return experiment.passed() ? 0 : 1;
+    }
+
     if (!config.seeds.empty()) {
       const auto report = oracle::run_conformance(config);
       std::fputs(oracle::render_conformance(report).c_str(), stdout);
