@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/period_detector.h"
 #include "stats/timeseries.h"
 
 namespace jsoncdn::core {
@@ -71,6 +72,21 @@ PeriodAnomaly check_period(std::span<const double> times,
     out.deviant_share =
         static_cast<double>(out.deviant_gaps) / static_cast<double>(out.gaps);
   }
+  return out;
+}
+
+PeriodVerdict check_period(std::span<const double> times,
+                           const PeriodDetector& detector, stats::Rng& rng,
+                           double relative_tolerance) {
+  if (relative_tolerance <= 0.0)
+    throw std::invalid_argument("check_period: tolerance <= 0");
+  PeriodVerdict out;
+  const auto detection = detector.detect(times, rng);
+  if (!detection.periodic) return out;
+  out.detected = true;
+  out.period_seconds = detection.period_seconds;
+  out.anomaly = check_period(times, detection.period_seconds,
+                             relative_tolerance);
   return out;
 }
 

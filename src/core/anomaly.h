@@ -9,8 +9,11 @@
 #include <string>
 
 #include "core/ngram.h"
+#include "stats/rng.h"
 
 namespace jsoncdn::core {
+
+class PeriodDetector;
 
 struct SequenceAnomaly {
   std::size_t transitions = 0;
@@ -39,6 +42,22 @@ struct PeriodAnomaly {
 // Checks observed request times of a flow against its expected period.
 [[nodiscard]] PeriodAnomaly check_period(std::span<const double> times,
                                          double expected_period,
+                                         double relative_tolerance = 0.25);
+
+struct PeriodVerdict {
+  bool detected = false;           // the detector found a period at all
+  double period_seconds = 0.0;     // its primary period when detected
+  PeriodAnomaly anomaly;           // gap grading against that period
+};
+
+// Strategy-routed variant for flows whose intended period is unknown: the
+// detector (any core::PeriodDetector — core/period_detector.h) establishes
+// the period, then the observed gaps are graded against it. A non-default
+// strategy can change the verdict on flows the binned default misses (heavy
+// jitter, dropout) — that is the point of routing through the interface.
+[[nodiscard]] PeriodVerdict check_period(std::span<const double> times,
+                                         const PeriodDetector& detector,
+                                         stats::Rng& rng,
                                          double relative_tolerance = 0.25);
 
 }  // namespace jsoncdn::core

@@ -1,0 +1,103 @@
+// Pluggable period-detection strategies behind one interface, so the §5.1
+// pipeline, the anomaly second pass, and the validator's detector matrix can
+// swap methods without touching the flow plumbing.
+//
+// The portfolio (ROADMAP open item 2):
+//   acf-fft        — the paper's Vlachos-style ACF + periodogram with a
+//                    permutation test (PeriodicityDetector, unchanged and
+//                    bit-identical to the pre-refactor output);
+//   lomb-scargle   — event periodogram over raw timestamps with an analytic
+//                    Poisson-null threshold; no binning, so jitter and
+//                    dropout don't alias;
+//   autoperiod     — periodogram candidates validated as ACF "hills"
+//                    (Vlachos et al., autoperiod);
+//   cfd-autoperiod — autoperiod over a first-differenced signal with
+//                    clustered candidate bins (trend-robust variant);
+//   multi-period   — iteratively subtracts each detected component's
+//                    per-phase profile and re-runs the default pipeline on
+//                    the residual, surfacing overlapping periods.
+//
+// All strategies share DetectorParams; Lomb-Scargle additionally reads the
+// ls_* knobs. Strategies are deterministic given (times, rng state).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "core/periodicity.h"
+#include "stats/rng.h"
+
+namespace jsoncdn::core {
+
+class PeriodDetector {
+ public:
+  // Per-thread reusable buffers. Each strategy returns its own derived type
+  // from make_scratch(); a scratch from one strategy must only be passed
+  // back to that strategy. Never share one across threads.
+  struct Scratch {
+    virtual ~Scratch() = default;
+  };
+
+  virtual ~PeriodDetector() = default;
+
+  [[nodiscard]] virtual std::string_view name() const noexcept = 0;
+  [[nodiscard]] virtual std::unique_ptr<Scratch> make_scratch() const = 0;
+  // How many distinct periods the dataset pipeline should request per flow.
+  // 1 for single-period strategies; >1 only for multi-period.
+  [[nodiscard]] virtual std::size_t max_detections() const noexcept {
+    return 1;
+  }
+  // True when a and b agree within the strategy's relative tolerance.
+  [[nodiscard]] virtual bool periods_match(double a, double b) const
+      noexcept = 0;
+
+  // Validated entry points shared by every strategy: a flow containing any
+  // non-finite timestamp or a strictly decreasing pair is rejected up front
+  // (empty result / non-periodic detection), deterministically, before any
+  // strategy code runs. Duplicate timestamps are legal input.
+  [[nodiscard]] PeriodDetection detect(std::span<const double> times,
+                                       stats::Rng& rng) const;
+  [[nodiscard]] PeriodDetection detect(std::span<const double> times,
+                                       stats::Rng& rng,
+                                       Scratch& scratch) const;
+  [[nodiscard]] std::vector<PeriodDetection> detect_all(
+      std::span<const double> times, stats::Rng& rng,
+      std::size_t max_periods) const;
+  [[nodiscard]] std::vector<PeriodDetection> detect_all(
+      std::span<const double> times, stats::Rng& rng, std::size_t max_periods,
+      Scratch& scratch) const;
+
+ protected:
+  // Strategy body. `times` is guaranteed finite and ascending (duplicates
+  // allowed); `scratch` is whatever make_scratch() returned.
+  [[nodiscard]] virtual std::vector<PeriodDetection> do_detect_all(
+      std::span<const double> times, stats::Rng& rng, std::size_t max_periods,
+      Scratch& scratch) const = 0;
+};
+
+// ---- Registry -------------------------------------------------------------
+
+struct DetectorInfo {
+  DetectorStrategy strategy;
+  std::string_view name;     // CLI spelling (--detector NAME)
+  std::string_view summary;  // one-line description
+};
+
+// All known strategies, in enum order.
+[[nodiscard]] std::span<const DetectorInfo> detector_registry() noexcept;
+
+// CLI name of a strategy ("acf-fft", "lomb-scargle", ...).
+[[nodiscard]] std::string_view detector_name(DetectorStrategy strategy);
+
+// Inverse lookup; throws std::invalid_argument on an unknown name.
+[[nodiscard]] DetectorStrategy detector_strategy_from_name(
+    std::string_view name);
+
+// Constructs the strategy. Throws std::invalid_argument on invalid params
+// (same validation as PeriodicityDetector, plus ls_* sanity for LS).
+[[nodiscard]] std::unique_ptr<PeriodDetector> make_period_detector(
+    DetectorStrategy strategy, const DetectorParams& params);
+
+}  // namespace jsoncdn::core

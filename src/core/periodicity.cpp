@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "core/period_detector.h"
+#include "core/periodicity_internal.h"
 #include "http/method.h"
 #include "stats/autocorrelation.h"
 #include "stats/fft.h"
@@ -13,29 +15,6 @@
 #include "stats/timeseries.h"
 
 namespace jsoncdn::core {
-
-namespace {
-
-// Max ACF value over peak lags >= 1 (0 when no peaks). Same peak definition
-// as stats::acf_peaks, scanned inline so the permutation loop allocates no
-// peak-index vector.
-double max_acf_peak(const std::vector<double>& acf) {
-  double best = 0.0;
-  for (std::size_t k = 1; k < acf.size(); ++k) {
-    const bool rising = acf[k] > acf[k - 1];
-    const bool falling_next = (k + 1 >= acf.size()) || acf[k] >= acf[k + 1];
-    if (rising && falling_next) best = std::max(best, acf[k]);
-  }
-  return best;
-}
-
-double max_power(const std::vector<double>& power) {
-  double best = 0.0;
-  for (const double p : power) best = std::max(best, p);
-  return best;
-}
-
-}  // namespace
 
 PeriodicityDetector::PeriodicityDetector(const DetectorParams& params)
     : params_(params) {
@@ -56,44 +35,21 @@ PeriodicityDetector::PeriodicityDetector(const DetectorParams& params)
 }
 
 bool PeriodicityDetector::periods_match(double a, double b) const noexcept {
-  if (a <= 0.0 || b <= 0.0) return false;
-  const double ref = std::max(a, b);
-  return std::abs(a - b) / ref <= params_.period_match_tolerance;
+  return detail::relative_periods_match(a, b, params_.period_match_tolerance);
 }
 
-namespace {
+namespace detail {
 
-// Shared per-flow analysis: binning, fused spectral pass, permutation
-// thresholds, and the list of significant (frequency, ACF-peak) matches.
-struct FlowAnalysis {
-  bool usable = false;          // flow long/dense enough to test
-  bool significant = false;     // passed the permutation thresholds
-  double dt = 0.0;
-  double acf_threshold = 0.0;
-  double power_threshold = 0.0;
-  struct Match {
-    std::size_t lag;
-    double value;   // ACF at the lag
-    double power;   // periodogram power of the licensing frequency
-  };
-  std::vector<Match> matches;   // deduplicated by lag
-};
-
-}  // namespace
-
-// Out-of-line so detect() and detect_all() share one implementation. All
-// transient buffers live in `scratch` so the permutation loop allocates
-// nothing after the scratch warms up.
-static FlowAnalysis analyze_flow(const DetectorParams& params,
-                                 const PeriodicityDetector& detector,
-                                 std::span<const double> times,
-                                 stats::Rng& rng, DetectScratch& scratch) {
-  FlowAnalysis out;
+BinnedFlow bin_flow(const DetectorParams& params,
+                    std::span<const double> times,
+                    std::vector<double>& signal) {
+  BinnedFlow out;
   if (times.size() < params.min_requests) return out;
   const double t0 = times.front();
   const double t1 = times.back();
   const double span = t1 - t0;
   if (span <= params.sample_interval * 4.0) return out;
+  out.span = span;
 
   // Effective bin width: the paper's 1 s, widened when the flow spans so
   // long that the signal would exceed the sample cap — or the density cap:
@@ -106,13 +62,23 @@ static FlowAnalysis analyze_flow(const DetectorParams& params,
                              span / static_cast<double>(sample_cap));
   out.dt = dt;
 
-  stats::bin_events(times, t0, t1 + dt, dt, scratch.signal);
-  const auto& signal = scratch.signal;
+  stats::bin_events(times, t0, t1 + dt, dt, signal);
   // A period must repeat min_cycles times within the span to be trusted, so
   // lags beyond span/min_cycles are not considered.
   const auto max_lag = static_cast<std::size_t>(
       std::floor(span / params.min_cycles / dt));
   if (max_lag < 2) return out;
+  out.max_lag = max_lag;
+  out.usable = true;
+  return out;
+}
+
+FlowAnalysis analyze_signal(const DetectorParams& params,
+                            std::span<const double> signal, double dt,
+                            double span, std::size_t max_lag,
+                            stats::Rng& rng, DetectScratch& scratch) {
+  FlowAnalysis out;
+  out.dt = dt;
   out.usable = true;
 
   // One fused FFT pass yields both the ACF and the periodogram.
@@ -187,7 +153,9 @@ static FlowAnalysis analyze_flow(const DetectorParams& params,
          period += base_period) {
       for (const auto lag : peaks) {
         const double lag_period = static_cast<double>(lag) * dt;
-        if (!detector.periods_match(lag_period, period)) continue;
+        if (!relative_periods_match(lag_period, period,
+                                    params.period_match_tolerance))
+          continue;
         if (acf[lag] <= out.acf_threshold) continue;
         auto [it, inserted] =
             power_of_lag.try_emplace(lag, spec.pgram_power[k]);
@@ -206,35 +174,9 @@ static FlowAnalysis analyze_flow(const DetectorParams& params,
   return out;
 }
 
-PeriodDetection PeriodicityDetector::detect(std::span<const double> times,
-                                            stats::Rng& rng) const {
-  DetectScratch scratch;
-  return detect(times, rng, scratch);
-}
-
-PeriodDetection PeriodicityDetector::detect(std::span<const double> times,
-                                            stats::Rng& rng,
-                                            DetectScratch& scratch) const {
-  const auto all = detect_all(times, rng, 1, scratch);
-  if (!all.empty()) return all.front();
-  PeriodDetection out;
-  return out;
-}
-
-std::vector<PeriodDetection> PeriodicityDetector::detect_all(
-    std::span<const double> times, stats::Rng& rng,
-    std::size_t max_periods) const {
-  DetectScratch scratch;
-  return detect_all(times, rng, max_periods, scratch);
-}
-
-std::vector<PeriodDetection> PeriodicityDetector::detect_all(
-    std::span<const double> times, stats::Rng& rng, std::size_t max_periods,
-    DetectScratch& scratch) const {
-  std::vector<PeriodDetection> out;
-  const auto analysis = analyze_flow(params_, *this, times, rng, scratch);
-  if (analysis.matches.empty()) return out;
-
+void pick_fundamentals(const FlowAnalysis& analysis, double tolerance,
+                       std::size_t max_periods,
+                       std::vector<PeriodDetection>& out) {
   // The true period and its multiples all carry near-equal ACF peaks; a
   // fundamental is the smallest matched lag whose peak is comparable
   // (>= 0.5x) to the strongest remaining peak. Binning can split a
@@ -266,10 +208,47 @@ std::vector<PeriodDetection> PeriodicityDetector::detect_all(
       const double period = static_cast<double>(m.lag) * analysis.dt;
       const double ratio = period / accepted;
       const double nearest = std::max(1.0, std::round(ratio));
-      return std::abs(ratio - nearest) / nearest <=
-             params_.period_match_tolerance;
+      return std::abs(ratio - nearest) / nearest <= tolerance;
     });
   }
+}
+
+}  // namespace detail
+
+PeriodDetection PeriodicityDetector::detect(std::span<const double> times,
+                                            stats::Rng& rng) const {
+  DetectScratch scratch;
+  return detect(times, rng, scratch);
+}
+
+PeriodDetection PeriodicityDetector::detect(std::span<const double> times,
+                                            stats::Rng& rng,
+                                            DetectScratch& scratch) const {
+  const auto all = detect_all(times, rng, 1, scratch);
+  if (!all.empty()) return all.front();
+  PeriodDetection out;
+  return out;
+}
+
+std::vector<PeriodDetection> PeriodicityDetector::detect_all(
+    std::span<const double> times, stats::Rng& rng,
+    std::size_t max_periods) const {
+  DetectScratch scratch;
+  return detect_all(times, rng, max_periods, scratch);
+}
+
+std::vector<PeriodDetection> PeriodicityDetector::detect_all(
+    std::span<const double> times, stats::Rng& rng, std::size_t max_periods,
+    DetectScratch& scratch) const {
+  std::vector<PeriodDetection> out;
+  const auto binned = detail::bin_flow(params_, times, scratch.signal);
+  if (!binned.usable) return out;
+  const auto analysis =
+      detail::analyze_signal(params_, scratch.signal, binned.dt, binned.span,
+                             binned.max_lag, rng, scratch);
+  if (analysis.matches.empty()) return out;
+  detail::pick_fundamentals(analysis, params_.period_match_tolerance,
+                            max_periods, out);
   return out;
 }
 
@@ -279,21 +258,28 @@ namespace {
 // plus all of its client flows. Randomness is forked from the root seed by
 // (url, client) keys, so the result is independent of which worker runs it
 // and of the order flows are processed in.
-ObjectPeriodicity analyze_object_flow(const PeriodicityDetector& detector,
+ObjectPeriodicity analyze_object_flow(const PeriodDetector& detector,
                                       const logs::ObjectFlow& flow,
                                       const stats::Rng& root,
-                                      DetectScratch& scratch) {
+                                      PeriodDetector::Scratch& scratch) {
   ObjectPeriodicity obj;
   obj.url = flow.url;
   obj.total_requests = flow.total_requests;
   obj.uncacheable_share = flow.uncacheable_share;
   obj.upload_share = flow.upload_share;
 
+  const std::size_t max_det = detector.max_detections();
+
   // Independent, order-insensitive randomness per flow.
   stats::Rng obj_rng = root.fork(stats::fnv1a64(flow.url));
-  const auto obj_detection = detector.detect(flow.times, obj_rng, scratch);
-  obj.object_periodic = obj_detection.periodic;
-  obj.object_period_seconds = obj_detection.period_seconds;
+  const auto obj_detections =
+      detector.detect_all(flow.times, obj_rng, max_det, scratch);
+  if (!obj_detections.empty()) {
+    obj.object_periodic = obj_detections.front().periodic;
+    obj.object_period_seconds = obj_detections.front().period_seconds;
+    for (std::size_t i = 1; i < obj_detections.size(); ++i)
+      obj.extra_periods.push_back(obj_detections[i].period_seconds);
+  }
 
   for (const auto& cof : flow.clients) {
     ClientPeriodRecord rec;
@@ -301,13 +287,32 @@ ObjectPeriodicity analyze_object_flow(const PeriodicityDetector& detector,
     rec.requests = cof.times.size();
     stats::Rng client_rng =
         root.fork(stats::fnv1a64(cof.client, stats::fnv1a64(flow.url)));
-    const auto detection = detector.detect(cof.times, client_rng, scratch);
-    rec.periodic = detection.periodic;
-    rec.period_seconds = detection.period_seconds;
-    rec.matches_object =
-        obj.object_periodic && detection.periodic &&
-        detector.periods_match(detection.period_seconds,
-                               obj.object_period_seconds);
+    const auto detections =
+        detector.detect_all(cof.times, client_rng, max_det, scratch);
+    if (!detections.empty()) {
+      rec.periodic = detections.front().periodic;
+      rec.period_seconds = detections.front().period_seconds;
+      for (std::size_t i = 1; i < detections.size(); ++i)
+        rec.extra_periods.push_back(detections[i].period_seconds);
+    }
+    // A client matches the object when ANY of its detected periods agrees
+    // with ANY of the object's. With a single-period strategy both lists
+    // hold one period and this reduces to the original primary-vs-primary
+    // check.
+    if (obj.object_periodic && rec.periodic) {
+      const auto matches_any = [&](double client_period) {
+        if (detector.periods_match(client_period, obj.object_period_seconds))
+          return true;
+        for (const double p : obj.extra_periods)
+          if (detector.periods_match(client_period, p)) return true;
+        return false;
+      };
+      rec.matches_object = matches_any(rec.period_seconds);
+      for (const double p : rec.extra_periods) {
+        if (rec.matches_object) break;
+        rec.matches_object = matches_any(p);
+      }
+    }
     if (rec.matches_object) {
       ++obj.periodic_client_count;
       obj.periodic_requests += rec.requests;
@@ -328,7 +333,7 @@ ObjectPeriodicity analyze_object_flow(const PeriodicityDetector& detector,
 PeriodicityReport analyze_flows(const std::vector<logs::ObjectFlow>& flows,
                                 std::size_t input_requests,
                                 const PeriodicityConfig& config) {
-  PeriodicityDetector detector(config.detector);
+  const auto detector = make_period_detector(config.strategy, config.detector);
   const stats::Rng root(config.seed);
 
   PeriodicityReport report;
@@ -344,9 +349,10 @@ PeriodicityReport analyze_flows(const std::vector<logs::ObjectFlow>& flows,
   stats::parallel_for(
       pool, flows.size(),
       [&](std::size_t begin, std::size_t end, std::size_t) {
-        DetectScratch scratch;  // reused across this chunk's flows
+        const auto scratch = detector->make_scratch();
         for (std::size_t i = begin; i < end; ++i)
-          objects[i] = analyze_object_flow(detector, flows[i], root, scratch);
+          objects[i] =
+              analyze_object_flow(*detector, flows[i], root, *scratch);
       });
 
   std::uint64_t periodic_uncacheable_weight = 0;

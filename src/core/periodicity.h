@@ -29,6 +29,19 @@
 
 namespace jsoncdn::core {
 
+// Pluggable detection strategies (core/period_detector.h). kAcfFft is the
+// paper's method and the default everywhere; the others trade its uniform
+// binning for robustness on jittered, drifting, or sparse flows. The enum
+// lives here so PeriodicityConfig can carry a selector without pulling the
+// strategy interface into every include of the report types.
+enum class DetectorStrategy {
+  kAcfFft,         // §5.1 ACF + periodogram with permutation test (default)
+  kLombScargle,    // event periodogram on raw timestamps, no binning
+  kAutoperiod,     // periodogram candidates validated on ACF hills
+  kCfdAutoperiod,  // autoperiod + detrending + clustered candidate bins
+  kMultiPeriod,    // iteratively subtracts detected components
+};
+
 struct DetectorParams {
   double sample_interval = 1.0;   // paper: 1 s (network jitter floor)
   std::size_t permutations = 100; // paper: x = 100
@@ -47,6 +60,19 @@ struct DetectorParams {
   // A period must fit this many times into the observation span to count.
   double min_cycles = 3.0;
   std::size_t min_requests = 4;   // below this, no detection attempt
+
+  // ---- Lomb-Scargle (kLombScargle) knobs; ignored by other strategies ----
+  // Frequency oversampling of the event periodogram grid.
+  double ls_oversample = 4.0;
+  // Grid size cap: the grid is coarsened (never truncated) beyond this.
+  std::size_t ls_max_frequencies = 8192;
+  // Dense flows are strided down to this many events before the O(n*M) scan.
+  std::size_t ls_max_events = 4096;
+  // A detected period must explain at least this share of interarrival gaps
+  // (each within 25% of a multiple of the period). This is the precision
+  // guard standing in for the ACF cross-check: the analytic Poisson-null
+  // threshold alone over-fires on clumpy session flows.
+  double ls_min_gap_agreement = 0.34;
 };
 
 struct PeriodDetection {
@@ -119,6 +145,10 @@ struct ClientPeriodRecord {
   double period_seconds = 0.0;
   std::size_t requests = 0;
   bool matches_object = false;    // period agrees with the object period
+  // Additional distinct periods beyond the primary, strongest first. Only
+  // the multi-period strategy fills these; empty for every single-period
+  // strategy, so existing consumers are unchanged.
+  std::vector<double> extra_periods;
 };
 
 struct ObjectPeriodicity {
@@ -127,6 +157,7 @@ struct ObjectPeriodicity {
   double object_period_seconds = 0.0;
   std::size_t total_requests = 0;
   std::vector<ClientPeriodRecord> clients;  // analyzed client flows
+  std::vector<double> extra_periods;        // multi-period strategy only
   std::size_t periodic_client_count = 0;    // matching clients
   double periodic_client_share = 0.0;       // of analyzed clients (Fig. 6)
   std::size_t periodic_requests = 0;        // requests in matching flows
@@ -136,6 +167,9 @@ struct ObjectPeriodicity {
 
 struct PeriodicityConfig {
   DetectorParams detector;
+  // Which detection method runs per flow (core/period_detector.h). The
+  // default reproduces the paper's ACF+FFT pipeline bit-identically.
+  DetectorStrategy strategy = DetectorStrategy::kAcfFft;
   logs::FlowFilter flow_filter;   // paper: >=10 requests, >=10 clients
   std::uint64_t seed = 0x9e110d;  // permutation-test randomness
   // Worker threads for the per-flow fan-out: 0 = auto (JSONCDN_THREADS env,

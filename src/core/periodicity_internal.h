@@ -1,0 +1,98 @@
+// Shared internals of the §5.1 detector pipeline, split out so the strategy
+// implementations in period_detector.cpp can reuse the exact binning,
+// spectral-significance, and fundamental-extraction steps instead of
+// re-deriving them. Everything here is code moved verbatim out of
+// periodicity.cpp — the default ACF+FFT path composes these pieces in the
+// same order it always ran them, so its output is bit-identical.
+//
+// Not part of the public core API; include only from core/*.cpp.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "core/periodicity.h"
+#include "stats/rng.h"
+
+namespace jsoncdn::core::detail {
+
+// Relative-tolerance period equality shared by every strategy (and by
+// PeriodicityDetector::periods_match): |a - b| / max(a, b) <= tol.
+[[nodiscard]] inline bool relative_periods_match(double a, double b,
+                                                 double tol) noexcept {
+  if (a <= 0.0 || b <= 0.0) return false;
+  const double ref = std::max(a, b);
+  return std::abs(a - b) / ref <= tol;
+}
+
+// Max ACF value over peak lags >= 1 (0 when no peaks). Same peak definition
+// as stats::acf_peaks, scanned inline so the permutation loop allocates no
+// peak-index vector.
+[[nodiscard]] inline double max_acf_peak(const std::vector<double>& acf) {
+  double best = 0.0;
+  for (std::size_t k = 1; k < acf.size(); ++k) {
+    const bool rising = acf[k] > acf[k - 1];
+    const bool falling_next = (k + 1 >= acf.size()) || acf[k] >= acf[k + 1];
+    if (rising && falling_next) best = std::max(best, acf[k]);
+  }
+  return best;
+}
+
+[[nodiscard]] inline double max_power(const std::vector<double>& power) {
+  double best = 0.0;
+  for (const double p : power) best = std::max(best, p);
+  return best;
+}
+
+struct BinnedFlow {
+  bool usable = false;   // flow long/dense enough to test
+  double dt = 0.0;       // effective bin width
+  double span = 0.0;     // observation span (last - first timestamp)
+  std::size_t max_lag = 0;
+};
+
+// Bins `times` into `signal` under the DetectorParams policy (sample cap,
+// density cap, min-cycles lag bound). usable == false when the flow is too
+// short, too sparse, or spans too few cycles for any lag to be testable.
+[[nodiscard]] BinnedFlow bin_flow(const DetectorParams& params,
+                                  std::span<const double> times,
+                                  std::vector<double>& signal);
+
+// Per-signal analysis: fused spectral pass, permutation thresholds, and the
+// list of significant (frequency, ACF-peak) matches.
+struct FlowAnalysis {
+  bool usable = false;          // signal reached the spectral pass
+  bool significant = false;     // passed the permutation thresholds
+  double dt = 0.0;
+  double acf_threshold = 0.0;
+  double power_threshold = 0.0;
+  struct Match {
+    std::size_t lag;
+    double value;   // ACF at the lag
+    double power;   // periodogram power of the licensing frequency
+  };
+  std::vector<Match> matches;   // deduplicated by lag
+};
+
+// Runs the spectral + permutation + matching steps over an already-binned
+// signal. `signal` may alias scratch.signal; the shuffle buffer is separate.
+// `span` is the flow's observation span in seconds (bounds the harmonic
+// search at span / min_cycles, exactly as the fused pipeline always did).
+[[nodiscard]] FlowAnalysis analyze_signal(const DetectorParams& params,
+                                          std::span<const double> signal,
+                                          double dt, double span,
+                                          std::size_t max_lag,
+                                          stats::Rng& rng,
+                                          DetectScratch& scratch);
+
+// Fundamental extraction: repeatedly picks the smallest matched lag whose
+// ACF peak is comparable (>= 0.5x) to the strongest remaining peak, then
+// folds that period's near-multiples, appending up to `max_periods`
+// detections to `out`. `matches` must be sorted by ACF value descending.
+void pick_fundamentals(const FlowAnalysis& analysis, double tolerance,
+                       std::size_t max_periods,
+                       std::vector<PeriodDetection>& out);
+
+}  // namespace jsoncdn::core::detail

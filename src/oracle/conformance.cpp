@@ -16,10 +16,12 @@ namespace jsoncdn::oracle {
 
 namespace {
 
-core::PeriodicityConfig periodicity_config(std::size_t threads) {
-  core::PeriodicityConfig config;
-  config.threads = threads;
-  return config;
+core::PeriodicityConfig periodicity_config(const ConformanceConfig& config,
+                                           std::size_t threads) {
+  core::PeriodicityConfig out;
+  out.strategy = config.detector;
+  out.threads = threads;
+  return out;
 }
 
 core::NgramEvalConfig ngram_config(const ConformanceConfig& config,
@@ -112,7 +114,7 @@ CaseResult score_case(const logs::Dataset& dataset, const logs::Dataset& json,
   CaseResult result;
   result.seed = seed;
 
-  const auto pconfig = periodicity_config(threads);
+  const auto pconfig = periodicity_config(config, threads);
   const auto report = core::analyze_periodicity(json, pconfig);
   result.detector = score_periodicity(report, truth,
                                       pconfig.detector.period_match_tolerance);
@@ -200,13 +202,13 @@ ConformanceReport run_conformance(const ConformanceConfig& config) {
     // under every swept thread count.
     const auto reference_labels = detection_labels(
         core::analyze_periodicity(generated.json,
-                                  periodicity_config(score_threads)));
+                                  periodicity_config(config, score_threads)));
     const auto reference_ngram = core::evaluate_ngram(
         generated.json, ngram_config(config, false, score_threads));
     for (std::size_t i = 1; i < config.thread_counts.size(); ++i) {
       const auto threads = config.thread_counts[i];
       const auto labels = detection_labels(core::analyze_periodicity(
-          generated.json, periodicity_config(threads)));
+          generated.json, periodicity_config(config, threads)));
       const auto accuracy = core::evaluate_ngram(
           generated.json, ngram_config(config, false, threads));
       if (labels != reference_labels ||

@@ -17,6 +17,7 @@
 
 #include "cdn/metrics.h"
 #include "cdn/overload.h"
+#include "core/periodicity.h"
 #include "logs/dataset.h"
 #include "oracle/ground_truth.h"
 #include "oracle/scorer.h"
@@ -61,6 +62,9 @@ struct ConformanceConfig {
   std::vector<std::size_t> thread_counts = {1, 0};
   bool check_streaming = true;
   std::size_t ngram_context = 1;
+  // Period-detection strategy every periodicity analysis in the sweep runs
+  // with (core/period_detector.h). The default keeps historical behaviour.
+  core::DetectorStrategy detector = core::DetectorStrategy::kAcfFft;
   ConformanceTolerances tolerances;
 };
 

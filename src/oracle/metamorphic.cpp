@@ -34,6 +34,13 @@ logs::Dataset shift_time(const logs::Dataset& ds, double delta_seconds) {
   return logs::Dataset(std::move(records));
 }
 
+logs::Dataset scale_time(const logs::Dataset& ds, double factor) {
+  if (factor <= 0.0) throw std::invalid_argument("scale_time: factor <= 0");
+  std::vector<logs::LogRecord> records = ds.records();
+  for (auto& record : records) record.timestamp *= factor;
+  return logs::Dataset(std::move(records));
+}
+
 logs::Dataset merge_datasets(const logs::Dataset& a, const logs::Dataset& b) {
   std::vector<logs::LogRecord> records;
   records.reserve(a.size() + b.size());
@@ -104,6 +111,15 @@ DetectionLabels detection_labels(const core::PeriodicityReport& report,
     }
   }
   return labels;
+}
+
+DetectionLabels scale_periods(const DetectionLabels& labels, double factor) {
+  if (factor <= 0.0)
+    throw std::invalid_argument("scale_periods: factor <= 0");
+  DetectionLabels out;
+  for (const auto& [key, value] : labels)
+    out.emplace(key, std::make_pair(value.first, value.second * factor));
+  return out;
 }
 
 DetectionLabels restrict_labels(const DetectionLabels& labels,

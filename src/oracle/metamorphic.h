@@ -29,6 +29,14 @@ namespace jsoncdn::oracle {
 [[nodiscard]] logs::Dataset shift_time(const logs::Dataset& ds,
                                        double delta_seconds);
 
+// Every record's timestamp multiplied by `factor` (> 0). A detector must
+// scale with its input: every detected period scales by the same factor
+// (compare against scale_periods of the original labels, with a small
+// relative tolerance — binning quantizes periods to bin multiples, and the
+// bin width itself rescales).
+[[nodiscard]] logs::Dataset scale_time(const logs::Dataset& ds,
+                                       double factor);
+
 // Concatenates two datasets and restores the ascending-time invariant.
 [[nodiscard]] logs::Dataset merge_datasets(const logs::Dataset& a,
                                            const logs::Dataset& b);
@@ -63,6 +71,11 @@ using DetectionLabels =
 [[nodiscard]] DetectionLabels detection_labels(
     const core::PeriodicityReport& report,
     const std::string& url_strip_infix = {});
+
+// The expected labels after scale_time(ds, factor): same flows, same
+// periodic flags, periods multiplied by `factor`.
+[[nodiscard]] DetectionLabels scale_periods(const DetectionLabels& labels,
+                                            double factor);
 
 // detection_labels(report) restricted to keys present in `reference` — how
 // interleaving/noise runs are compared: added traffic may create new flows,

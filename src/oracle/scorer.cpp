@@ -110,9 +110,16 @@ DetectorScore score_periodicity(const core::PeriodicityReport& report,
   for (const auto& object : report.objects) {
     for (const auto& rec : object.clients) {
       ++score.analyzed_flows;
+      // All periods this flow's detector reported: the primary plus any
+      // extras from the multi-period strategy. Each detection is graded
+      // independently — TP against its best unrecovered label, else FP —
+      // so a multi-period detector earns its second label but pays for a
+      // hallucinated one. Single-period strategies have no extras and
+      // score exactly as before.
       if (!hostile_clients.empty() &&
           hostile_clients.count(rec.client) != 0) {
-        if (rec.periodic) ++score.hostile_detections;
+        if (rec.periodic)
+          score.hostile_detections += 1 + rec.extra_periods.size();
         continue;
       }
       const auto it = by_key.find(flow_key(object.url, rec.client));
@@ -120,29 +127,34 @@ DetectorScore score_periodicity(const core::PeriodicityReport& report,
         for (const auto idx : it->second) entries[idx].eligible = true;
       }
       if (!rec.periodic) continue;
-      // Detected: find the best-matching label within tolerance.
-      std::size_t best = SIZE_MAX;
-      double best_err = period_tolerance;
-      if (it != by_key.end()) {
-        for (const auto idx : it->second) {
-          if (entries[idx].recovered) continue;
-          const double ref =
-              std::max(entries[idx].period, rec.period_seconds);
-          if (ref <= 0.0) continue;
-          const double err =
-              std::abs(entries[idx].period - rec.period_seconds) / ref;
-          if (err <= best_err) {
-            best_err = err;
-            best = idx;
+      const std::size_t detections = 1 + rec.extra_periods.size();
+      for (std::size_t d = 0; d < detections; ++d) {
+        const double detected_period =
+            d == 0 ? rec.period_seconds : rec.extra_periods[d - 1];
+        // Detected: find the best-matching label within tolerance.
+        std::size_t best = SIZE_MAX;
+        double best_err = period_tolerance;
+        if (it != by_key.end()) {
+          for (const auto idx : it->second) {
+            if (entries[idx].recovered) continue;
+            const double ref =
+                std::max(entries[idx].period, detected_period);
+            if (ref <= 0.0) continue;
+            const double err =
+                std::abs(entries[idx].period - detected_period) / ref;
+            if (err <= best_err) {
+              best_err = err;
+              best = idx;
+            }
           }
         }
-      }
-      if (best != SIZE_MAX) {
-        entries[best].recovered = true;
-        ++score.true_positives;
-        score.period_rel_errors.push_back(best_err);
-      } else {
-        ++score.false_positives;
+        if (best != SIZE_MAX) {
+          entries[best].recovered = true;
+          ++score.true_positives;
+          score.period_rel_errors.push_back(best_err);
+        } else {
+          ++score.false_positives;
+        }
       }
     }
   }

@@ -150,31 +150,85 @@ Workload WorkloadGenerator::generate() const {
     if (!obj_index) return;
     const auto& url = catalog_->objects().at(*obj_index).url;
 
+    const PeriodicStress& stress = config_.periodic_stress;
+    // Applies the stress knobs to one flow's params. Parameter-value
+    // changes only — no RNG draws — so inert knobs leave streams
+    // bit-identical.
+    auto apply_stress = [&](PeriodicFlowParams& params) {
+      if (stress.jitter_relative > 0.0) {
+        // Per-flow sigma uniform in [5%, jitter_relative] of the period: a
+        // fleet of pollers with unequal timer quality, so the stress sweeps
+        // from easy to hopeless instead of one cliff. Guarded draw keeps
+        // the knob inert at 0.
+        const double lo = std::min(0.05, stress.jitter_relative);
+        const double rel = rng.uniform(lo, stress.jitter_relative);
+        params.jitter_stddev =
+            std::max(params.jitter_stddev, rel * params.period_seconds);
+      }
+      params.drift_per_cycle = stress.drift_per_cycle;
+      if (stress.dropout_prob >= 0.0)
+        params.dropout_prob = stress.dropout_prob;
+      params.diurnal_amplitude = stress.diurnal_amplitude;
+      params.diurnal_period = stress.diurnal_period;
+    };
+    // Emits one flow to `url` and records its truth row.
+    auto emit_flow = [&](const PeriodicFlowParams& params,
+                         stats::Rng& rng) {
+      // Device online for a bounded stretch, not the whole window: flows
+      // need >= 10 requests to enter the analysis but should not dominate
+      // volume.
+      const double ticks = static_cast<double>(rng.uniform_int(12, 60));
+      const double span = std::min(window, params.period_seconds * ticks);
+      const double start = rng.uniform(0.0, std::max(1e-9, window - span));
+      PeriodicFlowParams flow_params = params;
+      flow_params.phase_offset = rng.uniform(0.0, params.period_seconds);
+      auto events = generate_periodic_flow(
+          url, upload ? http::Method::kPost : http::Method::kGet, address,
+          ua, start, start + span, flow_params, rng);
+      if (events.empty()) return;
+      PeriodicTruth pt;
+      pt.client_address = address;
+      pt.user_agent = ua;
+      pt.url = url;
+      pt.period_seconds = params.period_seconds;
+      pt.request_count = events.size();
+      truth.periodic_flows.push_back(std::move(pt));
+      truth.periodic_events += events.size();
+      append(std::move(events));
+    };
+
     PeriodicFlowParams params;
     params.period_seconds = rng.bernoulli(adherence[dom])
                                 ? canonical[dom]
                                 : sample_period(rng);
     params.jitter_stddev = config_.periodic_jitter_stddev;
-    // Device online for a bounded stretch, not the whole window: flows need
-    // >= 10 requests to enter the analysis but should not dominate volume.
-    const double ticks = static_cast<double>(rng.uniform_int(12, 60));
-    const double span = std::min(window, params.period_seconds * ticks);
-    const double start = rng.uniform(0.0, std::max(1e-9, window - span));
-    params.phase_offset = rng.uniform(0.0, params.period_seconds);
+    apply_stress(params);
+    emit_flow(params, rng);
 
-    auto events = generate_periodic_flow(
-        url, upload ? http::Method::kPost : http::Method::kGet, address, ua,
-        start, start + span, params, rng);
-    if (events.empty()) return;
-    PeriodicTruth pt;
-    pt.client_address = address;
-    pt.user_agent = ua;
-    pt.url = url;
-    pt.period_seconds = params.period_seconds;
-    pt.request_count = events.size();
-    truth.periodic_flows.push_back(std::move(pt));
-    truth.periodic_events += events.size();
-    append(std::move(events));
+    // Overlapping multi-period telemetry: a second flow to the SAME object
+    // whose period is not a near-multiple of the first, so neither is a
+    // harmonic of the other. Guarded draws keep the knob inert at 0.
+    if (stress.multi_period_share > 0.0 &&
+        rng.bernoulli(stress.multi_period_share)) {
+      double second_period = 0.0;
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const double p = sample_period(rng);
+        const double ratio = std::max(p, params.period_seconds) /
+                             std::min(p, params.period_seconds);
+        const double nearest = std::max(1.0, std::round(ratio));
+        if (std::abs(ratio - nearest) / nearest > 0.25) {
+          second_period = p;
+          break;
+        }
+      }
+      if (second_period > 0.0) {
+        PeriodicFlowParams second;
+        second.period_seconds = second_period;
+        second.jitter_stddev = config_.periodic_jitter_stddev;
+        apply_stress(second);
+        emit_flow(second, rng);
+      }
+    }
   };
 
   auto interactive_session_starts = [&](stats::Rng& rng) {

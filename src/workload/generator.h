@@ -44,6 +44,31 @@ struct PeriodicShares {
   double garbage_ua = 0.10;
 };
 
+// Hostile-periodic stress layered onto every periodic flow — the regimes
+// the binned ACF+FFT detector is weak on, each one knob. All knobs are
+// inert at their defaults: no extra RNG draws, so the event stream is
+// bit-identical to a config without them.
+struct PeriodicStress {
+  // Per-flow jitter floor as a fraction of the flow's period (e.g. 0.30 =
+  // sigma is 30% of the period). The larger of this and the absolute
+  // periodic_jitter_stddev wins.
+  double jitter_relative = 0.0;
+  // Clock drift per cycle (sessions.h: tick k advances by
+  // period * (1 + drift_per_cycle * k)).
+  double drift_per_cycle = 0.0;
+  // Overrides the flows' tick-dropout probability when >= 0 (default 0.02
+  // from PeriodicFlowParams); < 0 keeps the default.
+  double dropout_prob = -1.0;
+  // Diurnal dropout swell (sessions.h). The short default cycle makes the
+  // modulation visible inside a two-hour validation window.
+  double diurnal_amplitude = 0.0;
+  double diurnal_period = 5400.0;
+  // Chance a periodic client runs a SECOND overlapping flow to the same
+  // object, with a period that is not a near-multiple of the first — the
+  // multi-period telemetry case. Emits its own truth row.
+  double multi_period_share = 0.0;
+};
+
 struct GeneratorConfig {
   std::uint64_t seed = 1;
   // Seed for the domain/object catalog and app graphs; 0 derives it from
@@ -83,6 +108,8 @@ struct GeneratorConfig {
   // (drives the Fig. 6 share of period-matching clients per object).
   double canonical_period_adherence_lo = 0.20;
   double canonical_period_adherence_hi = 0.80;
+  // Hostile-periodic stress knobs (inert at defaults; see PeriodicStress).
+  PeriodicStress periodic_stress;
   // Adversarial traffic layered on top of the benign population (inert at
   // hostile_share == 0: no events, no attacker truth, benign stream
   // unchanged).

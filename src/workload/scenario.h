@@ -47,6 +47,29 @@ namespace jsoncdn::workload {
 [[nodiscard]] GeneratorConfig hostile_mix_scenario(double scale = 0.01,
                                                    std::uint64_t seed = 47);
 
+// --- Hostile-periodic presets (detector stress; workload/generator.h
+// PeriodicStress) -----------------------------------------------------------
+// Each is the long-term scenario with boosted periodic shares plus one
+// stress regime the binned ACF+FFT detector is weak on. They feed the
+// oracle's detector matrix (oracle/detector_matrix.h).
+
+// Heavy timing jitter: per-flow sigma uniform in [5%, 30%] of the period.
+[[nodiscard]] GeneratorConfig periodic_jitter_scenario(double scale = 0.01,
+                                                       std::uint64_t seed = 48);
+// Unsynchronized clocks: each cycle stretches by 0.3%.
+[[nodiscard]] GeneratorConfig periodic_drift_scenario(double scale = 0.01,
+                                                      std::uint64_t seed = 49);
+// Random dropout: 45% of ticks never happen.
+[[nodiscard]] GeneratorConfig periodic_dropout_scenario(
+    double scale = 0.01, std::uint64_t seed = 50);
+// Overlapping multi-period telemetry: every periodic client runs a second,
+// non-harmonic flow to the same object.
+[[nodiscard]] GeneratorConfig periodic_multi_scenario(double scale = 0.01,
+                                                      std::uint64_t seed = 51);
+// Diurnally modulated pollers: dropout swells to 85% mid-cycle.
+[[nodiscard]] GeneratorConfig periodic_diurnal_scenario(
+    double scale = 0.01, std::uint64_t seed = 52);
+
 // --- Name registry (CLI `--scenario`) ------------------------------------
 struct ScenarioInfo {
   std::string name;

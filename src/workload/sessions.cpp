@@ -124,23 +124,48 @@ std::vector<RequestEvent> generate_periodic_flow(
     throw std::invalid_argument("generate_periodic_flow: period <= 0");
   if (params.jitter_stddev < 0.0)
     throw std::invalid_argument("generate_periodic_flow: negative jitter");
+  if (params.diurnal_amplitude < 0.0 || params.diurnal_amplitude > 1.0)
+    throw std::invalid_argument(
+        "generate_periodic_flow: diurnal_amplitude outside [0,1]");
+  if (params.diurnal_amplitude > 0.0 && params.diurnal_period <= 0.0)
+    throw std::invalid_argument("generate_periodic_flow: diurnal_period <= 0");
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
   std::vector<RequestEvent> events;
-  for (double tick = t_begin + params.phase_offset; tick < t_end;
-       tick += params.period_seconds) {
-    if (rng.bernoulli(params.dropout_prob)) continue;
-    double t = tick;
-    if (params.jitter_stddev > 0.0)
-      t += rng.normal(0.0, params.jitter_stddev);
-    if (t < t_begin || t >= t_end) continue;
-    RequestEvent ev;
-    ev.time = t;
-    ev.client_address = client_address;
-    ev.user_agent = user_agent;
-    ev.method = method;
-    ev.url = url;
-    if (http::is_upload(method))
-      ev.request_bytes = lognormal_bytes(5.0, 0.5, rng);
-    events.push_back(std::move(ev));
+  std::size_t cycle = 0;
+  for (double tick = t_begin + params.phase_offset; tick < t_end; ++cycle) {
+    double dropout = params.dropout_prob;
+    if (params.diurnal_amplitude > 0.0) {
+      // Raised-cosine swell: zero at the cycle boundaries, full amplitude
+      // mid-cycle. Keyed to absolute time so all clients share the phase.
+      dropout = std::clamp(
+          dropout + params.diurnal_amplitude * 0.5 *
+                        (1.0 - std::cos(kTwoPi * tick /
+                                        params.diurnal_period)),
+          0.0, 1.0);
+    }
+    const bool skipped = rng.bernoulli(dropout);
+    if (!skipped) {
+      double t = tick;
+      if (params.jitter_stddev > 0.0)
+        t += rng.normal(0.0, params.jitter_stddev);
+      if (t >= t_begin && t < t_end) {
+        RequestEvent ev;
+        ev.time = t;
+        ev.client_address = client_address;
+        ev.user_agent = user_agent;
+        ev.method = method;
+        ev.url = url;
+        if (http::is_upload(method))
+          ev.request_bytes = lognormal_bytes(5.0, 0.5, rng);
+        events.push_back(std::move(ev));
+      }
+    }
+    double gap = params.period_seconds;
+    if (params.drift_per_cycle != 0.0) {
+      gap *= std::max(0.05, 1.0 + params.drift_per_cycle *
+                                      static_cast<double>(cycle));
+    }
+    tick += gap;
   }
   // Jitter can reorder adjacent ticks; the dataset expects ascending times
   // per flow.

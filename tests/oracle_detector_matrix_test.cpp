@@ -1,0 +1,85 @@
+// The scenario x strategy detector matrix at test size: shape, shared-case
+// scoring, band wiring, and the renderings CI and EXPERIMENTS.md consume.
+// The full committed-band matrix runs in CI (jsoncdn-validate
+// --detector-matrix); this keeps the harness itself honest at a size a
+// laptop test run can afford.
+#include "oracle/detector_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/period_detector.h"
+
+namespace jsoncdn::oracle {
+namespace {
+
+DetectorMatrixConfig tiny_config() {
+  DetectorMatrixConfig config;
+  config.seeds = {1};
+  config.scenarios = {"long-term", "periodic-dropout"};
+  config.strategies = {core::DetectorStrategy::kAcfFft,
+                       core::DetectorStrategy::kLombScargle};
+  config.scale = 0.001;
+  config.duration_seconds = 3600.0;
+  config.n_clients = 300;
+  config.threads = 1;
+  // Shape-only run: disarm every band so the assertions below are about
+  // structure, not about tiny-sample F1.
+  config.min_default_benign_f1 = 0.0;
+  config.min_best_f1 = 0.0;
+  config.must_improve.clear();
+  return config;
+}
+
+TEST(DetectorMatrix, ProducesOneCellPerScenarioAndStrategy) {
+  const auto config = tiny_config();
+  const auto report = run_detector_matrix(config);
+  EXPECT_TRUE(report.all_passed()) << render_detector_matrix(report);
+  ASSERT_EQ(report.rows.size(), config.scenarios.size());
+  for (std::size_t i = 0; i < report.rows.size(); ++i) {
+    EXPECT_EQ(report.rows[i].scenario, config.scenarios[i]);
+    ASSERT_EQ(report.rows[i].cells.size(), config.strategies.size());
+    for (std::size_t s = 0; s < config.strategies.size(); ++s) {
+      const auto& cell = report.rows[i].cells[s];
+      EXPECT_EQ(cell.strategy, config.strategies[s]);
+      EXPECT_GE(cell.precision, 0.0);
+      EXPECT_LE(cell.precision, 1.0);
+      EXPECT_GE(cell.recall, 0.0);
+      EXPECT_LE(cell.recall, 1.0);
+    }
+  }
+  // The stress scenario must actually carry labelled periodic flows.
+  const auto& dropout = report.rows[1];
+  EXPECT_GT(dropout.cells[0].eligible_truth, 0u);
+
+  const auto text = render_detector_matrix(report);
+  EXPECT_NE(text.find("periodic-dropout"), std::string::npos);
+  EXPECT_NE(text.find("lomb-scargle"), std::string::npos);
+  const auto table = render_detector_matrix_table(report);
+  EXPECT_NE(table.find("| periodic-dropout | acf-fft |"), std::string::npos);
+}
+
+TEST(DetectorMatrix, ImpossibleBandsAreReportedAsFailures) {
+  auto config = tiny_config();
+  config.scenarios = {"long-term"};
+  config.strategies = {core::DetectorStrategy::kAcfFft};
+  config.min_default_benign_f1 = 1.01;  // unreachable
+  config.must_improve = {"no-such-scenario"};
+  const auto report = run_detector_matrix(config);
+  EXPECT_FALSE(report.all_passed());
+  ASSERT_EQ(report.failures.size(), 2u);
+  EXPECT_NE(report.failures[1].find("no-such-scenario"), std::string::npos);
+  EXPECT_NE(render_detector_matrix(report).find("FAIL"), std::string::npos);
+}
+
+TEST(DetectorMatrix, EmptyConfigFailsInsteadOfRunning) {
+  DetectorMatrixConfig config;
+  config.scenarios.clear();
+  const auto report = run_detector_matrix(config);
+  EXPECT_FALSE(report.all_passed());
+  EXPECT_TRUE(report.rows.empty());
+}
+
+}  // namespace
+}  // namespace jsoncdn::oracle

@@ -152,6 +152,51 @@ TEST(ScorePeriodicity, DuplicateLabelsOnOneKeyMatchBestFirst) {
   EXPECT_NEAR(score.max_period_rel_error(), 1.0 / 61.0, 1e-9);
 }
 
+TEST(ScorePeriodicity, ExtraPeriodsGradeAgainstSeparateLabels) {
+  // A multi-period detection (primary 60 s, extra 97 s) against two truth
+  // flows on the same key: both components are independent true positives.
+  core::PeriodicityReport report;
+  auto rec = client_record("c1", true, 60.0);
+  rec.extra_periods = {97.0};
+  report.objects.push_back(object_with("u1", {rec}));
+  TruthSidecar truth;
+  truth.periodic_flows = {truth_flow("c1", "u1", 60.0),
+                          truth_flow("c1", "u1", 97.0)};
+
+  const auto score = score_periodicity(report, truth);
+  EXPECT_EQ(score.true_positives, 2u);
+  EXPECT_EQ(score.false_positives, 0u);
+  EXPECT_EQ(score.false_negatives, 0u);
+  EXPECT_DOUBLE_EQ(score.recall(), 1.0);
+}
+
+TEST(ScorePeriodicity, UnmatchedExtraPeriodIsFalsePositive) {
+  core::PeriodicityReport report;
+  auto rec = client_record("c1", true, 60.0);
+  rec.extra_periods = {400.0};  // no second label anywhere near this
+  report.objects.push_back(object_with("u1", {rec}));
+  TruthSidecar truth;
+  truth.periodic_flows = {truth_flow("c1", "u1", 60.0)};
+
+  const auto score = score_periodicity(report, truth);
+  EXPECT_EQ(score.true_positives, 1u);
+  EXPECT_EQ(score.false_positives, 1u);
+  EXPECT_EQ(score.false_negatives, 0u);
+}
+
+TEST(ScorePeriodicity, AttackerExtraPeriodsCountAsHostileDetections) {
+  core::PeriodicityReport report;
+  auto rec = client_record("bot", true, 10.0);
+  rec.extra_periods = {25.0};
+  report.objects.push_back(object_with("u1", {rec}));
+  TruthSidecar truth;
+  truth.attackers.push_back({"bot", "scraper", 400});
+
+  const auto score = score_periodicity(report, truth);
+  EXPECT_EQ(score.hostile_detections, 2u);  // primary + extra
+  EXPECT_EQ(score.false_positives, 0u);
+}
+
 // --- score_ngram -----------------------------------------------------------
 
 logs::LogRecord json_record(double t, const std::string& client_id,

@@ -56,6 +56,7 @@
 
 #include "core/characterization.h"
 #include "core/ngram.h"
+#include "core/period_detector.h"
 #include "core/periodicity.h"
 #include "core/report.h"
 #include "http/mime.h"
@@ -73,6 +74,10 @@ void usage() {
   std::fprintf(stderr,
                "usage: jsoncdn-analyze FILE [--characterize] [--periodicity]\n"
                "                       [--ngram] [--all] [--permutations N]\n"
+               "                       [--detector NAME]  (acf-fft, "
+               "lomb-scargle,\n"
+               "                        autoperiod, cfd-autoperiod, "
+               "multi-period)\n"
                "                       [--streaming] [--chunk-size N]\n"
                "                       [--threads N]  (0 = auto)\n"
                "                       [--strict] [--quarantine FILE]\n"
@@ -163,6 +168,7 @@ struct TimeWindow {
 int run_streaming(const jsoncdn::logs::LogTable& table,
                   const std::string& path, bool periodicity,
                   std::size_t chunk_size, std::size_t permutations,
+                  jsoncdn::core::DetectorStrategy detector,
                   std::size_t threads, const TimeWindow& window) {
   using namespace jsoncdn;
   using RowIndex = logs::LogTable::RowIndex;
@@ -207,6 +213,7 @@ int run_streaming(const jsoncdn::logs::LogTable& table,
 
     core::PeriodicityConfig pconfig;
     pconfig.detector.permutations = permutations;
+    pconfig.strategy = detector;
     pconfig.threads = threads;
     pconfig.total_requests_override =
         static_cast<std::size_t>(summary.json_records);
@@ -241,6 +248,7 @@ void print_scan_stats(const char* label, const jsoncdn::shard::ScanStats& s) {
 int run_streaming_v2(jsoncdn::shard::ShardReader& reader,
                      const std::string& path, bool periodicity,
                      std::size_t chunk_size, std::size_t permutations,
+                     jsoncdn::core::DetectorStrategy detector,
                      std::size_t threads, const TimeWindow& window,
                      bool use_zone_maps) {
   using namespace jsoncdn;
@@ -317,6 +325,7 @@ int run_streaming_v2(jsoncdn::shard::ShardReader& reader,
 
     core::PeriodicityConfig pconfig;
     pconfig.detector.permutations = permutations;
+    pconfig.strategy = detector;
     pconfig.threads = threads;
     pconfig.total_requests_override =
         static_cast<std::size_t>(summary.json_records);
@@ -377,6 +386,7 @@ int main(int argc, char** argv) {
   IngestFlags flags;
   std::size_t chunk_size = 65536;
   std::size_t permutations = 100;
+  core::DetectorStrategy detector = core::DetectorStrategy::kAcfFft;
   std::size_t threads = 0;  // auto
   TimeWindow window;
   std::uint64_t max_memory = 0;       // 0 = default paging behaviour
@@ -399,6 +409,13 @@ int main(int argc, char** argv) {
       if (chunk_size == 0) chunk_size = 1;
     } else if (arg == "--permutations" && i + 1 < argc) {
       permutations = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--detector" && i + 1 < argc) {
+      try {
+        detector = core::detector_strategy_from_name(argv[++i]);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
     } else if (arg == "--threads" && i + 1 < argc) {
       threads = static_cast<std::size_t>(std::atoll(argv[++i]));
     } else if (arg == "--strict") {
@@ -468,7 +485,7 @@ int main(int argc, char** argv) {
       }
       const int rc =
           run_streaming_v2(reader, path, periodicity, chunk_size, permutations,
-                           effective_threads, window, use_zone_maps);
+                           detector, effective_threads, window, use_zone_maps);
       if (rc != 0) return rc;
     } catch (const std::exception& e) {
       std::fprintf(stderr, "%s\n", e.what());
@@ -493,7 +510,8 @@ int main(int argc, char** argv) {
 
   if (streaming) {
     const int rc = run_streaming(table, path, periodicity, chunk_size,
-                                 permutations, effective_threads, window);
+                                 permutations, detector, effective_threads,
+                                 window);
     if (rc != 0) return rc;
     if (assert_max_rss > 0 && !check_max_rss(assert_max_rss)) return 1;
     return 0;
@@ -552,6 +570,7 @@ int main(int argc, char** argv) {
   if (periodicity) {
     core::PeriodicityConfig config;
     config.detector.permutations = permutations;
+    config.strategy = detector;
     config.threads = effective_threads;
     const auto report = core::analyze_periodicity(json, config);
     std::fputs(core::render_periodicity_summary(report).c_str(), stdout);

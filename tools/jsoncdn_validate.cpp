@@ -13,22 +13,31 @@
 //   jsoncdn-validate --overload [--seed N] [--scale S] [--clients N]
 //                    [--hostile-share H] [--markdown]
 //
+// Detector-matrix mode (the period-detection portfolio, scenario × strategy,
+// seed-swept and graded against the committed F1 bands):
+//   jsoncdn-validate --detector-matrix [--seed-sweep S1,S2,...] [--scale S]
+//                    [--clients N] [--duration S] [--threads N] [--markdown]
+//
 // Both modes print detector precision/recall/F1, n-gram accuracy next to
 // its session-chain skyline, and the characterization marginal distances;
 // sweep mode additionally runs the thread-count and batch-vs-streaming
 // differential checks and exits non-zero on any band violation, so CI can
 // gate on it directly. --markdown appends the EXPERIMENTS.md detector table.
+// --detector NAME picks the period-detection strategy for file and sweep
+// modes (--list-detectors enumerates them).
 #include <cstdio>
 #include <cstdlib>
 #include <exception>
 #include <string>
 #include <vector>
 
+#include "core/period_detector.h"
 #include "logs/csv.h"
 #include "logs/jlog.h"
 #include "logs/table.h"
 #include "logs/zerocopy.h"
 #include "oracle/conformance.h"
+#include "oracle/detector_matrix.h"
 #include "shard/reader.h"
 #include "oracle/ground_truth.h"
 
@@ -38,14 +47,19 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: jsoncdn-validate --log FILE --truth FILE [--threads N]\n"
-      "                        [--context N]\n"
+      "                        [--context N] [--detector NAME]\n"
       "       jsoncdn-validate --seed-sweep S1,S2,... [--clients N]\n"
       "                        [--duration SECONDS] [--scale S]\n"
       "                        [--scenario NAME] [--hostile-share H]\n"
-      "                        [--no-streaming] [--markdown]\n"
+      "                        [--detector NAME] [--no-streaming] "
+      "[--markdown]\n"
+      "       jsoncdn-validate --detector-matrix [--seed-sweep S1,S2,...]\n"
+      "                        [--scale S] [--clients N] [--duration S]\n"
+      "                        [--threads N] [--markdown]\n"
       "       jsoncdn-validate --overload [--seed N] [--scale S]\n"
       "                        [--clients N] [--hostile-share H] "
-      "[--markdown]\n");
+      "[--markdown]\n"
+      "       jsoncdn-validate --list-detectors\n");
 }
 
 std::vector<std::uint64_t> parse_seed_list(const std::string& arg) {
@@ -78,6 +92,7 @@ int main(int argc, char** argv) {
   config.seeds.clear();
   oracle::OverloadExperimentConfig overload_config;
   bool overload = false;
+  bool detector_matrix = false;
   std::uint64_t seed = 1;
   std::size_t threads = 0;
   bool markdown = false;
@@ -103,6 +118,22 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--overload") {
       overload = true;
+    } else if (arg == "--detector-matrix") {
+      detector_matrix = true;
+    } else if (arg == "--detector") {
+      const std::string name = next();
+      try {
+        config.detector = core::detector_strategy_from_name(name);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+    } else if (arg == "--list-detectors") {
+      for (const auto& info : core::detector_registry()) {
+        std::fprintf(stdout, "%-16s %s\n", std::string(info.name).c_str(),
+                     std::string(info.summary).c_str());
+      }
+      return 0;
     } else if (arg == "--seed") {
       seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--scenario") {
@@ -144,6 +175,22 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (detector_matrix) {
+      oracle::DetectorMatrixConfig matrix;
+      if (!config.seeds.empty()) matrix.seeds = config.seeds;
+      if (config.scale > 0.0) matrix.scale = config.scale;
+      if (config.duration_seconds > 0.0)
+        matrix.duration_seconds = config.duration_seconds;
+      if (config.n_clients > 0) matrix.n_clients = config.n_clients;
+      matrix.threads = threads;
+      const auto report = oracle::run_detector_matrix(matrix);
+      std::fputs(oracle::render_detector_matrix(report).c_str(), stdout);
+      if (markdown)
+        std::fputs(oracle::render_detector_matrix_table(report).c_str(),
+                   stdout);
+      return report.all_passed() ? 0 : 1;
+    }
+
     if (overload) {
       overload_config.seed = seed;
       const auto experiment =
