@@ -6,11 +6,13 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <complex>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <numbers>
 #include <span>
 #include <string>
 #include <thread>
@@ -31,17 +33,21 @@
 #include "logs/zerocopy.h"
 #include "shard/reader.h"
 #include "shard/synth.h"
+#include "shard/varint.h"
 #include "shard/writer.h"
 #include "stats/autocorrelation.h"
 #include "stats/fft.h"
+#include "stats/kernels.h"
 #include "stats/parallel.h"
 #include "stats/rng.h"
+#include "stats/simd.h"
 #include "stream/streaming_study.h"
 #include "workload/scenario.h"
 
 namespace {
 
 using namespace jsoncdn;
+namespace kernels = stats::kernels;
 
 std::vector<double> random_signal(std::size_t n) {
   stats::Rng rng(n);
@@ -924,6 +930,398 @@ bool check_scale_baseline(const ScaleBenchReport& r,
   return ok;
 }
 
+// ---- Vectorized kernel throughput (--kernels) -----------------------------
+
+// Per-kernel elements/second for the dual-build analysis kernels, three ways:
+// the pre-kernel reference loop (kernels::baseline, compiled at the build's
+// default flags exactly like the original call sites), the scalar kernel
+// build, and the SIMD kernel build. The committed baseline gates on the
+// SIMD-vs-reference throughput ratio — a property of the kernel shapes far
+// more stable across machines than any wall clock.
+
+// Rate of `fn` in elements/second: repetitions are scaled until a trial runs
+// long enough to trust, and the best of three trials is kept (the usual
+// guard against scheduler noise on shared CI runners).
+template <typename Fn>
+double measure_rate(double elements_per_call, Fn&& fn) {
+  double best = 0.0;
+  for (int trial = 0; trial < 3; ++trial) {
+    std::size_t reps = 1;
+    for (;;) {
+      bench::Timer timer;
+      for (std::size_t r = 0; r < reps; ++r) fn();
+      const double s = timer.seconds();
+      if (s >= 0.06) {
+        best = std::max(best, elements_per_call *
+                                  static_cast<double>(reps) / s);
+        break;
+      }
+      reps = s <= 1e-6 ? reps * 16
+                       : static_cast<std::size_t>(
+                             static_cast<double>(reps) * (0.1 / s)) +
+                             1;
+    }
+  }
+  return best;
+}
+
+struct KernelBench {
+  std::string name;
+  double baseline_meps = 0.0;  // pre-kernel reference loop
+  double scalar_meps = 0.0;    // kernel body, vectorization disabled
+  double simd_meps = 0.0;      // kernel body, vectorized build
+  [[nodiscard]] double ratio() const {
+    return baseline_meps <= 0.0 ? 0.0 : simd_meps / baseline_meps;
+  }
+};
+
+struct KernelBenchReport {
+  std::size_t records = 0;
+  bool simd_ran = false;
+  std::vector<KernelBench> kernels;
+};
+
+// Measures one kernel three ways. `run_kernel` calls the dispatched kernel
+// (measured under both dispatch modes), `run_baseline` the reference loop.
+template <typename KernelFn, typename BaselineFn>
+KernelBench bench_kernel(const std::string& name, double elements_per_call,
+                         KernelFn&& run_kernel, BaselineFn&& run_baseline) {
+  KernelBench result;
+  result.name = name;
+  result.baseline_meps = measure_rate(elements_per_call, run_baseline) / 1e6;
+  stats::set_simd_enabled(false);
+  result.scalar_meps = measure_rate(elements_per_call, run_kernel) / 1e6;
+  stats::set_simd_enabled(true);
+  result.simd_meps = measure_rate(elements_per_call, run_kernel) / 1e6;
+  std::printf(
+      "  %-14s reference %8.1f Melem/s   scalar %8.1f   %-6s %8.1f   "
+      "ratio %5.2fx\n",
+      result.name.c_str(), result.baseline_meps, result.scalar_meps,
+      stats::simd_isa(), result.simd_meps, result.ratio());
+  return result;
+}
+
+// The twiddle chain fft.cpp feeds the table kernel (same repeated-multiply
+// recurrence the baseline stage runs inline).
+std::vector<std::complex<double>> bench_stage_twiddles(std::size_t len) {
+  const double angle = -2.0 * std::numbers::pi / static_cast<double>(len);
+  const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+  std::vector<std::complex<double>> tw;
+  tw.reserve(len / 2);
+  std::complex<double> w(1.0, 0.0);
+  for (std::size_t k = 0; k < len / 2; ++k) {
+    tw.push_back(w);
+    w *= wlen;
+  }
+  return tw;
+}
+
+KernelBenchReport report_kernel_throughput(std::size_t records) {
+  bench::print_header(
+      "vectorized kernels",
+      "reference loop vs scalar vs SIMD kernel build, " +
+          std::to_string(records) + " elements");
+  KernelBenchReport report;
+  report.records = records;
+  report.simd_ran = stats::simd_available();
+  if (!report.simd_ran) {
+    bench::note("warning: no SIMD kernel build on this machine; the SIMD "
+                "column measures the scalar build");
+  }
+  const bool entry_mode = stats::simd_enabled();
+  stats::Rng rng(0x51d);
+  const std::size_t n = records;
+
+  // FFT butterfly stages: all stages of a 4096-point transform, the size the
+  // periodicity permutation gate runs hundreds of times per flow.
+  {
+    constexpr std::size_t n_fft = 4096;
+    constexpr std::size_t stages = 12;  // log2(n_fft)
+    std::vector<std::complex<double>> pristine(n_fft);
+    for (auto& v : pristine) v = {rng.uniform(-1.0, 1.0),
+                                  rng.uniform(-1.0, 1.0)};
+    std::vector<std::vector<std::complex<double>>> tables;
+    for (std::size_t len = 2; len <= n_fft; len <<= 1)
+      tables.push_back(bench_stage_twiddles(len));
+    std::vector<std::complex<double>> work(n_fft);
+    // Work unit: one touched point per stage.
+    const double elements = static_cast<double>(n_fft * stages);
+    report.kernels.push_back(bench_kernel(
+        "fft",
+        elements,
+        [&] {
+          work = pristine;
+          std::size_t stage = 0;
+          for (std::size_t len = 2; len <= n_fft; len <<= 1, ++stage)
+            kernels::fft_pass(work.data(), n_fft, len, tables[stage].data());
+          benchmark::DoNotOptimize(work.data());
+        },
+        [&] {
+          work = pristine;
+          for (std::size_t len = 2; len <= n_fft; len <<= 1)
+            kernels::baseline::fft_pass(work.data(), n_fft, len, false);
+          benchmark::DoNotOptimize(work.data());
+        }));
+  }
+
+  // Direct autocorrelation: the short-series path of spectral_analysis.
+  {
+    constexpr std::size_t n_acf = 8192;
+    constexpr std::size_t max_lag = 2048;
+    std::vector<double> x(n_acf);
+    for (auto& v : x) v = rng.uniform(0.0, 2.0);
+    double energy = 0.0;
+    for (const double v : x) energy += v * v;
+    std::vector<double> r(max_lag + 1);
+    // Work unit: one multiply-add of the lag sums.
+    const double elements =
+        static_cast<double>((max_lag + 1) * n_acf -
+                            max_lag * (max_lag + 1) / 2);
+    report.kernels.push_back(bench_kernel(
+        "acf",
+        elements,
+        [&] {
+          kernels::acf_direct(x.data(), n_acf, max_lag, energy, r.data());
+          benchmark::DoNotOptimize(r.data());
+        },
+        [&] {
+          kernels::baseline::acf_direct(x.data(), n_acf, max_lag, energy,
+                                        r.data());
+          benchmark::DoNotOptimize(r.data());
+        }));
+  }
+
+  // Time-binning over a full-size record stream (rate histograms). Flow
+  // event times arrive chronologically, which the kernel's sorted fast path
+  // exploits; a shuffled copy exercises the per-element vectorized fallback.
+  {
+    const double t_begin = 0.0, t_end = 86'400.0;
+    constexpr std::size_t nbins = 1024;
+    const double dt = (t_end - t_begin) / static_cast<double>(nbins);
+    std::vector<double> times(n);
+    for (auto& t : times) t = rng.uniform(-100.0, 86'500.0);
+    std::vector<double> shuffled = times;
+    std::sort(times.begin(), times.end());
+    std::vector<double> bins(nbins);
+    report.kernels.push_back(bench_kernel(
+        "bin_events",
+        static_cast<double>(n),
+        [&] {
+          std::fill(bins.begin(), bins.end(), 0.0);
+          kernels::bin_events(times.data(), n, t_begin, t_end, dt,
+                              bins.data(), nbins);
+          benchmark::DoNotOptimize(bins.data());
+        },
+        [&] {
+          std::fill(bins.begin(), bins.end(), 0.0);
+          kernels::baseline::bin_events(times.data(), n, t_begin, t_end, dt,
+                                        bins.data(), nbins);
+          benchmark::DoNotOptimize(bins.data());
+        }));
+    report.kernels.push_back(bench_kernel(
+        "bin_shuffled",
+        static_cast<double>(n),
+        [&] {
+          std::fill(bins.begin(), bins.end(), 0.0);
+          kernels::bin_events(shuffled.data(), n, t_begin, t_end, dt,
+                              bins.data(), nbins);
+          benchmark::DoNotOptimize(bins.data());
+        },
+        [&] {
+          std::fill(bins.begin(), bins.end(), 0.0);
+          kernels::baseline::bin_events(shuffled.data(), n, t_begin, t_end,
+                                        dt, bins.data(), nbins);
+          benchmark::DoNotOptimize(bins.data());
+        }));
+  }
+
+  // Symbol-keyed group-by counting on a CDN-skewed stream: time-sorted
+  // access logs repeat the same hot object in bursts (geometric run
+  // lengths, mean ~5), so a single count table serialises on
+  // store-to-load forwarding; the interleaved sub-tables recover
+  // independent increment chains.
+  {
+    constexpr std::size_t n_keys = 2048;
+    std::vector<std::uint32_t> keys(n);
+    std::uint32_t prev = 0;
+    for (auto& k : keys) {
+      if (rng.uniform_int(0, 99) < 80) {
+        k = prev;  // continue the current hot-object burst
+      } else {
+        const auto r = static_cast<std::uint64_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(n_keys * 5) - 1));
+        k = static_cast<std::uint32_t>(r % 5 != 0 ? r % 16 : r % n_keys);
+        prev = k;
+      }
+    }
+    std::vector<std::uint64_t> counts(n_keys);
+    report.kernels.push_back(bench_kernel(
+        "groupby",
+        static_cast<double>(n),
+        [&] {
+          std::fill(counts.begin(), counts.end(), 0);
+          kernels::count_u32(keys.data(), nullptr, n, counts.data(), n_keys);
+          benchmark::DoNotOptimize(counts.data());
+        },
+        [&] {
+          std::fill(counts.begin(), counts.end(), 0);
+          kernels::baseline::count_u32(keys.data(), nullptr, n, counts.data(),
+                                       n_keys);
+          benchmark::DoNotOptimize(counts.data());
+        }));
+  }
+
+  // Status classing (the characterization marginals).
+  {
+    std::vector<std::int32_t> status(n);
+    for (auto& s : status) {
+      const auto r = rng.uniform_int(0, 99);
+      s = r < 70 ? 200 : r < 80 ? 304 : r < 90 ? 404 : r < 95 ? 503 : 504;
+    }
+    report.kernels.push_back(bench_kernel(
+        "status",
+        static_cast<double>(n),
+        [&] {
+          benchmark::DoNotOptimize(
+              kernels::count_status(status.data(), nullptr, n));
+        },
+        [&] {
+          benchmark::DoNotOptimize(
+              kernels::baseline::count_status(status.data(), nullptr, n));
+        }));
+  }
+
+  // Sketch finalizer batch (HyperLogLog / CountMin add paths).
+  {
+    std::vector<std::uint64_t> hashes(n);
+    std::uint64_t s = 0x5eed;
+    for (auto& h : hashes) h = s = stats::splitmix64(s);
+    std::vector<std::uint64_t> mixed(n);
+    report.kernels.push_back(bench_kernel(
+        "splitmix",
+        static_cast<double>(n),
+        [&] {
+          kernels::splitmix_batch(hashes.data(), n, 0, mixed.data());
+          benchmark::DoNotOptimize(mixed.data());
+        },
+        [&] {
+          kernels::baseline::splitmix_batch(hashes.data(), n, 0,
+                                            mixed.data());
+          benchmark::DoNotOptimize(mixed.data());
+        }));
+  }
+
+  // Chunk-store varint decode: bulk get_n vs the element-at-a-time get()
+  // loop the column decoder ran before. Not SIMD-dispatched (the fast path
+  // is branch restructuring, identical in both builds) — the ratio is what
+  // the gate watches.
+  {
+    std::string buf;
+    {
+      shard::DeltaEncoder enc;
+      std::uint64_t v = 1'000'000'000;
+      for (std::size_t i = 0; i < n; ++i) {
+        v += static_cast<std::uint64_t>(rng.uniform_int(0, 300));
+        enc.put(buf, v);
+      }
+    }
+    std::vector<std::uint64_t> decoded(n);
+    report.kernels.push_back(bench_kernel(
+        "varint",
+        static_cast<double>(n),
+        [&] {
+          shard::DeltaDecoder dec;
+          std::size_t pos = 0;
+          if (!dec.get_n(buf, pos, decoded.data(), n))
+            bench::note("warning: varint bulk decode failed");
+          benchmark::DoNotOptimize(decoded.data());
+        },
+        [&] {
+          shard::DeltaDecoder dec;
+          std::size_t pos = 0;
+          for (std::size_t i = 0; i < n; ++i) {
+            if (!dec.get(buf, pos, decoded[i])) {
+              bench::note("warning: varint decode failed");
+              break;
+            }
+          }
+          benchmark::DoNotOptimize(decoded.data());
+        }));
+  }
+
+  stats::set_simd_enabled(entry_mode);
+  return report;
+}
+
+void write_kernels_json(const KernelBenchReport& r, const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"records\": " << r.records << ",\n  \"simd_ran\": "
+      << (r.simd_ran ? "true" : "false") << ",\n";
+  char buf[512];
+  for (std::size_t i = 0; i < r.kernels.size(); ++i) {
+    const auto& k = r.kernels[i];
+    std::snprintf(buf, sizeof(buf),
+                  "  \"%s_baseline_meps\": %.2f,\n"
+                  "  \"%s_scalar_meps\": %.2f,\n"
+                  "  \"%s_simd_meps\": %.2f,\n"
+                  "  \"%s_ratio\": %.4f%s\n",
+                  k.name.c_str(), k.baseline_meps, k.name.c_str(),
+                  k.scalar_meps, k.name.c_str(), k.simd_meps, k.name.c_str(),
+                  k.ratio(), i + 1 < r.kernels.size() ? "," : "");
+    out << buf;
+  }
+  out << "}\n";
+  bench::note("wrote " + path);
+}
+
+// Gates each kernel's SIMD-vs-reference throughput ratio against the
+// committed baseline. Machines without the SIMD build skip the gate (the
+// ratio would measure nothing).
+bool check_kernels_baseline(const KernelBenchReport& r,
+                            const std::string& baseline_path,
+                            double tolerance) {
+  if (!r.simd_ran) {
+    bench::note("no SIMD build on this machine; skipping kernel gate");
+    return true;
+  }
+  std::ifstream in(baseline_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open baseline %s\n", baseline_path.c_str());
+    return false;
+  }
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  bench::print_header("kernel regression check",
+                      baseline_path + " (tolerance " +
+                          std::to_string(static_cast<int>(tolerance * 100)) +
+                          "%)");
+  const auto base_records =
+      static_cast<std::size_t>(json_number(text, "records"));
+  if (base_records != r.records) {
+    std::fprintf(stderr,
+                 "baseline was measured at %zu records, this run used %zu; "
+                 "rerun with --kernels-records=%zu\n",
+                 base_records, r.records, base_records);
+    return false;
+  }
+  bool ok = true;
+  for (const auto& k : r.kernels) {
+    const double base = json_number(text, k.name + "_ratio");
+    if (base <= 0.0) {
+      std::fprintf(stderr, "baseline missing %s_ratio\n", k.name.c_str());
+      ok = false;
+      continue;
+    }
+    const double floor = base * (1.0 - tolerance);
+    const bool pass = k.ratio() >= floor;
+    std::printf("  %-14s baseline %6.3f   current %6.3f   floor %6.3f   %s\n",
+                (k.name + "_ratio").c_str(), base, k.ratio(), floor,
+                pass ? "ok" : "REGRESSED");
+    if (!pass) ok = false;
+  }
+  return ok;
+}
+
 // ---- Edge throughput under origin faults ----------------------------------
 
 // The resilience layer (retry/backoff, stale-if-error, negative cache,
@@ -996,6 +1394,15 @@ int main(int argc, char** argv) {
   //   --scale-check=PATH     compare format ratios against a baseline
   //   --scale-records=N      workload size (default 2,000,000)
   //   --scale-only           run only the scale section
+  // Vectorized-kernel flags (same pattern, stats/kernels dual build):
+  //   --kernels              run the per-kernel throughput section
+  //   --kernels-json=PATH    write BENCH_kernels.json-style results to PATH
+  //   --kernels-check=PATH   compare SIMD-vs-reference throughput ratios
+  //                          against a baseline, exit non-zero on a >25%
+  //                          regression
+  //   --kernels-records=N    stream length for the array kernels (default
+  //                          1,000,000; fft/acf sizes are fixed)
+  //   --kernels-only         run only the kernels section
   std::string ingest_json_path;
   std::string ingest_check_path;
   std::size_t ingest_records = 1'000'000;
@@ -1005,6 +1412,11 @@ int main(int argc, char** argv) {
   std::size_t scale_records = 2'000'000;
   bool scale_enabled = false;
   bool scale_only = false;
+  std::string kernels_json_path;
+  std::string kernels_check_path;
+  std::size_t kernels_records = 1'000'000;
+  bool kernels_enabled = false;
+  bool kernels_only = false;
   {
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
@@ -1033,11 +1445,37 @@ int main(int argc, char** argv) {
       } else if (arg == "--scale-only") {
         scale_enabled = true;
         scale_only = true;
+      } else if (arg == "--kernels") {
+        kernels_enabled = true;
+      } else if (arg.rfind("--kernels-json=", 0) == 0) {
+        kernels_json_path = arg.substr(std::strlen("--kernels-json="));
+        kernels_enabled = true;
+      } else if (arg.rfind("--kernels-check=", 0) == 0) {
+        kernels_check_path = arg.substr(std::strlen("--kernels-check="));
+        kernels_enabled = true;
+      } else if (arg.rfind("--kernels-records=", 0) == 0) {
+        kernels_records = static_cast<std::size_t>(
+            std::atoll(arg.c_str() + std::strlen("--kernels-records=")));
+        kernels_enabled = true;
+      } else if (arg == "--kernels-only") {
+        kernels_enabled = true;
+        kernels_only = true;
       } else {
         argv[kept++] = argv[i];
       }
     }
     argc = kept;
+  }
+
+  if (kernels_enabled) {
+    const auto kernel_report = report_kernel_throughput(kernels_records);
+    if (!kernels_json_path.empty())
+      write_kernels_json(kernel_report, kernels_json_path);
+    if (!kernels_check_path.empty() &&
+        !check_kernels_baseline(kernel_report, kernels_check_path,
+                                /*tolerance=*/0.25))
+      return 1;
+    if (kernels_only) return 0;
   }
 
   if (!ingest_only && !scale_only) {

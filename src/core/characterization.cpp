@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "stats/kernels.h"
 #include "stats/parallel.h"
 
 namespace jsoncdn::core {
@@ -15,6 +16,45 @@ namespace {
 constexpr std::size_t device_index(http::DeviceType d) noexcept {
   return static_cast<std::size_t>(d);
 }
+
+// The counting kernels read enum columns through their int underlying type
+// ([expr.static.cast]/10 allows the aliasing) and assume the enumerator
+// numbering below; a new enumerator that breaks either assumption fails here
+// instead of miscounting.
+static_assert(sizeof(http::Method) == sizeof(std::int32_t));
+static_assert(sizeof(logs::CacheStatus) == sizeof(std::int32_t));
+static_assert(static_cast<int>(http::Method::kGet) == 0 &&
+              static_cast<int>(http::Method::kPost) == 1 &&
+              static_cast<int>(http::Method::kPatch) == 6);
+static_assert(static_cast<int>(logs::CacheStatus::kHit) == 0 &&
+              static_cast<int>(logs::CacheStatus::kThrottled) == 7 &&
+              logs::kCacheStatusCount == 8);
+
+// Kernel-facing view of an enum/symbol column restricted to a shard
+// [begin, end) of TableView positions: a direct column walk (offset by
+// begin) for whole-table views, a gather through the view's row indices
+// otherwise.
+struct ShardSlice {
+  const std::uint32_t* idx;  // nullptr => contiguous
+  std::size_t begin;
+  std::size_t n;
+
+  ShardSlice(const logs::TableView& view, std::size_t b, std::size_t e)
+      : idx(view.row_indices() == nullptr ? nullptr
+                                          : view.row_indices() + b),
+        begin(b),
+        n(e - b) {}
+
+  template <typename T>
+  [[nodiscard]] const std::int32_t* enum_col(std::span<const T> col) const {
+    return reinterpret_cast<const std::int32_t*>(col.data()) +
+           (idx == nullptr ? begin : 0);
+  }
+  [[nodiscard]] const std::uint32_t* u32_col(
+      std::span<const std::uint32_t> col) const {
+    return col.data() + (idx == nullptr ? begin : 0);
+  }
+};
 
 }  // namespace
 
@@ -81,8 +121,10 @@ SourceBreakdown characterize_source(const logs::TableView& view,
                                     std::size_t threads) {
   const auto& table = view.table();
   // Classify each distinct UA once, up front: the dictionary is tiny next to
-  // the row count, and shards then index a flat array instead of probing a
-  // per-shard string-keyed cache.
+  // the row count. The row loop then reduces to a symbol histogram (the
+  // group-by counting kernel) and every per-request marginal is recovered
+  // from per-symbol counts — integer sums commute, so the totals match the
+  // per-row loop exactly.
   const auto& uas = table.user_agents();
   std::vector<http::DeviceClassification> cls_by_sym(uas.size());
   for (std::size_t s = 0; s < uas.size(); ++s) {
@@ -91,43 +133,43 @@ SourceBreakdown characterize_source(const logs::TableView& view,
   }
 
   struct Shard {
-    SourceBreakdown breakdown;
-    std::vector<std::uint8_t> ua_seen;  // per UA symbol
+    std::vector<std::uint64_t> count_by_sym;
     void merge(const Shard& other) {
-      breakdown.merge(other.breakdown);
-      if (ua_seen.size() < other.ua_seen.size())
-        ua_seen.resize(other.ua_seen.size(), 0);
-      for (std::size_t s = 0; s < other.ua_seen.size(); ++s)
-        ua_seen[s] |= other.ua_seen[s];
+      if (count_by_sym.size() < other.count_by_sym.size())
+        count_by_sym.resize(other.count_by_sym.size(), 0);
+      for (std::size_t s = 0; s < other.count_by_sym.size(); ++s)
+        count_by_sym[s] += other.count_by_sym[s];
     }
   };
   stats::ThreadPool pool(threads);
   const auto shard = stats::parallel_reduce<Shard>(
       pool, view.size(), [&](Shard& acc, std::size_t begin, std::size_t end) {
-        acc.ua_seen.resize(uas.size(), 0);
-        auto& out = acc.breakdown;
-        for (std::size_t i = begin; i < end; ++i) {
-          const auto row = view[i];
-          const auto sym = table.user_agent_sym(row);
-          acc.ua_seen[sym] = 1;
-          const auto& cls = cls_by_sym[sym];
-          ++out.total_requests;
-          ++out.requests_by_device[device_index(cls.device)];
-          if (cls.is_browser()) {
-            ++out.browser_requests;
-            if (cls.device == http::DeviceType::kMobile)
-              ++out.mobile_browser_requests;
-          }
-          if (table.user_agent(row).empty()) ++out.missing_ua_requests;
-        }
+        acc.count_by_sym.resize(uas.size(), 0);
+        const ShardSlice slice(view, begin, end);
+        stats::kernels::count_u32(slice.u32_col(table.user_agent_syms()),
+                                  slice.idx, slice.n,
+                                  acc.count_by_sym.data(), uas.size());
       });
-  SourceBreakdown out = shard.breakdown;
-  for (std::size_t s = 0; s < shard.ua_seen.size(); ++s) {
-    if (!shard.ua_seen[s]) continue;
-    if (uas.view(static_cast<logs::StringInterner::Symbol>(s)).empty())
+  SourceBreakdown out;
+  for (std::size_t s = 0; s < shard.count_by_sym.size(); ++s) {
+    const std::uint64_t c = shard.count_by_sym[s];
+    if (c == 0) continue;
+    const auto& cls = cls_by_sym[s];
+    out.total_requests += c;
+    out.requests_by_device[device_index(cls.device)] += c;
+    if (cls.is_browser()) {
+      out.browser_requests += c;
+      if (cls.device == http::DeviceType::kMobile)
+        out.mobile_browser_requests += c;
+    }
+    const bool empty_ua =
+        uas.view(static_cast<logs::StringInterner::Symbol>(s)).empty();
+    if (empty_ua) {
+      out.missing_ua_requests += c;
       continue;  // a missing header is not a UA string
+    }
     ++out.total_ua_strings;
-    ++out.ua_strings_by_device[device_index(cls_by_sym[s].device)];
+    ++out.ua_strings_by_device[device_index(cls.device)];
   }
   return out;
 }
@@ -201,14 +243,21 @@ MethodMix characterize_methods(const logs::TableView& view,
   return stats::parallel_reduce<MethodMix>(
       pool, view.size(),
       [&](MethodMix& out, std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          ++out.total;
-          switch (table.method(view[i])) {
-            case http::Method::kGet: ++out.get; break;
-            case http::Method::kPost: ++out.post; break;
-            default: ++out.other; break;
-          }
+        const ShardSlice slice(view, begin, end);
+        std::uint64_t counts[8] = {};
+        stats::kernels::count_enum8(slice.enum_col(table.methods()),
+                                    slice.idx, slice.n, counts);
+        out.get += counts[static_cast<int>(http::Method::kGet)];
+        out.post += counts[static_cast<int>(http::Method::kPost)];
+        out.total += slice.n;
+        // Everything else lands in the residual bucket, as the switch did.
+        std::uint64_t other = 0;
+        for (int m = 0; m < 8; ++m) {
+          if (m != static_cast<int>(http::Method::kGet) &&
+              m != static_cast<int>(http::Method::kPost))
+            other += counts[m];
         }
+        out.other += other;
       });
 }
 
@@ -248,33 +297,6 @@ void CacheabilityStats::merge(const CacheabilityStats& shard) noexcept {
   hits += shard.hits;
 }
 
-namespace {
-
-// The shared cacheability bucketing (see the Dataset overload's comments).
-inline void count_cache_status(CacheabilityStats& out,
-                               logs::CacheStatus status) noexcept {
-  switch (status) {
-    case logs::CacheStatus::kError:
-    case logs::CacheStatus::kShed:
-    case logs::CacheStatus::kThrottled:
-      break;
-    case logs::CacheStatus::kNotCacheable:
-      ++out.uncacheable;
-      break;
-    case logs::CacheStatus::kHit:
-    case logs::CacheStatus::kStale:
-      ++out.cacheable;
-      ++out.hits;
-      break;
-    case logs::CacheStatus::kMiss:
-    case logs::CacheStatus::kRefreshHit:
-      ++out.cacheable;
-      break;
-  }
-}
-
-}  // namespace
-
 CacheabilityStats characterize_cacheability(const logs::TableView& view,
                                             std::size_t threads) {
   const auto& table = view.table();
@@ -282,9 +304,20 @@ CacheabilityStats characterize_cacheability(const logs::TableView& view,
   return stats::parallel_reduce<CacheabilityStats>(
       pool, view.size(),
       [&](CacheabilityStats& out, std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          count_cache_status(out, table.cache_status(view[i]));
-        }
+        const ShardSlice slice(view, begin, end);
+        std::uint64_t counts[8] = {};
+        stats::kernels::count_enum8(slice.enum_col(table.cache_statuses()),
+                                    slice.idx, slice.n, counts);
+        // Same bucketing as count_cache_status, applied to the tallies.
+        const auto c = [&](logs::CacheStatus s) {
+          return counts[static_cast<int>(s)];
+        };
+        out.uncacheable += c(logs::CacheStatus::kNotCacheable);
+        out.cacheable += c(logs::CacheStatus::kHit) +
+                         c(logs::CacheStatus::kStale) +
+                         c(logs::CacheStatus::kMiss) +
+                         c(logs::CacheStatus::kRefreshHit);
+        out.hits += c(logs::CacheStatus::kHit) + c(logs::CacheStatus::kStale);
       });
 }
 
@@ -357,26 +390,25 @@ StatusBreakdown characterize_status(const logs::TableView& view,
   return stats::parallel_reduce<StatusBreakdown>(
       pool, view.size(),
       [&](StatusBreakdown& out, std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) {
-          const auto row = view[i];
-          const int status = table.status(row);
-          ++out.total;
-          if (status >= 500) {
-            ++out.server_error_5xx;
-            if (status == 504) ++out.gateway_timeout_504;
-          } else if (status >= 400) {
-            ++out.client_error_4xx;
-          } else if (status >= 300) {
-            ++out.redirect_3xx;
-          } else if (status >= 200) {
-            ++out.ok_2xx;
-          }
-          const auto cache = table.cache_status(row);
-          if (cache == logs::CacheStatus::kStale) ++out.stale_served;
-          if (cache == logs::CacheStatus::kError) ++out.error_cache_status;
-          if (cache == logs::CacheStatus::kShed) ++out.shed;
-          if (cache == logs::CacheStatus::kThrottled) ++out.throttled;
-        }
+        const ShardSlice slice(view, begin, end);
+        const auto buckets = stats::kernels::count_status(
+            slice.enum_col(table.statuses()), slice.idx, slice.n);
+        out.total += slice.n;
+        out.ok_2xx += buckets.ok_2xx;
+        out.redirect_3xx += buckets.redirect_3xx;
+        out.client_error_4xx += buckets.client_error_4xx;
+        out.server_error_5xx += buckets.server_error_5xx;
+        out.gateway_timeout_504 += buckets.gateway_timeout_504;
+        std::uint64_t cache_counts[8] = {};
+        stats::kernels::count_enum8(slice.enum_col(table.cache_statuses()),
+                                    slice.idx, slice.n, cache_counts);
+        out.stale_served +=
+            cache_counts[static_cast<int>(logs::CacheStatus::kStale)];
+        out.error_cache_status +=
+            cache_counts[static_cast<int>(logs::CacheStatus::kError)];
+        out.shed += cache_counts[static_cast<int>(logs::CacheStatus::kShed)];
+        out.throttled +=
+            cache_counts[static_cast<int>(logs::CacheStatus::kThrottled)];
       });
 }
 

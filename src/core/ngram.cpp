@@ -112,16 +112,28 @@ std::vector<NgramModel::Prediction> NgramModel::predict(
     const auto& table = tables_[len - 1];
     const auto it = table.find(context_key(context));
     if (it != table.end()) {
-      // Rank continuations of this context by count.
+      // Rank continuations of this context by count. Only the prefix the
+      // selection loop can reach needs ordering: it stops after k picks and
+      // skips at most chosen.size() already-picked tokens, so a partial
+      // sort of k + chosen.size() entries yields the identical prefix the
+      // full sort produced — at O(n log prefix) instead of O(n log n).
       std::vector<std::pair<TokenId, std::uint32_t>> ranked(
           it->second.begin(), it->second.end());
-      std::sort(ranked.begin(), ranked.end(), [&](const auto& a, const auto& b) {
-        if (a.second != b.second) return a.second > b.second;
-        return token_names_[a.first] < token_names_[b.first];  // determinism
-      });
-      double total = 0.0;
-      for (const auto& [id, count] : ranked) total += count;
-      for (const auto& [id, count] : ranked) {
+      const std::size_t prefix =
+          std::min(ranked.size(), k - out.size() + chosen.size());
+      std::partial_sort(
+          ranked.begin(), ranked.begin() + prefix, ranked.end(),
+          [&](const auto& a, const auto& b) {
+            if (a.second != b.second) return a.second > b.second;
+            return token_names_[a.first] < token_names_[b.first];  // determinism
+          });
+      // Exact integer total (counts are integers, so the double sum the
+      // sorted loop accumulated equals this in any order).
+      std::uint64_t total_count = 0;
+      for (const auto& [id, count] : ranked) total_count += count;
+      const auto total = static_cast<double>(total_count);
+      for (std::size_t p = 0; p < prefix; ++p) {
+        const auto [id, count] = ranked[p];
         if (out.size() >= k) break;
         if (!chosen.insert(id).second) continue;
         out.push_back(
@@ -131,16 +143,21 @@ std::vector<NgramModel::Prediction> NgramModel::predict(
     }
   }
   if (out.size() < k && !unigrams_.empty()) {
-    // Final backoff: global popularity prior.
+    // Final backoff: global popularity prior, same partial-sort bound.
     std::vector<std::pair<TokenId, std::uint32_t>> ranked(unigrams_.begin(),
                                                           unigrams_.end());
-    std::sort(ranked.begin(), ranked.end(), [&](const auto& a, const auto& b) {
-      if (a.second != b.second) return a.second > b.second;
-      return token_names_[a.first] < token_names_[b.first];
-    });
-    double total = 0.0;
-    for (const auto& [id, count] : ranked) total += count;
-    for (const auto& [id, count] : ranked) {
+    const std::size_t prefix =
+        std::min(ranked.size(), k - out.size() + chosen.size());
+    std::partial_sort(ranked.begin(), ranked.begin() + prefix, ranked.end(),
+                      [&](const auto& a, const auto& b) {
+                        if (a.second != b.second) return a.second > b.second;
+                        return token_names_[a.first] < token_names_[b.first];
+                      });
+    std::uint64_t total_count = 0;
+    for (const auto& [id, count] : ranked) total_count += count;
+    const auto total = static_cast<double>(total_count);
+    for (std::size_t p = 0; p < prefix; ++p) {
+      const auto [id, count] = ranked[p];
       if (out.size() >= k) break;
       if (!chosen.insert(id).second) continue;
       out.push_back(

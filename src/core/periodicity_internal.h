@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/periodicity.h"
+#include "stats/kernels.h"
 #include "stats/rng.h"
 
 namespace jsoncdn::core::detail {
@@ -40,10 +41,10 @@ namespace jsoncdn::core::detail {
   return best;
 }
 
+// Powers are finite and non-negative, so the lane-blocked max kernel is
+// exact here (max over such inputs is order-independent).
 [[nodiscard]] inline double max_power(const std::vector<double>& power) {
-  double best = 0.0;
-  for (const double p : power) best = std::max(best, p);
-  return best;
+  return stats::kernels::max_value(power.data(), power.size(), 0.0);
 }
 
 struct BinnedFlow {

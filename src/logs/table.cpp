@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <numeric>
+#include <span>
 #include <utility>
 
 #include "http/mime.h"
+#include "stats/kernels.h"
 
 namespace jsoncdn::logs {
 
@@ -203,17 +205,34 @@ std::vector<ObjectFlow> extract_object_flows(const TableView& view,
   const LogTable& table = view.table();
   const std::size_t n = view.size();
 
-  // Bucket view positions by url symbol. Symbols are dense, so a flat
-  // vector of buckets replaces the string-keyed hash map of the row path.
-  std::vector<std::vector<std::uint32_t>> by_url(table.urls().size());
-  for (std::size_t k = 0; k < n; ++k) {
-    by_url[table.url_sym(view[k])].push_back(static_cast<std::uint32_t>(k));
+  // Bucket view positions by url symbol with a counting sort: one histogram
+  // pass (the group-by counting kernel), a prefix sum into per-symbol
+  // offsets, and a stable scatter into a single flat array — no
+  // vector-of-vectors growth. Per-symbol position order is ascending k,
+  // exactly what per-bucket push_back produced.
+  const std::size_t n_urls = table.urls().size();
+  const std::uint32_t* row_idx = view.row_indices();
+  std::vector<std::uint64_t> counts(n_urls, 0);
+  stats::kernels::count_u32(table.url_syms().data(), row_idx, n,
+                            counts.data(), n_urls);
+  std::vector<std::uint32_t> offsets(n_urls + 1, 0);
+  for (std::size_t s = 0; s < n_urls; ++s) {
+    offsets[s + 1] = offsets[s] + static_cast<std::uint32_t>(counts[s]);
+  }
+  std::vector<std::uint32_t> bucketed(n);
+  {
+    std::vector<std::uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t k = 0; k < n; ++k) {
+      bucketed[cursor[table.url_sym(view[k])]++] =
+          static_cast<std::uint32_t>(k);
+    }
   }
 
   std::vector<ObjectFlow> out;
   std::unordered_map<std::uint64_t, ClientObjectFlow> by_client;
-  for (std::size_t sym = 0; sym < by_url.size(); ++sym) {
-    auto& indices = by_url[sym];
+  for (std::size_t sym = 0; sym < n_urls; ++sym) {
+    const std::span<std::uint32_t> indices(bucketed.data() + offsets[sym],
+                                           offsets[sym + 1] - offsets[sym]);
     if (indices.empty()) continue;  // url not present in this view
 
     // Same defensive time sort as the Dataset path: identical comparator on

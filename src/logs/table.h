@@ -156,6 +156,25 @@ class LogTable {
     return client_dict_;
   }
 
+  // ---- Raw column spans (vectorized kernel inputs) ------------------------
+  // The stats/kernels layer walks whole columns (optionally gathered through
+  // a TableView's row indices) instead of calling the per-row accessors.
+  [[nodiscard]] std::span<const http::Method> methods() const noexcept {
+    return method_;
+  }
+  [[nodiscard]] std::span<const CacheStatus> cache_statuses() const noexcept {
+    return cache_;
+  }
+  [[nodiscard]] std::span<const std::int32_t> statuses() const noexcept {
+    return status_;
+  }
+  [[nodiscard]] std::span<const Symbol> url_syms() const noexcept {
+    return url_;
+  }
+  [[nodiscard]] std::span<const Symbol> user_agent_syms() const noexcept {
+    return ua_;
+  }
+
   // ---- Row proxy ----------------------------------------------------------
   // A borrowed view of one row with LogRecord-shaped accessors, so call
   // sites migrate incrementally without materializing strings.
@@ -307,6 +326,12 @@ class TableView {
   // Table row index of the k-th selected row.
   [[nodiscard]] LogTable::RowIndex operator[](std::size_t k) const noexcept {
     return all_ ? static_cast<LogTable::RowIndex>(k) : rows_[k];
+  }
+  // Row-index gather array for kernel calls: nullptr when the view selects
+  // every table row in order (kernels then walk columns directly, offset by
+  // the shard's begin).
+  [[nodiscard]] const LogTable::RowIndex* row_indices() const noexcept {
+    return all_ ? nullptr : rows_.data();
   }
 
  private:

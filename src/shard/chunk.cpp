@@ -56,19 +56,22 @@ void encode_delta_u64(std::string& out, const std::uint64_t* values,
 }
 
 // Decodes `n` zigzag-delta varints, appending to `col` through `convert`,
-// which range-checks and narrows (or throws via jlog_corrupt).
+// which range-checks and narrows (or throws via jlog_corrupt). Varints are
+// bulk-decoded into `scratch` (reused across columns) so the hot byte loop
+// runs without per-value virtual position plumbing; the convert pass over
+// the dense u64 array then auto-vectorizes for the trivial conversions.
 template <typename T, typename Convert>
 void decode_delta_column(std::string_view payload, std::size_t& pos,
                          std::uint32_t n, std::vector<T>& col,
+                         std::vector<std::uint64_t>& scratch,
                          const std::string& path, Convert convert) {
+  scratch.resize(n);
   DeltaDecoder dec;
-  for (std::uint32_t i = 0; i < n; ++i) {
-    std::uint64_t v = 0;
-    if (!dec.get(payload, pos, v)) {
-      logs::jlog_corrupt(path, "truncated chunk column");
-    }
-    col.push_back(convert(v));
+  if (!dec.get_n(payload, pos, scratch.data(), n)) {
+    logs::jlog_corrupt(path, "truncated chunk column");
   }
+  col.reserve(col.size() + n);
+  for (std::uint32_t i = 0; i < n; ++i) col.push_back(convert(scratch[i]));
 }
 
 template <typename E>
@@ -190,15 +193,16 @@ void ChunkCodec::decode(std::string_view payload, const ChunkMeta& meta,
   const std::uint32_t n = meta.row_count;
   const std::size_t first = table.size();
   std::size_t pos = 0;
+  std::vector<std::uint64_t> scratch;
 
-  decode_delta_column(payload, pos, n, table.ts_, path,
+  decode_delta_column(payload, pos, n, table.ts_, scratch, path,
                       [](std::uint64_t v) { return std::bit_cast<double>(v); });
   decode_enum3(payload, pos, n, table.method_, kMethodCount, path,
                "method value out of range");
   decode_enum3(payload, pos, n, table.cache_, logs::kCacheStatusCount, path,
                "cache status out of range");
   decode_delta_column(
-      payload, pos, n, table.status_, path, [&](std::uint64_t v) {
+      payload, pos, n, table.status_, scratch, path, [&](std::uint64_t v) {
         const auto s = static_cast<std::int64_t>(v);
         if (s < std::numeric_limits<std::int32_t>::min() ||
             s > std::numeric_limits<std::int32_t>::max()) {
@@ -206,12 +210,12 @@ void ChunkCodec::decode(std::string_view payload, const ChunkMeta& meta,
         }
         return static_cast<std::int32_t>(s);
       });
-  decode_delta_column(payload, pos, n, table.resp_bytes_, path,
+  decode_delta_column(payload, pos, n, table.resp_bytes_, scratch, path,
                       [](std::uint64_t v) { return v; });
-  decode_delta_column(payload, pos, n, table.req_bytes_, path,
+  decode_delta_column(payload, pos, n, table.req_bytes_, scratch, path,
                       [](std::uint64_t v) { return v; });
   decode_delta_column(
-      payload, pos, n, table.edge_, path, [&](std::uint64_t v) {
+      payload, pos, n, table.edge_, scratch, path, [&](std::uint64_t v) {
         if (v > 0xffffffffULL) {
           logs::jlog_corrupt(path, "edge id out of range");
         }
@@ -232,7 +236,7 @@ void ChunkCodec::decode(std::string_view payload, const ChunkMeta& meta,
   };
   for (const auto& sc : sym_cols) {
     decode_delta_column(
-        payload, pos, n, *sc.col, path, [&](std::uint64_t v) {
+        payload, pos, n, *sc.col, scratch, path, [&](std::uint64_t v) {
           if (v >= sc.dict->size()) {
             logs::jlog_corrupt(path, "symbol out of dictionary range");
           }

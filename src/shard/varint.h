@@ -75,6 +75,45 @@ class DeltaDecoder {
     return true;
   }
 
+  // Bulk form for column decode: `n` deltas into out[0..n). Position, state,
+  // and accepted byte sequences are exactly `n` get() calls — the fast path
+  // below only skips re-checking bounds per byte when the next two bytes are
+  // provably readable, and small deltas (the overwhelmingly common case for
+  // sorted timestamps, statuses, and dense symbols) are 1-2 encoded bytes.
+  [[nodiscard]] bool get_n(std::string_view buf, std::size_t& pos,
+                           std::uint64_t* out, std::size_t n) noexcept {
+    const char* data = buf.data();
+    const std::size_t size = buf.size();
+    std::size_t p = pos;
+    std::uint64_t prev = prev_;
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint64_t z;
+      if (p + 2 <= size) {
+        const auto b0 = static_cast<std::uint8_t>(data[p]);
+        if (b0 < 0x80) {
+          z = b0;
+          p += 1;
+        } else {
+          const auto b1 = static_cast<std::uint8_t>(data[p + 1]);
+          if (b1 < 0x80) {
+            z = static_cast<std::uint64_t>(b0 & 0x7f) |
+                (static_cast<std::uint64_t>(b1) << 7);
+            p += 2;
+          } else if (!get_varint(buf, p, z)) {
+            return false;
+          }
+        }
+      } else if (!get_varint(buf, p, z)) {
+        return false;
+      }
+      prev += static_cast<std::uint64_t>(zigzag_decode(z));
+      out[i] = prev;
+    }
+    pos = p;
+    prev_ = prev;
+    return true;
+  }
+
  private:
   std::uint64_t prev_ = 0;
 };

@@ -6,12 +6,16 @@
 #include <stdexcept>
 
 #include "stats/fft.h"
+#include "stats/kernels.h"
 
 namespace jsoncdn::stats {
 
 namespace {
 
 // Shared preamble: mean-centers and reports variance*n (the lag-0 raw value).
+// Both reductions stay serial on purpose: their summation order is pinned by
+// the committed periodicity golden fixture, and they are O(n) next to the
+// O(n log n) transforms the kernels accelerate.
 double center(std::span<const double> signal, std::vector<double>& out) {
   if (signal.empty())
     throw std::invalid_argument("autocorrelation: empty signal");
@@ -36,11 +40,7 @@ std::vector<double> autocorrelation_direct(std::span<const double> signal,
   max_lag = std::min(max_lag, x.size() - 1);
   std::vector<double> r(max_lag + 1, 0.0);
   if (energy <= 0.0) return r;  // constant signal: no structure
-  for (std::size_t k = 0; k <= max_lag; ++k) {
-    double acc = 0.0;
-    for (std::size_t i = 0; i + k < x.size(); ++i) acc += x[i] * x[i + k];
-    r[k] = acc / energy;
-  }
+  kernels::acf_direct(x.data(), x.size(), max_lag, energy, r.data());
   return r;
 }
 
@@ -57,7 +57,7 @@ std::vector<double> autocorrelation_fft(std::span<const double> signal,
   std::vector<std::complex<double>> buf(padded);
   for (std::size_t i = 0; i < x.size(); ++i) buf[i] = x[i];
   fft_inplace(buf, /*inverse=*/false);
-  for (auto& v : buf) v = std::norm(v);  // |X|^2, imaginary part zero
+  kernels::complex_norm(buf.data(), buf.size());  // |X|^2, imaginary part zero
   const auto corr = ifft(std::move(buf));
   for (std::size_t k = 0; k <= max_lag; ++k) r[k] = corr[k].real() / energy;
   return r;
@@ -84,23 +84,21 @@ void spectral_analysis(std::span<const double> signal, std::size_t max_lag,
   ws.freq.assign(padded, std::complex<double>(0.0, 0.0));
   for (std::size_t i = 0; i < x.size(); ++i) ws.freq[i] = x[i];
   fft_inplace(ws.freq, /*inverse=*/false);
-  for (auto& v : ws.freq) v = std::norm(v);
+  kernels::complex_norm(ws.freq.data(), ws.freq.size());
 
   // Periodogram from the shared power spectrum.
   const std::size_t half = padded / 2;
-  out.pgram_power.clear();
-  out.pgram_power.reserve(half);
-  for (std::size_t k = 1; k <= half; ++k) {
-    out.pgram_power.push_back(ws.freq[k].real() / static_cast<double>(padded));
-  }
+  out.pgram_power.resize(half);
+  kernels::pgram_extract(ws.freq.data(), half, static_cast<double>(padded),
+                         out.pgram_power.data());
   if (energy <= 0.0) return;  // constant signal
 
   // Unscaled inverse transform, scaling applied per used lag: exactly the
   // ifft() arithmetic without surrendering the buffer.
   fft_inplace(ws.freq, /*inverse=*/true);
   const double scale = 1.0 / static_cast<double>(padded);
-  for (std::size_t k = 0; k <= max_lag; ++k)
-    out.acf[k] = (ws.freq[k] * scale).real() / energy;
+  kernels::acf_extract(ws.freq.data(), max_lag + 1, scale, energy,
+                       out.acf.data());
 }
 
 std::vector<std::size_t> acf_peaks(std::span<const double> r) {

@@ -1,0 +1,223 @@
+// Kernel dispatchers (scalar vs SIMD build, per stats/simd.h) plus the
+// `baseline` reference loops. This TU is compiled with the project's default
+// flags — exactly how the pre-kernel call sites were built — so the baseline
+// loops measure what the code actually did before the kernel layer.
+#include "stats/kernels.h"
+
+#include <numbers>
+
+#include "stats/simd.h"
+
+namespace jsoncdn::stats::kernels {
+
+// The two builds of the shared bodies (kernels_impl.h). Declared here rather
+// than in a header: nothing but the dispatchers below may call them.
+#define JSONCDN_DECLARE_KERNELS(ns)                                           \
+  namespace ns {                                                              \
+  void fft_pass(std::complex<double>* data, std::size_t n, std::size_t len,   \
+                const std::complex<double>* twiddles);                        \
+  void complex_norm(std::complex<double>* data, std::size_t n);               \
+  void pgram_extract(const std::complex<double>* freq, std::size_t count,     \
+                     double padded, double* out);                             \
+  void acf_extract(const std::complex<double>* corr, std::size_t count,       \
+                   double scale, double energy, double* out);                 \
+  void acf_direct(const double* x, std::size_t n, std::size_t max_lag,        \
+                  double energy, double* r);                                  \
+  void bin_events(const double* times, std::size_t n, double t_begin,         \
+                  double t_end, double dt, double* bins, std::size_t nbins);  \
+  double max_value(const double* x, std::size_t n, double init) noexcept;     \
+  bool diff_ascending(const double* x, std::size_t n, double* out);           \
+  void count_u32(const std::uint32_t* keys, const std::uint32_t* idx,         \
+                 std::size_t n, std::uint64_t* counts, std::size_t n_keys);   \
+  void count_enum8(const std::int32_t* vals, const std::uint32_t* idx,        \
+                   std::size_t n, std::uint64_t* counts);                     \
+  StatusBuckets count_status(const std::int32_t* status,                      \
+                             const std::uint32_t* idx,                        \
+                             std::size_t n) noexcept;                         \
+  void splitmix_batch(const std::uint64_t* keys, std::size_t n,               \
+                      std::uint64_t salt, std::uint64_t* out);                \
+  }
+
+JSONCDN_DECLARE_KERNELS(kernels_scalar)
+JSONCDN_DECLARE_KERNELS(kernels_simd)
+#undef JSONCDN_DECLARE_KERNELS
+
+void fft_pass(std::complex<double>* data, std::size_t n, std::size_t len,
+              const std::complex<double>* twiddles) {
+  if (simd_enabled()) {
+    kernels_simd::fft_pass(data, n, len, twiddles);
+  } else {
+    kernels_scalar::fft_pass(data, n, len, twiddles);
+  }
+}
+
+void complex_norm(std::complex<double>* data, std::size_t n) {
+  if (simd_enabled()) {
+    kernels_simd::complex_norm(data, n);
+  } else {
+    kernels_scalar::complex_norm(data, n);
+  }
+}
+
+void pgram_extract(const std::complex<double>* freq, std::size_t count,
+                   double padded, double* out) {
+  if (simd_enabled()) {
+    kernels_simd::pgram_extract(freq, count, padded, out);
+  } else {
+    kernels_scalar::pgram_extract(freq, count, padded, out);
+  }
+}
+
+void acf_extract(const std::complex<double>* corr, std::size_t count,
+                 double scale, double energy, double* out) {
+  if (simd_enabled()) {
+    kernels_simd::acf_extract(corr, count, scale, energy, out);
+  } else {
+    kernels_scalar::acf_extract(corr, count, scale, energy, out);
+  }
+}
+
+void acf_direct(const double* x, std::size_t n, std::size_t max_lag,
+                double energy, double* r) {
+  if (simd_enabled()) {
+    kernels_simd::acf_direct(x, n, max_lag, energy, r);
+  } else {
+    kernels_scalar::acf_direct(x, n, max_lag, energy, r);
+  }
+}
+
+void bin_events(const double* times, std::size_t n, double t_begin,
+                double t_end, double dt, double* bins, std::size_t nbins) {
+  if (simd_enabled()) {
+    kernels_simd::bin_events(times, n, t_begin, t_end, dt, bins, nbins);
+  } else {
+    kernels_scalar::bin_events(times, n, t_begin, t_end, dt, bins, nbins);
+  }
+}
+
+double max_value(const double* x, std::size_t n, double init) noexcept {
+  return simd_enabled() ? kernels_simd::max_value(x, n, init)
+                        : kernels_scalar::max_value(x, n, init);
+}
+
+bool diff_ascending(const double* x, std::size_t n, double* out) {
+  return simd_enabled() ? kernels_simd::diff_ascending(x, n, out)
+                        : kernels_scalar::diff_ascending(x, n, out);
+}
+
+void count_u32(const std::uint32_t* keys, const std::uint32_t* idx,
+               std::size_t n, std::uint64_t* counts, std::size_t n_keys) {
+  if (simd_enabled()) {
+    kernels_simd::count_u32(keys, idx, n, counts, n_keys);
+  } else {
+    kernels_scalar::count_u32(keys, idx, n, counts, n_keys);
+  }
+}
+
+void count_enum8(const std::int32_t* vals, const std::uint32_t* idx,
+                 std::size_t n, std::uint64_t* counts) {
+  if (simd_enabled()) {
+    kernels_simd::count_enum8(vals, idx, n, counts);
+  } else {
+    kernels_scalar::count_enum8(vals, idx, n, counts);
+  }
+}
+
+StatusBuckets count_status(const std::int32_t* status,
+                           const std::uint32_t* idx, std::size_t n) noexcept {
+  return simd_enabled() ? kernels_simd::count_status(status, idx, n)
+                        : kernels_scalar::count_status(status, idx, n);
+}
+
+void splitmix_batch(const std::uint64_t* keys, std::size_t n,
+                    std::uint64_t salt, std::uint64_t* out) {
+  if (simd_enabled()) {
+    kernels_simd::splitmix_batch(keys, n, salt, out);
+  } else {
+    kernels_scalar::splitmix_batch(keys, n, salt, out);
+  }
+}
+
+// ---- baseline reference loops (pre-kernel shapes, default flags) ---------
+
+namespace baseline {
+
+void fft_pass(std::complex<double>* data, std::size_t n, std::size_t len,
+              bool inverse) {
+  const double angle =
+      2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+  const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+  for (std::size_t i = 0; i < n; i += len) {
+    std::complex<double> w(1.0, 0.0);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      const std::complex<double> u = data[i + k];
+      const std::complex<double> v = data[i + k + len / 2] * w;
+      data[i + k] = u + v;
+      data[i + k + len / 2] = u - v;
+      w *= wlen;
+    }
+  }
+}
+
+void acf_direct(const double* x, std::size_t n, std::size_t max_lag,
+                double energy, double* r) {
+  for (std::size_t k = 0; k <= max_lag; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + k < n; ++i) acc += x[i] * x[i + k];
+    r[k] = acc / energy;
+  }
+}
+
+void bin_events(const double* times, std::size_t n, double t_begin,
+                double t_end, double dt, double* bins, std::size_t nbins) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = times[i];
+    if (t < t_begin || t >= t_end) continue;
+    auto bin = static_cast<std::size_t>((t - t_begin) / dt);
+    if (bin >= nbins) bin = nbins - 1;
+    bins[bin] += 1.0;
+  }
+}
+
+void count_u32(const std::uint32_t* keys, const std::uint32_t* idx,
+               std::size_t n, std::uint64_t* counts, std::size_t n_keys) {
+  (void)n_keys;
+  if (idx != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) ++counts[keys[idx[i]]];
+  } else {
+    for (std::size_t i = 0; i < n; ++i) ++counts[keys[i]];
+  }
+}
+
+StatusBuckets count_status(const std::int32_t* status,
+                           const std::uint32_t* idx, std::size_t n) noexcept {
+  StatusBuckets out;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t s = idx != nullptr ? status[idx[i]] : status[i];
+    if (s >= 500) {
+      ++out.server_error_5xx;
+      if (s == 504) ++out.gateway_timeout_504;
+    } else if (s >= 400) {
+      ++out.client_error_4xx;
+    } else if (s >= 300) {
+      ++out.redirect_3xx;
+    } else if (s >= 200) {
+      ++out.ok_2xx;
+    }
+  }
+  return out;
+}
+
+void splitmix_batch(const std::uint64_t* keys, std::size_t n,
+                    std::uint64_t salt, std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t z = (keys[i] ^ salt) + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    out[i] = z ^ (z >> 31);
+  }
+}
+
+}  // namespace baseline
+
+}  // namespace jsoncdn::stats::kernels

@@ -1,0 +1,515 @@
+// Kernel bodies shared by the scalar and SIMD translation units. Each TU
+// defines JSONCDN_KERNEL_NS (kernels_scalar / kernels_simd) and its own
+// compile flags; the arithmetic graph below is identical in both, which is
+// what makes the two dispatch paths bit-identical (see kernels.h).
+//
+// Vectorization strategy: loops are written in lane-blocked or mask-sum
+// form — independent accumulator lanes with a fixed combine order — so the
+// SIMD build's auto-vectorizer maps lanes onto vector elements without ever
+// reassociating a serial reduction. Order-sensitive float sums (per-lag ACF
+// chains, bin increments) keep their original element order in both builds.
+#ifndef JSONCDN_KERNEL_NS
+#error "kernels_impl.h must be included with JSONCDN_KERNEL_NS defined"
+#endif
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "stats/kernels.h"
+
+namespace jsoncdn::stats::kernels {
+namespace JSONCDN_KERNEL_NS {
+
+inline constexpr std::uint64_t kSplitmixGamma = 0x9e3779b97f4a7c15ULL;
+inline constexpr std::uint64_t kSplitmixMul1 = 0xbf58476d1ce4e5b9ULL;
+inline constexpr std::uint64_t kSplitmixMul2 = 0x94d049bb133111ebULL;
+
+void fft_pass(std::complex<double>* data, std::size_t n, std::size_t len,
+              const std::complex<double>* twiddles) {
+  const std::size_t half = len / 2;
+  // std::complex<double> is layout-compatible with double[2] ([complex.numbers]).
+  double* d = reinterpret_cast<double*>(data);
+  const double* w = reinterpret_cast<const double*>(twiddles);
+  for (std::size_t i = 0; i < n; i += len) {
+    double* a = d + 2 * i;
+    double* b = a + 2 * half;
+    for (std::size_t k = 0; k < half; ++k) {
+      const double ar = a[2 * k];
+      const double ai = a[2 * k + 1];
+      const double br = b[2 * k];
+      const double bi = b[2 * k + 1];
+      const double wr = w[2 * k];
+      const double wi = w[2 * k + 1];
+      const double vr = br * wr - bi * wi;
+      const double vi = br * wi + bi * wr;
+      a[2 * k] = ar + vr;
+      a[2 * k + 1] = ai + vi;
+      b[2 * k] = ar - vr;
+      b[2 * k + 1] = ai - vi;
+    }
+  }
+}
+
+void complex_norm(std::complex<double>* data, std::size_t n) {
+  double* d = reinterpret_cast<double*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double re = d[2 * i];
+    const double im = d[2 * i + 1];
+    d[2 * i] = re * re + im * im;
+    d[2 * i + 1] = 0.0;
+  }
+}
+
+void pgram_extract(const std::complex<double>* freq, std::size_t count,
+                   double padded, double* out) {
+  const double* f = reinterpret_cast<const double*>(freq);
+  for (std::size_t k = 0; k < count; ++k) {
+    out[k] = f[2 * (k + 1)] / padded;
+  }
+}
+
+void acf_extract(const std::complex<double>* corr, std::size_t count,
+                 double scale, double energy, double* out) {
+  const double* c = reinterpret_cast<const double*>(corr);
+  for (std::size_t k = 0; k < count; ++k) {
+    out[k] = (c[2 * k] * scale) / energy;
+  }
+}
+
+void acf_direct(const double* x, std::size_t n, std::size_t max_lag,
+                double energy, double* r) {
+  std::size_t k = 0;
+  // Four lags per block: each lag keeps its own serial ascending-i sum (the
+  // order the per-lag scalar loop used), and the four independent chains
+  // vectorize across the lag dimension.
+  for (; k + 3 <= max_lag && k + 3 < n; k += 4) {
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0, a3 = 0.0;
+    const std::size_t m = n - (k + 3);  // i range where all four lags exist
+    for (std::size_t i = 0; i < m; ++i) {
+      const double xi = x[i];
+      a0 += xi * x[i + k];
+      a1 += xi * x[i + k + 1];
+      a2 += xi * x[i + k + 2];
+      a3 += xi * x[i + k + 3];
+    }
+    // Trailing terms of the three shorter lags, same ascending order.
+    for (std::size_t i = m; i + k < n; ++i) a0 += x[i] * x[i + k];
+    for (std::size_t i = m; i + k + 1 < n; ++i) a1 += x[i] * x[i + k + 1];
+    for (std::size_t i = m; i + k + 2 < n; ++i) a2 += x[i] * x[i + k + 2];
+    r[k] = a0 / energy;
+    r[k + 1] = a1 / energy;
+    r[k + 2] = a2 / energy;
+    r[k + 3] = a3 / energy;
+  }
+  for (; k <= max_lag; ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i + k < n; ++i) acc += x[i] * x[i + k];
+    r[k] = acc / energy;
+  }
+}
+
+namespace {
+
+// Monotone bijection between finite doubles and uint64 (negatives reversed),
+// so binary search over bin boundaries can halve the *representation* space.
+inline std::uint64_t ordered_key(double x) noexcept {
+  std::uint64_t b;
+  std::memcpy(&b, &x, sizeof(b));
+  return (b >> 63) ? ~b : (b | 0x8000000000000000ULL);
+}
+
+inline double ordered_unkey(std::uint64_t k) noexcept {
+  const std::uint64_t b = (k >> 63) ? (k & 0x7fffffffffffffffULL) : ~k;
+  double x;
+  std::memcpy(&x, &b, sizeof(x));
+  return x;
+}
+
+// Smallest double x in [t_begin, t_end] whose quotient (x - t_begin) / dt
+// reaches kd, or t_end if none does. Uses the exact same subtract/divide
+// expression as the per-element loop, so for integer kd >= 1 and quotients
+// >= 0, `quotient >= kd` is equivalent to `trunc(quotient) >= kd` and the
+// returned boundary reproduces the truncating cast's bin edges bit for bit.
+// Seeded at the arithmetic edge t_begin + kd * dt and bracketed by galloping
+// in representation space — the true edge is normally within a few ulps of
+// the seed, so each edge costs a handful of divisions, not a full 64-step
+// bisection (division latency chains would otherwise dominate).
+inline double bin_edge(double t_begin, double t_end, double dt,
+                       double kd) noexcept {
+  if (!((t_end - t_begin) / dt >= kd)) return t_end;
+  const std::uint64_t kb = ordered_key(t_begin);  // quotient 0 < kd
+  std::uint64_t lo = kb;
+  std::uint64_t hi = ordered_key(t_end);  // quotient >= kd
+  double guess = t_begin + kd * dt;
+  if (!(guess >= t_begin)) guess = t_begin;
+  if (!(guess <= t_end)) guess = t_end;
+  const std::uint64_t g = ordered_key(guess);
+  std::uint64_t step = 1;
+  if ((guess - t_begin) / dt >= kd) {
+    hi = g;
+    while (hi - lo >= step && hi - step > kb) {
+      const std::uint64_t probe = hi - step;
+      if ((ordered_unkey(probe) - t_begin) / dt >= kd) {
+        hi = probe;
+        step <<= 1;
+      } else {
+        lo = probe;
+        break;
+      }
+    }
+  } else {
+    lo = g;
+    while (hi - lo >= step) {
+      const std::uint64_t probe = lo + step;
+      if (probe >= hi) break;
+      if ((ordered_unkey(probe) - t_begin) / dt >= kd) {
+        hi = probe;
+        break;
+      }
+      lo = probe;
+      step <<= 1;
+    }
+  }
+  while (hi - lo > 1) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if ((ordered_unkey(mid) - t_begin) / dt >= kd) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return ordered_unkey(hi);
+}
+
+// First pointer in [p, hi) not less than e, assuming a sorted range, found
+// by galloping: probes stay within the current bin's run, so the accesses
+// are sequential-scale instead of whole-array bisection.
+inline const double* gallop_lower_bound(const double* p, const double* hi,
+                                        double e) noexcept {
+  const auto count = static_cast<std::size_t>(hi - p);
+  if (count == 0 || !(p[0] < e)) return p;
+  std::size_t bound = 1;
+  while (bound < count && p[bound] < e) bound <<= 1;
+  const double* lo2 = p + (bound >> 1);  // p[bound >> 1] < e holds
+  const double* hi2 = p + (bound < count ? bound : count);
+  return std::lower_bound(lo2, hi2, e);
+}
+
+}  // namespace
+
+void bin_events(const double* times, std::size_t n, double t_begin,
+                double t_end, double dt, double* bins, std::size_t nbins) {
+  constexpr std::size_t kBlock = 1024;
+  // Sorted fast path. Flow event times arrive chronologically, and the bin
+  // index min(trunc((t - t_begin) / dt), nbins - 1) is a monotone step
+  // function of t (FP subtract, divide-by-positive, and truncation are all
+  // monotone). So instead of dividing per element, binary-search the
+  // smallest double that opens each bin — evaluating the identical quotient
+  // expression, hence identical edges — and count each bin's run with a
+  // two-pointer sweep: O(nbins log) divisions total instead of O(n).
+  // NaN times are excluded by the finite-input contract (the per-element
+  // loop would cast a NaN quotient, which is undefined).
+  constexpr std::size_t kMinSortedN = 4096;
+  if (n >= kMinSortedN && nbins >= 1 && n >= 8 * nbins && dt > 0.0 &&
+      std::isfinite(dt) && std::isfinite(t_begin) && std::isfinite(t_end) &&
+      t_begin < t_end) {
+    bool sorted = true;
+    for (std::size_t i = 1; i < n && sorted;) {
+      // Violation count per block (vectorizes as a mask sum); early exit
+      // keeps the cost negligible for genuinely unsorted inputs.
+      const std::size_t stop = (n - i < 16384) ? n : i + 16384;
+      std::uint32_t violations = 0;
+      for (; i < stop; ++i)
+        violations += static_cast<std::uint32_t>(times[i] < times[i - 1]);
+      sorted = violations == 0;
+    }
+    if (sorted) {
+      const double* const last = times + n;
+      const double* p = std::lower_bound(times, last, t_begin);
+      const double* const p_hi = std::lower_bound(p, last, t_end);
+      const std::size_t top = nbins - 1;
+      for (std::size_t k = 0; k < top && p != p_hi; ++k) {
+        const double e =
+            bin_edge(t_begin, t_end, dt, static_cast<double>(k + 1));
+        const double* const p2 = gallop_lower_bound(p, p_hi, e);
+        if (p2 != p) bins[k] += static_cast<double>(p2 - p);
+        p = p2;
+      }
+      if (p != p_hi) bins[top] += static_cast<double>(p_hi - p);
+      return;
+    }
+  }
+  // Fast path: when bin indices fit an int32 (always, in practice), the
+  // truncating cast and the top-edge clamp vectorize too — packed
+  // double->int32 exists on every x86-64 baseline, packed double->uint64
+  // does not. Out-of-window lanes blend to quotient 0.0 before the cast (so
+  // the cast never sees an out-of-range value) and carry weight 0.0; adding
+  // +0.0 to bins[0] leaves any count bit-identical because histogram counts
+  // are never negative zero. In-window lanes add the same +1.0 in the same
+  // ascending element order as the single-pass scalar loop.
+  if (nbins <= (std::size_t{1} << 30)) {
+    std::int32_t bin[kBlock];
+    std::int32_t oki[kBlock];
+    const auto top = static_cast<std::int32_t>(nbins - 1);
+    // Large batches: scatter into four interleaved integer sub-histograms
+    // (independent increment chains, cheap integer adds), then fold back.
+    // Every count is an exact small integer, so the fold's u64 sums and the
+    // final u64 -> double conversion reproduce the serial loop's doubles bit
+    // for bit under the documented integer-count contract on `bins`.
+    if (n >= 4 * nbins && nbins <= (std::size_t{1} << 20)) {
+      std::vector<std::uint64_t> sub(4 * nbins, 0);
+      std::uint64_t* c0 = sub.data();
+      std::uint64_t* c1 = c0 + nbins;
+      std::uint64_t* c2 = c1 + nbins;
+      std::uint64_t* c3 = c2 + nbins;
+      for (std::size_t base = 0; base < n; base += kBlock) {
+        const std::size_t m = (n - base < kBlock) ? n - base : kBlock;
+        for (std::size_t j = 0; j < m; ++j) {
+          const double t = times[base + j];
+          const double q = (t - t_begin) / dt;
+          const bool ok = !(t < t_begin || t >= t_end);
+          oki[j] = ok ? 1 : 0;
+          const auto v = static_cast<std::int32_t>(ok ? q : 0.0);
+          bin[j] = v > top ? top : v;
+        }
+        std::size_t j = 0;
+        for (; j + 4 <= m; j += 4) {
+          c0[static_cast<std::size_t>(bin[j])] +=
+              static_cast<std::uint64_t>(oki[j]);
+          c1[static_cast<std::size_t>(bin[j + 1])] +=
+              static_cast<std::uint64_t>(oki[j + 1]);
+          c2[static_cast<std::size_t>(bin[j + 2])] +=
+              static_cast<std::uint64_t>(oki[j + 2]);
+          c3[static_cast<std::size_t>(bin[j + 3])] +=
+              static_cast<std::uint64_t>(oki[j + 3]);
+        }
+        for (; j < m; ++j) {
+          c0[static_cast<std::size_t>(bin[j])] +=
+              static_cast<std::uint64_t>(oki[j]);
+        }
+      }
+      for (std::size_t s = 0; s < nbins; ++s) {
+        bins[s] += static_cast<double>(c0[s] + c1[s] + c2[s] + c3[s]);
+      }
+      return;
+    }
+    double w[kBlock];
+    for (std::size_t base = 0; base < n; base += kBlock) {
+      const std::size_t m = (n - base < kBlock) ? n - base : kBlock;
+      // Pass 1 (vectorizes): the division is unconditional — and the exact
+      // scalar quotient `(t - t_begin) / dt`, never a reciprocal multiply,
+      // so bin-edge rounding is identical — then out-of-window lanes blend
+      // to quotient 0.0 BEFORE the truncating cast (the cast never sees an
+      // out-of-range or NaN lane) and the clamp mirrors the scalar loop's
+      // `if (bin >= nbins) bin = nbins - 1`.
+      for (std::size_t j = 0; j < m; ++j) {
+        const double t = times[base + j];
+        const double q = (t - t_begin) / dt;
+        const bool ok = !(t < t_begin || t >= t_end);
+        w[j] = ok ? 1.0 : 0.0;
+        const auto v = static_cast<std::int32_t>(ok ? q : 0.0);
+        bin[j] = v > top ? top : v;
+      }
+      // Pass 2 (scalar scatter, ascending order preserved).
+      for (std::size_t j = 0; j < m; ++j) {
+        bins[static_cast<std::size_t>(bin[j])] += w[j];
+      }
+    }
+    return;
+  }
+  // Histograms wider than 2^30 bins: two-pass form with the size_t cast
+  // applied only to in-window quotients.
+  double q[kBlock];
+  std::uint8_t ok[kBlock];
+  for (std::size_t base = 0; base < n; base += kBlock) {
+    const std::size_t m = (n - base < kBlock) ? n - base : kBlock;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double t = times[base + j];
+      q[j] = (t - t_begin) / dt;
+      ok[j] = static_cast<std::uint8_t>(!(t < t_begin || t >= t_end));
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      if (!ok[j]) continue;
+      auto bin = static_cast<std::size_t>(q[j]);
+      if (bin >= nbins) bin = nbins - 1;  // top-edge float round-off
+      bins[bin] += 1.0;
+    }
+  }
+}
+
+double max_value(const double* x, std::size_t n, double init) noexcept {
+  constexpr std::size_t kLanes = 8;
+  double m[kLanes] = {init, init, init, init, init, init, init, init};
+  std::size_t i = 0;
+  for (; i + kLanes <= n; i += kLanes) {
+    for (std::size_t l = 0; l < kLanes; ++l) {
+      const double v = x[i + l];
+      m[l] = m[l] < v ? v : m[l];
+    }
+  }
+  for (; i < n; ++i) m[0] = m[0] < x[i] ? x[i] : m[0];
+  double best = m[0];
+  for (std::size_t l = 1; l < kLanes; ++l) best = best < m[l] ? m[l] : best;
+  return best;
+}
+
+bool diff_ascending(const double* x, std::size_t n, double* out) {
+  // Mask-sum of violations instead of early exit: the diff loop stays
+  // branch-free and vectorizes; `x[i+1] < x[i]` (not >=) keeps the caller's
+  // NaN behavior.
+  std::size_t violations = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    out[i] = x[i + 1] - x[i];
+    violations += static_cast<std::size_t>(x[i + 1] < x[i]);
+  }
+  return violations == 0;
+}
+
+namespace {
+
+template <std::size_t kWays, bool kGather>
+void count_u32_ways(const std::uint32_t* keys, const std::uint32_t* idx,
+                    std::size_t n, std::uint64_t* counts, std::size_t n_keys) {
+  // One cache line of padding between sub-tables: power-of-two dictionaries
+  // would otherwise put every sub-table's copy of a hot key in the same L1
+  // set.
+  constexpr std::size_t kPad = 8;
+  const std::size_t stride = n_keys + kPad;
+  std::vector<std::uint64_t> extra((kWays - 1) * stride, 0);
+  std::uint64_t* table[kWays];
+  table[0] = counts;
+  for (std::size_t w = 1; w < kWays; ++w)
+    table[w] = extra.data() + (w - 1) * stride;
+  std::size_t i = 0;
+  for (; i + kWays <= n; i += kWays) {
+    for (std::size_t w = 0; w < kWays; ++w) {
+      const std::size_t j = i + w;
+      ++table[w][kGather ? keys[idx[j]] : keys[j]];
+    }
+  }
+  for (; i < n; ++i) ++counts[kGather ? keys[idx[i]] : keys[i]];
+  for (std::size_t s = 0; s < n_keys; ++s) {
+    std::uint64_t sum = 0;
+    for (std::size_t w = 1; w < kWays; ++w) sum += table[w][s];
+    counts[s] += sum;
+  }
+}
+
+}  // namespace
+
+void count_u32(const std::uint32_t* keys, const std::uint32_t* idx,
+               std::size_t n, std::uint64_t* counts, std::size_t n_keys) {
+  // Interleaved sub-tables when they fit comfortably in cache: u64 adds
+  // commute, so folding the sub-tables back reproduces the single-table
+  // totals exactly while multiplying the independent store chains. Hot-key
+  // bursts (time-sorted CDN logs repeat the same object back-to-back)
+  // serialise a single table on store-to-load forwarding; eight ways keep
+  // even a pure single-key run's forwarding chains eight elements apart.
+  constexpr std::size_t kMaxEightWayKeys = 2048;
+  constexpr std::size_t kMaxMultiTableKeys = 4096;
+  if (n_keys <= kMaxEightWayKeys && n >= 8 * n_keys) {
+    if (idx != nullptr) {
+      count_u32_ways<8, true>(keys, idx, n, counts, n_keys);
+    } else {
+      count_u32_ways<8, false>(keys, idx, n, counts, n_keys);
+    }
+    return;
+  }
+  if (n_keys <= kMaxMultiTableKeys && n >= 4 * n_keys) {
+    if (idx != nullptr) {
+      count_u32_ways<4, true>(keys, idx, n, counts, n_keys);
+    } else {
+      count_u32_ways<4, false>(keys, idx, n, counts, n_keys);
+    }
+    return;
+  }
+  if (idx != nullptr) {
+    for (std::size_t i = 0; i < n; ++i) ++counts[keys[idx[i]]];
+  } else {
+    for (std::size_t i = 0; i < n; ++i) ++counts[keys[i]];
+  }
+}
+
+namespace {
+
+template <bool kGather>
+void count_enum8_loop(const std::int32_t* vals, const std::uint32_t* idx,
+                      std::size_t n, std::uint64_t* counts) {
+  std::uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  std::uint64_t c4 = 0, c5 = 0, c6 = 0, c7 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t v = kGather ? vals[idx[i]] : vals[i];
+    c0 += static_cast<std::uint64_t>(v == 0);
+    c1 += static_cast<std::uint64_t>(v == 1);
+    c2 += static_cast<std::uint64_t>(v == 2);
+    c3 += static_cast<std::uint64_t>(v == 3);
+    c4 += static_cast<std::uint64_t>(v == 4);
+    c5 += static_cast<std::uint64_t>(v == 5);
+    c6 += static_cast<std::uint64_t>(v == 6);
+    c7 += static_cast<std::uint64_t>(v == 7);
+  }
+  counts[0] += c0;
+  counts[1] += c1;
+  counts[2] += c2;
+  counts[3] += c3;
+  counts[4] += c4;
+  counts[5] += c5;
+  counts[6] += c6;
+  counts[7] += c7;
+}
+
+template <bool kGather>
+StatusBuckets count_status_loop(const std::int32_t* status,
+                                const std::uint32_t* idx,
+                                std::size_t n) noexcept {
+  StatusBuckets out;
+  std::uint64_t b2 = 0, b3 = 0, b4 = 0, b5 = 0, b504 = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t s = kGather ? status[idx[i]] : status[i];
+    b2 += static_cast<std::uint64_t>(s >= 200 && s < 300);
+    b3 += static_cast<std::uint64_t>(s >= 300 && s < 400);
+    b4 += static_cast<std::uint64_t>(s >= 400 && s < 500);
+    b5 += static_cast<std::uint64_t>(s >= 500);
+    b504 += static_cast<std::uint64_t>(s == 504);
+  }
+  out.ok_2xx = b2;
+  out.redirect_3xx = b3;
+  out.client_error_4xx = b4;
+  out.server_error_5xx = b5;
+  out.gateway_timeout_504 = b504;
+  return out;
+}
+
+}  // namespace
+
+void count_enum8(const std::int32_t* vals, const std::uint32_t* idx,
+                 std::size_t n, std::uint64_t* counts) {
+  if (idx != nullptr) {
+    count_enum8_loop<true>(vals, idx, n, counts);
+  } else {
+    count_enum8_loop<false>(vals, idx, n, counts);
+  }
+}
+
+StatusBuckets count_status(const std::int32_t* status,
+                           const std::uint32_t* idx, std::size_t n) noexcept {
+  return idx != nullptr ? count_status_loop<true>(status, idx, n)
+                        : count_status_loop<false>(status, idx, n);
+}
+
+void splitmix_batch(const std::uint64_t* keys, std::size_t n,
+                    std::uint64_t salt, std::uint64_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t z = (keys[i] ^ salt) + kSplitmixGamma;
+    z = (z ^ (z >> 30)) * kSplitmixMul1;
+    z = (z ^ (z >> 27)) * kSplitmixMul2;
+    out[i] = z ^ (z >> 31);
+  }
+}
+
+}  // namespace JSONCDN_KERNEL_NS
+}  // namespace jsoncdn::stats::kernels

@@ -1,0 +1,5 @@
+// Scalar build of the shared kernel bodies: compiled with
+// auto-vectorization disabled (see src/stats/CMakeLists.txt) so this TU is
+// the straight-line reference the SIMD build must match bit for bit.
+#define JSONCDN_KERNEL_NS kernels_scalar
+#include "stats/kernels_impl.h"

@@ -1,0 +1,6 @@
+// SIMD build of the shared kernel bodies: compiled at -O3 with the
+// vectorizer forced on and (when the toolchain supports it) an AVX2 target,
+// FP contraction off (see src/stats/CMakeLists.txt). Same source as the
+// scalar build — only the code generation differs.
+#define JSONCDN_KERNEL_NS kernels_simd
+#include "stats/kernels_impl.h"

@@ -1,0 +1,67 @@
+#include "stats/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace jsoncdn::stats {
+
+namespace {
+
+bool env_disables_simd() noexcept {
+  const char* v = std::getenv("JSONCDN_DISABLE_SIMD");
+  if (v == nullptr || *v == '\0') return false;
+  return std::strcmp(v, "0") != 0;
+}
+
+bool detect_simd_available() noexcept {
+#if defined(JSONCDN_SIMD_AVX2)
+  // The SIMD translation unit was built for AVX2; only dispatch to it on
+  // hardware that has it (the rest of the binary stays baseline x86-64).
+  return __builtin_cpu_supports("avx2") != 0;
+#elif defined(JSONCDN_SIMD_GENERIC)
+  // The SIMD translation unit only uses the baseline ISA's vector forms
+  // (auto-vectorized for the default target), so it runs anywhere.
+  return true;
+#else
+  return false;
+#endif
+}
+
+// 0 = uninitialized, 1 = scalar, 2 = simd. One-time lazy init keeps the
+// per-kernel-call cost to a single relaxed load.
+std::atomic<int> g_mode{0};
+
+int init_mode() noexcept {
+  const int mode = (detect_simd_available() && !env_disables_simd()) ? 2 : 1;
+  g_mode.store(mode, std::memory_order_relaxed);
+  return mode;
+}
+
+}  // namespace
+
+bool simd_available() noexcept {
+  static const bool available = detect_simd_available();
+  return available;
+}
+
+bool simd_enabled() noexcept {
+  int mode = g_mode.load(std::memory_order_relaxed);
+  if (mode == 0) mode = init_mode();
+  return mode == 2;
+}
+
+void set_simd_enabled(bool on) noexcept {
+  g_mode.store(on && simd_available() ? 2 : 1, std::memory_order_relaxed);
+}
+
+const char* simd_isa() noexcept {
+  if (!simd_enabled()) return "scalar";
+#if defined(JSONCDN_SIMD_AVX2)
+  return "avx2";
+#else
+  return "vector";
+#endif
+}
+
+}  // namespace jsoncdn::stats

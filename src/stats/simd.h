@@ -1,0 +1,36 @@
+// Runtime dispatch between the scalar and SIMD builds of the hot analysis
+// kernels (stats/kernels.h). The same kernel bodies are compiled twice —
+// once with auto-vectorization disabled, once with it forced on plus an
+// AVX2 target when the toolchain supports it — and every call goes through
+// a cached runtime switch:
+//
+//   - env JSONCDN_DISABLE_SIMD=1 (or any non-empty value other than "0")
+//     pins the scalar build for the whole process;
+//   - on x86-64 the SIMD build is only taken when the CPU reports AVX2;
+//   - set_simd_enabled() lets benchmarks and tests flip the dispatch
+//     in-process so one binary can measure/verify both paths.
+//
+// Both builds compile the identical arithmetic graph with FP contraction
+// off, so float kernels — not just integer ones — produce bit-identical
+// results under either dispatch. See DESIGN.md §14.
+#pragma once
+
+namespace jsoncdn::stats {
+
+// True when a vectorized kernel build exists in this binary AND the CPU can
+// run it. Constant for the process lifetime.
+[[nodiscard]] bool simd_available() noexcept;
+
+// True when kernel calls currently route to the SIMD build: available, not
+// disabled by JSONCDN_DISABLE_SIMD, not overridden by set_simd_enabled().
+[[nodiscard]] bool simd_enabled() noexcept;
+
+// Overrides the dispatch for this process (clamped to simd_available()).
+// Thread-safe but not synchronized with in-flight kernel calls; intended
+// for benchmark/test setup, not for toggling mid-analysis.
+void set_simd_enabled(bool on) noexcept;
+
+// "avx2" when SIMD dispatch is active, "scalar" otherwise (for logs/bench).
+[[nodiscard]] const char* simd_isa() noexcept;
+
+}  // namespace jsoncdn::stats

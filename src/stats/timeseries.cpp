@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "stats/kernels.h"
+
 namespace jsoncdn::stats {
 
 std::vector<double> bin_events(std::span<const double> times, double t_begin,
@@ -20,22 +22,15 @@ void bin_events(std::span<const double> times, double t_begin, double t_end,
     throw std::invalid_argument("bin_events: requires t_begin < t_end");
   const auto n = static_cast<std::size_t>(std::ceil((t_end - t_begin) / dt));
   out.assign(n, 0.0);
-  for (double t : times) {
-    if (t < t_begin || t >= t_end) continue;
-    auto bin = static_cast<std::size_t>((t - t_begin) / dt);
-    if (bin >= n) bin = n - 1;  // t just below t_end with float round-off
-    out[bin] += 1.0;
-  }
+  kernels::bin_events(times.data(), times.size(), t_begin, t_end, dt,
+                      out.data(), n);
 }
 
 std::vector<double> interarrival_gaps(std::span<const double> times) {
   if (times.size() < 2) return {};
   std::vector<double> gaps(times.size() - 1);
-  for (std::size_t i = 1; i < times.size(); ++i) {
-    if (times[i] < times[i - 1])
-      throw std::invalid_argument("interarrival_gaps: times not ascending");
-    gaps[i - 1] = times[i] - times[i - 1];
-  }
+  if (!kernels::diff_ascending(times.data(), times.size(), gaps.data()))
+    throw std::invalid_argument("interarrival_gaps: times not ascending");
   return gaps;
 }
 
